@@ -1,0 +1,90 @@
+// E3 — Figure 4: lag over time is a sawtooth rising at 1 s/s; the trough of
+// refresh i is e_i − v_i, the peak is e_i − v_{i−1} (you must count from the
+// *previous* refresh's data timestamp), and meeting a target lag t requires
+// p + w + d < t (§5.2).
+
+#include "bench_util.h"
+#include "sched/scheduler.h"
+
+using namespace dvs;
+
+int main() {
+  VirtualClock clock(0);
+  DvsEngine engine(clock);
+  Scheduler sched(&engine, &clock);
+
+  bench::Run(engine, "CREATE TABLE src (k INT, v INT)");
+  for (int i = 0; i < 200; ++i) {
+    bench::Run(engine, "INSERT INTO src VALUES (" + std::to_string(i) + ", " +
+                       std::to_string(i * 3) + ")");
+  }
+  bench::Run(engine,
+             "CREATE DYNAMIC TABLE dt TARGET_LAG = '5 minutes' "
+             "WAREHOUSE = wh INITIALIZE = ON_SCHEDULE "
+             "AS SELECT k % 10 AS bucket, count(*) AS n, sum(v) AS sv "
+             "FROM src GROUP BY ALL");
+
+  // Keep the source changing so refreshes do real work (non-zero d).
+  for (int round = 0; round < 30; ++round) {
+    bench::Run(engine, "INSERT INTO src VALUES (" +
+                       std::to_string(1000 + round) + ", 1)");
+    sched.RunUntil(clock.Now() + kMicrosPerMinute);
+  }
+
+  const Micros target = 5 * kMicrosPerMinute;
+  ObjectId id = engine.ObjectIdOf("dt").value();
+  Micros period = sched.RefreshPeriod(id);
+  std::printf("E3 / Figure 4 — lag sawtooth (target lag 5m, period %s)\n\n",
+              FormatDuration(period).c_str());
+  std::printf("%-4s %10s %10s %10s %12s %12s  (seconds)\n", "i", "v_i", "s_i",
+              "e_i", "peak", "trough");
+
+  std::vector<const RefreshRecord*> refreshes;
+  for (const RefreshRecord& r : sched.log()) {
+    if (r.dt_name == "dt" && !r.skipped && !r.failed) refreshes.push_back(&r);
+  }
+  bool identities_hold = true;
+  bool budget_holds = true;
+  Micros max_peak = 0;
+  for (size_t i = 0; i < refreshes.size(); ++i) {
+    const RefreshRecord& r = *refreshes[i];
+    std::printf("%-4zu %10lld %10lld %10lld %12lld %12lld\n", i,
+                static_cast<long long>(r.data_timestamp / kMicrosPerSecond),
+                static_cast<long long>(r.start_time / kMicrosPerSecond),
+                static_cast<long long>(r.end_time / kMicrosPerSecond),
+                static_cast<long long>(r.peak_lag / kMicrosPerSecond),
+                static_cast<long long>(r.trough_lag / kMicrosPerSecond));
+    identities_hold &= (r.trough_lag == r.end_time - r.data_timestamp);
+    if (i > 0) {
+      const RefreshRecord& prev = *refreshes[i - 1];
+      identities_hold &= (r.peak_lag == r.end_time - prev.data_timestamp);
+      // p + w + d decomposition (§5.2).
+      Micros p = r.data_timestamp - prev.data_timestamp;
+      Micros w = r.start_time - r.data_timestamp;
+      Micros d = r.end_time - r.start_time;
+      budget_holds &= (p + w + d < target);
+      identities_hold &= (r.peak_lag == p + w + d);
+      max_peak = std::max(max_peak, r.peak_lag);
+    }
+  }
+
+  // Sampled lag curve: rises at exactly 1 second per second between commits.
+  bool one_s_per_s = true;
+  for (Micros t = 10 * kMicrosPerMinute; t < 28 * kMicrosPerMinute;
+       t += 30 * kMicrosPerSecond) {
+    auto a = sched.LagAt(id, t);
+    auto b = sched.LagAt(id, t + kMicrosPerSecond);
+    if (a && b && *b != *a + kMicrosPerSecond && *b > *a) one_s_per_s = false;
+  }
+
+  std::printf("\nmax peak lag: %s (target %s)\n\n",
+              FormatDuration(max_peak).c_str(),
+              FormatDuration(target).c_str());
+  bench::Check(refreshes.size() >= 10, "enough refreshes observed");
+  bench::Check(identities_hold,
+               "trough = e_i - v_i and peak = e_i - v_{i-1} = p + w + d");
+  bench::Check(budget_holds, "p + w + d < target lag on every refresh");
+  bench::Check(max_peak <= target, "peak lag never exceeds the target lag");
+  bench::Check(one_s_per_s, "lag rises at 1 s/s between commits");
+  return bench::Finish();
+}

@@ -1,0 +1,119 @@
+// E8 — §3.3.2 / §6.3 crossover: incremental refresh cost "scales linearly
+// with the amount of changed data"; full refresh cost tracks the defining
+// query. At small change fractions incremental wins by a large factor; as
+// the fraction grows the advantage shrinks and eventually inverts —
+// "highlighting the need to be able to dynamically choose full refreshes
+// when a large fraction of the data has changed."
+//
+// Twin DTs (INCREMENTAL and FULL) over the same 20k-row source; sweep the
+// fraction of rows updated per refresh; compare rows_processed (the cost
+// model's work metric).
+
+#include "bench_util.h"
+
+using namespace dvs;
+
+namespace {
+
+struct Point {
+  double fraction;
+  uint64_t incremental_work;
+  uint64_t full_work;
+};
+
+}  // namespace
+
+int main() {
+  constexpr int kRows = 20000;
+  const double kFractions[] = {0.0001, 0.001, 0.01, 0.05,
+                               0.1,    0.25,  0.5,  1.0};
+
+  std::printf("E8 — incremental vs full refresh work, %d-row source\n\n",
+              kRows);
+  std::printf("%-10s %16s %16s %10s\n", "changed", "incremental", "full",
+              "ratio");
+
+  std::vector<Point> points;
+  for (double fraction : kFractions) {
+    VirtualClock clock(0);
+    DvsEngine engine(clock);
+    Rng rng(31337);
+
+    bench::Run(engine, "CREATE TABLE src (k INT, grp INT, v INT)");
+    {
+      // Bulk load in batches.
+      for (int i = 0; i < kRows; i += 500) {
+        std::string sql = "INSERT INTO src VALUES ";
+        for (int j = i; j < i + 500; ++j) {
+          if (j > i) sql += ", ";
+          sql += "(" + std::to_string(j) + ", " + std::to_string(j % 200) +
+                 ", " + std::to_string(j % 37) + ")";
+        }
+        bench::Run(engine, sql);
+      }
+    }
+    const std::string query =
+        "SELECT grp, count(*) AS n, sum(v) AS sv FROM src GROUP BY ALL";
+    bench::Run(engine, "CREATE DYNAMIC TABLE dt_inc TARGET_LAG = '1 minute' "
+                       "WAREHOUSE = wh REFRESH_MODE = INCREMENTAL AS " + query);
+    bench::Run(engine, "CREATE DYNAMIC TABLE dt_full TARGET_LAG = '1 minute' "
+                       "WAREHOUSE = wh REFRESH_MODE = FULL AS " + query);
+
+    // Update `fraction` of the source (contiguous key range -> touches a
+    // proportional share of groups).
+    int64_t updated = static_cast<int64_t>(kRows * fraction + 0.5);
+    if (updated < 1) updated = 1;
+    bench::Run(engine, "UPDATE src SET v = v + 1 WHERE k < " +
+                       std::to_string(updated));
+
+    clock.Advance(kMicrosPerMinute);
+    auto inc = engine.refresh_engine().Refresh(
+        engine.ObjectIdOf("dt_inc").value(), clock.Now());
+    auto full = engine.refresh_engine().Refresh(
+        engine.ObjectIdOf("dt_full").value(), clock.Now());
+    if (!inc.ok() || !full.ok()) {
+      std::printf("FATAL: refresh failed\n");
+      return 1;
+    }
+    Point p{fraction, inc.value().rows_processed, full.value().rows_processed};
+    points.push_back(p);
+    std::printf("%8.2f%% %16llu %16llu %9.2fx\n", fraction * 100,
+                static_cast<unsigned long long>(p.incremental_work),
+                static_cast<unsigned long long>(p.full_work),
+                static_cast<double>(p.full_work) /
+                    static_cast<double>(p.incremental_work));
+  }
+  std::printf("\n");
+
+  const Point& tiny = points.front();
+  const Point& huge = points.back();
+  double tiny_ratio = static_cast<double>(tiny.full_work) / tiny.incremental_work;
+  double huge_ratio = static_cast<double>(huge.full_work) / huge.incremental_work;
+
+  bench::Check(tiny_ratio > 10,
+               "incremental wins by >10x at tiny change fractions");
+  bench::Check(huge_ratio <= 1.0,
+               "full refresh is at least as cheap at 100% changed");
+  bool monotone = true;
+  for (size_t i = 1; i < points.size(); ++i) {
+    double a = static_cast<double>(points[i - 1].full_work) /
+               points[i - 1].incremental_work;
+    double b = static_cast<double>(points[i].full_work) /
+               points[i].incremental_work;
+    if (b > a * 1.2) monotone = false;  // allow noise, demand overall decay
+  }
+  bench::Check(monotone, "incremental advantage decays as changed "
+               "fraction grows (crossover exists)");
+  bool crossover_past_10pct = false;
+  for (size_t i = 1; i < points.size(); ++i) {
+    if (points[i].full_work <= points[i].incremental_work &&
+        points[i].fraction >= 0.10) {
+      crossover_past_10pct = true;
+      break;
+    }
+  }
+  bench::Check(crossover_past_10pct,
+               "crossover falls in the >10%-changed regime the paper calls "
+               "out for dynamic full refreshes");
+  return bench::Finish();
+}

@@ -1,0 +1,53 @@
+// Shared helpers for the experiment binaries (bench/). Each binary
+// regenerates one table or figure of the paper (DESIGN.md §3) and prints a
+// PASS/FAIL line for the *shape* claim it reproduces. Absolute numbers come
+// from the simulator and are not expected to match the paper's testbed.
+
+#ifndef DVS_BENCH_BENCH_UTIL_H_
+#define DVS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "dt/engine.h"
+
+namespace dvs {
+namespace bench {
+
+inline void Run(DvsEngine& engine, const std::string& sql) {
+  auto r = engine.Execute(sql);
+  if (!r.ok()) {
+    std::printf("FATAL: %s\n  in: %s\n", r.status().ToString().c_str(),
+                sql.c_str());
+    std::exit(1);
+  }
+}
+
+inline int g_failures = 0;
+
+inline void Check(bool ok, const char* claim) {
+  std::printf("[%s] %s\n", ok ? "PASS" : "FAIL", claim);
+  if (!ok) ++g_failures;
+}
+
+inline int Finish() {
+  if (g_failures > 0) {
+    std::printf("\n%d shape check(s) FAILED\n", g_failures);
+    return 1;
+  }
+  std::printf("\nall shape checks passed\n");
+  return 0;
+}
+
+/// ASCII bar for histogram rows.
+inline std::string Bar(double fraction, int width = 40) {
+  int n = static_cast<int>(fraction * width + 0.5);
+  if (n > width) n = width;
+  return std::string(static_cast<size_t>(n), '#');
+}
+
+}  // namespace bench
+}  // namespace dvs
+
+#endif  // DVS_BENCH_BENCH_UTIL_H_

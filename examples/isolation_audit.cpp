@@ -1,0 +1,58 @@
+// Reproduces the paper's §4 worked example (Figures 1 and 2): the same
+// application history analyzed under persisted table semantics (refreshes
+// as ordinary transactions — the read skew is invisible) and under delayed
+// view semantics (refreshes as derivations — the G2 cycle appears).
+//
+//   $ ./isolation_audit
+
+#include <cstdio>
+
+#include "isolation/dsg.h"
+
+using namespace dvs::isolation;
+
+int main() {
+  std::printf("=== Figure 1: persisted table semantics ===\n");
+  History fig1;
+  fig1.Write(1, "x", 1).Commit(1);
+  fig1.Read(3, "x", 1);
+  fig1.Write(3, "y", 3);
+  fig1.Commit(3);
+  fig1.Write(2, "x", 2).Commit(2);
+  fig1.Read(4, "x", 2);
+  fig1.Write(4, "y", 4);
+  fig1.Commit(4);
+  fig1.Read(5, "y", 3);
+  fig1.Read(5, "x", 2);
+  fig1.Commit(5);
+
+  std::printf("history: %s\n", fig1.ToString().c_str());
+  Dsg g1 = Dsg::Build(fig1);
+  std::printf("%s", g1.ToString().c_str());
+  PhenomenaReport r1 = DetectPhenomena(fig1);
+  std::printf("phenomena: %s\n", r1.ToString().c_str());
+  std::printf("strongest level: %s\n", PlLevelName(StrongestLevel(r1)));
+  std::printf("--> T5 observes read skew (y3 is stale w.r.t. x2), but the\n"
+              "    traditional model calls this history serializable.\n\n");
+
+  std::printf("=== Figure 2: delayed view semantics (derivations) ===\n");
+  History fig2;
+  fig2.Write(1, "x", 1).Commit(1);
+  fig2.Derive(3, "y", 3, {{"x", 1}}).Commit(3);
+  fig2.Write(2, "x", 2).Commit(2);
+  fig2.Derive(4, "y", 4, {{"x", 2}}).Commit(4);
+  fig2.Read(5, "y", 3);
+  fig2.Read(5, "x", 2);
+  fig2.Commit(5);
+
+  std::printf("history: %s\n", fig2.ToString().c_str());
+  Dsg g2 = Dsg::Build(fig2);
+  std::printf("%s", g2.ToString().c_str());
+  PhenomenaReport r2 = DetectPhenomena(fig2);
+  std::printf("phenomena: %s\n", r2.ToString().c_str());
+  std::printf("strongest level: %s\n", PlLevelName(StrongestLevel(r2)));
+  std::printf("--> the refresh transactions vanish from the DSG, the\n"
+              "    anti-dependency T5 -> T2 appears, and the G2 / G-single\n"
+              "    cycle reveals the read skew that was there all along.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Live isolation auditing: the IsolationRecorder turns a *running* pipeline
+// into a §4 transaction history — DML commits as writes, DT refreshes as
+// derivations over their exact source versions, SELECTs as reads — and the
+// DSG analysis detects application-level read skew the moment a query mixes
+// a stale DT with its fresh base table (the Read Committed case of §4).
+//
+//   $ ./live_pipeline_audit
+
+#include <cstdio>
+
+#include "dt/engine.h"
+#include "isolation/dsg.h"
+
+using namespace dvs;
+
+namespace {
+void Run(DvsEngine& engine, const std::string& sql) {
+  auto r = engine.Execute(sql);
+  if (!r.ok()) {
+    std::printf("ERROR: %s\n  in: %s\n", r.status().ToString().c_str(),
+                sql.c_str());
+    std::exit(1);
+  }
+}
+
+void Audit(const DvsEngine& engine, const char* when) {
+  using namespace dvs::isolation;
+  PhenomenaReport report = DetectPhenomena(engine.recorder()->history());
+  std::printf("[audit %s] %s-> strongest level: %s\n", when,
+              report.ToString().c_str(),
+              PlLevelName(StrongestLevel(report)));
+}
+}  // namespace
+
+int main() {
+  VirtualClock clock(kMicrosPerHour);
+  DvsEngine engine(clock);
+  engine.EnableIsolationRecording();
+
+  Run(engine, "CREATE TABLE accounts (id INT, balance INT)");
+  Run(engine, "INSERT INTO accounts VALUES (1, 100), (2, 250)");
+  Run(engine,
+      "CREATE DYNAMIC TABLE balances TARGET_LAG = '1 minute' "
+      "WAREHOUSE = wh AS SELECT id, sum(balance) AS total "
+      "FROM accounts GROUP BY id");
+  std::printf("pipeline created; recorder attached.\n\n");
+  Audit(engine, "after setup     ");
+
+  // The base table moves on; the DT is now one update behind.
+  clock.Advance(kMicrosPerMinute);
+  Run(engine, "UPDATE accounts SET balance = 900 WHERE id = 1");
+  Audit(engine, "after update    ");
+
+  // Reading ONLY the stale DT: a consistent snapshot of the past — clean.
+  Run(engine, "SELECT * FROM balances");
+  Audit(engine, "single-DT read  ");
+
+  // Mixing the stale DT with the fresh base table: live read skew. The
+  // recorder traces the DT's value back through its derivation to the old
+  // account version, and the overwrite closes a G-single cycle.
+  Run(engine,
+      "SELECT b.total, a.balance FROM balances b "
+      "JOIN accounts a ON b.id = a.id");
+  Audit(engine, "mixed read      ");
+
+  std::printf("\nrecorded history: %s\n",
+              engine.recorder()->history().ToString().c_str());
+  std::printf("DSG:\n%s",
+              isolation::Dsg::Build(engine.recorder()->history())
+                  .ToString().c_str());
+  std::printf(
+      "\nThe mixed read exhibits G-single — exactly why §4 only promises "
+      "Read Committed\nfor queries spanning a DT and other tables, and "
+      "Snapshot Isolation for single-DT reads.\n");
+  return 0;
+}

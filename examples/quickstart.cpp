@@ -1,0 +1,76 @@
+// Quickstart: create a table, a dynamic table over it, feed data, refresh,
+// and query — the whole DVS loop in ~60 lines.
+//
+//   $ ./quickstart
+
+#include <cstdio>
+
+#include "dt/engine.h"
+
+using namespace dvs;
+
+namespace {
+void Run(DvsEngine& engine, const std::string& sql) {
+  auto r = engine.Execute(sql);
+  if (!r.ok()) {
+    std::printf("ERROR: %s\n  while executing: %s\n",
+                r.status().ToString().c_str(), sql.c_str());
+    std::exit(1);
+  }
+  if (!r.value().message.empty()) {
+    std::printf("-- %s\n", r.value().message.c_str());
+  }
+}
+
+void Show(DvsEngine& engine, const std::string& sql) {
+  auto r = engine.Query(sql);
+  if (!r.ok()) {
+    std::printf("ERROR: %s\n", r.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("%s  [isolation: %s]\n", sql.c_str(),
+              QueryIsolationName(r.value().isolation));
+  std::printf("  %s\n", r.value().schema.ToString().c_str());
+  for (const Row& row : r.value().rows) {
+    std::printf("  %s\n", RowToString(row).c_str());
+  }
+}
+}  // namespace
+
+int main() {
+  VirtualClock clock(0);
+  DvsEngine engine(clock);
+
+  Run(engine, "CREATE TABLE orders (id INT, customer STRING, amount INT)");
+  Run(engine, "INSERT INTO orders VALUES (1, 'alice', 120), (2, 'bob', 80), "
+              "(3, 'alice', 40)");
+
+  // A dynamic table is just a SQL query plus a target lag (§3). The system
+  // picks INCREMENTAL mode automatically because the query is
+  // differentiable.
+  Run(engine,
+      "CREATE DYNAMIC TABLE spend_by_customer "
+      "TARGET_LAG = '1 minute' WAREHOUSE = quickstart_wh AS "
+      "SELECT customer, count(*) AS orders, sum(amount) AS total "
+      "FROM orders GROUP BY ALL");
+
+  Show(engine, "SELECT * FROM spend_by_customer ORDER BY customer");
+
+  // New data arrives; one minute later a refresh folds it in incrementally.
+  clock.Advance(kMicrosPerMinute);
+  Run(engine, "INSERT INTO orders VALUES (4, 'cara', 300), (5, 'bob', 10)");
+  Run(engine, "ALTER DYNAMIC TABLE spend_by_customer REFRESH");
+
+  Show(engine, "SELECT * FROM spend_by_customer ORDER BY customer");
+
+  // Delayed view semantics: the DT equals its defining query as of its data
+  // timestamp — the paper's core guarantee, checkable by anyone.
+  const auto& meta = *engine.catalog().Find("spend_by_customer").value()->dt;
+  auto oracle = engine.QueryAsOf(meta.def.sql, meta.data_timestamp);
+  std::printf("\nDVS check: DT has %zu rows; defining query as of ts %lld "
+              "has %zu rows.\n",
+              engine.Query("SELECT * FROM spend_by_customer").value().rows.size(),
+              static_cast<long long>(meta.data_timestamp),
+              oracle.value().size());
+  return 0;
+}

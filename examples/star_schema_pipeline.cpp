@@ -1,0 +1,68 @@
+// Star-schema pipeline: the common cheap case (appending facts) vs the
+// paper's §6.4 worked limitation (updating a dimension joined with many
+// facts is nearly as expensive as a full rewrite).
+//
+//   $ ./star_schema_pipeline
+
+#include <cstdio>
+
+#include "workload/star_schema.h"
+
+using namespace dvs;
+
+namespace {
+RefreshOutcome RefreshEnriched(DvsEngine& engine, VirtualClock& clock) {
+  clock.Advance(kMicrosPerMinute);
+  ObjectId id = engine.ObjectIdOf("sales_enriched").value();
+  auto r = engine.refresh_engine().Refresh(id, clock.Now());
+  if (!r.ok()) {
+    std::printf("refresh failed: %s\n", r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return r.take();
+}
+}  // namespace
+
+int main() {
+  VirtualClock clock(0);
+  DvsEngine engine(clock);
+  Rng rng(7);
+
+  workload::StarOptions options;
+  options.initial_facts = 2000;
+  Status s = workload::BuildStarSchema(&engine, &rng, options);
+  if (!s.ok()) {
+    std::printf("setup failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  size_t dt_size =
+      engine.Query("SELECT count(*) AS n FROM sales_enriched")
+          .value().rows[0][0].int_value();
+  std::printf("sales_enriched initialized with %zu rows (INCREMENTAL)\n\n",
+              dt_size);
+  std::printf("%-34s %14s %14s\n", "scenario", "rows_processed",
+              "rows_changed");
+
+  // Cheap case: append 1% new facts.
+  if (!workload::AppendSales(&engine, &rng, 20).ok()) return 1;
+  RefreshOutcome append_outcome = RefreshEnriched(engine, clock);
+  std::printf("%-34s %14llu %14zu\n", "append 20 facts (1%)",
+              static_cast<unsigned long long>(append_outcome.rows_processed),
+              append_outcome.changes_applied);
+
+  // Expensive case: rename 50% of products. Every joined fact row changes.
+  if (!workload::UpdateProductFraction(&engine, &rng, 0.5).ok()) return 1;
+  RefreshOutcome dim_outcome = RefreshEnriched(engine, clock);
+  std::printf("%-34s %14llu %14zu\n", "update 50% of product dimension",
+              static_cast<unsigned long long>(dim_outcome.rows_processed),
+              dim_outcome.changes_applied);
+
+  double ratio = static_cast<double>(dim_outcome.changes_applied) /
+                 static_cast<double>(dt_size);
+  std::printf(
+      "\nThe dimension update touched %.0f%% of the DT — the §6.4 case where "
+      "\"updating a dimension table ... can be as costly as rewriting the "
+      "entire table\".\n",
+      100.0 * ratio);
+  return 0;
+}

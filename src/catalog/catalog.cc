@@ -1,0 +1,281 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace dvs {
+
+namespace {
+std::string LowerName(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+}  // namespace
+
+const char* ObjectKindName(ObjectKind k) {
+  switch (k) {
+    case ObjectKind::kBaseTable: return "TABLE";
+    case ObjectKind::kView: return "VIEW";
+    case ObjectKind::kDynamicTable: return "DYNAMIC TABLE";
+  }
+  return "?";
+}
+
+const char* PrivilegeName(Privilege p) {
+  switch (p) {
+    case Privilege::kSelect: return "SELECT";
+    case Privilege::kOwnership: return "OWNERSHIP";
+    case Privilege::kMonitor: return "MONITOR";
+    case Privilege::kOperate: return "OPERATE";
+  }
+  return "?";
+}
+
+std::string TargetLag::ToString() const {
+  if (downstream) return "DOWNSTREAM";
+  return FormatDuration(duration);
+}
+
+std::optional<VersionId> DynamicTableMeta::VersionForRefresh(
+    Micros refresh_ts) const {
+  auto it = refresh_versions.find(refresh_ts);
+  if (it == refresh_versions.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Micros> DynamicTableMeta::LatestRefreshAtOrBefore(
+    Micros t) const {
+  auto it = refresh_versions.upper_bound(t);
+  if (it == refresh_versions.begin()) return std::nullopt;
+  return std::prev(it)->first;
+}
+
+void Catalog::Log(const std::string& op, const std::string& name, ObjectId id,
+                  HlcTimestamp ts) {
+  ddl_log_.push_back({ddl_log_.size() + 1, ts, op, name, id});
+}
+
+Result<ObjectId> Catalog::Register(std::unique_ptr<CatalogObject> obj,
+                                   const std::string& op, HlcTimestamp ts) {
+  std::string key = LowerName(obj->name);
+  if (by_name_.count(key)) {
+    return AlreadyExists("object '" + obj->name + "' already exists");
+  }
+  obj->id = next_id_++;
+  ObjectId id = obj->id;
+  by_name_[key] = id;
+  Log(op, obj->name, id, ts);
+  objects_.push_back(std::move(obj));
+  return id;
+}
+
+Result<ObjectId> Catalog::CreateBaseTable(const std::string& name,
+                                          Schema schema, HlcTimestamp ts) {
+  auto obj = std::make_unique<CatalogObject>();
+  obj->name = name;
+  obj->kind = ObjectKind::kBaseTable;
+  obj->storage = std::make_unique<VersionedTable>(std::move(schema));
+  return Register(std::move(obj), "CREATE TABLE", ts);
+}
+
+Result<ObjectId> Catalog::CreateView(const std::string& name, std::string sql,
+                                     PlanPtr plan, HlcTimestamp ts) {
+  auto obj = std::make_unique<CatalogObject>();
+  obj->name = name;
+  obj->kind = ObjectKind::kView;
+  obj->view_sql = std::move(sql);
+  obj->view_plan = std::move(plan);
+  return Register(std::move(obj), "CREATE VIEW", ts);
+}
+
+Result<ObjectId> Catalog::CreateDynamicTable(
+    const std::string& name, DynamicTableDef def, PlanPtr plan,
+    Schema output_schema, bool incremental,
+    std::vector<TrackedDependency> deps, HlcTimestamp ts) {
+  auto obj = std::make_unique<CatalogObject>();
+  obj->name = name;
+  obj->kind = ObjectKind::kDynamicTable;
+  obj->storage = std::make_unique<VersionedTable>(std::move(output_schema));
+  obj->dt = std::make_unique<DynamicTableMeta>();
+  obj->dt->def = std::move(def);
+  obj->dt->plan = std::move(plan);
+  obj->dt->incremental = incremental;
+  obj->dt->dependencies = std::move(deps);
+  return Register(std::move(obj), "CREATE DYNAMIC TABLE", ts);
+}
+
+Status Catalog::DropObject(const std::string& name, HlcTimestamp ts) {
+  std::string key = LowerName(name);
+  auto it = by_name_.find(key);
+  if (it == by_name_.end()) {
+    return NotFound("object '" + name + "' does not exist");
+  }
+  CatalogObject* obj = objects_[it->second - 1].get();
+  obj->dropped = true;
+  Log("DROP", name, obj->id, ts);
+  by_name_.erase(it);
+  return OkStatus();
+}
+
+Status Catalog::UndropObject(const std::string& name, HlcTimestamp ts) {
+  std::string key = LowerName(name);
+  if (by_name_.count(key)) {
+    return AlreadyExists("an object named '" + name + "' already exists");
+  }
+  // Most recently dropped object with this name.
+  CatalogObject* found = nullptr;
+  for (auto it = objects_.rbegin(); it != objects_.rend(); ++it) {
+    if ((*it)->dropped && LowerName((*it)->name) == key) {
+      found = it->get();
+      break;
+    }
+  }
+  if (found == nullptr) {
+    return NotFound("no dropped object named '" + name + "'");
+  }
+  found->dropped = false;
+  by_name_[key] = found->id;
+  Log("UNDROP", name, found->id, ts);
+  return OkStatus();
+}
+
+Result<ObjectId> Catalog::ReplaceBaseTable(const std::string& name,
+                                           Schema schema, HlcTimestamp ts) {
+  std::string key = LowerName(name);
+  auto it = by_name_.find(key);
+  if (it != by_name_.end()) {
+    CatalogObject* old = objects_[it->second - 1].get();
+    if (old->kind != ObjectKind::kBaseTable) {
+      return FailedPrecondition("'" + name + "' is not a base table");
+    }
+    old->dropped = true;
+    by_name_.erase(it);
+    Log("REPLACE (drop old)", name, old->id, ts);
+  }
+  auto obj = std::make_unique<CatalogObject>();
+  obj->name = name;
+  obj->kind = ObjectKind::kBaseTable;
+  obj->storage = std::make_unique<VersionedTable>(std::move(schema));
+  return Register(std::move(obj), "CREATE OR REPLACE TABLE", ts);
+}
+
+Result<ObjectId> Catalog::CloneObject(const std::string& new_name,
+                                      const std::string& source_name,
+                                      HlcTimestamp ts) {
+  DVS_ASSIGN_OR_RETURN(const CatalogObject* src, Find(source_name));
+  if (src->kind == ObjectKind::kView) {
+    return FailedPrecondition("views cannot be cloned; recreate instead");
+  }
+  auto obj = std::make_unique<CatalogObject>();
+  obj->name = new_name;
+  obj->kind = src->kind;
+  obj->storage = src->storage->Clone();
+  if (src->kind == ObjectKind::kDynamicTable) {
+    obj->dt = std::make_unique<DynamicTableMeta>(*src->dt);
+    // A fresh clone starts with a clean slate of failures but keeps its
+    // initialization state, frontier, and refresh-version history.
+    obj->dt->consecutive_failures = 0;
+    obj->dt->state = DtState::kActive;
+  }
+  return Register(std::move(obj), "CLONE", ts);
+}
+
+Result<CatalogObject*> Catalog::Find(const std::string& name) {
+  auto it = by_name_.find(LowerName(name));
+  if (it == by_name_.end()) {
+    return NotFound("object '" + name + "' does not exist");
+  }
+  return objects_[it->second - 1].get();
+}
+
+Result<const CatalogObject*> Catalog::Find(const std::string& name) const {
+  auto it = by_name_.find(LowerName(name));
+  if (it == by_name_.end()) {
+    return NotFound("object '" + name + "' does not exist");
+  }
+  return static_cast<const CatalogObject*>(objects_[it->second - 1].get());
+}
+
+Result<CatalogObject*> Catalog::FindById(ObjectId id) {
+  if (id == kInvalidObjectId || id > objects_.size()) {
+    return NotFound("no object with id " + std::to_string(id));
+  }
+  CatalogObject* obj = objects_[id - 1].get();
+  if (obj->dropped) {
+    return NotFound("object '" + obj->name + "' (id " + std::to_string(id) +
+                    ") has been dropped");
+  }
+  return obj;
+}
+
+Result<const CatalogObject*> Catalog::FindById(ObjectId id) const {
+  Result<CatalogObject*> r = const_cast<Catalog*>(this)->FindById(id);
+  if (!r.ok()) return r.status();
+  return static_cast<const CatalogObject*>(r.value());
+}
+
+bool Catalog::Exists(const std::string& name) const {
+  return by_name_.count(LowerName(name)) > 0;
+}
+
+std::vector<CatalogObject*> Catalog::AllDynamicTables() {
+  std::vector<CatalogObject*> out;
+  for (auto& obj : objects_) {
+    if (!obj->dropped && obj->kind == ObjectKind::kDynamicTable) {
+      out.push_back(obj.get());
+    }
+  }
+  return out;
+}
+
+std::vector<ObjectId> Catalog::DownstreamDynamicTables(ObjectId id) const {
+  std::vector<ObjectId> out;
+  for (const auto& obj : objects_) {
+    if (obj->dropped || obj->kind != ObjectKind::kDynamicTable) continue;
+    for (ObjectId scanned : CollectScanIds(obj->dt->plan)) {
+      if (scanned == id) {
+        out.push_back(obj->id);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ObjectId> Catalog::UpstreamDynamicTables(ObjectId dt_id) const {
+  std::vector<ObjectId> out;
+  if (dt_id == kInvalidObjectId || dt_id > objects_.size()) return out;
+  const CatalogObject* obj = objects_[dt_id - 1].get();
+  if (obj->kind != ObjectKind::kDynamicTable) return out;
+  for (ObjectId scanned : CollectScanIds(obj->dt->plan)) {
+    if (scanned == kInvalidObjectId || scanned > objects_.size()) continue;
+    const CatalogObject* up = objects_[scanned - 1].get();
+    if (up->kind == ObjectKind::kDynamicTable && !up->dropped) {
+      out.push_back(scanned);
+    }
+  }
+  return out;
+}
+
+void Catalog::Grant(ObjectId object, const std::string& role, Privilege priv) {
+  grants_[{object, LowerName(role)}].insert(priv);
+}
+
+void Catalog::Revoke(ObjectId object, const std::string& role,
+                     Privilege priv) {
+  auto it = grants_.find({object, LowerName(role)});
+  if (it != grants_.end()) it->second.erase(priv);
+}
+
+bool Catalog::HasPrivilege(ObjectId object, const std::string& role,
+                           Privilege priv) const {
+  auto it = grants_.find({object, LowerName(role)});
+  if (it == grants_.end()) return false;
+  // OWNERSHIP implies everything.
+  return it->second.count(priv) > 0 ||
+         it->second.count(Privilege::kOwnership) > 0;
+}
+
+}  // namespace dvs

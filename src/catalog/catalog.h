@@ -1,0 +1,205 @@
+// Catalog: named objects (base tables, views, dynamic tables), their
+// storage, DT metadata, a linearizable DDL log (§5.1), dependency tracking
+// for query evolution (§5.4), and role-based access control (§3.4).
+
+#ifndef DVS_CATALOG_CATALOG_H_
+#define DVS_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/hlc.h"
+#include "common/ids.h"
+#include "common/status.h"
+#include "plan/logical_plan.h"
+#include "storage/versioned_table.h"
+
+namespace dvs {
+
+enum class ObjectKind { kBaseTable, kView, kDynamicTable };
+
+const char* ObjectKindName(ObjectKind k);
+
+/// User-requested refresh mode (§3.3.2). kAuto lets the system pick
+/// INCREMENTAL when the defining query is differentiable, FULL otherwise.
+enum class RefreshMode { kAuto, kFull, kIncremental };
+
+enum class DtState { kActive, kSuspended };
+
+/// TARGET_LAG: a duration or DOWNSTREAM (§3.2).
+struct TargetLag {
+  bool downstream = false;
+  Micros duration = 0;
+
+  static TargetLag Downstream() { return {true, 0}; }
+  static TargetLag Of(Micros d) { return {false, d}; }
+  std::string ToString() const;
+};
+
+/// A dependency recorded when a DT is created, used by query evolution to
+/// detect upstream DDL (§5.4): replaced objects (id changed under the same
+/// name) or schema changes force REINITIALIZE; missing objects fail the
+/// refresh.
+struct TrackedDependency {
+  std::string name;
+  ObjectId object_id = kInvalidObjectId;
+  Schema schema_at_bind;
+};
+
+/// Immutable definition of a dynamic table.
+struct DynamicTableDef {
+  std::string sql;  ///< Defining SELECT text.
+  TargetLag target_lag;
+  std::string warehouse;
+  RefreshMode requested_mode = RefreshMode::kAuto;
+  /// If true, CREATE initializes synchronously (§3.1); otherwise the first
+  /// scheduled refresh initializes.
+  bool initialize_on_create = true;
+};
+
+/// Mutable runtime state of a dynamic table.
+struct DynamicTableMeta {
+  DynamicTableDef def;
+  PlanPtr plan;              ///< Bound defining plan.
+  bool incremental = false;  ///< Effective mode after incrementality analysis.
+  DtState state = DtState::kActive;
+  int consecutive_failures = 0;
+  bool initialized = false;
+  /// Data timestamp of the last committed refresh (§3.1.1); -1 before
+  /// initialization.
+  Micros data_timestamp = -1;
+  /// Refresh-timestamp -> own table version: the mapping of §5.3 that lets
+  /// downstream DTs resolve this DT "as of refresh timestamp t" exactly.
+  std::map<Micros, VersionId> refresh_versions;
+  /// Frontier (§5.3): source object id -> version consumed by the last
+  /// refresh.
+  std::unordered_map<ObjectId, VersionId> frontier;
+  std::vector<TrackedDependency> dependencies;
+  /// Set when upstream DDL invalidated stored contents; next refresh must
+  /// REINITIALIZE (§5.4).
+  bool needs_reinit = false;
+
+  /// Looks up this DT's own version for a given refresh timestamp. Exact
+  /// match required — production validation 1 of §6.1.
+  std::optional<VersionId> VersionForRefresh(Micros refresh_ts) const;
+  /// Latest refresh timestamp <= t, if any.
+  std::optional<Micros> LatestRefreshAtOrBefore(Micros t) const;
+};
+
+struct CatalogObject {
+  ObjectId id = kInvalidObjectId;
+  std::string name;
+  ObjectKind kind = ObjectKind::kBaseTable;
+  std::unique_ptr<VersionedTable> storage;  ///< Base tables and DTs.
+  // Views:
+  std::string view_sql;
+  PlanPtr view_plan;
+  // Dynamic tables:
+  std::unique_ptr<DynamicTableMeta> dt;
+  bool dropped = false;
+};
+
+enum class Privilege { kSelect, kOwnership, kMonitor, kOperate };
+
+const char* PrivilegeName(Privilege p);
+
+/// One entry of the timestamped, linearizable DDL log the scheduler
+/// consumes (§5.1).
+struct DdlEvent {
+  uint64_t seq = 0;
+  HlcTimestamp ts;
+  std::string op;  ///< "CREATE TABLE", "DROP", "UNDROP", "REPLACE", ...
+  std::string object_name;
+  ObjectId object_id = kInvalidObjectId;
+};
+
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  // ---- DDL ----
+
+  Result<ObjectId> CreateBaseTable(const std::string& name, Schema schema,
+                                   HlcTimestamp ts);
+  Result<ObjectId> CreateView(const std::string& name, std::string sql,
+                              PlanPtr plan, HlcTimestamp ts);
+  /// `incremental` is the effective mode decided by incrementality analysis.
+  Result<ObjectId> CreateDynamicTable(const std::string& name,
+                                      DynamicTableDef def, PlanPtr plan,
+                                      Schema output_schema, bool incremental,
+                                      std::vector<TrackedDependency> deps,
+                                      HlcTimestamp ts);
+
+  /// Drops by name. Downstream DT refreshes will fail until UNDROP
+  /// (upstream-takes-precedence principle, §3.4).
+  Status DropObject(const std::string& name, HlcTimestamp ts);
+
+  /// Restores the most recently dropped object with this name; downstream
+  /// DTs resume without intervention (§3.4).
+  Status UndropObject(const std::string& name, HlcTimestamp ts);
+
+  /// CREATE OR REPLACE TABLE: a *new object id* appears under the same name;
+  /// DTs downstream detect the replacement and REINITIALIZE (§3.3.2, §5.4).
+  Result<ObjectId> ReplaceBaseTable(const std::string& name, Schema schema,
+                                    HlcTimestamp ts);
+
+  /// Zero-copy clone (§3.4): `new_name` becomes an independent object whose
+  /// storage shares the source's immutable micro-partitions. Cloning a DT
+  /// copies its definition, frontier, and refresh history too, so the clone
+  /// "avoids reinitialization" — it keeps reading its original upstream
+  /// sources and refreshes from where the source left off.
+  Result<ObjectId> CloneObject(const std::string& new_name,
+                               const std::string& source_name, HlcTimestamp ts);
+
+  // ---- Lookup ----
+
+  Result<CatalogObject*> Find(const std::string& name);
+  Result<const CatalogObject*> Find(const std::string& name) const;
+  Result<CatalogObject*> FindById(ObjectId id);
+  Result<const CatalogObject*> FindById(ObjectId id) const;
+  bool Exists(const std::string& name) const;
+
+  /// All non-dropped dynamic tables, in creation order.
+  std::vector<CatalogObject*> AllDynamicTables();
+
+  /// Object ids of non-dropped DTs that directly read `id`.
+  std::vector<ObjectId> DownstreamDynamicTables(ObjectId id) const;
+
+  /// Direct upstream dependencies of a DT that are themselves DTs.
+  std::vector<ObjectId> UpstreamDynamicTables(ObjectId dt_id) const;
+
+  // ---- RBAC ----
+
+  void Grant(ObjectId object, const std::string& role, Privilege priv);
+  void Revoke(ObjectId object, const std::string& role, Privilege priv);
+  bool HasPrivilege(ObjectId object, const std::string& role,
+                    Privilege priv) const;
+
+  // ---- DDL log ----
+
+  const std::vector<DdlEvent>& ddl_log() const { return ddl_log_; }
+
+ private:
+  Result<ObjectId> Register(std::unique_ptr<CatalogObject> obj,
+                            const std::string& op, HlcTimestamp ts);
+  void Log(const std::string& op, const std::string& name, ObjectId id,
+           HlcTimestamp ts);
+
+  std::vector<std::unique_ptr<CatalogObject>> objects_;  // by id-1
+  std::unordered_map<std::string, ObjectId> by_name_;    // live objects
+  std::vector<DdlEvent> ddl_log_;
+  std::map<std::pair<ObjectId, std::string>, std::set<Privilege>> grants_;
+  ObjectId next_id_ = 1;
+};
+
+}  // namespace dvs
+
+#endif  // DVS_CATALOG_CATALOG_H_

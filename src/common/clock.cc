@@ -1,0 +1,35 @@
+#include "common/clock.h"
+
+#include <cstdio>
+
+namespace dvs {
+
+std::string FormatDuration(Micros micros) {
+  char buf[64];
+  bool neg = micros < 0;
+  if (neg) micros = -micros;
+  const char* sign = neg ? "-" : "";
+  if (micros < kMicrosPerMilli) {
+    std::snprintf(buf, sizeof(buf), "%s%lldus", sign,
+                  static_cast<long long>(micros));
+  } else if (micros < kMicrosPerSecond) {
+    std::snprintf(buf, sizeof(buf), "%s%lldms", sign,
+                  static_cast<long long>(micros / kMicrosPerMilli));
+  } else if (micros < kMicrosPerMinute) {
+    std::snprintf(buf, sizeof(buf), "%s%.1fs", sign,
+                  static_cast<double>(micros) / kMicrosPerSecond);
+  } else if (micros < kMicrosPerHour) {
+    std::snprintf(buf, sizeof(buf), "%s%lldm %llds", sign,
+                  static_cast<long long>(micros / kMicrosPerMinute),
+                  static_cast<long long>((micros % kMicrosPerMinute) /
+                                         kMicrosPerSecond));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%lldh %lldm", sign,
+                  static_cast<long long>(micros / kMicrosPerHour),
+                  static_cast<long long>((micros % kMicrosPerHour) /
+                                         kMicrosPerMinute));
+  }
+  return buf;
+}
+
+}  // namespace dvs

@@ -1,0 +1,71 @@
+// Time primitives.
+//
+// All logical "wall" time in the library is int64 microseconds since an
+// arbitrary epoch (Micros). Components that need to observe time take a
+// Clock&, so the whole system — scheduler, transaction manager, HLC — can be
+// driven by a VirtualClock in tests and benches. This is the substitution
+// documented in DESIGN.md §5: it makes hour-scale scheduler experiments
+// deterministic and fast.
+
+#ifndef DVS_COMMON_CLOCK_H_
+#define DVS_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace dvs {
+
+/// Microseconds since epoch; the library's universal time representation.
+using Micros = int64_t;
+
+constexpr Micros kMicrosPerMilli = 1000;
+constexpr Micros kMicrosPerSecond = 1000 * kMicrosPerMilli;
+constexpr Micros kMicrosPerMinute = 60 * kMicrosPerSecond;
+constexpr Micros kMicrosPerHour = 60 * kMicrosPerMinute;
+constexpr Micros kMicrosPerDay = 24 * kMicrosPerHour;
+
+/// Renders a duration like "1h 4m 12s" / "250ms"; for logs and reports.
+std::string FormatDuration(Micros micros);
+
+/// Abstract time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in microseconds since epoch. Must be monotonically
+  /// non-decreasing across calls.
+  virtual Micros Now() const = 0;
+};
+
+/// System clock (std::chrono::system_clock).
+class RealClock : public Clock {
+ public:
+  Micros Now() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+/// Manually advanced clock; drives deterministic simulations.
+class VirtualClock : public Clock {
+ public:
+  explicit VirtualClock(Micros start = 0) : now_(start) {}
+
+  Micros Now() const override { return now_; }
+
+  /// Advances by `delta` microseconds (must be >= 0).
+  void Advance(Micros delta) { now_ += delta; }
+
+  /// Jumps forward to `t` (no-op if `t` is in the past).
+  void AdvanceTo(Micros t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  Micros now_;
+};
+
+}  // namespace dvs
+
+#endif  // DVS_COMMON_CLOCK_H_

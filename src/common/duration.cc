@@ -1,0 +1,59 @@
+#include "common/duration.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace dvs {
+
+namespace {
+
+std::string ToLowerTrim(const std::string& in) {
+  size_t b = 0, e = in.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(in[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(in[e - 1]))) --e;
+  std::string out;
+  out.reserve(e - b);
+  for (size_t i = b; i < e; ++i)
+    out.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(in[i]))));
+  return out;
+}
+
+}  // namespace
+
+Result<Micros> ParseDuration(const std::string& text) {
+  std::string s = ToLowerTrim(text);
+  if (s.empty()) return InvalidArgument("empty duration");
+
+  size_t i = 0;
+  while (i < s.size() &&
+         (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '.'))
+    ++i;
+  if (i == 0) return InvalidArgument("duration must start with a number: '" +
+                                     text + "'");
+  double n = std::strtod(s.substr(0, i).c_str(), nullptr);
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  std::string unit = s.substr(i);
+
+  Micros per = 0;
+  if (unit == "ms" || unit == "millisecond" || unit == "milliseconds") {
+    per = kMicrosPerMilli;
+  } else if (unit == "s" || unit == "sec" || unit == "secs" ||
+             unit == "second" || unit == "seconds") {
+    per = kMicrosPerSecond;
+  } else if (unit == "m" || unit == "min" || unit == "mins" ||
+             unit == "minute" || unit == "minutes") {
+    per = kMicrosPerMinute;
+  } else if (unit == "h" || unit == "hr" || unit == "hrs" || unit == "hour" ||
+             unit == "hours") {
+    per = kMicrosPerHour;
+  } else if (unit == "d" || unit == "day" || unit == "days") {
+    per = kMicrosPerDay;
+  } else {
+    return InvalidArgument("unknown duration unit '" + unit + "' in '" +
+                           text + "'");
+  }
+  return static_cast<Micros>(n * static_cast<double>(per));
+}
+
+}  // namespace dvs

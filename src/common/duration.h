@@ -1,0 +1,20 @@
+// Human-readable duration parsing for TARGET_LAG values ("1 minute",
+// "30 seconds", "16 hours", "2 days") per the DT DDL surface (§3.2).
+
+#ifndef DVS_COMMON_DURATION_H_
+#define DVS_COMMON_DURATION_H_
+
+#include <string>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace dvs {
+
+/// Parses "<n> <unit>" where unit in {second(s), minute(s), hour(s), day(s),
+/// ms, millisecond(s)}; also accepts compact forms like "90s", "5m", "2h".
+Result<Micros> ParseDuration(const std::string& text);
+
+}  // namespace dvs
+
+#endif  // DVS_COMMON_DURATION_H_

@@ -1,0 +1,49 @@
+// 64-bit hashing utilities.
+//
+// Row IDs in Dynamic Tables are hash-derived (§5.5.2: "row IDs ... contain
+// plaintext prefixes to improve the performance of joins"). We use a
+// FNV-1a-style 64-bit hash plus a boost-style combiner; determinism across
+// runs matters (row ids must be stable between full and incremental plans),
+// speed matters less at our scale.
+
+#ifndef DVS_COMMON_HASH_H_
+#define DVS_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace dvs {
+
+constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline uint64_t HashBytes(const void* data, size_t len,
+                          uint64_t seed = kFnvOffsetBasis) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s,
+                           uint64_t seed = kFnvOffsetBasis) {
+  return HashBytes(s.data(), s.size(), seed);
+}
+
+inline uint64_t HashUint64(uint64_t v, uint64_t seed = kFnvOffsetBasis) {
+  return HashBytes(&v, sizeof(v), seed);
+}
+
+/// Order-dependent combiner (boost::hash_combine shape, 64-bit constants).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  a ^= b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4);
+  return a;
+}
+
+}  // namespace dvs
+
+#endif  // DVS_COMMON_HASH_H_

@@ -1,0 +1,30 @@
+#include "common/hlc.h"
+
+#include <cstdio>
+
+namespace dvs {
+
+std::string HlcTimestamp::ToString() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%lld.%u",
+                static_cast<long long>(physical), logical);
+  return buf;
+}
+
+HlcTimestamp HybridLogicalClock::Next() {
+  Micros pt = clock_.Now();
+  if (pt > last_.physical) {
+    last_ = {pt, 0};
+  } else {
+    // Physical clock has not advanced past the last issued timestamp:
+    // bump the logical component.
+    last_.logical += 1;
+  }
+  return last_;
+}
+
+void HybridLogicalClock::Observe(const HlcTimestamp& ts) {
+  if (ts > last_) last_ = ts;
+}
+
+}  // namespace dvs

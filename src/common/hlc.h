@@ -1,0 +1,61 @@
+// Hybrid Logical Clock (Kulkarni et al., "Logical Physical Clocks", OPODIS'14).
+//
+// The paper (§5.3) totally orders transaction commits with an HLC timestamp;
+// table-version visibility is "largest commit timestamp <= t". We reproduce
+// that: HlcTimestamp is (physical micros, logical counter), totally ordered
+// lexicographically.
+
+#ifndef DVS_COMMON_HLC_H_
+#define DVS_COMMON_HLC_H_
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+#include "common/clock.h"
+
+namespace dvs {
+
+/// A totally ordered hybrid timestamp.
+struct HlcTimestamp {
+  Micros physical = 0;
+  uint32_t logical = 0;
+
+  auto operator<=>(const HlcTimestamp&) const = default;
+
+  std::string ToString() const;
+
+  static HlcTimestamp Min() { return {0, 0}; }
+  static HlcTimestamp Max() {
+    return {INT64_MAX, UINT32_MAX};
+  }
+  /// Largest timestamp whose physical part is <= t; used to resolve
+  /// "version as of wall time t" lookups.
+  static HlcTimestamp AtWallTime(Micros t) { return {t, UINT32_MAX}; }
+};
+
+/// Issues monotonically increasing HlcTimestamps driven by a Clock.
+///
+/// Not thread-safe by itself; the TransactionManager serializes access.
+class HybridLogicalClock {
+ public:
+  explicit HybridLogicalClock(const Clock& clock) : clock_(clock) {}
+
+  /// Returns a timestamp strictly greater than every previously returned one,
+  /// with physical component >= the clock's current reading.
+  HlcTimestamp Next();
+
+  /// Folds in a timestamp observed from elsewhere (e.g. replication);
+  /// subsequent Next() results are greater than it.
+  void Observe(const HlcTimestamp& ts);
+
+  HlcTimestamp last() const { return last_; }
+
+ private:
+  const Clock& clock_;
+  HlcTimestamp last_{0, 0};
+};
+
+}  // namespace dvs
+
+#endif  // DVS_COMMON_HLC_H_

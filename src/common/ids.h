@@ -1,0 +1,34 @@
+// Strongly typed identifiers used across modules.
+
+#ifndef DVS_COMMON_IDS_H_
+#define DVS_COMMON_IDS_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace dvs {
+
+/// Identifies a catalog object (base table, view, or dynamic table).
+using ObjectId = uint64_t;
+constexpr ObjectId kInvalidObjectId = 0;
+
+/// Identifies a transaction.
+using TxnId = uint64_t;
+
+/// Identifies an immutable micro-partition within a table.
+using PartitionId = uint64_t;
+
+/// Identifies a table version. Versions of one table are totally ordered by
+/// id (creation order), which matches commit-timestamp order.
+using VersionId = uint64_t;
+constexpr VersionId kInvalidVersionId = 0;
+
+/// Identifies a row in a (dynamic) table. For base tables row ids are
+/// assigned monotonically at insert; for derived tables they are computed by
+/// the row-id algebra in exec/row_id.h so that full and incremental plans
+/// agree on every row's identity (§5.5).
+using RowId = uint64_t;
+
+}  // namespace dvs
+
+#endif  // DVS_COMMON_IDS_H_

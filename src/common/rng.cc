@@ -1,0 +1,34 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace dvs {
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  if (n <= 1) return 0;
+  // Rejection-free inverse-CDF over precomputed-ish harmonic weights would be
+  // heavy; n is small in our workloads, so walk the CDF directly.
+  double total = 0;
+  for (int64_t i = 0; i < n; ++i) total += 1.0 / std::pow(i + 1, s);
+  double u = NextDouble() * total;
+  double acc = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(i + 1, s);
+    if (u <= acc) return i;
+  }
+  return n - 1;
+}
+
+size_t Rng::WeightedPick(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) total += w;
+  double u = NextDouble() * total;
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u <= acc) return i;
+  }
+  return weights.empty() ? 0 : weights.size() - 1;
+}
+
+}  // namespace dvs

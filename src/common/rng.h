@@ -1,0 +1,46 @@
+// Seeded random-number helpers for workload generators and property tests.
+// Everything that uses randomness in this repo takes an explicit Rng so runs
+// are reproducible from a single seed.
+
+#ifndef DVS_COMMON_RNG_H_
+#define DVS_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace dvs {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    std::uniform_real_distribution<double> d(0.0, 1.0);
+    return d(engine_);
+  }
+
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Zipf-like skewed pick in [0, n): rank r chosen with weight 1/(r+1)^s.
+  int64_t Zipf(int64_t n, double s = 1.0);
+
+  /// Picks an index according to the given (unnormalized) weights.
+  size_t WeightedPick(const std::vector<double>& weights);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace dvs
+
+#endif  // DVS_COMMON_RNG_H_

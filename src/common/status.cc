@@ -1,0 +1,65 @@
+#include "common/status.h"
+
+namespace dvs {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kInternal: return "Internal";
+    case StatusCode::kUnsupported: return "Unsupported";
+    case StatusCode::kParseError: return "ParseError";
+    case StatusCode::kBindError: return "BindError";
+    case StatusCode::kUserError: return "UserError";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kLockConflict: return "LockConflict";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+Status NotFound(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+Status AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+Status FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+Status Internal(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+Status Unsupported(std::string msg) {
+  return Status(StatusCode::kUnsupported, std::move(msg));
+}
+Status ParseError(std::string msg) {
+  return Status(StatusCode::kParseError, std::move(msg));
+}
+Status BindError(std::string msg) {
+  return Status(StatusCode::kBindError, std::move(msg));
+}
+Status UserError(std::string msg) {
+  return Status(StatusCode::kUserError, std::move(msg));
+}
+Status Corruption(std::string msg) {
+  return Status(StatusCode::kCorruption, std::move(msg));
+}
+Status LockConflict(std::string msg) {
+  return Status(StatusCode::kLockConflict, std::move(msg));
+}
+
+}  // namespace dvs

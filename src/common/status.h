@@ -1,0 +1,129 @@
+// Status / Result error-handling primitives for the dvs library.
+//
+// The library never throws across public API boundaries; fallible operations
+// return Status (no payload) or Result<T> (payload or error). Both carry a
+// StatusCode plus a human-readable message.
+
+#ifndef DVS_COMMON_STATUS_H_
+#define DVS_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dvs {
+
+/// Error taxonomy used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed something malformed.
+  kNotFound,          ///< Named entity (table, column, version) missing.
+  kAlreadyExists,     ///< DDL collision.
+  kFailedPrecondition,///< Operation not valid in current state.
+  kInternal,          ///< Invariant violation inside the library.
+  kUnsupported,       ///< Valid SQL/plan we deliberately do not support.
+  kParseError,        ///< SQL syntax error.
+  kBindError,         ///< SQL semantic (name/type) error.
+  kUserError,         ///< Runtime user error (e.g. division by zero) — the
+                      ///< paper's "fails and is not retried" class (§3.3.3).
+  kCorruption,        ///< A production validation tripped (§6.1).
+  kLockConflict,      ///< Table lock held by another refresh.
+};
+
+/// Returns the canonical name of a status code ("OK", "NotFound", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value with message. Cheap to copy on the OK path.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "NotFound: table 'foo' does not exist" or "OK".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::OK(); }
+
+Status InvalidArgument(std::string msg);
+Status NotFound(std::string msg);
+Status AlreadyExists(std::string msg);
+Status FailedPrecondition(std::string msg);
+Status Internal(std::string msg);
+Status Unsupported(std::string msg);
+Status ParseError(std::string msg);
+Status BindError(std::string msg);
+Status UserError(std::string msg);
+Status Corruption(std::string msg);
+Status LockConflict(std::string msg);
+
+/// Result<T>: holds either a T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T&& take() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+// Propagation helpers, in the spirit of absl's RETURN_IF_ERROR.
+#define DVS_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::dvs::Status dvs_status_ = (expr);             \
+    if (!dvs_status_.ok()) return dvs_status_;      \
+  } while (0)
+
+#define DVS_CONCAT_INNER(a, b) a##b
+#define DVS_CONCAT(a, b) DVS_CONCAT_INNER(a, b)
+
+#define DVS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr)   \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = tmp.take()
+
+#define DVS_ASSIGN_OR_RETURN(lhs, expr) \
+  DVS_ASSIGN_OR_RETURN_IMPL(DVS_CONCAT(dvs_result_, __COUNTER__), lhs, expr)
+
+}  // namespace dvs
+
+#endif  // DVS_COMMON_STATUS_H_

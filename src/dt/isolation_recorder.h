@@ -1,0 +1,67 @@
+// IsolationRecorder: bridges the running engine to the §4 theory.
+//
+// When attached to a DvsEngine, it records the actual transaction history
+// of the workload — DML commits as writes, DT refreshes as *derivations*
+// (with their exact source versions, straight from the frontier), and
+// SELECTs as reads of the versions they resolved — as an
+// isolation::History. DetectPhenomena() then audits the live workload:
+// the read skew of Figure 2 becomes something you can observe in a real
+// pipeline rather than a hand-built example, and the engine's stated
+// guarantee (single-DT reads are SI, mixed reads only Read Committed, §4)
+// becomes checkable.
+//
+// Object naming: catalog object names; version numbers: storage VersionIds.
+
+#ifndef DVS_DT_ISOLATION_RECORDER_H_
+#define DVS_DT_ISOLATION_RECORDER_H_
+
+#include "catalog/catalog.h"
+#include "isolation/history.h"
+
+namespace dvs {
+
+class IsolationRecorder {
+ public:
+  /// Records a DML commit: `txn` installed `version` of `object`.
+  void RecordWrite(const std::string& object, VersionId version) {
+    int txn = next_txn_++;
+    history_.Write(txn, object, static_cast<int>(version));
+    history_.Commit(txn);
+  }
+
+  /// Records a refresh commit: the DT's new version derives from the exact
+  /// source versions it consumed.
+  void RecordRefresh(const std::string& dt_name, VersionId new_version,
+                     const std::vector<std::pair<std::string, VersionId>>&
+                         sources) {
+    int txn = next_txn_++;
+    std::vector<isolation::Ver> inputs;
+    inputs.reserve(sources.size());
+    for (const auto& [name, v] : sources) {
+      inputs.push_back({name, static_cast<int>(v)});
+    }
+    history_.Derive(txn, dt_name, static_cast<int>(new_version),
+                    std::move(inputs));
+    history_.Commit(txn);
+  }
+
+  /// Records a query: one read event per (object, resolved version).
+  void RecordQuery(
+      const std::vector<std::pair<std::string, VersionId>>& reads) {
+    int txn = next_txn_++;
+    for (const auto& [name, v] : reads) {
+      history_.Read(txn, name, static_cast<int>(v));
+    }
+    history_.Commit(txn);
+  }
+
+  const isolation::History& history() const { return history_; }
+
+ private:
+  isolation::History history_;
+  int next_txn_ = 1;
+};
+
+}  // namespace dvs
+
+#endif  // DVS_DT_ISOLATION_RECORDER_H_

@@ -1,0 +1,522 @@
+#include "dt/refresh.h"
+
+#include <algorithm>
+#include <set>
+
+#include "ivm/state_reuse.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+
+namespace dvs {
+
+namespace {
+
+/// RAII table lock.
+class LockGuard {
+ public:
+  LockGuard(TransactionManager* txn, ObjectId object, uint64_t holder)
+      : txn_(txn), object_(object), holder_(holder) {}
+  ~LockGuard() {
+    if (locked_) txn_->Unlock(object_, holder_);
+  }
+  Status Acquire() {
+    Status s = txn_->TryLock(object_, holder_);
+    locked_ = s.ok();
+    return s;
+  }
+
+ private:
+  TransactionManager* txn_;
+  ObjectId object_;
+  uint64_t holder_;
+  bool locked_ = false;
+};
+
+bool CountsAsFailure(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::kLockConflict:
+    case StatusCode::kInvalidArgument:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+const char* RefreshActionName(RefreshAction a) {
+  switch (a) {
+    case RefreshAction::kInitialize: return "INITIALIZE";
+    case RefreshAction::kNoData: return "NO_DATA";
+    case RefreshAction::kFull: return "FULL";
+    case RefreshAction::kIncremental: return "INCREMENTAL";
+    case RefreshAction::kReinitialize: return "REINITIALIZE";
+  }
+  return "?";
+}
+
+ScanResolver RefreshEngine::MakeResolver(Micros ts, bool exact_dt) {
+  return [this, ts, exact_dt](ObjectId id) -> Result<std::vector<IdRow>> {
+    if (id == sql::kDualTableId) {
+      return std::vector<IdRow>{{1, {}}};
+    }
+    return ScanAsOf(id, ts, exact_dt);
+  };
+}
+
+Result<std::vector<IdRow>> RefreshEngine::ScanAsOf(ObjectId id, Micros ts,
+                                                   bool exact_dt) {
+  DVS_ASSIGN_OR_RETURN(CatalogObject * obj, catalog_->FindById(id));
+  switch (obj->kind) {
+    case ObjectKind::kBaseTable: {
+      VersionId v = obj->storage->ResolveVersionAt(HlcTimestamp::AtWallTime(ts));
+      if (v == kInvalidVersionId) return std::vector<IdRow>{};
+      return obj->storage->ScanAt(v);
+    }
+    case ObjectKind::kView: {
+      ExecContext ctx;
+      ctx.resolve_scan = MakeResolver(ts, exact_dt);
+      ctx.eval.current_time = ts;
+      return ExecutePlan(*obj->view_plan, ctx);
+    }
+    case ObjectKind::kDynamicTable: {
+      const DynamicTableMeta& meta = *obj->dt;
+      if (!meta.initialized) {
+        return FailedPrecondition("dynamic table '" + obj->name +
+                                  "' has not been initialized yet");
+      }
+      if (exact_dt) {
+        auto v = meta.VersionForRefresh(ts);
+        if (!v.has_value()) {
+          // Production validation 1 (§6.1): reading an upstream DT requires
+          // the exact version for this data timestamp; anything else would
+          // silently violate snapshot isolation.
+          return Corruption(
+              "no table version of '" + obj->name + "' for data timestamp " +
+              std::to_string(ts) + " (scheduler bug or skipped refresh)");
+        }
+        return obj->storage->ScanAt(*v);
+      }
+      auto latest = meta.LatestRefreshAtOrBefore(ts);
+      if (!latest.has_value()) {
+        return FailedPrecondition("dynamic table '" + obj->name +
+                                  "' has no data at or before " +
+                                  std::to_string(ts));
+      }
+      return obj->storage->ScanAt(*meta.VersionForRefresh(*latest));
+    }
+  }
+  return Internal("unhandled object kind");
+}
+
+Status RefreshEngine::CheckQueryEvolution(CatalogObject* obj) {
+  DynamicTableMeta* meta = obj->dt.get();
+  bool rebind = false;
+  for (const TrackedDependency& dep : meta->dependencies) {
+    auto found = catalog_->Find(dep.name);
+    if (!found.ok()) {
+      // Upstream takes precedence (§3.4): the refresh fails, and resumes
+      // automatically once the object is UNDROPped / recreated.
+      return UserError("upstream object '" + dep.name +
+                       "' no longer exists; refresh fails until it is "
+                       "restored");
+    }
+    const CatalogObject* up = found.value();
+    if (up->id != dep.object_id) {
+      rebind = true;  // replaced under the same name
+      break;
+    }
+    const Schema& current = up->storage != nullptr
+                                ? up->storage->schema()
+                                : up->view_plan->output_schema;
+    if (!(current == dep.schema_at_bind)) {
+      rebind = true;  // schema evolved
+      break;
+    }
+  }
+  if (!rebind) return OkStatus();
+
+  // Re-bind the stored defining query against the current catalog. We are
+  // conservative (paper: "choosing to reinitialize in some cases where it is
+  // not necessary"): any rebind forces REINITIALIZE.
+  DVS_ASSIGN_OR_RETURN(auto select, sql::ParseSelect(meta->def.sql));
+  sql::Binder binder(*catalog_);
+  DVS_ASSIGN_OR_RETURN(sql::BindResult bound, binder.BindSelect(*select));
+  if (!(bound.plan->output_schema == obj->storage->schema())) {
+    obj->storage->set_schema(bound.plan->output_schema);
+  }
+  meta->plan = bound.plan;
+  meta->dependencies = std::move(bound.dependencies);
+  meta->needs_reinit = true;
+  return OkStatus();
+}
+
+Result<std::unordered_map<ObjectId, VersionId>>
+RefreshEngine::ResolveSourceVersions(const CatalogObject& obj,
+                                     Micros refresh_ts) {
+  std::unordered_map<ObjectId, VersionId> out;
+  for (ObjectId src : CollectScanIds(obj.dt->plan)) {
+    if (src == sql::kDualTableId) continue;
+    auto found = catalog_->FindById(src);
+    if (!found.ok()) {
+      return UserError("upstream object of '" + obj.name +
+                       "' has been dropped");
+    }
+    const CatalogObject* up = found.value();
+    if (up->kind == ObjectKind::kDynamicTable) {
+      auto v = up->dt->VersionForRefresh(refresh_ts);
+      if (!v.has_value()) {
+        return FailedPrecondition(
+            "upstream dynamic table '" + up->name +
+            "' has no version for data timestamp " +
+            std::to_string(refresh_ts) +
+            "; it must refresh first (snapshot isolation)");
+      }
+      out[src] = *v;
+    } else {
+      out[src] =
+          up->storage->ResolveVersionAt(HlcTimestamp::AtWallTime(refresh_ts));
+    }
+  }
+  return out;
+}
+
+ScanResolver RefreshEngine::MakeVersionResolver(
+    std::shared_ptr<const std::unordered_map<ObjectId, VersionId>> versions) {
+  return [this, versions](ObjectId id) -> Result<std::vector<IdRow>> {
+    if (id == sql::kDualTableId) {
+      return std::vector<IdRow>{{1, {}}};
+    }
+    auto it = versions->find(id);
+    if (it == versions->end()) {
+      return Internal("no pinned version for source " + std::to_string(id));
+    }
+    DVS_ASSIGN_OR_RETURN(const CatalogObject* obj, catalog_->FindById(id));
+    return obj->storage->ScanAt(it->second);
+  };
+}
+
+Result<std::vector<IdRow>> RefreshEngine::ComputeFull(
+    const CatalogObject& obj,
+    const std::unordered_map<ObjectId, VersionId>& versions, Micros ts,
+    uint64_t* rows_processed) {
+  ExecContext ctx;
+  ctx.resolve_scan = MakeVersionResolver(
+      std::make_shared<const std::unordered_map<ObjectId, VersionId>>(versions));
+  ctx.eval.current_time = ts;
+  auto rows = ExecutePlan(*obj.dt->plan, ctx);
+  *rows_processed += ctx.rows_processed;
+  return rows;
+}
+
+void RefreshEngine::RecordFailure(CatalogObject* obj) {
+  DynamicTableMeta* meta = obj->dt.get();
+  meta->consecutive_failures += 1;
+  if (meta->consecutive_failures >= options_.max_consecutive_failures) {
+    // §3.3.3: auto-suspend to stop wasting compute.
+    meta->state = DtState::kSuspended;
+  }
+}
+
+Result<RefreshOutcome> RefreshEngine::Refresh(ObjectId dt_id,
+                                              Micros refresh_ts) {
+  DVS_ASSIGN_OR_RETURN(CatalogObject * obj, catalog_->FindById(dt_id));
+  if (obj->kind != ObjectKind::kDynamicTable) {
+    return InvalidArgument("'" + obj->name + "' is not a dynamic table");
+  }
+  DynamicTableMeta* meta = obj->dt.get();
+  if (meta->state == DtState::kSuspended) {
+    return FailedPrecondition("dynamic table '" + obj->name +
+                              "' is suspended");
+  }
+  // Already refreshed at this data timestamp (e.g. by a manual refresh of a
+  // downstream DT): nothing to do.
+  if (meta->refresh_versions.count(refresh_ts)) {
+    RefreshOutcome out;
+    out.action = RefreshAction::kNoData;
+    out.data_timestamp = refresh_ts;
+    out.dt_row_count = obj->storage->RowCountAt(
+        meta->refresh_versions.at(refresh_ts));
+    return out;
+  }
+  if (meta->initialized && refresh_ts < meta->data_timestamp) {
+    return InvalidArgument("refresh timestamp " + std::to_string(refresh_ts) +
+                           " precedes current data timestamp " +
+                           std::to_string(meta->data_timestamp));
+  }
+
+  LockGuard lock(txn_, dt_id, dt_id);
+  DVS_RETURN_IF_ERROR(lock.Acquire());
+
+  auto run = [&]() -> Result<RefreshOutcome> {
+    RefreshOutcome out;
+    out.data_timestamp = refresh_ts;
+
+    DVS_RETURN_IF_ERROR(CheckQueryEvolution(obj));
+    DVS_ASSIGN_OR_RETURN(auto source_versions,
+                         ResolveSourceVersions(*obj, refresh_ts));
+
+    // INITIALIZE: first materialization.
+    if (!meta->initialized) {
+      out.action = RefreshAction::kInitialize;
+      DVS_ASSIGN_OR_RETURN(std::vector<IdRow> rows,
+                           ComputeFull(*obj, source_versions, refresh_ts, &out.rows_processed));
+      out.changes_applied = rows.size();
+      DVS_ASSIGN_OR_RETURN(VersionId vid,
+                           obj->storage->Overwrite(std::move(rows),
+                                                   txn_->NextCommitTimestamp()));
+      meta->initialized = true;
+      meta->needs_reinit = false;
+      meta->refresh_versions[refresh_ts] = vid;
+      meta->frontier = std::move(source_versions);
+      meta->data_timestamp = refresh_ts;
+      out.dt_row_count = obj->storage->RowCountAt(vid);
+      return out;
+    }
+
+    // REINITIALIZE: upstream DDL invalidated stored contents (§5.4).
+    if (meta->needs_reinit) {
+      out.action = RefreshAction::kReinitialize;
+      DVS_ASSIGN_OR_RETURN(std::vector<IdRow> rows,
+                           ComputeFull(*obj, source_versions, refresh_ts, &out.rows_processed));
+      out.changes_applied = rows.size();
+      DVS_ASSIGN_OR_RETURN(VersionId vid,
+                           obj->storage->Overwrite(std::move(rows),
+                                                   txn_->NextCommitTimestamp()));
+      meta->needs_reinit = false;
+      meta->refresh_versions[refresh_ts] = vid;
+      meta->frontier = std::move(source_versions);
+      meta->data_timestamp = refresh_ts;
+      out.dt_row_count = obj->storage->RowCountAt(vid);
+      return out;
+    }
+
+    // NO_DATA: no source changed in the interval (§5.4: "negligible
+    // resources and zero Virtual Warehouse compute").
+    bool changed = false;
+    for (const auto& [src, v1] : source_versions) {
+      auto it = meta->frontier.find(src);
+      if (it == meta->frontier.end()) {
+        changed = true;  // new source without reinit: be safe
+        break;
+      }
+      auto found = catalog_->FindById(src);
+      if (!found.ok()) return found.status();
+      if (found.value()->storage->HasDataChanges(it->second, v1)) {
+        changed = true;
+        break;
+      }
+    }
+    if (!changed) {
+      out.action = RefreshAction::kNoData;
+      VersionId vid = obj->storage->CommitNoOp(txn_->NextCommitTimestamp());
+      meta->refresh_versions[refresh_ts] = vid;
+      meta->frontier = std::move(source_versions);
+      meta->data_timestamp = refresh_ts;
+      out.dt_row_count = obj->storage->RowCountAt(vid);
+      return out;
+    }
+
+    // FULL refresh: INSERT OVERWRITE with the defining query (§5.4).
+    if (!meta->incremental) {
+      out.action = RefreshAction::kFull;
+      DVS_ASSIGN_OR_RETURN(std::vector<IdRow> rows,
+                           ComputeFull(*obj, source_versions, refresh_ts, &out.rows_processed));
+      out.changes_applied = rows.size();
+      DVS_ASSIGN_OR_RETURN(VersionId vid,
+                           obj->storage->Overwrite(std::move(rows),
+                                                   txn_->NextCommitTimestamp()));
+      meta->refresh_versions[refresh_ts] = vid;
+      meta->frontier = std::move(source_versions);
+      meta->data_timestamp = refresh_ts;
+      out.dt_row_count = obj->storage->RowCountAt(vid);
+      return out;
+    }
+
+    // INCREMENTAL refresh (§5.5).
+    out.action = RefreshAction::kIncremental;
+    const Micros start_ts = meta->data_timestamp;
+
+    // Materialize source deltas (change interval = frontier -> v1).
+    std::unordered_map<ObjectId, ChangeSet> deltas;
+    bool insert_only = true;
+    for (const auto& [src, v1] : source_versions) {
+      auto it = meta->frontier.find(src);
+      if (it == meta->frontier.end()) {
+        return Internal("frontier missing source " + std::to_string(src));
+      }
+      auto found = catalog_->FindById(src);
+      if (!found.ok()) return found.status();
+      DVS_ASSIGN_OR_RETURN(ChangeSet cs,
+                           found.value()->storage->ScanChanges(it->second, v1));
+      insert_only = insert_only && IsInsertOnly(cs);
+      deltas.emplace(src, std::move(cs));
+    }
+
+    DeltaContext dctx;
+    // Interval endpoints are pinned to explicit versions (§5.3): the stored
+    // frontier at the start, the freshly resolved versions at the end. Wall
+    // time cannot disambiguate commits sharing a physical clock tick.
+    dctx.resolve_at_start = MakeVersionResolver(
+        std::make_shared<const std::unordered_map<ObjectId, VersionId>>(
+            meta->frontier));
+    dctx.resolve_at_end = MakeVersionResolver(
+        std::make_shared<const std::unordered_map<ObjectId, VersionId>>(
+            source_versions));
+    dctx.resolve_delta = [&deltas](ObjectId id) -> Result<ChangeSet> {
+      if (id == sql::kDualTableId) return ChangeSet{};
+      auto it = deltas.find(id);
+      if (it == deltas.end()) {
+        return Internal("no delta for source " + std::to_string(id));
+      }
+      return it->second;
+    };
+    dctx.eval_start.current_time = start_ts;
+    dctx.eval_end.current_time = refresh_ts;
+
+    ChangeSet changes;
+    if (options_.enable_state_reuse) {
+      std::string why;
+      if (StateReuseApplicable(*meta->plan, &why)) {
+        std::vector<IdRow> stored = obj->storage->ScanLatest();
+        DVS_ASSIGN_OR_RETURN(
+            StateReuseResult sr,
+            DifferentiateAggregateWithState(*meta->plan, stored, dctx));
+        if (sr.applicable) {
+          changes = std::move(sr.changes);
+          out.used_state_reuse = true;
+          out.rows_processed = sr.rows_processed;
+        }
+      }
+    }
+    if (!out.used_state_reuse) {
+      DVS_ASSIGN_OR_RETURN(
+          DeltaResult dr,
+          Differentiate(*meta->plan, dctx,
+                        insert_only &&
+                            options_.enable_insert_only_optimization));
+      changes = std::move(dr.changes);
+      out.consolidation_skipped = dr.consolidation_skipped;
+      out.rows_processed = dctx.rows_processed;
+    }
+
+    out.changes_applied = changes.size();
+    if (changes.empty()) {
+      VersionId vid = obj->storage->CommitNoOp(txn_->NextCommitTimestamp());
+      meta->refresh_versions[refresh_ts] = vid;
+    } else {
+      // Merge with §6.1 validations enforced by the storage layer.
+      auto commit =
+          txn_->CommitWrites({{obj->storage.get(), std::move(changes)}});
+      if (!commit.ok()) return commit.status();
+      meta->refresh_versions[refresh_ts] = obj->storage->latest_version();
+    }
+    meta->frontier = std::move(source_versions);
+    meta->data_timestamp = refresh_ts;
+    out.dt_row_count = obj->storage->RowCountAt(obj->storage->latest_version());
+    return out;
+  };
+
+  Result<RefreshOutcome> result = run();
+  if (result.ok()) {
+    meta->consecutive_failures = 0;
+    if (commit_observer_) {
+      // The frontier now holds the exact source versions this refresh
+      // consumed: precisely the derivation inputs of §4.
+      commit_observer_(*obj, meta->refresh_versions.at(refresh_ts),
+                       meta->frontier);
+    }
+  } else if (CountsAsFailure(result.status())) {
+    RecordFailure(obj);
+  }
+  return result;
+}
+
+Result<std::vector<ObjectId>> RefreshEngine::UpstreamClosure(ObjectId dt_id) {
+  std::vector<ObjectId> order;
+  std::set<ObjectId> visited;
+  std::set<ObjectId> visiting;
+  Status err = OkStatus();
+  std::function<void(ObjectId)> dfs = [&](ObjectId id) {
+    if (!err.ok() || visited.count(id)) return;
+    if (visiting.count(id)) {
+      err = FailedPrecondition("cycle detected in dynamic table graph");
+      return;
+    }
+    visiting.insert(id);
+    for (ObjectId up : catalog_->UpstreamDynamicTables(id)) dfs(up);
+    visiting.erase(id);
+    visited.insert(id);
+    order.push_back(id);
+  };
+  for (ObjectId up : catalog_->UpstreamDynamicTables(dt_id)) dfs(up);
+  DVS_RETURN_IF_ERROR(err);
+  return order;
+}
+
+Result<RefreshOutcome> RefreshEngine::RefreshWithUpstream(ObjectId dt_id,
+                                                          Micros refresh_ts) {
+  DVS_ASSIGN_OR_RETURN(std::vector<ObjectId> order, UpstreamClosure(dt_id));
+  for (ObjectId up : order) {
+    auto r = Refresh(up, refresh_ts);
+    DVS_RETURN_IF_ERROR(r.ok() ? OkStatus() : r.status());
+  }
+  return Refresh(dt_id, refresh_ts);
+}
+
+Result<Micros> RefreshEngine::Initialize(ObjectId dt_id, Micros now) {
+  DVS_ASSIGN_OR_RETURN(CatalogObject * obj, catalog_->FindById(dt_id));
+  if (obj->kind != ObjectKind::kDynamicTable) {
+    return InvalidArgument("'" + obj->name + "' is not a dynamic table");
+  }
+  DynamicTableMeta* meta = obj->dt.get();
+  if (meta->initialized) return meta->data_timestamp;
+
+  std::vector<ObjectId> upstream = catalog_->UpstreamDynamicTables(dt_id);
+  if (!upstream.empty()) {
+    // Candidate timestamps: refresh timestamps shared by *all* upstream DTs
+    // (§3.1.2 — avoids the quadratic re-refresh cascade when users create
+    // DTs in dependency order).
+    std::set<Micros> candidates;
+    bool first = true;
+    for (ObjectId up : upstream) {
+      DVS_ASSIGN_OR_RETURN(const CatalogObject* uobj, catalog_->FindById(up));
+      std::set<Micros> mine;
+      for (const auto& [ts, v] : uobj->dt->refresh_versions) {
+        (void)v;
+        mine.insert(ts);
+      }
+      if (first) {
+        candidates = std::move(mine);
+        first = false;
+      } else {
+        std::set<Micros> inter;
+        std::set_intersection(candidates.begin(), candidates.end(),
+                              mine.begin(), mine.end(),
+                              std::inserter(inter, inter.begin()));
+        candidates = std::move(inter);
+      }
+    }
+    const Micros lag_limit = meta->def.target_lag.downstream
+                                 ? INT64_MAX
+                                 : meta->def.target_lag.duration;
+    Micros chosen = -1;
+    for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+      if (*it <= now && (lag_limit == INT64_MAX || now - *it <= lag_limit)) {
+        chosen = *it;
+        break;
+      }
+    }
+    if (chosen >= 0) {
+      auto r = Refresh(dt_id, chosen);
+      DVS_RETURN_IF_ERROR(r.ok() ? OkStatus() : r.status());
+      return chosen;  // may be < creation time — the §3.1.2 trade-off
+    }
+  }
+  // No usable upstream timestamp: refresh the whole upstream chain at `now`.
+  auto r = RefreshWithUpstream(dt_id, now);
+  DVS_RETURN_IF_ERROR(r.ok() ? OkStatus() : r.status());
+  return now;
+}
+
+}  // namespace dvs

@@ -1,0 +1,268 @@
+#include "exec/evaluator.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace dvs {
+
+namespace {
+
+Result<Value> EvalBinary(const Expr& e, const Row& row, const EvalContext& ctx) {
+  // AND / OR need three-valued logic with short-circuiting, so they handle
+  // NULLs themselves.
+  if (e.bin_op == BinaryOp::kAnd || e.bin_op == BinaryOp::kOr) {
+    DVS_ASSIGN_OR_RETURN(Value l, Eval(*e.children[0], row, ctx));
+    const bool is_and = e.bin_op == BinaryOp::kAnd;
+    if (!l.is_null() && l.type() == DataType::kBool &&
+        l.bool_value() != is_and) {
+      return Value::Bool(!is_and);  // false AND _, true OR _
+    }
+    DVS_ASSIGN_OR_RETURN(Value r, Eval(*e.children[1], row, ctx));
+    if (!r.is_null() && r.type() == DataType::kBool &&
+        r.bool_value() != is_and) {
+      return Value::Bool(!is_and);
+    }
+    if (l.is_null() || r.is_null()) return Value::Null();
+    if (l.type() != DataType::kBool || r.type() != DataType::kBool) {
+      return UserError("AND/OR on non-boolean values");
+    }
+    return Value::Bool(is_and ? (l.bool_value() && r.bool_value())
+                              : (l.bool_value() || r.bool_value()));
+  }
+
+  DVS_ASSIGN_OR_RETURN(Value l, Eval(*e.children[0], row, ctx));
+  DVS_ASSIGN_OR_RETURN(Value r, Eval(*e.children[1], row, ctx));
+  if (l.is_null() || r.is_null()) return Value::Null();
+
+  switch (e.bin_op) {
+    case BinaryOp::kEq: return Value::Bool(l.Compare(r) == 0);
+    case BinaryOp::kNe: return Value::Bool(l.Compare(r) != 0);
+    case BinaryOp::kLt: return Value::Bool(l.Compare(r) < 0);
+    case BinaryOp::kLe: return Value::Bool(l.Compare(r) <= 0);
+    case BinaryOp::kGt: return Value::Bool(l.Compare(r) > 0);
+    case BinaryOp::kGe: return Value::Bool(l.Compare(r) >= 0);
+    case BinaryOp::kConcat: {
+      std::string out =
+          (l.type() == DataType::kString ? l.string_value() : l.ToString()) +
+          (r.type() == DataType::kString ? r.string_value() : r.ToString());
+      return Value::String(std::move(out));
+    }
+    default:
+      break;
+  }
+
+  // Arithmetic. TIMESTAMP +/- INT treats the int as micros; TIMESTAMP -
+  // TIMESTAMP yields INT micros.
+  const bool lt = l.type() == DataType::kTimestamp;
+  const bool rt = r.type() == DataType::kTimestamp;
+  if (lt || rt) {
+    if (e.bin_op == BinaryOp::kSub && lt && rt) {
+      return Value::Int(l.timestamp_value() - r.timestamp_value());
+    }
+    if ((e.bin_op == BinaryOp::kAdd || e.bin_op == BinaryOp::kSub) && lt &&
+        r.is_numeric()) {
+      int64_t delta = r.AsInt();
+      return Value::Timestamp(l.timestamp_value() +
+                              (e.bin_op == BinaryOp::kAdd ? delta : -delta));
+    }
+    if (e.bin_op == BinaryOp::kAdd && rt && l.is_numeric()) {
+      return Value::Timestamp(r.timestamp_value() + l.AsInt());
+    }
+    return UserError("invalid timestamp arithmetic");
+  }
+
+  if (!l.is_numeric() || !r.is_numeric()) {
+    return UserError(std::string("operator ") + BinaryOpName(e.bin_op) +
+                     " requires numeric operands");
+  }
+  const bool both_int =
+      l.type() == DataType::kInt64 && r.type() == DataType::kInt64;
+  switch (e.bin_op) {
+    case BinaryOp::kAdd:
+      return both_int ? Value::Int(l.int_value() + r.int_value())
+                      : Value::Double(l.AsDouble() + r.AsDouble());
+    case BinaryOp::kSub:
+      return both_int ? Value::Int(l.int_value() - r.int_value())
+                      : Value::Double(l.AsDouble() - r.AsDouble());
+    case BinaryOp::kMul:
+      return both_int ? Value::Int(l.int_value() * r.int_value())
+                      : Value::Double(l.AsDouble() * r.AsDouble());
+    case BinaryOp::kDiv: {
+      if (both_int) {
+        if (r.int_value() == 0) return UserError("division by zero");
+        return Value::Int(l.int_value() / r.int_value());
+      }
+      if (r.AsDouble() == 0.0) return UserError("division by zero");
+      return Value::Double(l.AsDouble() / r.AsDouble());
+    }
+    case BinaryOp::kMod: {
+      if (!both_int) return UserError("% requires integer operands");
+      if (r.int_value() == 0) return UserError("division by zero");
+      return Value::Int(l.int_value() % r.int_value());
+    }
+    default:
+      return Internal("unhandled binary operator");
+  }
+}
+
+}  // namespace
+
+Result<Value> Eval(const Expr& e, const Row& row, const EvalContext& ctx) {
+  switch (e.kind) {
+    case ExprKind::kColumnRef: {
+      if (e.column_index >= row.size()) {
+        return Internal("column index " + std::to_string(e.column_index) +
+                        " out of range for row of width " +
+                        std::to_string(row.size()));
+      }
+      return row[e.column_index];
+    }
+    case ExprKind::kLiteral:
+      return e.literal;
+    case ExprKind::kBinary:
+      return EvalBinary(e, row, ctx);
+    case ExprKind::kUnary: {
+      DVS_ASSIGN_OR_RETURN(Value v, Eval(*e.children[0], row, ctx));
+      switch (e.un_op) {
+        case UnaryOp::kNot:
+          if (v.is_null()) return Value::Null();
+          if (v.type() != DataType::kBool)
+            return UserError("NOT on non-boolean");
+          return Value::Bool(!v.bool_value());
+        case UnaryOp::kNeg:
+          if (v.is_null()) return Value::Null();
+          if (v.type() == DataType::kInt64) return Value::Int(-v.int_value());
+          if (v.type() == DataType::kDouble)
+            return Value::Double(-v.double_value());
+          return UserError("negation of non-numeric value");
+        case UnaryOp::kIsNull:
+          return Value::Bool(v.is_null());
+        case UnaryOp::kIsNotNull:
+          return Value::Bool(!v.is_null());
+      }
+      return Internal("unhandled unary operator");
+    }
+    case ExprKind::kFunction: {
+      const ScalarFunction* fn = FunctionRegistry::Global().Find(e.function_name);
+      if (fn == nullptr) {
+        return BindError("unknown function '" + e.function_name + "'");
+      }
+      std::vector<Value> args;
+      args.reserve(e.children.size());
+      for (const ExprPtr& c : e.children) {
+        DVS_ASSIGN_OR_RETURN(Value v, Eval(*c, row, ctx));
+        args.push_back(std::move(v));
+      }
+      return fn->impl(args, ctx);
+    }
+    case ExprKind::kCase: {
+      size_t n = e.children.size();
+      for (size_t i = 0; i + 1 < n; i += 2) {
+        DVS_ASSIGN_OR_RETURN(Value c, Eval(*e.children[i], row, ctx));
+        if (!c.is_null() && c.type() == DataType::kBool && c.bool_value()) {
+          return Eval(*e.children[i + 1], row, ctx);
+        }
+      }
+      if (n % 2 == 1) return Eval(*e.children[n - 1], row, ctx);
+      return Value::Null();
+    }
+    case ExprKind::kCast: {
+      DVS_ASSIGN_OR_RETURN(Value v, Eval(*e.children[0], row, ctx));
+      return CastValue(v, e.type);
+    }
+    case ExprKind::kIn: {
+      DVS_ASSIGN_OR_RETURN(Value needle, Eval(*e.children[0], row, ctx));
+      if (needle.is_null()) return Value::Null();
+      bool saw_null = false;
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        DVS_ASSIGN_OR_RETURN(Value c, Eval(*e.children[i], row, ctx));
+        if (c.is_null()) {
+          saw_null = true;
+          continue;
+        }
+        if (needle.Compare(c) == 0) return Value::Bool(true);
+      }
+      return saw_null ? Value::Null() : Value::Bool(false);
+    }
+    case ExprKind::kAggregate:
+      return Internal("aggregate expression outside Aggregate node");
+    case ExprKind::kWindow:
+      return Internal("window expression outside Window node");
+  }
+  return Internal("unhandled expression kind");
+}
+
+Result<bool> EvalPredicate(const Expr& expr, const Row& row,
+                           const EvalContext& ctx) {
+  DVS_ASSIGN_OR_RETURN(Value v, Eval(expr, row, ctx));
+  if (v.is_null()) return false;
+  if (v.type() != DataType::kBool) {
+    return UserError("predicate did not evaluate to BOOL");
+  }
+  return v.bool_value();
+}
+
+Result<Value> CastValue(const Value& v, DataType target) {
+  if (v.is_null()) return Value::Null();
+  if (v.type() == target) return v;
+  switch (target) {
+    case DataType::kInt64:
+      if (v.is_numeric() || v.type() == DataType::kBool) return Value::Int(v.AsInt());
+      if (v.type() == DataType::kTimestamp) return Value::Int(v.timestamp_value());
+      if (v.type() == DataType::kString) {
+        char* end = nullptr;
+        long long n = std::strtoll(v.string_value().c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || v.string_value().empty()) {
+          return UserError("cannot cast '" + v.string_value() + "' to INT");
+        }
+        return Value::Int(n);
+      }
+      break;
+    case DataType::kDouble:
+      if (v.is_numeric() || v.type() == DataType::kBool)
+        return Value::Double(v.AsDouble());
+      if (v.type() == DataType::kString) {
+        char* end = nullptr;
+        double d = std::strtod(v.string_value().c_str(), &end);
+        if (end == nullptr || *end != '\0' || v.string_value().empty()) {
+          return UserError("cannot cast '" + v.string_value() + "' to DOUBLE");
+        }
+        return Value::Double(d);
+      }
+      break;
+    case DataType::kString:
+      if (v.type() == DataType::kString) return v;
+      return Value::String(v.type() == DataType::kArray ? v.ToString()
+                                                        : v.ToString());
+    case DataType::kTimestamp:
+      if (v.is_numeric()) return Value::Timestamp(v.AsInt());
+      break;
+    case DataType::kBool:
+      if (v.type() == DataType::kInt64) return Value::Bool(v.int_value() != 0);
+      break;
+    default:
+      break;
+  }
+  return UserError(std::string("cannot cast ") + DataTypeName(v.type()) +
+                   " to " + DataTypeName(target));
+}
+
+Result<Volatility> ExprVolatility(const ExprPtr& expr) {
+  Volatility strongest = Volatility::kImmutable;
+  Status err = OkStatus();
+  VisitExpr(expr, [&](const Expr& e) {
+    if (e.kind != ExprKind::kFunction) return;
+    const ScalarFunction* fn = FunctionRegistry::Global().Find(e.function_name);
+    if (fn == nullptr) {
+      err = BindError("unknown function '" + e.function_name + "'");
+      return;
+    }
+    if (static_cast<int>(fn->volatility) > static_cast<int>(strongest)) {
+      strongest = fn->volatility;
+    }
+  });
+  if (!err.ok()) return err;
+  return strongest;
+}
+
+}  // namespace dvs

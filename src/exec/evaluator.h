@@ -1,0 +1,36 @@
+// Scalar expression evaluation over a single row.
+
+#ifndef DVS_EXEC_EVALUATOR_H_
+#define DVS_EXEC_EVALUATOR_H_
+
+#include "exec/functions.h"
+#include "plan/expr.h"
+#include "types/row.h"
+
+namespace dvs {
+
+/// Evaluates `expr` against `row` (ColumnRefs index into `row`).
+/// kAggregate / kWindow nodes are invalid here (executor intercepts them)
+/// and yield Internal errors. SQL NULL semantics apply: comparisons and
+/// arithmetic propagate NULL; AND/OR use three-valued logic; division by
+/// zero is a UserError (the paper's canonical refresh-failure example,
+/// §3.3.3).
+Result<Value> Eval(const Expr& expr, const Row& row, const EvalContext& ctx);
+
+/// Evaluates a predicate: true only when the result is BOOL true
+/// (NULL and false both reject).
+Result<bool> EvalPredicate(const Expr& expr, const Row& row,
+                           const EvalContext& ctx);
+
+/// Casts between value types with SQL-ish semantics; UserError on
+/// impossible casts (e.g. non-numeric string to INT).
+Result<Value> CastValue(const Value& v, DataType target);
+
+/// Scans an expression tree for the strongest volatility it contains
+/// (function calls looked up in the global registry; unknown functions are
+/// reported via status).
+Result<Volatility> ExprVolatility(const ExprPtr& expr);
+
+}  // namespace dvs
+
+#endif  // DVS_EXEC_EVALUATOR_H_

@@ -1,0 +1,536 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "exec/row_id.h"
+
+namespace dvs {
+
+namespace {
+
+Result<std::vector<IdRow>> Exec(const PlanNode& n, const ExecContext& ctx);
+
+Result<std::vector<IdRow>> ExecFilter(const PlanNode& n,
+                                      const ExecContext& ctx) {
+  DVS_ASSIGN_OR_RETURN(std::vector<IdRow> in, Exec(*n.children[0], ctx));
+  std::vector<IdRow> out;
+  for (IdRow& r : in) {
+    DVS_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*n.predicate, r.values, ctx.eval));
+    if (pass) out.push_back(std::move(r));
+  }
+  return out;
+}
+
+Result<std::vector<IdRow>> ExecProject(const PlanNode& n,
+                                       const ExecContext& ctx) {
+  DVS_ASSIGN_OR_RETURN(std::vector<IdRow> in, Exec(*n.children[0], ctx));
+  std::vector<IdRow> out;
+  out.reserve(in.size());
+  for (const IdRow& r : in) {
+    Row vals;
+    vals.reserve(n.exprs.size());
+    for (const ExprPtr& e : n.exprs) {
+      DVS_ASSIGN_OR_RETURN(Value v, Eval(*e, r.values, ctx.eval));
+      vals.push_back(std::move(v));
+    }
+    out.push_back({r.id, std::move(vals)});
+  }
+  return out;
+}
+
+Row ConcatRows(const Row& l, const Row& r) {
+  Row out = l;
+  out.insert(out.end(), r.begin(), r.end());
+  return out;
+}
+
+Row NullRow(size_t n) { return Row(n, Value::Null()); }
+
+bool KeyHasNull(const Row& key) {
+  for (const Value& v : key) {
+    if (v.is_null()) return true;
+  }
+  return false;
+}
+
+Result<std::vector<IdRow>> ExecUnionAll(const PlanNode& n,
+                                        const ExecContext& ctx) {
+  std::vector<IdRow> out;
+  for (size_t b = 0; b < n.children.size(); ++b) {
+    DVS_ASSIGN_OR_RETURN(std::vector<IdRow> in, Exec(*n.children[b], ctx));
+    for (IdRow& r : in) {
+      out.push_back({rowid::Union(n.node_tag, b, r.id), std::move(r.values)});
+    }
+  }
+  return out;
+}
+
+// Comparator over precomputed sort keys, with row id as the repeatable
+// tie-break (the paper's "ties in ORDER BY are broken repeatably").
+struct SortEntry {
+  Row keys;
+  RowId id;
+  size_t index;
+};
+
+bool SortLess(const SortEntry& a, const SortEntry& b,
+              const std::vector<SortKey>& spec) {
+  for (size_t i = 0; i < spec.size(); ++i) {
+    int c = a.keys[i].Compare(b.keys[i]);
+    if (c != 0) return spec[i].ascending ? c < 0 : c > 0;
+  }
+  return a.id < b.id;
+}
+
+Result<std::vector<IdRow>> ExecFlatten(const PlanNode& n,
+                                       const ExecContext& ctx) {
+  DVS_ASSIGN_OR_RETURN(std::vector<IdRow> in, Exec(*n.children[0], ctx));
+  std::vector<IdRow> out;
+  for (const IdRow& r : in) {
+    DVS_ASSIGN_OR_RETURN(Value arr, Eval(*n.flatten_expr, r.values, ctx.eval));
+    if (arr.is_null()) continue;  // FLATTEN drops NULL inputs.
+    if (arr.type() != DataType::kArray) {
+      return UserError("FLATTEN input is not an array");
+    }
+    const Array& elements = arr.array_value();
+    for (size_t i = 0; i < elements.size(); ++i) {
+      Row vals = r.values;
+      vals.push_back(Value::Int(static_cast<int64_t>(i)));
+      vals.push_back(elements[i]);
+      out.push_back({rowid::Flatten(n.node_tag, r.id, i), std::move(vals)});
+    }
+  }
+  return out;
+}
+
+Result<std::vector<IdRow>> ExecOrderBy(const PlanNode& n,
+                                       const ExecContext& ctx) {
+  DVS_ASSIGN_OR_RETURN(std::vector<IdRow> in, Exec(*n.children[0], ctx));
+  std::vector<SortEntry> entries;
+  entries.reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    Row keys;
+    keys.reserve(n.sort_keys.size());
+    for (const SortKey& sk : n.sort_keys) {
+      DVS_ASSIGN_OR_RETURN(Value v, Eval(*sk.expr, in[i].values, ctx.eval));
+      keys.push_back(std::move(v));
+    }
+    entries.push_back({std::move(keys), in[i].id, i});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [&](const SortEntry& a, const SortEntry& b) {
+              return SortLess(a, b, n.sort_keys);
+            });
+  std::vector<IdRow> out;
+  out.reserve(in.size());
+  for (const SortEntry& e : entries) out.push_back(std::move(in[e.index]));
+  return out;
+}
+
+Result<std::vector<IdRow>> Exec(const PlanNode& n, const ExecContext& ctx) {
+  Result<std::vector<IdRow>> result = [&]() -> Result<std::vector<IdRow>> {
+    switch (n.kind) {
+      case PlanKind::kScan:
+        return ctx.resolve_scan(n.table_id);
+      case PlanKind::kFilter:
+        return ExecFilter(n, ctx);
+      case PlanKind::kProject:
+        return ExecProject(n, ctx);
+      case PlanKind::kJoin: {
+        DVS_ASSIGN_OR_RETURN(std::vector<IdRow> left, Exec(*n.children[0], ctx));
+        DVS_ASSIGN_OR_RETURN(std::vector<IdRow> right, Exec(*n.children[1], ctx));
+        return ComputeJoin(n, left, right, ctx.eval);
+      }
+      case PlanKind::kUnionAll:
+        return ExecUnionAll(n, ctx);
+      case PlanKind::kAggregate: {
+        DVS_ASSIGN_OR_RETURN(std::vector<IdRow> in, Exec(*n.children[0], ctx));
+        return ComputeAggregateRows(n, in, ctx.eval,
+                                    /*force_global_group=*/true);
+      }
+      case PlanKind::kDistinct: {
+        DVS_ASSIGN_OR_RETURN(std::vector<IdRow> in, Exec(*n.children[0], ctx));
+        return ComputeDistinctRows(n, in, ctx.eval);
+      }
+      case PlanKind::kWindow: {
+        DVS_ASSIGN_OR_RETURN(std::vector<IdRow> in, Exec(*n.children[0], ctx));
+        return ComputeWindowRows(n, in, ctx.eval);
+      }
+      case PlanKind::kFlatten:
+        return ExecFlatten(n, ctx);
+      case PlanKind::kOrderBy:
+        return ExecOrderBy(n, ctx);
+      case PlanKind::kLimit: {
+        DVS_ASSIGN_OR_RETURN(std::vector<IdRow> in, Exec(*n.children[0], ctx));
+        if (n.limit >= 0 && static_cast<size_t>(n.limit) < in.size()) {
+          in.resize(static_cast<size_t>(n.limit));
+        }
+        return in;
+      }
+    }
+    return Internal("unhandled plan kind");
+  }();
+  if (result.ok()) ctx.rows_processed += result.value().size();
+  return result;
+}
+
+}  // namespace
+
+Result<std::vector<IdRow>> ExecutePlan(const PlanNode& plan,
+                                       const ExecContext& ctx) {
+  return Exec(plan, ctx);
+}
+
+Result<std::vector<Row>> ExecutePlanRows(const PlanNode& plan,
+                                         const ExecContext& ctx) {
+  DVS_ASSIGN_OR_RETURN(std::vector<IdRow> rows, ExecutePlan(plan, ctx));
+  std::vector<Row> out;
+  out.reserve(rows.size());
+  for (IdRow& r : rows) out.push_back(std::move(r.values));
+  return out;
+}
+
+Result<Row> EvalKey(const std::vector<ExprPtr>& key_exprs, const Row& row,
+                    const EvalContext& ctx) {
+  Row key;
+  key.reserve(key_exprs.size());
+  for (const ExprPtr& e : key_exprs) {
+    DVS_ASSIGN_OR_RETURN(Value v, Eval(*e, row, ctx));
+    key.push_back(std::move(v));
+  }
+  return key;
+}
+
+Result<std::vector<IdRow>> ComputeJoin(const PlanNode& n,
+                                       const std::vector<IdRow>& left,
+                                       const std::vector<IdRow>& right,
+                                       const EvalContext& ctx) {
+  const size_t lw = n.children[0]->output_schema.size();
+  const size_t rw = n.children[1]->output_schema.size();
+
+  // Hash the right side.
+  std::unordered_map<Row, std::vector<size_t>, KeyHash, KeyEq> table;
+  table.reserve(right.size());
+  for (size_t i = 0; i < right.size(); ++i) {
+    DVS_ASSIGN_OR_RETURN(Row key, EvalKey(n.right_keys, right[i].values, ctx));
+    if (KeyHasNull(key)) continue;  // NULL keys never match.
+    table[std::move(key)].push_back(i);
+  }
+
+  std::vector<bool> right_matched(right.size(), false);
+  std::vector<IdRow> out;
+  for (const IdRow& l : left) {
+    DVS_ASSIGN_OR_RETURN(Row key, EvalKey(n.left_keys, l.values, ctx));
+    bool matched = false;
+    if (!KeyHasNull(key)) {
+      auto it = table.find(key);
+      if (it != table.end()) {
+        for (size_t ri : it->second) {
+          Row combined = ConcatRows(l.values, right[ri].values);
+          if (n.residual) {
+            DVS_ASSIGN_OR_RETURN(bool pass,
+                                 EvalPredicate(*n.residual, combined, ctx));
+            if (!pass) continue;
+          }
+          matched = true;
+          right_matched[ri] = true;
+          out.push_back({rowid::Join(n.node_tag, l.id, right[ri].id),
+                         std::move(combined)});
+        }
+      }
+    }
+    if (!matched &&
+        (n.join_type == JoinType::kLeft || n.join_type == JoinType::kFull)) {
+      out.push_back({rowid::LeftRowNullExtended(n.node_tag, l.id),
+                     ConcatRows(l.values, NullRow(rw))});
+    }
+  }
+  if (n.join_type == JoinType::kRight || n.join_type == JoinType::kFull) {
+    for (size_t ri = 0; ri < right.size(); ++ri) {
+      if (!right_matched[ri]) {
+        out.push_back({rowid::RightRowNullExtended(n.node_tag, right[ri].id),
+                       ConcatRows(NullRow(lw), right[ri].values)});
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<IdRow>> ComputeAggregateRows(const PlanNode& n,
+                                                const std::vector<IdRow>& input,
+                                                const EvalContext& ctx,
+                                                bool force_global_group) {
+  // Group membership. std::map keeps output order deterministic.
+  std::map<Row, std::vector<const Row*>> groups;
+  for (const IdRow& r : input) {
+    DVS_ASSIGN_OR_RETURN(Row key, EvalKey(n.group_by, r.values, ctx));
+    groups[std::move(key)].push_back(&r.values);
+  }
+  // Scalar aggregation (no GROUP BY) over empty input yields one row.
+  if (n.group_by.empty() && groups.empty() && force_global_group) {
+    groups[Row{}] = {};
+  }
+
+  std::vector<IdRow> out;
+  out.reserve(groups.size());
+  for (const auto& [key, members] : groups) {
+    DVS_ASSIGN_OR_RETURN(Row aggs, ComputeAggregates(n.aggregates, members, ctx));
+    Row vals = key;
+    vals.insert(vals.end(), std::make_move_iterator(aggs.begin()),
+                std::make_move_iterator(aggs.end()));
+    out.push_back({rowid::Group(n.node_tag, key), std::move(vals)});
+  }
+  return out;
+}
+
+Result<std::vector<IdRow>> ComputeDistinctRows(const PlanNode& n,
+                                               const std::vector<IdRow>& input,
+                                               const EvalContext& ctx) {
+  (void)ctx;
+  std::set<Row> seen;
+  std::vector<IdRow> out;
+  for (const IdRow& r : input) {
+    if (seen.insert(r.values).second) {
+      out.push_back({rowid::Distinct(n.node_tag, r.values), r.values});
+    }
+  }
+  return out;
+}
+
+Result<std::vector<IdRow>> ComputeWindowRows(const PlanNode& n,
+                                             const std::vector<IdRow>& in,
+                                             const EvalContext& ctx) {
+  std::map<Row, std::vector<size_t>> partitions;
+  for (size_t i = 0; i < in.size(); ++i) {
+    DVS_ASSIGN_OR_RETURN(Row key, EvalKey(n.partition_by, in[i].values, ctx));
+    partitions[std::move(key)].push_back(i);
+  }
+
+  std::vector<IdRow> out;
+  out.reserve(in.size());
+  for (auto& [pkey, indices] : partitions) {
+    (void)pkey;
+    // Sort partition members by the window ORDER BY (row id tie-break).
+    std::vector<SortEntry> entries;
+    entries.reserve(indices.size());
+    for (size_t idx : indices) {
+      Row keys;
+      keys.reserve(n.order_by.size());
+      for (const SortKey& sk : n.order_by) {
+        DVS_ASSIGN_OR_RETURN(Value v, Eval(*sk.expr, in[idx].values, ctx));
+        keys.push_back(std::move(v));
+      }
+      entries.push_back({std::move(keys), in[idx].id, idx});
+    }
+    std::sort(entries.begin(), entries.end(),
+              [&](const SortEntry& a, const SortEntry& b) {
+                return SortLess(a, b, n.order_by);
+              });
+
+    const size_t m = entries.size();
+    // Evaluate each window call for each position.
+    std::vector<Row> call_results(m);
+    for (const ExprPtr& call : n.window_calls) {
+      assert(call->kind == ExprKind::kWindow);
+      // Argument values in sorted order.
+      std::vector<Value> args(m);
+      if (!call->children.empty()) {
+        for (size_t i = 0; i < m; ++i) {
+          DVS_ASSIGN_OR_RETURN(
+              Value v, Eval(*call->children[0], in[entries[i].index].values,
+                            ctx));
+          args[i] = std::move(v);
+        }
+      }
+      const bool ordered = !n.order_by.empty();
+      switch (call->window_func) {
+        case WindowFunc::kRowNumber: {
+          for (size_t i = 0; i < m; ++i)
+            call_results[i].push_back(Value::Int(static_cast<int64_t>(i + 1)));
+          break;
+        }
+        case WindowFunc::kRank:
+        case WindowFunc::kDenseRank: {
+          int64_t rank = 1, dense = 1;
+          for (size_t i = 0; i < m; ++i) {
+            if (i > 0) {
+              bool peer = true;
+              for (size_t k = 0; k < n.order_by.size(); ++k) {
+                if (entries[i].keys[k].Compare(entries[i - 1].keys[k]) != 0) {
+                  peer = false;
+                  break;
+                }
+              }
+              if (!peer) {
+                rank = static_cast<int64_t>(i + 1);
+                dense += 1;
+              }
+            }
+            call_results[i].push_back(Value::Int(
+                call->window_func == WindowFunc::kRank ? rank : dense));
+          }
+          break;
+        }
+        case WindowFunc::kSum:
+        case WindowFunc::kAvg:
+        case WindowFunc::kCount:
+        case WindowFunc::kMin:
+        case WindowFunc::kMax: {
+          // Unordered: whole-partition aggregate. Ordered: cumulative
+          // (ROWS BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW).
+          double sum = 0;
+          int64_t isum = 0;
+          bool all_int = true;
+          int64_t count = 0;
+          Value minv, maxv;
+          auto fold = [&](const Value& v) {
+            if (v.is_null()) return;
+            ++count;
+            if (v.type() != DataType::kInt64) all_int = false;
+            if (v.is_numeric()) {
+              sum += v.AsDouble();
+              if (v.type() == DataType::kInt64) isum += v.int_value();
+            }
+            if (minv.is_null() || v.Compare(minv) < 0) minv = v;
+            if (maxv.is_null() || v.Compare(maxv) > 0) maxv = v;
+          };
+          auto result_at = [&]() -> Value {
+            switch (call->window_func) {
+              case WindowFunc::kCount: return Value::Int(count);
+              case WindowFunc::kSum:
+                if (count == 0) return Value::Null();
+                return all_int ? Value::Int(isum) : Value::Double(sum);
+              case WindowFunc::kAvg:
+                if (count == 0) return Value::Null();
+                return Value::Double(sum / static_cast<double>(count));
+              case WindowFunc::kMin: return minv;
+              case WindowFunc::kMax: return maxv;
+              default: return Value::Null();
+            }
+          };
+          if (ordered) {
+            for (size_t i = 0; i < m; ++i) {
+              fold(args[i]);
+              call_results[i].push_back(result_at());
+            }
+          } else {
+            for (size_t i = 0; i < m; ++i) fold(args[i]);
+            Value v = result_at();
+            for (size_t i = 0; i < m; ++i) call_results[i].push_back(v);
+          }
+          break;
+        }
+      }
+    }
+    for (size_t i = 0; i < m; ++i) {
+      const IdRow& src = in[entries[i].index];
+      Row vals = src.values;
+      for (Value& v : call_results[i]) vals.push_back(std::move(v));
+      out.push_back({src.id, std::move(vals)});
+    }
+  }
+  return out;
+}
+
+Result<Row> ComputeAggregates(const std::vector<ExprPtr>& aggregates,
+                              const std::vector<const Row*>& members,
+                              const EvalContext& ctx) {
+  Row out;
+  out.reserve(aggregates.size());
+  for (const ExprPtr& agg : aggregates) {
+    assert(agg->kind == ExprKind::kAggregate);
+    // Gather argument values (skipping for COUNT(*)).
+    std::vector<Value> args;
+    if (!agg->children.empty()) {
+      args.reserve(members.size());
+      for (const Row* m : members) {
+        DVS_ASSIGN_OR_RETURN(Value v, Eval(*agg->children[0], *m, ctx));
+        args.push_back(std::move(v));
+      }
+    }
+    if (agg->distinct) {
+      std::set<Value> uniq;
+      std::vector<Value> deduped;
+      for (Value& v : args) {
+        if (v.is_null()) continue;
+        if (uniq.insert(v).second) deduped.push_back(std::move(v));
+      }
+      args = std::move(deduped);
+    }
+    switch (agg->agg_func) {
+      case AggFunc::kCountStar:
+        out.push_back(Value::Int(static_cast<int64_t>(members.size())));
+        break;
+      case AggFunc::kCount: {
+        int64_t c = 0;
+        for (const Value& v : args) {
+          if (!v.is_null()) ++c;
+        }
+        out.push_back(Value::Int(c));
+        break;
+      }
+      case AggFunc::kCountIf: {
+        int64_t c = 0;
+        for (const Value& v : args) {
+          if (!v.is_null() && v.type() == DataType::kBool && v.bool_value())
+            ++c;
+        }
+        out.push_back(Value::Int(c));
+        break;
+      }
+      case AggFunc::kSum: {
+        bool all_int = true, any = false;
+        int64_t isum = 0;
+        double dsum = 0;
+        for (const Value& v : args) {
+          if (v.is_null()) continue;
+          if (!v.is_numeric()) return UserError("SUM over non-numeric value");
+          any = true;
+          if (v.type() == DataType::kInt64) {
+            isum += v.int_value();
+          } else {
+            all_int = false;
+          }
+          dsum += v.AsDouble();
+        }
+        out.push_back(!any ? Value::Null()
+                           : (all_int ? Value::Int(isum) : Value::Double(dsum)));
+        break;
+      }
+      case AggFunc::kAvg: {
+        double sum = 0;
+        int64_t c = 0;
+        for (const Value& v : args) {
+          if (v.is_null()) continue;
+          if (!v.is_numeric()) return UserError("AVG over non-numeric value");
+          sum += v.AsDouble();
+          ++c;
+        }
+        out.push_back(c == 0 ? Value::Null()
+                             : Value::Double(sum / static_cast<double>(c)));
+        break;
+      }
+      case AggFunc::kMin:
+      case AggFunc::kMax: {
+        Value best;
+        for (const Value& v : args) {
+          if (v.is_null()) continue;
+          if (best.is_null() ||
+              (agg->agg_func == AggFunc::kMin ? v.Compare(best) < 0
+                                              : v.Compare(best) > 0)) {
+            best = v;
+          }
+        }
+        out.push_back(best);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dvs

@@ -1,0 +1,97 @@
+// Full (non-incremental) plan execution at a snapshot.
+//
+// The executor is deliberately interpreter-style (DESIGN.md §5 documents the
+// substitution for Snowflake's vectorized push-based engine). Scans are
+// resolved through a caller-provided callback so the executor has no
+// dependency on the catalog/storage wiring; the dt module supplies resolvers
+// that read the correct table versions for DVS.
+//
+// Every output row carries its algebraic row id (exec/row_id.h); full
+// execution and incremental refresh agree on identities.
+
+#ifndef DVS_EXEC_EXECUTOR_H_
+#define DVS_EXEC_EXECUTOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "exec/evaluator.h"
+#include "plan/logical_plan.h"
+#include "types/row.h"
+
+namespace dvs {
+
+/// Materializes the contents of a table (by object id) at the snapshot the
+/// resolver was built for.
+using ScanResolver =
+    std::function<Result<std::vector<IdRow>>(ObjectId table_id)>;
+
+struct ExecContext {
+  ScanResolver resolve_scan;
+  EvalContext eval;
+  /// Work accounting: rows produced by all operators, used by the cost
+  /// model. Mutated during execution.
+  mutable uint64_t rows_processed = 0;
+};
+
+/// Executes the plan, returning all output rows with ids.
+Result<std::vector<IdRow>> ExecutePlan(const PlanNode& plan,
+                                       const ExecContext& ctx);
+
+/// Convenience: executes and strips ids.
+Result<std::vector<Row>> ExecutePlanRows(const PlanNode& plan,
+                                         const ExecContext& ctx);
+
+// ---- Helpers shared with the differentiator ----
+
+/// Computes the values of `key_exprs` for a row.
+Result<Row> EvalKey(const std::vector<ExprPtr>& key_exprs, const Row& row,
+                    const EvalContext& ctx);
+
+/// Hashable wrapper for composite keys.
+struct KeyHash {
+  size_t operator()(const Row& key) const {
+    return static_cast<size_t>(HashRow(key));
+  }
+};
+struct KeyEq {
+  bool operator()(const Row& a, const Row& b) const { return RowsEqual(a, b); }
+};
+
+/// Evaluates the aggregate calls in an Aggregate node over the member rows
+/// of one group, producing the aggregate output columns.
+Result<Row> ComputeAggregates(const std::vector<ExprPtr>& aggregates,
+                              const std::vector<const Row*>& members,
+                              const EvalContext& ctx);
+
+// The differentiator (ivm/) re-runs these operator kernels over *restricted*
+// inputs (affected keys / partitions); sharing the kernels with full
+// execution is what guarantees identical results and row ids.
+
+/// Join kernel: joins materialized left/right inputs per `n` (a kJoin node).
+Result<std::vector<IdRow>> ComputeJoin(const PlanNode& n,
+                                       const std::vector<IdRow>& left,
+                                       const std::vector<IdRow>& right,
+                                       const EvalContext& ctx);
+
+/// Aggregation kernel over a materialized input (n is a kAggregate node).
+/// `force_global_group` makes scalar aggregation emit its single row even on
+/// empty input (true for full execution; the differentiator controls it).
+Result<std::vector<IdRow>> ComputeAggregateRows(const PlanNode& n,
+                                                const std::vector<IdRow>& input,
+                                                const EvalContext& ctx,
+                                                bool force_global_group);
+
+/// Window kernel over a materialized input (n is a kWindow node).
+Result<std::vector<IdRow>> ComputeWindowRows(const PlanNode& n,
+                                             const std::vector<IdRow>& input,
+                                             const EvalContext& ctx);
+
+/// Distinct kernel over a materialized input (n is a kDistinct node).
+Result<std::vector<IdRow>> ComputeDistinctRows(const PlanNode& n,
+                                               const std::vector<IdRow>& input,
+                                               const EvalContext& ctx);
+
+}  // namespace dvs
+
+#endif  // DVS_EXEC_EXECUTOR_H_

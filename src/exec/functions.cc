@@ -1,0 +1,322 @@
+#include "exec/functions.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+namespace dvs {
+
+namespace {
+
+std::string Lower(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return out;
+}
+
+bool AnyNull(const std::vector<Value>& args) {
+  for (const Value& v : args) {
+    if (v.is_null()) return true;
+  }
+  return false;
+}
+
+Status NeedNumeric(const char* fn) {
+  return UserError(std::string(fn) + ": numeric argument required");
+}
+
+using Args = std::vector<Value>;
+
+// ---- numeric ----
+
+Result<Value> FnAbs(const Args& a, const EvalContext&) {
+  if (AnyNull(a)) return Value::Null();
+  if (a[0].type() == DataType::kInt64) return Value::Int(std::abs(a[0].int_value()));
+  if (!a[0].is_numeric()) return NeedNumeric("abs");
+  return Value::Double(std::fabs(a[0].AsDouble()));
+}
+
+Result<Value> FnFloor(const Args& a, const EvalContext&) {
+  if (AnyNull(a)) return Value::Null();
+  if (!a[0].is_numeric()) return NeedNumeric("floor");
+  return Value::Int(static_cast<int64_t>(std::floor(a[0].AsDouble())));
+}
+
+Result<Value> FnCeil(const Args& a, const EvalContext&) {
+  if (AnyNull(a)) return Value::Null();
+  if (!a[0].is_numeric()) return NeedNumeric("ceil");
+  return Value::Int(static_cast<int64_t>(std::ceil(a[0].AsDouble())));
+}
+
+Result<Value> FnRound(const Args& a, const EvalContext&) {
+  if (AnyNull(a)) return Value::Null();
+  if (!a[0].is_numeric()) return NeedNumeric("round");
+  return Value::Int(static_cast<int64_t>(std::llround(a[0].AsDouble())));
+}
+
+Result<Value> FnSqrt(const Args& a, const EvalContext&) {
+  if (AnyNull(a)) return Value::Null();
+  if (!a[0].is_numeric()) return NeedNumeric("sqrt");
+  double v = a[0].AsDouble();
+  if (v < 0) return UserError("sqrt: negative argument");
+  return Value::Double(std::sqrt(v));
+}
+
+Result<Value> FnPower(const Args& a, const EvalContext&) {
+  if (AnyNull(a)) return Value::Null();
+  if (!a[0].is_numeric() || !a[1].is_numeric()) return NeedNumeric("power");
+  return Value::Double(std::pow(a[0].AsDouble(), a[1].AsDouble()));
+}
+
+Result<Value> FnLn(const Args& a, const EvalContext&) {
+  if (AnyNull(a)) return Value::Null();
+  if (!a[0].is_numeric()) return NeedNumeric("ln");
+  double v = a[0].AsDouble();
+  if (v <= 0) return UserError("ln: non-positive argument");
+  return Value::Double(std::log(v));
+}
+
+Result<Value> FnSign(const Args& a, const EvalContext&) {
+  if (AnyNull(a)) return Value::Null();
+  if (!a[0].is_numeric()) return NeedNumeric("sign");
+  double v = a[0].AsDouble();
+  return Value::Int(v > 0 ? 1 : (v < 0 ? -1 : 0));
+}
+
+Result<Value> FnMod(const Args& a, const EvalContext&) {
+  if (AnyNull(a)) return Value::Null();
+  if (a[0].type() != DataType::kInt64 || a[1].type() != DataType::kInt64) {
+    return NeedNumeric("mod");
+  }
+  if (a[1].int_value() == 0) return UserError("mod: division by zero");
+  return Value::Int(a[0].int_value() % a[1].int_value());
+}
+
+// ---- strings ----
+
+Result<Value> FnLength(const Args& a, const EvalContext&) {
+  if (AnyNull(a)) return Value::Null();
+  if (a[0].type() != DataType::kString)
+    return UserError("length: string required");
+  return Value::Int(static_cast<int64_t>(a[0].string_value().size()));
+}
+
+Result<Value> FnUpper(const Args& a, const EvalContext&) {
+  if (AnyNull(a)) return Value::Null();
+  if (a[0].type() != DataType::kString)
+    return UserError("upper: string required");
+  std::string s = a[0].string_value();
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return Value::String(std::move(s));
+}
+
+Result<Value> FnLower(const Args& a, const EvalContext&) {
+  if (AnyNull(a)) return Value::Null();
+  if (a[0].type() != DataType::kString)
+    return UserError("lower: string required");
+  return Value::String(Lower(a[0].string_value()));
+}
+
+Result<Value> FnSubstr(const Args& a, const EvalContext&) {
+  if (AnyNull(a)) return Value::Null();
+  if (a[0].type() != DataType::kString)
+    return UserError("substr: string required");
+  const std::string& s = a[0].string_value();
+  int64_t start = a[1].AsInt();  // 1-based
+  int64_t len = a.size() > 2 ? a[2].AsInt() : static_cast<int64_t>(s.size());
+  if (start < 1) start = 1;
+  if (start > static_cast<int64_t>(s.size()) || len <= 0)
+    return Value::String("");
+  return Value::String(s.substr(static_cast<size_t>(start - 1),
+                                static_cast<size_t>(len)));
+}
+
+Result<Value> FnConcat(const Args& a, const EvalContext&) {
+  std::string out;
+  for (const Value& v : a) {
+    if (v.is_null()) return Value::Null();
+    out += v.type() == DataType::kString ? v.string_value() : v.ToString();
+  }
+  return Value::String(std::move(out));
+}
+
+// ---- conditionals ----
+
+Result<Value> FnCoalesce(const Args& a, const EvalContext&) {
+  for (const Value& v : a) {
+    if (!v.is_null()) return v;
+  }
+  return Value::Null();
+}
+
+Result<Value> FnIff(const Args& a, const EvalContext&) {
+  if (a[0].type() == DataType::kBool && a[0].bool_value()) return a[1];
+  return a[2];
+}
+
+Result<Value> FnNullIf(const Args& a, const EvalContext&) {
+  if (!a[0].is_null() && !a[1].is_null() && a[0] == a[1]) return Value::Null();
+  return a[0];
+}
+
+Result<Value> FnGreatest(const Args& a, const EvalContext&) {
+  if (AnyNull(a)) return Value::Null();
+  Value best = a[0];
+  for (size_t i = 1; i < a.size(); ++i) {
+    if (best.Compare(a[i]) < 0) best = a[i];
+  }
+  return best;
+}
+
+Result<Value> FnLeast(const Args& a, const EvalContext&) {
+  if (AnyNull(a)) return Value::Null();
+  Value best = a[0];
+  for (size_t i = 1; i < a.size(); ++i) {
+    if (best.Compare(a[i]) > 0) best = a[i];
+  }
+  return best;
+}
+
+// ---- timestamps ----
+
+Result<Value> FnDateTrunc(const Args& a, const EvalContext&) {
+  if (AnyNull(a)) return Value::Null();
+  if (a[0].type() != DataType::kString ||
+      a[1].type() != DataType::kTimestamp) {
+    return UserError("date_trunc(unit_string, timestamp) required");
+  }
+  std::string unit = Lower(a[0].string_value());
+  Micros per;
+  if (unit == "second") per = kMicrosPerSecond;
+  else if (unit == "minute") per = kMicrosPerMinute;
+  else if (unit == "hour") per = kMicrosPerHour;
+  else if (unit == "day") per = kMicrosPerDay;
+  else return UserError("date_trunc: unknown unit '" + unit + "'");
+  Micros t = a[1].timestamp_value();
+  Micros floored = (t >= 0) ? (t / per) * per : -(((-t) + per - 1) / per) * per;
+  return Value::Timestamp(floored);
+}
+
+Result<Value> FnToTimestamp(const Args& a, const EvalContext&) {
+  if (AnyNull(a)) return Value::Null();
+  if (!a[0].is_numeric()) return NeedNumeric("to_timestamp");
+  return Value::Timestamp(a[0].AsInt() * kMicrosPerSecond);
+}
+
+Result<Value> FnEpochSeconds(const Args& a, const EvalContext&) {
+  if (AnyNull(a)) return Value::Null();
+  if (a[0].type() != DataType::kTimestamp)
+    return UserError("epoch_seconds: timestamp required");
+  return Value::Int(a[0].timestamp_value() / kMicrosPerSecond);
+}
+
+Result<Value> FnTimestampDiff(const Args& a, const EvalContext&) {
+  // timestamp_diff(t1, t2) -> micros(t1 - t2) as INT.
+  if (AnyNull(a)) return Value::Null();
+  if (a[0].type() != DataType::kTimestamp ||
+      a[1].type() != DataType::kTimestamp) {
+    return UserError("timestamp_diff: two timestamps required");
+  }
+  return Value::Int(a[0].timestamp_value() - a[1].timestamp_value());
+}
+
+Result<Value> FnCurrentTimestamp(const Args&, const EvalContext& ctx) {
+  return Value::Timestamp(ctx.current_time);
+}
+
+// ---- arrays ----
+
+Result<Value> FnArrayConstruct(const Args& a, const EvalContext&) {
+  return Value::MakeArray(Array(a.begin(), a.end()));
+}
+
+Result<Value> FnArraySize(const Args& a, const EvalContext&) {
+  if (AnyNull(a)) return Value::Null();
+  if (a[0].type() != DataType::kArray)
+    return UserError("array_size: array required");
+  return Value::Int(static_cast<int64_t>(a[0].array_value().size()));
+}
+
+Result<Value> FnGet(const Args& a, const EvalContext&) {
+  if (AnyNull(a)) return Value::Null();
+  if (a[0].type() != DataType::kArray)
+    return UserError("get: array required");
+  int64_t i = a[1].AsInt();
+  const Array& arr = a[0].array_value();
+  if (i < 0 || i >= static_cast<int64_t>(arr.size())) return Value::Null();
+  return arr[static_cast<size_t>(i)];
+}
+
+// ---- volatile ----
+
+Result<Value> FnRandom(const Args&, const EvalContext& ctx) {
+  if (ctx.rng == nullptr) {
+    return UserError("random(): no entropy source in this context");
+  }
+  return Value::Int(ctx.rng->Uniform(INT64_MIN / 2, INT64_MAX / 2));
+}
+
+Result<Value> FnUniform(const Args& a, const EvalContext& ctx) {
+  if (ctx.rng == nullptr) {
+    return UserError("uniform(): no entropy source in this context");
+  }
+  return Value::Int(ctx.rng->Uniform(a[0].AsInt(), a[1].AsInt()));
+}
+
+}  // namespace
+
+FunctionRegistry& FunctionRegistry::Global() {
+  static FunctionRegistry* registry = new FunctionRegistry();
+  return *registry;
+}
+
+const ScalarFunction* FunctionRegistry::Find(const std::string& name) const {
+  auto it = fns_.find(Lower(name));
+  return it == fns_.end() ? nullptr : &it->second;
+}
+
+void FunctionRegistry::Register(ScalarFunction fn) {
+  std::string key = Lower(fn.name);
+  fns_[key] = std::move(fn);
+}
+
+FunctionRegistry::FunctionRegistry() {
+  auto add = [this](const char* name, Volatility vol, int min_args,
+                    int max_args, auto impl) {
+    Register({name, vol, min_args, max_args, impl});
+  };
+  const Volatility kImm = Volatility::kImmutable;
+  add("abs", kImm, 1, 1, FnAbs);
+  add("floor", kImm, 1, 1, FnFloor);
+  add("ceil", kImm, 1, 1, FnCeil);
+  add("round", kImm, 1, 1, FnRound);
+  add("sqrt", kImm, 1, 1, FnSqrt);
+  add("power", kImm, 2, 2, FnPower);
+  add("ln", kImm, 1, 1, FnLn);
+  add("sign", kImm, 1, 1, FnSign);
+  add("mod", kImm, 2, 2, FnMod);
+  add("length", kImm, 1, 1, FnLength);
+  add("upper", kImm, 1, 1, FnUpper);
+  add("lower", kImm, 1, 1, FnLower);
+  add("substr", kImm, 2, 3, FnSubstr);
+  add("concat", kImm, 1, -1, FnConcat);
+  add("coalesce", kImm, 1, -1, FnCoalesce);
+  add("iff", kImm, 3, 3, FnIff);
+  add("nullif", kImm, 2, 2, FnNullIf);
+  add("greatest", kImm, 1, -1, FnGreatest);
+  add("least", kImm, 1, -1, FnLeast);
+  add("date_trunc", kImm, 2, 2, FnDateTrunc);
+  add("to_timestamp", kImm, 1, 1, FnToTimestamp);
+  add("epoch_seconds", kImm, 1, 1, FnEpochSeconds);
+  add("timestamp_diff", kImm, 2, 2, FnTimestampDiff);
+  add("current_timestamp", Volatility::kContext, 0, 0, FnCurrentTimestamp);
+  add("array_construct", kImm, 0, -1, FnArrayConstruct);
+  add("array_size", kImm, 1, 1, FnArraySize);
+  add("get", kImm, 2, 2, FnGet);
+  add("random", Volatility::kVolatile, 0, 0, FnRandom);
+  add("uniform", Volatility::kVolatile, 2, 2, FnUniform);
+}
+
+}  // namespace dvs

@@ -1,0 +1,69 @@
+// Scalar function registry.
+//
+// Functions carry a Volatility attribute implementing the paper's
+// nondeterminism taxonomy (§3.4):
+//   kImmutable — pure; safe everywhere (the IMMUTABLE UDF annotation).
+//   kContext   — deterministic w.r.t. an evaluation context (e.g.
+//                CURRENT_TIMESTAMP). In a DT's defining query these evaluate
+//                against the refresh's *data timestamp*, which keeps DVS
+//                exact: the DT equals its defining query as of that time.
+//   kVolatile  — truly nondeterministic (RANDOM, remote-call UDFs). A DT
+//                whose definition contains one cannot be incrementally
+//                refreshed (mirrors "we expect to support it soon").
+
+#ifndef DVS_EXEC_FUNCTIONS_H_
+#define DVS_EXEC_FUNCTIONS_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "types/value.h"
+
+namespace dvs {
+
+enum class Volatility { kImmutable, kContext, kVolatile };
+
+/// Ambient inputs for expression evaluation.
+struct EvalContext {
+  /// What CURRENT_TIMESTAMP returns; for DT refreshes this is the refresh's
+  /// data timestamp.
+  Micros current_time = 0;
+  /// Source of entropy for volatile functions; may be null (volatile
+  /// functions then fail).
+  Rng* rng = nullptr;
+};
+
+struct ScalarFunction {
+  std::string name;
+  Volatility volatility = Volatility::kImmutable;
+  int min_args = 0;
+  int max_args = 0;  ///< -1 = variadic.
+  std::function<Result<Value>(const std::vector<Value>&, const EvalContext&)> impl;
+};
+
+/// Process-wide registry of built-in scalar functions. Users may register
+/// additional (UDF-style) functions; registration is not thread-safe and is
+/// expected at startup.
+class FunctionRegistry {
+ public:
+  static FunctionRegistry& Global();
+
+  /// Returns nullptr if unknown. Lookup is case-insensitive.
+  const ScalarFunction* Find(const std::string& name) const;
+
+  /// Registers (or replaces) a function.
+  void Register(ScalarFunction fn);
+
+ private:
+  FunctionRegistry();
+  std::unordered_map<std::string, ScalarFunction> fns_;
+};
+
+}  // namespace dvs
+
+#endif  // DVS_EXEC_FUNCTIONS_H_

@@ -1,0 +1,68 @@
+// Row-id algebra (§5.5, §5.5.2).
+//
+// Every row a plan produces has a stable 64-bit identity, derived purely
+// from the identities/values of its inputs and the producing node's tag.
+// Full execution and incremental (delta) execution compute identical ids
+// for identical logical rows — this is what makes the merge operator's
+// DELETE-by-row-id well defined.
+//
+// The paper's "plaintext prefix" optimization (distinguishing id families
+// cheaply) is represented by per-operator tag constants mixed into the hash.
+
+#ifndef DVS_EXEC_ROW_ID_H_
+#define DVS_EXEC_ROW_ID_H_
+
+#include "common/hash.h"
+#include "common/ids.h"
+#include "types/row.h"
+
+namespace dvs::rowid {
+
+// Operator family tags.
+constexpr uint64_t kJoinTag = 0x4a4f494e;      // "JOIN"
+constexpr uint64_t kLeftNullTag = 0x4c4e554c;  // left side null-extended
+constexpr uint64_t kRightNullTag = 0x524e554c;
+constexpr uint64_t kUnionTag = 0x554e494f;
+constexpr uint64_t kGroupTag = 0x47525550;
+constexpr uint64_t kDistinctTag = 0x44495354;
+constexpr uint64_t kFlattenTag = 0x464c4154;
+
+/// Inner-join match of left row `l` and right row `r`.
+inline RowId Join(uint64_t node_tag, RowId l, RowId r) {
+  return HashCombine(HashCombine(HashCombine(kJoinTag, node_tag), l), r);
+}
+
+/// LEFT/FULL outer join: left row with no match (right side NULLs).
+inline RowId LeftRowNullExtended(uint64_t node_tag, RowId l) {
+  return HashCombine(HashCombine(kRightNullTag, node_tag), l);
+}
+
+/// RIGHT/FULL outer join: right row with no match (left side NULLs).
+inline RowId RightRowNullExtended(uint64_t node_tag, RowId r) {
+  return HashCombine(HashCombine(kLeftNullTag, node_tag), r);
+}
+
+/// UNION ALL branch `branch` passing through input row `in`.
+inline RowId Union(uint64_t node_tag, size_t branch, RowId in) {
+  return HashCombine(HashCombine(HashCombine(kUnionTag, node_tag), branch), in);
+}
+
+/// Aggregate output row for a group key.
+inline RowId Group(uint64_t node_tag, const Row& group_key) {
+  return HashCombine(HashCombine(kGroupTag, node_tag), HashRow(group_key));
+}
+
+/// DISTINCT output row identified by its values.
+inline RowId Distinct(uint64_t node_tag, const Row& values) {
+  return HashCombine(HashCombine(kDistinctTag, node_tag), HashRow(values));
+}
+
+/// FLATTEN output: element `index` of input row `in`'s array.
+inline RowId Flatten(uint64_t node_tag, RowId in, size_t index) {
+  return HashCombine(HashCombine(HashCombine(kFlattenTag, node_tag), in),
+                     index);
+}
+
+}  // namespace dvs::rowid
+
+#endif  // DVS_EXEC_ROW_ID_H_

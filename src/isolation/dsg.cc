@@ -1,0 +1,229 @@
+#include "isolation/dsg.h"
+
+#include <algorithm>
+
+namespace dvs {
+namespace isolation {
+
+const char* DepKindName(DepKind k) {
+  switch (k) {
+    case DepKind::kWW: return "ww";
+    case DepKind::kWR: return "wr";
+    case DepKind::kRW: return "rw";
+  }
+  return "?";
+}
+
+const char* PlLevelName(PlLevel l) {
+  switch (l) {
+    case PlLevel::kNone: return "none";
+    case PlLevel::kPL1: return "PL-1";
+    case PlLevel::kPL2: return "PL-2";
+    case PlLevel::kPL2Plus: return "PL-2+";
+    case PlLevel::kPL3: return "PL-3 (serializable)";
+  }
+  return "?";
+}
+
+namespace {
+
+/// The next version of v.object after v.version that was installed by a
+/// *write* (derived versions are provenance, not environment installs).
+int NextWrittenVersionWriter(const History& h, const Ver& v) {
+  for (const Ver& later : h.VersionOrder(v.object)) {
+    if (later.version <= v.version) continue;
+    int w = h.WriterOf(later);
+    if (w >= 0) return w;
+  }
+  return -1;
+}
+
+}  // namespace
+
+Dsg Dsg::Build(const History& h) {
+  Dsg g;
+  auto add = [&g, &h](int from, int to, DepKind kind, std::string reason) {
+    if (from == to) return;
+    if (!h.IsCommitted(from) || !h.IsCommitted(to)) return;
+    DsgEdge e{from, to, kind, std::move(reason)};
+    for (const DsgEdge& existing : g.edges_) {
+      if (existing == e) return;
+    }
+    g.nodes_.insert(from);
+    g.nodes_.insert(to);
+    g.edges_.push_back(std::move(e));
+  };
+
+  // WR and RW edges, from read events.
+  for (const Event& e : h.events()) {
+    if (e.kind != EventKind::kRead) continue;
+    const int reader = e.txn;
+    const Ver& read = e.target;
+
+    // Sources of the read value: the version itself plus its derivation
+    // closure. Each *written* source version generates a WR edge, and each
+    // source version overwritten later generates an RW edge.
+    std::set<Ver> sources = h.DerivesFrom(read);
+    sources.insert(read);
+    for (const Ver& src : sources) {
+      int writer = h.WriterOf(src);
+      if (writer >= 0) {
+        add(writer, reader, DepKind::kWR,
+            "T" + std::to_string(reader) + " read " + read.ToString() +
+                (src == read ? "" : " which derives from " + src.ToString()) +
+                ", installed by T" + std::to_string(writer));
+      }
+      int overwriter = NextWrittenVersionWriter(h, src);
+      if (overwriter >= 0) {
+        add(reader, overwriter, DepKind::kRW,
+            "T" + std::to_string(reader) + " read " + read.ToString() +
+                (src == read ? ""
+                             : " which derives from " + src.ToString()) +
+                "; T" + std::to_string(overwriter) +
+                " installed the next version of " + src.object);
+      }
+    }
+  }
+
+  // Direct WW edges: consecutive written versions of each object.
+  std::set<std::string> objects;
+  for (const Event& e : h.events()) {
+    if (e.kind == EventKind::kWrite || e.kind == EventKind::kDerive) {
+      objects.insert(e.target.object);
+    }
+  }
+  for (const std::string& obj : objects) {
+    std::vector<Ver> order = h.VersionOrder(obj);
+    int prev_writer = -1;
+    for (const Ver& v : order) {
+      int w = h.WriterOf(v);
+      if (w < 0) continue;  // derived version: handled below
+      if (prev_writer >= 0) {
+        add(prev_writer, w, DepKind::kWW,
+            "consecutive written versions of " + obj);
+      }
+      prev_writer = w;
+    }
+    // Derivation-mediated WW: consecutive versions z_k << z_m with
+    // provenance rooted in different writes.
+    for (size_t i = 0; i + 1 < order.size(); ++i) {
+      const Ver& zk = order[i];
+      const Ver& zm = order[i + 1];
+      std::set<Ver> from_k = h.DerivesFrom(zk);
+      std::set<Ver> from_m = h.DerivesFrom(zm);
+      for (const Ver& a : from_k) {
+        int wa = h.WriterOf(a);
+        if (wa < 0) continue;
+        for (const Ver& b : from_m) {
+          int wb = h.WriterOf(b);
+          if (wb < 0) continue;
+          add(wa, wb, DepKind::kWW,
+              "consecutive versions " + zk.ToString() + " << " +
+                  zm.ToString() + " derive from " + a.ToString() + " and " +
+                  b.ToString());
+        }
+      }
+    }
+  }
+  std::sort(g.edges_.begin(), g.edges_.end());
+  return g;
+}
+
+bool Dsg::PathExists(int from, int to, const std::set<DepKind>& kinds) const {
+  std::set<int> visited;
+  std::vector<int> stack = {from};
+  while (!stack.empty()) {
+    int cur = stack.back();
+    stack.pop_back();
+    if (cur == to) return true;
+    if (!visited.insert(cur).second) continue;
+    for (const DsgEdge& e : edges_) {
+      if (e.from == cur && kinds.count(e.kind)) stack.push_back(e.to);
+    }
+  }
+  return false;
+}
+
+bool Dsg::HasCycle(const std::set<DepKind>& kinds) const {
+  for (const DsgEdge& e : edges_) {
+    if (!kinds.count(e.kind)) continue;
+    if (PathExists(e.to, e.from, kinds)) return true;
+  }
+  return false;
+}
+
+bool Dsg::HasAntiCycle() const {
+  const std::set<DepKind> all = {DepKind::kWW, DepKind::kWR, DepKind::kRW};
+  for (const DsgEdge& e : edges_) {
+    if (e.kind != DepKind::kRW) continue;
+    if (PathExists(e.to, e.from, all)) return true;
+  }
+  return false;
+}
+
+bool Dsg::HasSingleAntiCycle() const {
+  const std::set<DepKind> deps_only = {DepKind::kWW, DepKind::kWR};
+  for (const DsgEdge& e : edges_) {
+    if (e.kind != DepKind::kRW) continue;
+    if (PathExists(e.to, e.from, deps_only)) return true;
+  }
+  return false;
+}
+
+std::string Dsg::ToString() const {
+  std::string out;
+  for (const DsgEdge& e : edges_) {
+    out += "T" + std::to_string(e.from) + " --" + DepKindName(e.kind) +
+           "--> T" + std::to_string(e.to) + "  (" + e.reason + ")\n";
+  }
+  return out;
+}
+
+std::string PhenomenaReport::ToString() const {
+  std::string out;
+  auto flag = [&out](const char* name, bool v) {
+    out += std::string(name) + "=" + (v ? "YES" : "no") + " ";
+  };
+  flag("G0", g0);
+  flag("G1a", g1a);
+  flag("G1b", g1b);
+  flag("G1c", g1c);
+  flag("G2", g2);
+  flag("G-single", g_single);
+  return out;
+}
+
+PhenomenaReport DetectPhenomena(const History& h) {
+  PhenomenaReport out;
+  Dsg g = Dsg::Build(h);
+  out.g0 = g.HasCycle({DepKind::kWW});
+  out.g1c = g.HasCycle({DepKind::kWW, DepKind::kWR});
+  out.g2 = g.HasAntiCycle();
+  out.g_single = g.HasSingleAntiCycle();
+
+  // G1a / G1b examine reads directly (committed readers only).
+  for (const Event& e : h.events()) {
+    if (e.kind != EventKind::kRead || !h.IsCommitted(e.txn)) continue;
+    std::set<Ver> sources = h.DerivesFrom(e.target);
+    sources.insert(e.target);
+    for (const Ver& src : sources) {
+      int writer = h.WriterOf(src);
+      if (writer < 0) writer = h.DeriverOf(src);
+      if (writer >= 0 && h.IsAborted(writer)) out.g1a = true;
+      if (h.IsIntermediate(src)) out.g1b = true;
+    }
+  }
+  return out;
+}
+
+PlLevel StrongestLevel(const PhenomenaReport& r) {
+  const bool g1 = r.g1a || r.g1b || r.g1c;
+  if (!r.g0 && !g1 && !r.g2) return PlLevel::kPL3;
+  if (!r.g0 && !g1 && !r.g_single) return PlLevel::kPL2Plus;
+  if (!r.g0 && !g1) return PlLevel::kPL2;
+  if (!r.g0) return PlLevel::kPL1;
+  return PlLevel::kNone;
+}
+
+}  // namespace isolation
+}  // namespace dvs

@@ -1,0 +1,129 @@
+#include "isolation/history.h"
+
+namespace dvs {
+namespace isolation {
+
+History& History::Write(int txn, const std::string& object, int version) {
+  Ver v{object, version};
+  events_.push_back({EventKind::kWrite, txn, v, {}});
+  writers_[v] = txn;
+  versions_[object].insert(version);
+  return *this;
+}
+
+History& History::Read(int txn, const std::string& object, int version) {
+  events_.push_back({EventKind::kRead, txn, {object, version}, {}});
+  return *this;
+}
+
+History& History::Derive(int txn, const std::string& object, int version,
+                         std::vector<Ver> inputs) {
+  Ver v{object, version};
+  events_.push_back({EventKind::kDerive, txn, v, inputs});
+  derivers_[v] = txn;
+  derive_inputs_[v] = std::move(inputs);
+  versions_[object].insert(version);
+  return *this;
+}
+
+History& History::Commit(int txn) {
+  events_.push_back({EventKind::kCommit, txn, {}, {}});
+  committed_.insert(txn);
+  return *this;
+}
+
+History& History::Abort(int txn) {
+  events_.push_back({EventKind::kAbort, txn, {}, {}});
+  aborted_.insert(txn);
+  return *this;
+}
+
+std::set<int> History::transactions() const {
+  std::set<int> out;
+  for (const Event& e : events_) out.insert(e.txn);
+  return out;
+}
+
+std::vector<Ver> History::VersionOrder(const std::string& object) const {
+  std::vector<Ver> out;
+  auto it = versions_.find(object);
+  if (it == versions_.end()) return out;
+  for (int v : it->second) out.push_back({object, v});
+  return out;
+}
+
+int History::WriterOf(const Ver& v) const {
+  auto it = writers_.find(v);
+  return it == writers_.end() ? -1 : it->second;
+}
+
+int History::DeriverOf(const Ver& v) const {
+  auto it = derivers_.find(v);
+  return it == derivers_.end() ? -1 : it->second;
+}
+
+std::vector<Ver> History::DeriveInputs(const Ver& v) const {
+  auto it = derive_inputs_.find(v);
+  return it == derive_inputs_.end() ? std::vector<Ver>{} : it->second;
+}
+
+std::set<Ver> History::DerivesFrom(const Ver& v) const {
+  std::set<Ver> out;
+  std::vector<Ver> stack = {v};
+  while (!stack.empty()) {
+    Ver cur = stack.back();
+    stack.pop_back();
+    for (const Ver& in : DeriveInputs(cur)) {
+      if (out.insert(in).second) stack.push_back(in);
+    }
+  }
+  return out;
+}
+
+bool History::IsIntermediate(const Ver& v) const {
+  int installer = WriterOf(v);
+  if (installer < 0) installer = DeriverOf(v);
+  if (installer < 0) return false;
+  // Did the installer install a later version of the same object?
+  auto it = versions_.find(v.object);
+  if (it == versions_.end()) return false;
+  for (int later : it->second) {
+    if (later <= v.version) continue;
+    Ver lv{v.object, later};
+    if (WriterOf(lv) == installer || DeriverOf(lv) == installer) return true;
+  }
+  return false;
+}
+
+std::string History::ToString() const {
+  std::string out;
+  for (const Event& e : events_) {
+    switch (e.kind) {
+      case EventKind::kRead:
+        out += "r" + std::to_string(e.txn) + "(" + e.target.ToString() + ") ";
+        break;
+      case EventKind::kWrite:
+        out += "w" + std::to_string(e.txn) + "(" + e.target.ToString() + ") ";
+        break;
+      case EventKind::kDerive: {
+        out += "d" + std::to_string(e.txn) + "(" + e.target.ToString() + "|";
+        for (size_t i = 0; i < e.inputs.size(); ++i) {
+          if (i) out += ",";
+          out += e.inputs[i].ToString();
+        }
+        out += ") ";
+        break;
+      }
+      case EventKind::kCommit:
+        out += "c" + std::to_string(e.txn) + " ";
+        break;
+      case EventKind::kAbort:
+        out += "a" + std::to_string(e.txn) + " ";
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace isolation
+}  // namespace dvs

@@ -1,0 +1,96 @@
+// Adya-style transaction histories extended with *derivations* (§4).
+//
+// The paper's theoretical contribution: a new operation kind,
+//   d_i(x_i | y^0_j, ..., y^n_k)
+// records that version i of object x is a *derived value* computed purely
+// from the listed source versions. Derivations let the Direct Serialization
+// Graph trace dependencies *through* asynchronously-computed values (DT
+// contents), so application-level phenomena like read skew stay visible even
+// though the refresh transaction itself is a pure computation.
+//
+// This module is self-contained (histories are symbolic); the tests
+// reproduce Figures 1 and 2 of the paper and check Theorem 1 (transaction
+// invariance) and Corollary 2 (encapsulation).
+
+#ifndef DVS_ISOLATION_HISTORY_H_
+#define DVS_ISOLATION_HISTORY_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dvs {
+namespace isolation {
+
+/// A specific committed version of a named object, e.g. x1 = {"x", 1}.
+struct Ver {
+  std::string object;
+  int version = 0;
+  auto operator<=>(const Ver&) const = default;
+  std::string ToString() const { return object + std::to_string(version); }
+};
+
+enum class EventKind { kRead, kWrite, kDerive, kCommit, kAbort };
+
+struct Event {
+  EventKind kind = EventKind::kRead;
+  int txn = 0;
+  Ver target;               ///< Version read / installed.
+  std::vector<Ver> inputs;  ///< Derivation sources (kDerive only).
+};
+
+/// A transaction history: a sequence of events in time order plus the
+/// per-object version order implied by version numbers.
+class History {
+ public:
+  History& Write(int txn, const std::string& object, int version);
+  History& Read(int txn, const std::string& object, int version);
+  History& Derive(int txn, const std::string& object, int version,
+                  std::vector<Ver> inputs);
+  History& Commit(int txn);
+  History& Abort(int txn);
+
+  const std::vector<Event>& events() const { return events_; }
+
+  bool IsCommitted(int txn) const { return committed_.count(txn) > 0; }
+  bool IsAborted(int txn) const { return aborted_.count(txn) > 0; }
+  std::set<int> transactions() const;
+
+  /// Versions of `object` in version order (installed by writes or
+  /// derivations).
+  std::vector<Ver> VersionOrder(const std::string& object) const;
+
+  /// The transaction that installed `v` via a *write*, or -1 if `v` was
+  /// derived (or never installed).
+  int WriterOf(const Ver& v) const;
+  /// The transaction that installed `v` via a *derivation*, or -1.
+  int DeriverOf(const Ver& v) const;
+
+  /// Direct derivation inputs of `v` (empty if not derived).
+  std::vector<Ver> DeriveInputs(const Ver& v) const;
+
+  /// Transitive derives-from closure of `v` (not including `v` itself):
+  /// every version reachable through derivation provenance.
+  std::set<Ver> DerivesFrom(const Ver& v) const;
+
+  /// True if `v` is an intermediate version: its installing transaction
+  /// later installed another version of the same object.
+  bool IsIntermediate(const Ver& v) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Event> events_;
+  std::set<int> committed_;
+  std::set<int> aborted_;
+  std::map<Ver, std::vector<Ver>> derive_inputs_;
+  std::map<Ver, int> writers_;
+  std::map<Ver, int> derivers_;
+  std::map<std::string, std::set<int>> versions_;  ///< object -> version ids
+};
+
+}  // namespace isolation
+}  // namespace dvs
+
+#endif  // DVS_ISOLATION_HISTORY_H_

@@ -1,0 +1,506 @@
+#include "ivm/differentiator.h"
+
+#include <set>
+#include <unordered_set>
+
+#include "exec/row_id.h"
+
+namespace dvs {
+
+namespace {
+
+/// Materializes a subplan at one end of the interval, memoized.
+///
+/// Note on cost accounting: materialization itself is *not* charged to
+/// rows_processed. The work metric models a pruning engine (Snowflake
+/// prunes snapshot scans via partition metadata and row-id prefixes,
+/// §5.5.2); each delta rule charges the rows it actually consumes after
+/// restriction, plus its output. Wall-clock cost of the interpreter is
+/// measured separately by E14.
+Result<const std::vector<IdRow>*> Snapshot(const PlanNode& n,
+                                           const DeltaContext& ctx,
+                                           bool at_end) {
+  auto& cache = at_end ? ctx.end_cache : ctx.start_cache;
+  auto it = cache.find(&n);
+  if (it != cache.end()) return &it->second;
+  ExecContext ec;
+  ec.resolve_scan = at_end ? ctx.resolve_at_end : ctx.resolve_at_start;
+  ec.eval = at_end ? ctx.eval_end : ctx.eval_start;
+  DVS_ASSIGN_OR_RETURN(std::vector<IdRow> rows, ExecutePlan(n, ec));
+  auto [ins, unused] = cache.emplace(&n, std::move(rows));
+  (void)unused;
+  return &ins->second;
+}
+
+const EvalContext& CtxFor(const DeltaContext& ctx, ChangeAction action) {
+  return action == ChangeAction::kDelete ? ctx.eval_start : ctx.eval_end;
+}
+
+Result<ChangeSet> Delta(const PlanNode& n, const DeltaContext& ctx);
+Result<ChangeSet> DeltaImpl(const PlanNode& n, const DeltaContext& ctx);
+
+// Δ(σ_p Q): filter each change row with the predicate evaluated in the
+// context matching its action (deletes see I0 context functions, inserts
+// I1).
+Result<ChangeSet> DeltaFilter(const PlanNode& n, const DeltaContext& ctx) {
+  DVS_ASSIGN_OR_RETURN(ChangeSet in, Delta(*n.children[0], ctx));
+  ChangeSet out;
+  for (ChangeRow& c : in) {
+    DVS_ASSIGN_OR_RETURN(
+        bool pass, EvalPredicate(*n.predicate, c.values, CtxFor(ctx, c.action)));
+    if (pass) out.push_back(std::move(c));
+  }
+  return out;
+}
+
+Result<ChangeSet> DeltaProject(const PlanNode& n, const DeltaContext& ctx) {
+  DVS_ASSIGN_OR_RETURN(ChangeSet in, Delta(*n.children[0], ctx));
+  ChangeSet out;
+  out.reserve(in.size());
+  for (const ChangeRow& c : in) {
+    Row vals;
+    vals.reserve(n.exprs.size());
+    for (const ExprPtr& e : n.exprs) {
+      DVS_ASSIGN_OR_RETURN(Value v, Eval(*e, c.values, CtxFor(ctx, c.action)));
+      vals.push_back(std::move(v));
+    }
+    out.push_back({c.action, c.row_id, std::move(vals)});
+  }
+  return out;
+}
+
+Result<ChangeSet> DeltaFlatten(const PlanNode& n, const DeltaContext& ctx) {
+  DVS_ASSIGN_OR_RETURN(ChangeSet in, Delta(*n.children[0], ctx));
+  ChangeSet out;
+  for (const ChangeRow& c : in) {
+    DVS_ASSIGN_OR_RETURN(Value arr,
+                         Eval(*n.flatten_expr, c.values, CtxFor(ctx, c.action)));
+    if (arr.is_null()) continue;
+    if (arr.type() != DataType::kArray) {
+      return UserError("FLATTEN input is not an array");
+    }
+    const Array& elements = arr.array_value();
+    for (size_t i = 0; i < elements.size(); ++i) {
+      Row vals = c.values;
+      vals.push_back(Value::Int(static_cast<int64_t>(i)));
+      vals.push_back(elements[i]);
+      out.push_back({c.action, rowid::Flatten(n.node_tag, c.row_id, i),
+                     std::move(vals)});
+    }
+  }
+  return out;
+}
+
+Result<ChangeSet> DeltaUnionAll(const PlanNode& n, const DeltaContext& ctx) {
+  ChangeSet out;
+  for (size_t b = 0; b < n.children.size(); ++b) {
+    DVS_ASSIGN_OR_RETURN(ChangeSet in, Delta(*n.children[b], ctx));
+    for (ChangeRow& c : in) {
+      out.push_back({c.action, rowid::Union(n.node_tag, b, c.row_id),
+                     std::move(c.values)});
+    }
+  }
+  return out;
+}
+
+bool KeyHasNull(const Row& key) {
+  for (const Value& v : key) {
+    if (v.is_null()) return true;
+  }
+  return false;
+}
+
+Row ConcatRows(const Row& l, const Row& r) {
+  Row out = l;
+  out.insert(out.end(), r.begin(), r.end());
+  return out;
+}
+
+// Δ(Q ⋈inner R) = ΔQ ⋈ R@I1 + Q@I0 ⋈ ΔR, with the change action taken from
+// the delta side (signed-multiset bilinearity; DESIGN.md §6).
+Result<ChangeSet> DeltaInnerJoin(const PlanNode& n, const DeltaContext& ctx) {
+  DVS_ASSIGN_OR_RETURN(ChangeSet dq, Delta(*n.children[0], ctx));
+  DVS_ASSIGN_OR_RETURN(ChangeSet dr, Delta(*n.children[1], ctx));
+  ChangeSet out;
+
+  // Term 1: ΔQ ⋈ R@I1 — skip entirely when ΔQ is empty.
+  if (!dq.empty()) {
+    DVS_ASSIGN_OR_RETURN(const std::vector<IdRow>* r1,
+                         Snapshot(*n.children[1], ctx, /*at_end=*/true));
+    std::unordered_map<Row, std::vector<size_t>, KeyHash, KeyEq> table;
+    table.reserve(r1->size());
+    for (size_t i = 0; i < r1->size(); ++i) {
+      DVS_ASSIGN_OR_RETURN(Row key,
+                           EvalKey(n.right_keys, (*r1)[i].values, ctx.eval_end));
+      if (KeyHasNull(key)) continue;
+      table[std::move(key)].push_back(i);
+    }
+    for (const ChangeRow& c : dq) {
+      DVS_ASSIGN_OR_RETURN(
+          Row key, EvalKey(n.left_keys, c.values, CtxFor(ctx, c.action)));
+      if (KeyHasNull(key)) continue;
+      auto it = table.find(key);
+      if (it == table.end()) continue;
+      for (size_t ri : it->second) {
+        Row combined = ConcatRows(c.values, (*r1)[ri].values);
+        if (n.residual) {
+          DVS_ASSIGN_OR_RETURN(
+              bool pass,
+              EvalPredicate(*n.residual, combined, CtxFor(ctx, c.action)));
+          if (!pass) continue;
+        }
+        out.push_back({c.action, rowid::Join(n.node_tag, c.row_id, (*r1)[ri].id),
+                       std::move(combined)});
+      }
+    }
+  }
+
+  // Term 2: Q@I0 ⋈ ΔR.
+  if (!dr.empty()) {
+    DVS_ASSIGN_OR_RETURN(const std::vector<IdRow>* q0,
+                         Snapshot(*n.children[0], ctx, /*at_end=*/false));
+    std::unordered_map<Row, std::vector<size_t>, KeyHash, KeyEq> table;
+    table.reserve(q0->size());
+    for (size_t i = 0; i < q0->size(); ++i) {
+      DVS_ASSIGN_OR_RETURN(
+          Row key, EvalKey(n.left_keys, (*q0)[i].values, ctx.eval_start));
+      if (KeyHasNull(key)) continue;
+      table[std::move(key)].push_back(i);
+    }
+    for (const ChangeRow& c : dr) {
+      DVS_ASSIGN_OR_RETURN(
+          Row key, EvalKey(n.right_keys, c.values, CtxFor(ctx, c.action)));
+      if (KeyHasNull(key)) continue;
+      auto it = table.find(key);
+      if (it == table.end()) continue;
+      for (size_t li : it->second) {
+        Row combined = ConcatRows((*q0)[li].values, c.values);
+        if (n.residual) {
+          DVS_ASSIGN_OR_RETURN(
+              bool pass,
+              EvalPredicate(*n.residual, combined, CtxFor(ctx, c.action)));
+          if (!pass) continue;
+        }
+        out.push_back({c.action, rowid::Join(n.node_tag, (*q0)[li].id, c.row_id),
+                       std::move(combined)});
+      }
+    }
+  }
+  ctx.rows_processed += dq.size() + dr.size();
+  return out;
+}
+
+// Affected-key recompute shared by outer joins, aggregates, distinct, and
+// windows: evaluate the operator over the I0 snapshot restricted to affected
+// keys (emit as deletes) and over the I1 snapshot restricted the same way
+// (emit as inserts); consolidation cancels the unchanged remainder.
+struct KeySet {
+  std::set<Row> keys;
+  std::unordered_set<RowId> row_ids;  ///< Rows in the delta itself (null-key
+                                      ///< rows are matched by id instead).
+  bool Contains(const Row& key, RowId id) const {
+    if (row_ids.count(id)) return true;
+    return keys.count(key) > 0;
+  }
+};
+
+std::vector<IdRow> Restrict(const std::vector<IdRow>& rows,
+                            const std::vector<ExprPtr>& key_exprs,
+                            const EvalContext& ec, const KeySet& ks,
+                            Status* status) {
+  std::vector<IdRow> out;
+  for (const IdRow& r : rows) {
+    auto key = EvalKey(key_exprs, r.values, ec);
+    if (!key.ok()) {
+      *status = key.status();
+      return out;
+    }
+    if (ks.Contains(key.value(), r.id)) out.push_back(r);
+  }
+  return out;
+}
+
+// Δ(outer join): affected keys are the join keys touched on either side.
+Result<ChangeSet> DeltaOuterJoin(const PlanNode& n, const DeltaContext& ctx) {
+  DVS_ASSIGN_OR_RETURN(ChangeSet dq, Delta(*n.children[0], ctx));
+  DVS_ASSIGN_OR_RETURN(ChangeSet dr, Delta(*n.children[1], ctx));
+  if (dq.empty() && dr.empty()) return ChangeSet{};
+
+  KeySet left_ks, right_ks;
+  for (const ChangeRow& c : dq) {
+    DVS_ASSIGN_OR_RETURN(Row key,
+                         EvalKey(n.left_keys, c.values, CtxFor(ctx, c.action)));
+    left_ks.row_ids.insert(c.row_id);
+    if (!KeyHasNull(key)) {
+      left_ks.keys.insert(key);
+      right_ks.keys.insert(std::move(key));
+    }
+  }
+  for (const ChangeRow& c : dr) {
+    DVS_ASSIGN_OR_RETURN(Row key,
+                         EvalKey(n.right_keys, c.values, CtxFor(ctx, c.action)));
+    right_ks.row_ids.insert(c.row_id);
+    if (!KeyHasNull(key)) {
+      right_ks.keys.insert(key);
+      left_ks.keys.insert(std::move(key));
+    }
+  }
+
+  DVS_ASSIGN_OR_RETURN(const std::vector<IdRow>* q0,
+                       Snapshot(*n.children[0], ctx, false));
+  DVS_ASSIGN_OR_RETURN(const std::vector<IdRow>* r0,
+                       Snapshot(*n.children[1], ctx, false));
+  DVS_ASSIGN_OR_RETURN(const std::vector<IdRow>* q1,
+                       Snapshot(*n.children[0], ctx, true));
+  DVS_ASSIGN_OR_RETURN(const std::vector<IdRow>* r1,
+                       Snapshot(*n.children[1], ctx, true));
+
+  Status st = OkStatus();
+  std::vector<IdRow> q0r = Restrict(*q0, n.left_keys, ctx.eval_start, left_ks, &st);
+  DVS_RETURN_IF_ERROR(st);
+  std::vector<IdRow> r0r = Restrict(*r0, n.right_keys, ctx.eval_start, right_ks, &st);
+  DVS_RETURN_IF_ERROR(st);
+  std::vector<IdRow> q1r = Restrict(*q1, n.left_keys, ctx.eval_end, left_ks, &st);
+  DVS_RETURN_IF_ERROR(st);
+  std::vector<IdRow> r1r = Restrict(*r1, n.right_keys, ctx.eval_end, right_ks, &st);
+  DVS_RETURN_IF_ERROR(st);
+
+  DVS_ASSIGN_OR_RETURN(std::vector<IdRow> old_rows,
+                       ComputeJoin(n, q0r, r0r, ctx.eval_start));
+  DVS_ASSIGN_OR_RETURN(std::vector<IdRow> new_rows,
+                       ComputeJoin(n, q1r, r1r, ctx.eval_end));
+  ChangeSet out;
+  out.reserve(old_rows.size() + new_rows.size());
+  for (IdRow& r : old_rows) {
+    out.push_back({ChangeAction::kDelete, r.id, std::move(r.values)});
+  }
+  for (IdRow& r : new_rows) {
+    out.push_back({ChangeAction::kInsert, r.id, std::move(r.values)});
+  }
+  ctx.rows_processed +=
+      q0r.size() + r0r.size() + q1r.size() + r1r.size();
+  return out;
+}
+
+// Δ(γ): affected-group recompute. For scalar aggregation (no GROUP BY) the
+// single global row is affected whenever the input delta is non-empty.
+Result<ChangeSet> DeltaAggregate(const PlanNode& n, const DeltaContext& ctx) {
+  DVS_ASSIGN_OR_RETURN(ChangeSet din, Delta(*n.children[0], ctx));
+  if (din.empty()) return ChangeSet{};
+
+  DVS_ASSIGN_OR_RETURN(const std::vector<IdRow>* in0,
+                       Snapshot(*n.children[0], ctx, false));
+  DVS_ASSIGN_OR_RETURN(const std::vector<IdRow>* in1,
+                       Snapshot(*n.children[0], ctx, true));
+
+  std::vector<IdRow> old_members, new_members;
+  if (n.group_by.empty()) {
+    old_members = *in0;
+    new_members = *in1;
+  } else {
+    KeySet ks;
+    for (const ChangeRow& c : din) {
+      DVS_ASSIGN_OR_RETURN(Row key,
+                           EvalKey(n.group_by, c.values, CtxFor(ctx, c.action)));
+      ks.keys.insert(std::move(key));
+    }
+    Status st = OkStatus();
+    old_members = Restrict(*in0, n.group_by, ctx.eval_start, ks, &st);
+    DVS_RETURN_IF_ERROR(st);
+    new_members = Restrict(*in1, n.group_by, ctx.eval_end, ks, &st);
+    DVS_RETURN_IF_ERROR(st);
+  }
+
+  // Scalar aggregation always emits one row, even on empty input; for
+  // grouped aggregation, groups with no surviving members disappear.
+  const bool force = n.group_by.empty();
+  DVS_ASSIGN_OR_RETURN(std::vector<IdRow> old_rows,
+                       ComputeAggregateRows(n, old_members, ctx.eval_start, force));
+  DVS_ASSIGN_OR_RETURN(std::vector<IdRow> new_rows,
+                       ComputeAggregateRows(n, new_members, ctx.eval_end, force));
+  ChangeSet out;
+  for (IdRow& r : old_rows) {
+    out.push_back({ChangeAction::kDelete, r.id, std::move(r.values)});
+  }
+  for (IdRow& r : new_rows) {
+    out.push_back({ChangeAction::kInsert, r.id, std::move(r.values)});
+  }
+  ctx.rows_processed += old_members.size() + new_members.size();
+  return out;
+}
+
+// Δ(distinct): affected values are exactly the changed rows' values.
+Result<ChangeSet> DeltaDistinct(const PlanNode& n, const DeltaContext& ctx) {
+  DVS_ASSIGN_OR_RETURN(ChangeSet din, Delta(*n.children[0], ctx));
+  if (din.empty()) return ChangeSet{};
+
+  std::set<Row> affected;
+  for (const ChangeRow& c : din) affected.insert(c.values);
+
+  DVS_ASSIGN_OR_RETURN(const std::vector<IdRow>* in0,
+                       Snapshot(*n.children[0], ctx, false));
+  DVS_ASSIGN_OR_RETURN(const std::vector<IdRow>* in1,
+                       Snapshot(*n.children[0], ctx, true));
+
+  std::set<Row> old_present, new_present;
+  for (const IdRow& r : *in0) {
+    if (affected.count(r.values)) old_present.insert(r.values);
+  }
+  for (const IdRow& r : *in1) {
+    if (affected.count(r.values)) new_present.insert(r.values);
+  }
+  ChangeSet out;
+  for (const Row& v : old_present) {
+    out.push_back({ChangeAction::kDelete, rowid::Distinct(n.node_tag, v), v});
+  }
+  for (const Row& v : new_present) {
+    out.push_back({ChangeAction::kInsert, rowid::Distinct(n.node_tag, v), v});
+  }
+  
+  return out;
+}
+
+// Δ(ξ_k Q) — the paper's window derivative, applied per affected partition.
+Result<ChangeSet> DeltaWindow(const PlanNode& n, const DeltaContext& ctx) {
+  DVS_ASSIGN_OR_RETURN(ChangeSet din, Delta(*n.children[0], ctx));
+  if (din.empty()) return ChangeSet{};
+
+  KeySet ks;
+  for (const ChangeRow& c : din) {
+    DVS_ASSIGN_OR_RETURN(
+        Row key, EvalKey(n.partition_by, c.values, CtxFor(ctx, c.action)));
+    ks.keys.insert(std::move(key));
+  }
+
+  DVS_ASSIGN_OR_RETURN(const std::vector<IdRow>* in0,
+                       Snapshot(*n.children[0], ctx, false));
+  DVS_ASSIGN_OR_RETURN(const std::vector<IdRow>* in1,
+                       Snapshot(*n.children[0], ctx, true));
+  Status st = OkStatus();
+  std::vector<IdRow> old_members =
+      Restrict(*in0, n.partition_by, ctx.eval_start, ks, &st);
+  DVS_RETURN_IF_ERROR(st);
+  std::vector<IdRow> new_members =
+      Restrict(*in1, n.partition_by, ctx.eval_end, ks, &st);
+  DVS_RETURN_IF_ERROR(st);
+
+  DVS_ASSIGN_OR_RETURN(std::vector<IdRow> old_rows,
+                       ComputeWindowRows(n, old_members, ctx.eval_start));
+  DVS_ASSIGN_OR_RETURN(std::vector<IdRow> new_rows,
+                       ComputeWindowRows(n, new_members, ctx.eval_end));
+  ChangeSet out;
+  for (IdRow& r : old_rows) {
+    out.push_back({ChangeAction::kDelete, r.id, std::move(r.values)});
+  }
+  for (IdRow& r : new_rows) {
+    out.push_back({ChangeAction::kInsert, r.id, std::move(r.values)});
+  }
+  ctx.rows_processed += old_members.size() + new_members.size();
+  return out;
+}
+
+Result<ChangeSet> Delta(const PlanNode& n, const DeltaContext& ctx) {
+  Result<ChangeSet> result = DeltaImpl(n, ctx);
+  if (result.ok()) ctx.rows_processed += result.value().size();
+  return result;
+}
+
+Result<ChangeSet> DeltaImpl(const PlanNode& n, const DeltaContext& ctx) {
+  switch (n.kind) {
+    case PlanKind::kScan:
+      return ctx.resolve_delta(n.table_id);
+    case PlanKind::kFilter:
+      return DeltaFilter(n, ctx);
+    case PlanKind::kProject:
+      return DeltaProject(n, ctx);
+    case PlanKind::kJoin:
+      return n.join_type == JoinType::kInner ? DeltaInnerJoin(n, ctx)
+                                             : DeltaOuterJoin(n, ctx);
+    case PlanKind::kUnionAll:
+      return DeltaUnionAll(n, ctx);
+    case PlanKind::kAggregate:
+      return DeltaAggregate(n, ctx);
+    case PlanKind::kDistinct:
+      return DeltaDistinct(n, ctx);
+    case PlanKind::kWindow:
+      return DeltaWindow(n, ctx);
+    case PlanKind::kFlatten:
+      return DeltaFlatten(n, ctx);
+    case PlanKind::kOrderBy:
+    case PlanKind::kLimit:
+      return Unsupported(std::string(PlanKindName(n.kind)) +
+                         " is not incrementally maintainable");
+  }
+  return Internal("unhandled plan kind in differentiator");
+}
+
+}  // namespace
+
+ChangeSet Consolidate(ChangeSet changes) {
+  // Cancel (row_id, equal content) insert/delete pairs.
+  std::unordered_map<RowId, std::vector<size_t>> deletes_by_id;
+  for (size_t i = 0; i < changes.size(); ++i) {
+    if (changes[i].action == ChangeAction::kDelete) {
+      deletes_by_id[changes[i].row_id].push_back(i);
+    }
+  }
+  std::vector<bool> drop(changes.size(), false);
+  for (size_t i = 0; i < changes.size(); ++i) {
+    if (changes[i].action != ChangeAction::kInsert) continue;
+    auto it = deletes_by_id.find(changes[i].row_id);
+    if (it == deletes_by_id.end()) continue;
+    for (size_t di : it->second) {
+      if (!drop[di] && RowsEqual(changes[i].values, changes[di].values)) {
+        drop[i] = true;
+        drop[di] = true;
+        break;
+      }
+    }
+  }
+  ChangeSet out;
+  out.reserve(changes.size());
+  for (size_t i = 0; i < changes.size(); ++i) {
+    if (!drop[i]) out.push_back(std::move(changes[i]));
+  }
+  return out;
+}
+
+bool ConsolidationSkippable(const PlanNode& plan) {
+  bool skippable = true;
+  // Walk manually to also inspect join types.
+  std::vector<const PlanNode*> stack = {&plan};
+  while (!stack.empty()) {
+    const PlanNode* n = stack.back();
+    stack.pop_back();
+    switch (n->kind) {
+      case PlanKind::kAggregate:
+      case PlanKind::kDistinct:
+      case PlanKind::kWindow:
+        skippable = false;
+        break;
+      case PlanKind::kJoin:
+        if (n->join_type != JoinType::kInner) skippable = false;
+        break;
+      default:
+        break;
+    }
+    for (const PlanPtr& c : n->children) stack.push_back(c.get());
+  }
+  return skippable;
+}
+
+Result<DeltaResult> Differentiate(const PlanNode& plan, const DeltaContext& ctx,
+                                  bool sources_insert_only) {
+  DVS_ASSIGN_OR_RETURN(ChangeSet raw, Delta(plan, ctx));
+  DeltaResult out;
+  out.pre_consolidation_size = raw.size();
+  if (sources_insert_only && ConsolidationSkippable(plan)) {
+    out.consolidation_skipped = true;
+    out.changes = std::move(raw);
+  } else {
+    out.changes = Consolidate(std::move(raw));
+  }
+  return out;
+}
+
+}  // namespace dvs

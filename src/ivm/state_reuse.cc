@@ -1,0 +1,261 @@
+#include "ivm/state_reuse.h"
+
+#include <map>
+
+#include "exec/row_id.h"
+
+namespace dvs {
+
+namespace {
+
+/// The binder tops every query with a projection; when it is an identity
+/// projection over a grouped Aggregate (the common `SELECT key, agg...
+/// GROUP BY ALL` shape), the derivative can operate on the aggregate
+/// directly — row ids pass through identity projections unchanged.
+const PlanNode* UnwrapToAggregate(const PlanNode& plan) {
+  const PlanNode* n = &plan;
+  if (n->kind == PlanKind::kProject &&
+      n->children[0]->kind == PlanKind::kAggregate &&
+      n->exprs.size() == n->children[0]->output_schema.size()) {
+    bool identity = true;
+    for (size_t i = 0; i < n->exprs.size(); ++i) {
+      if (n->exprs[i]->kind != ExprKind::kColumnRef ||
+          n->exprs[i]->column_index != i) {
+        identity = false;
+        break;
+      }
+    }
+    if (identity) n = n->children[0].get();
+  }
+  return n->kind == PlanKind::kAggregate ? n : nullptr;
+}
+
+bool ApplicableToAggregate(const PlanNode& plan, std::string* reason) {
+  if (plan.kind != PlanKind::kAggregate) {
+    *reason = "plan root is not an Aggregate";
+    return false;
+  }
+  if (plan.group_by.empty()) {
+    *reason = "scalar aggregation";
+    return false;
+  }
+  bool has_count_star = false;
+  for (const ExprPtr& a : plan.aggregates) {
+    if (a->distinct) {
+      *reason = "DISTINCT aggregate";
+      return false;
+    }
+    switch (a->agg_func) {
+      case AggFunc::kCountStar:
+        has_count_star = true;
+        break;
+      case AggFunc::kCount:
+      case AggFunc::kCountIf:
+      case AggFunc::kSum:
+        break;
+      default:
+        *reason = std::string(AggFuncName(a->agg_func)) +
+                  " is not maintainable from state (needs recompute)";
+        return false;
+    }
+  }
+  if (!has_count_star) {
+    *reason = "COUNT(*) column required to detect empty groups";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool StateReuseApplicable(const PlanNode& root, std::string* reason) {
+  const PlanNode* agg = UnwrapToAggregate(root);
+  if (agg == nullptr) {
+    *reason = "plan is not an Aggregate (or identity projection over one)";
+    return false;
+  }
+  return ApplicableToAggregate(*agg, reason);
+}
+
+Result<StateReuseResult> DifferentiateAggregateWithState(
+    const PlanNode& root, const std::vector<IdRow>& stored,
+    const DeltaContext& ctx) {
+  StateReuseResult out;
+  const PlanNode* unwrapped = UnwrapToAggregate(root);
+  if (unwrapped == nullptr || !ApplicableToAggregate(*unwrapped, &out.reason)) {
+    if (unwrapped == nullptr) {
+      out.reason = "plan is not an Aggregate (or identity projection over one)";
+    }
+    return out;
+  }
+  const PlanNode& plan = *unwrapped;
+
+  // Delta of the aggregate's input.
+  DVS_ASSIGN_OR_RETURN(DeltaResult din_result,
+                       Differentiate(*plan.children[0], ctx));
+  ChangeSet din = std::move(din_result.changes);
+  if (din.empty()) {
+    out.applicable = true;
+    return out;
+  }
+
+  const size_t n_groups_cols = plan.group_by.size();
+  const size_t n_aggs = plan.aggregates.size();
+
+  // Index stored rows by group key (the leading columns of the output).
+  std::map<Row, const IdRow*> stored_by_key;
+  for (const IdRow& r : stored) {
+    Row key(r.values.begin(), r.values.begin() + n_groups_cols);
+    stored_by_key[std::move(key)] = &r;
+  }
+
+  // Accumulate per-group adjustments.
+  struct Adjust {
+    std::vector<double> dsum;
+    std::vector<int64_t> isum;
+    std::vector<bool> all_int;
+    std::vector<int64_t> count;  // signed member/true/non-null count deltas
+    int64_t star = 0;
+  };
+  std::map<Row, Adjust> adjustments;
+  for (const ChangeRow& c : din) {
+    const EvalContext& ec =
+        c.action == ChangeAction::kDelete ? ctx.eval_start : ctx.eval_end;
+    DVS_ASSIGN_OR_RETURN(Row key, EvalKey(plan.group_by, c.values, ec));
+    Adjust& adj = adjustments[std::move(key)];
+    if (adj.dsum.empty()) {
+      adj.dsum.assign(n_aggs, 0.0);
+      adj.isum.assign(n_aggs, 0);
+      adj.all_int.assign(n_aggs, true);
+      adj.count.assign(n_aggs, 0);
+    }
+    const int sign = c.sign();
+    adj.star += sign;
+    for (size_t i = 0; i < n_aggs; ++i) {
+      const Expr& agg = *plan.aggregates[i];
+      if (agg.agg_func == AggFunc::kCountStar) continue;
+      DVS_ASSIGN_OR_RETURN(Value v, Eval(*agg.children[0], c.values, ec));
+      switch (agg.agg_func) {
+        case AggFunc::kCount:
+          if (!v.is_null()) adj.count[i] += sign;
+          break;
+        case AggFunc::kCountIf:
+          if (!v.is_null() && v.type() == DataType::kBool && v.bool_value()) {
+            adj.count[i] += sign;
+          }
+          break;
+        case AggFunc::kSum: {
+          if (v.is_null()) {
+            out.applicable = false;
+            out.reason = "NULL SUM input encountered; falling back";
+            out.changes.clear();
+            return out;
+          }
+          if (!v.is_numeric()) return UserError("SUM over non-numeric value");
+          if (v.type() == DataType::kInt64) {
+            adj.isum[i] += sign * v.int_value();
+          } else {
+            adj.all_int[i] = false;
+          }
+          adj.dsum[i] += sign * v.AsDouble();
+          adj.count[i] += sign;  // non-null count, for SUM-over-empty = NULL
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  // Emit changes per affected group.
+  for (const auto& [key, adj] : adjustments) {
+    auto it = stored_by_key.find(key);
+    const IdRow* old_row = it == stored_by_key.end() ? nullptr : it->second;
+
+    // Old counts, to compose new values.
+    int64_t old_star = 0;
+    if (old_row != nullptr) {
+      for (size_t i = 0; i < n_aggs; ++i) {
+        if (plan.aggregates[i]->agg_func == AggFunc::kCountStar) {
+          old_star = old_row->values[n_groups_cols + i].int_value();
+          break;
+        }
+      }
+    }
+    int64_t new_star = old_star + adj.star;
+    if (new_star < 0) {
+      return Corruption("state-reuse derivative drove COUNT(*) negative");
+    }
+
+    Row new_vals(key);
+    bool bail = false;
+    for (size_t i = 0; i < n_aggs && !bail; ++i) {
+      const Expr& agg = *plan.aggregates[i];
+      const Value* old_v =
+          old_row ? &old_row->values[n_groups_cols + i] : nullptr;
+      switch (agg.agg_func) {
+        case AggFunc::kCountStar:
+          new_vals.push_back(Value::Int(new_star));
+          break;
+        case AggFunc::kCount:
+        case AggFunc::kCountIf: {
+          int64_t old_c = old_v && !old_v->is_null() ? old_v->int_value() : 0;
+          new_vals.push_back(Value::Int(old_c + adj.count[i]));
+          break;
+        }
+        case AggFunc::kSum: {
+          // Reconstruct the non-null input count for this SUM: stored NULL
+          // means zero non-null inputs so far.
+          bool old_null = old_v == nullptr || old_v->is_null();
+          if (old_null && old_star > 0 && adj.count[i] < 0) {
+            // Deleting from a group whose SUM was NULL-by-all-null-values:
+            // cannot maintain without hidden state.
+            out.applicable = false;
+            out.reason = "NULL stored SUM with deletions; falling back";
+            out.changes.clear();
+            return out;
+          }
+          bool use_int = adj.all_int[i] &&
+                         (old_null || old_v->type() == DataType::kInt64);
+          double old_d = old_null ? 0.0 : old_v->AsDouble();
+          int64_t old_i =
+              old_null || old_v->type() != DataType::kInt64
+                  ? 0
+                  : old_v->int_value();
+          // Count of non-null inputs after the change: we track only the
+          // delta; stored non-null count is unknown unless the sum was NULL.
+          // SUM results only become NULL again when the group empties, which
+          // COUNT(*) detects; treat any surviving group as non-null if it
+          // had a non-null sum or gained inputs.
+          if (new_star == 0) {
+            new_vals.push_back(Value::Null());
+          } else if (old_null && adj.count[i] <= 0) {
+            new_vals.push_back(Value::Null());
+          } else if (use_int) {
+            new_vals.push_back(Value::Int(old_i + adj.isum[i]));
+          } else {
+            new_vals.push_back(Value::Double(old_d + adj.dsum[i]));
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+
+    RowId rid = rowid::Group(plan.node_tag, key);
+    if (old_row != nullptr) {
+      out.changes.push_back({ChangeAction::kDelete, rid, old_row->values});
+    }
+    if (new_star > 0) {
+      out.changes.push_back({ChangeAction::kInsert, rid, std::move(new_vals)});
+    }
+  }
+
+  out.applicable = true;
+  out.rows_processed = din.size() + adjustments.size();
+  out.changes = Consolidate(std::move(out.changes));
+  return out;
+}
+
+}  // namespace dvs

@@ -1,0 +1,46 @@
+// State-reusing aggregation derivative — the paper's #1 future-work item
+// (§5.5.3: "none of our derivatives so far reuse the state ... already
+// stored in the DT. We expect major performance opportunities").
+//
+// This extension maintains grouped SUM / COUNT / COUNT_IF / COUNT(*)
+// aggregates directly from the stored DT rows plus the input delta, without
+// materializing the aggregate input at either end of the interval. For a
+// group with stored row g and input delta rows d: new_sum = sum(g) ±
+// values(d), new_count = count(g) ± |d|. Groups whose COUNT(*) reaches zero
+// are deleted; unseen groups are created.
+//
+// Applicability is conservative (falls back to the standard derivative):
+//  - the plan root is a grouped Aggregate,
+//  - every aggregate is a non-DISTINCT SUM / COUNT / COUNT_IF / COUNT(*),
+//  - a COUNT(*) column is present (used to detect group emptiness),
+//  - no NULL SUM inputs are encountered at runtime (NULL bookkeeping would
+//    need hidden state columns).
+//
+// Experiment E12 measures this derivative against the recompute-based one.
+
+#ifndef DVS_IVM_STATE_REUSE_H_
+#define DVS_IVM_STATE_REUSE_H_
+
+#include "ivm/differentiator.h"
+
+namespace dvs {
+
+struct StateReuseResult {
+  bool applicable = false;
+  std::string reason;  ///< Why not, when !applicable.
+  ChangeSet changes;
+  uint64_t rows_processed = 0;  ///< Work actually done (cf. ctx accounting).
+};
+
+/// Static check (no data): can `plan` use the state-reusing derivative?
+bool StateReuseApplicable(const PlanNode& plan, std::string* reason);
+
+/// Computes the aggregate delta from stored DT rows + input delta. `stored`
+/// must be the DT's current contents (output rows of `plan` as of I0).
+Result<StateReuseResult> DifferentiateAggregateWithState(
+    const PlanNode& plan, const std::vector<IdRow>& stored,
+    const DeltaContext& ctx);
+
+}  // namespace dvs
+
+#endif  // DVS_IVM_STATE_REUSE_H_

@@ -1,0 +1,278 @@
+#include "plan/expr.h"
+
+namespace dvs {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+    case BinaryOp::kConcat: return "||";
+  }
+  return "?";
+}
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCountStar: return "COUNT(*)";
+    case AggFunc::kCount: return "COUNT";
+    case AggFunc::kSum: return "SUM";
+    case AggFunc::kMin: return "MIN";
+    case AggFunc::kMax: return "MAX";
+    case AggFunc::kAvg: return "AVG";
+    case AggFunc::kCountIf: return "COUNT_IF";
+  }
+  return "?";
+}
+
+const char* WindowFuncName(WindowFunc f) {
+  switch (f) {
+    case WindowFunc::kRowNumber: return "ROW_NUMBER";
+    case WindowFunc::kRank: return "RANK";
+    case WindowFunc::kDenseRank: return "DENSE_RANK";
+    case WindowFunc::kSum: return "SUM";
+    case WindowFunc::kCount: return "COUNT";
+    case WindowFunc::kMin: return "MIN";
+    case WindowFunc::kMax: return "MAX";
+    case WindowFunc::kAvg: return "AVG";
+  }
+  return "?";
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kColumnRef:
+      return column_name.empty() ? "$" + std::to_string(column_index)
+                                 : column_name;
+    case ExprKind::kLiteral:
+      return literal.ToString();
+    case ExprKind::kBinary:
+      return "(" + children[0]->ToString() + " " + BinaryOpName(bin_op) + " " +
+             children[1]->ToString() + ")";
+    case ExprKind::kUnary:
+      switch (un_op) {
+        case UnaryOp::kNot: return "NOT " + children[0]->ToString();
+        case UnaryOp::kNeg: return "-" + children[0]->ToString();
+        case UnaryOp::kIsNull: return children[0]->ToString() + " IS NULL";
+        case UnaryOp::kIsNotNull:
+          return children[0]->ToString() + " IS NOT NULL";
+      }
+      return "?";
+    case ExprKind::kFunction: {
+      std::string out = function_name + "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kAggregate: {
+      if (agg_func == AggFunc::kCountStar) return "COUNT(*)";
+      std::string out = AggFuncName(agg_func);
+      out += "(";
+      if (distinct) out += "DISTINCT ";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kWindow: {
+      std::string out = WindowFuncName(window_func);
+      out += "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ") OVER (...)";
+    }
+    case ExprKind::kCase: {
+      std::string out = "CASE";
+      size_t n = children.size();
+      for (size_t i = 0; i + 1 < n; i += 2) {
+        out += " WHEN " + children[i]->ToString() + " THEN " +
+               children[i + 1]->ToString();
+      }
+      if (n % 2 == 1) out += " ELSE " + children[n - 1]->ToString();
+      return out + " END";
+    }
+    case ExprKind::kCast:
+      return "CAST(" + children[0]->ToString() + " AS " +
+             DataTypeName(type) + ")";
+    case ExprKind::kIn: {
+      std::string out = children[0]->ToString() + " IN (";
+      for (size_t i = 1; i < children.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+namespace {
+std::shared_ptr<Expr> NewExpr(ExprKind kind) {
+  auto e = std::make_shared<Expr>();
+  e->kind = kind;
+  return e;
+}
+}  // namespace
+
+ExprPtr ColRef(size_t index, std::string name, DataType type) {
+  auto e = NewExpr(ExprKind::kColumnRef);
+  e->column_index = index;
+  e->column_name = std::move(name);
+  e->type = type;
+  return e;
+}
+
+ExprPtr Lit(Value v) {
+  auto e = NewExpr(ExprKind::kLiteral);
+  e->type = v.type();
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr LitInt(int64_t v) { return Lit(Value::Int(v)); }
+ExprPtr LitDouble(double v) { return Lit(Value::Double(v)); }
+ExprPtr LitString(std::string s) { return Lit(Value::String(std::move(s))); }
+ExprPtr LitBool(bool b) { return Lit(Value::Bool(b)); }
+ExprPtr LitNull() { return Lit(Value::Null()); }
+
+ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = NewExpr(ExprKind::kBinary);
+  e->bin_op = op;
+  e->children = {std::move(lhs), std::move(rhs)};
+  switch (op) {
+    case BinaryOp::kEq: case BinaryOp::kNe: case BinaryOp::kLt:
+    case BinaryOp::kLe: case BinaryOp::kGt: case BinaryOp::kGe:
+    case BinaryOp::kAnd: case BinaryOp::kOr:
+      e->type = DataType::kBool;
+      break;
+    case BinaryOp::kConcat:
+      e->type = DataType::kString;
+      break;
+    default:
+      e->type = e->children[0]->type;
+  }
+  return e;
+}
+
+ExprPtr Unary(UnaryOp op, ExprPtr operand) {
+  auto e = NewExpr(ExprKind::kUnary);
+  e->un_op = op;
+  e->type = (op == UnaryOp::kNeg) ? operand->type : DataType::kBool;
+  e->children = {std::move(operand)};
+  return e;
+}
+
+ExprPtr Func(std::string name, std::vector<ExprPtr> args) {
+  auto e = NewExpr(ExprKind::kFunction);
+  e->function_name = std::move(name);
+  e->children = std::move(args);
+  return e;
+}
+
+ExprPtr Agg(AggFunc f, std::vector<ExprPtr> args, bool distinct) {
+  auto e = NewExpr(ExprKind::kAggregate);
+  e->agg_func = f;
+  e->distinct = distinct;
+  e->children = std::move(args);
+  e->type = (f == AggFunc::kCountStar || f == AggFunc::kCount ||
+             f == AggFunc::kCountIf)
+                ? DataType::kInt64
+                : (f == AggFunc::kAvg ? DataType::kDouble
+                                      : (e->children.empty()
+                                             ? DataType::kNull
+                                             : e->children[0]->type));
+  return e;
+}
+
+ExprPtr Win(WindowFunc f, std::vector<ExprPtr> args) {
+  auto e = NewExpr(ExprKind::kWindow);
+  e->window_func = f;
+  e->children = std::move(args);
+  e->type = (f == WindowFunc::kRowNumber || f == WindowFunc::kRank ||
+             f == WindowFunc::kDenseRank || f == WindowFunc::kCount)
+                ? DataType::kInt64
+                : (f == WindowFunc::kAvg
+                       ? DataType::kDouble
+                       : (e->children.empty() ? DataType::kNull
+                                              : e->children[0]->type));
+  return e;
+}
+
+ExprPtr CaseWhen(std::vector<ExprPtr> children) {
+  auto e = NewExpr(ExprKind::kCase);
+  if (children.size() >= 2) e->type = children[1]->type;
+  e->children = std::move(children);
+  return e;
+}
+
+ExprPtr CastTo(DataType type, ExprPtr operand) {
+  auto e = NewExpr(ExprKind::kCast);
+  e->type = type;
+  e->children = {std::move(operand)};
+  return e;
+}
+
+ExprPtr InList(std::vector<ExprPtr> children) {
+  auto e = NewExpr(ExprKind::kIn);
+  e->type = DataType::kBool;
+  e->children = std::move(children);
+  return e;
+}
+
+void VisitExpr(const ExprPtr& e, const std::function<void(const Expr&)>& fn) {
+  if (!e) return;
+  fn(*e);
+  for (const ExprPtr& c : e->children) VisitExpr(c, fn);
+}
+
+bool ContainsAggregate(const ExprPtr& e) {
+  bool found = false;
+  VisitExpr(e, [&](const Expr& x) {
+    if (x.kind == ExprKind::kAggregate) found = true;
+  });
+  return found;
+}
+
+bool ContainsWindow(const ExprPtr& e) {
+  bool found = false;
+  VisitExpr(e, [&](const Expr& x) {
+    if (x.kind == ExprKind::kWindow) found = true;
+  });
+  return found;
+}
+
+void CollectColumnRefs(const ExprPtr& e, std::vector<size_t>* out) {
+  VisitExpr(e, [out](const Expr& x) {
+    if (x.kind == ExprKind::kColumnRef) out->push_back(x.column_index);
+  });
+}
+
+ExprPtr RemapColumns(const ExprPtr& e, const std::vector<size_t>& mapping) {
+  if (!e) return e;
+  auto copy = std::make_shared<Expr>(*e);
+  if (copy->kind == ExprKind::kColumnRef) {
+    copy->column_index = mapping[copy->column_index];
+  }
+  for (ExprPtr& c : copy->children) {
+    const ExprPtr& cc = c;
+    c = RemapColumns(cc, mapping);
+  }
+  return copy;
+}
+
+}  // namespace dvs

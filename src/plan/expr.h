@@ -1,0 +1,129 @@
+// Scalar / aggregate / window expression trees.
+//
+// A single tagged struct (rather than a virtual hierarchy) keeps the tree
+// easy to build, clone, and pattern-match in the differentiator. Exprs are
+// immutable and shared via shared_ptr<const Expr>.
+
+#ifndef DVS_PLAN_EXPR_H_
+#define DVS_PLAN_EXPR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace dvs {
+
+enum class ExprKind {
+  kColumnRef,   ///< Input column by position.
+  kLiteral,     ///< Constant.
+  kBinary,      ///< Arithmetic / comparison / logical.
+  kUnary,       ///< NOT, negation, IS [NOT] NULL.
+  kFunction,    ///< Scalar function call (registry in exec/functions.h).
+  kAggregate,   ///< Aggregate call; valid only in Aggregate plan nodes.
+  kWindow,      ///< Window function call; valid only in Window plan nodes.
+  kCase,        ///< CASE WHEN c1 THEN v1 ... [ELSE e] END.
+  kCast,        ///< CAST(expr AS type).
+  kIn,          ///< expr IN (lit, lit, ...).
+};
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+  kConcat,
+};
+
+enum class UnaryOp { kNot, kNeg, kIsNull, kIsNotNull };
+
+enum class AggFunc {
+  kCountStar, kCount, kSum, kMin, kMax, kAvg, kCountIf,
+};
+
+enum class WindowFunc {
+  kRowNumber, kRank, kDenseRank, kSum, kCount, kMin, kMax, kAvg,
+};
+
+const char* BinaryOpName(BinaryOp op);
+const char* AggFuncName(AggFunc f);
+const char* WindowFuncName(WindowFunc f);
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+  /// Output type; filled by the binder (kNull when unknown/polymorphic).
+  DataType type = DataType::kNull;
+
+  // kColumnRef
+  size_t column_index = 0;
+  std::string column_name;  ///< Display name only.
+
+  // kLiteral
+  Value literal;
+
+  // kBinary / kUnary
+  BinaryOp bin_op = BinaryOp::kAdd;
+  UnaryOp un_op = UnaryOp::kNot;
+
+  // kFunction
+  std::string function_name;
+
+  // kAggregate
+  AggFunc agg_func = AggFunc::kCountStar;
+  bool distinct = false;  ///< COUNT(DISTINCT x) etc.
+
+  // kWindow
+  WindowFunc window_func = WindowFunc::kRowNumber;
+
+  // kCase: children = [when1, then1, when2, then2, ..., (else)];
+  // odd count => trailing else.
+  // kIn: children = [needle, candidate...].
+  std::vector<ExprPtr> children;
+
+  std::string ToString() const;
+};
+
+// ---- Factories ----
+
+ExprPtr ColRef(size_t index, std::string name = "", DataType type = DataType::kNull);
+ExprPtr Lit(Value v);
+ExprPtr LitInt(int64_t v);
+ExprPtr LitDouble(double v);
+ExprPtr LitString(std::string s);
+ExprPtr LitBool(bool b);
+ExprPtr LitNull();
+ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr Unary(UnaryOp op, ExprPtr operand);
+ExprPtr Func(std::string name, std::vector<ExprPtr> args);
+ExprPtr Agg(AggFunc f, std::vector<ExprPtr> args, bool distinct = false);
+ExprPtr Win(WindowFunc f, std::vector<ExprPtr> args);
+ExprPtr CaseWhen(std::vector<ExprPtr> children);
+ExprPtr CastTo(DataType type, ExprPtr operand);
+ExprPtr InList(std::vector<ExprPtr> children);
+
+// ---- Analysis helpers ----
+
+/// Applies `fn` to every node in the tree (pre-order).
+void VisitExpr(const ExprPtr& e, const std::function<void(const Expr&)>& fn);
+
+/// True if the tree contains any kAggregate node.
+bool ContainsAggregate(const ExprPtr& e);
+
+/// True if the tree contains any kWindow node.
+bool ContainsWindow(const ExprPtr& e);
+
+/// Collects the set of referenced input column indices.
+void CollectColumnRefs(const ExprPtr& e, std::vector<size_t>* out);
+
+/// Rewrites column references through an index mapping (old index ->
+/// new index). Used when pushing expressions across projections.
+ExprPtr RemapColumns(const ExprPtr& e, const std::vector<size_t>& mapping);
+
+}  // namespace dvs
+
+#endif  // DVS_PLAN_EXPR_H_

@@ -1,0 +1,280 @@
+#include "plan/logical_plan.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+#include "common/hash.h"
+
+namespace dvs {
+
+const char* PlanKindName(PlanKind k) {
+  switch (k) {
+    case PlanKind::kScan: return "Scan";
+    case PlanKind::kFilter: return "Filter";
+    case PlanKind::kProject: return "Project";
+    case PlanKind::kJoin: return "Join";
+    case PlanKind::kUnionAll: return "UnionAll";
+    case PlanKind::kAggregate: return "Aggregate";
+    case PlanKind::kDistinct: return "Distinct";
+    case PlanKind::kWindow: return "Window";
+    case PlanKind::kFlatten: return "Flatten";
+    case PlanKind::kOrderBy: return "OrderBy";
+    case PlanKind::kLimit: return "Limit";
+  }
+  return "?";
+}
+
+const char* JoinTypeName(JoinType t) {
+  switch (t) {
+    case JoinType::kInner: return "INNER";
+    case JoinType::kLeft: return "LEFT";
+    case JoinType::kRight: return "RIGHT";
+    case JoinType::kFull: return "FULL";
+  }
+  return "?";
+}
+
+namespace {
+
+std::shared_ptr<PlanNode> NewNode(PlanKind kind) {
+  // Node tags must be stable *within* a process run but need no cross-run
+  // meaning; a counter hashed through FNV gives well-spread seeds.
+  static std::atomic<uint64_t> counter{1};
+  auto n = std::make_shared<PlanNode>();
+  n->kind = kind;
+  n->node_tag = HashUint64(counter.fetch_add(1));
+  return n;
+}
+
+}  // namespace
+
+std::string PlanNode::ToString(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = pad + PlanKindName(kind);
+  switch (kind) {
+    case PlanKind::kScan:
+      out += "(" + table_name + ")";
+      break;
+    case PlanKind::kFilter:
+      out += "(" + predicate->ToString() + ")";
+      break;
+    case PlanKind::kProject: {
+      out += "(";
+      for (size_t i = 0; i < exprs.size(); ++i) {
+        if (i) out += ", ";
+        out += exprs[i]->ToString();
+      }
+      out += ")";
+      break;
+    }
+    case PlanKind::kJoin: {
+      out += std::string("(") + JoinTypeName(join_type);
+      for (size_t i = 0; i < left_keys.size(); ++i) {
+        out += (i ? ", " : " on ") + left_keys[i]->ToString() + "=" +
+               right_keys[i]->ToString();
+      }
+      out += ")";
+      break;
+    }
+    case PlanKind::kAggregate: {
+      out += "(by ";
+      for (size_t i = 0; i < group_by.size(); ++i) {
+        if (i) out += ", ";
+        out += group_by[i]->ToString();
+      }
+      out += "; ";
+      for (size_t i = 0; i < aggregates.size(); ++i) {
+        if (i) out += ", ";
+        out += aggregates[i]->ToString();
+      }
+      out += ")";
+      break;
+    }
+    case PlanKind::kWindow: {
+      out += "(partition by ";
+      for (size_t i = 0; i < partition_by.size(); ++i) {
+        if (i) out += ", ";
+        out += partition_by[i]->ToString();
+      }
+      out += ")";
+      break;
+    }
+    case PlanKind::kFlatten:
+      out += "(" + flatten_expr->ToString() + ")";
+      break;
+    case PlanKind::kLimit:
+      out += "(" + std::to_string(limit) + ")";
+      break;
+    default:
+      break;
+  }
+  out += "\n";
+  for (const PlanPtr& c : children) out += c->ToString(indent + 1);
+  return out;
+}
+
+PlanPtr MakeScan(ObjectId table_id, std::string table_name, Schema schema) {
+  auto n = NewNode(PlanKind::kScan);
+  n->table_id = table_id;
+  n->table_name = std::move(table_name);
+  n->output_schema = std::move(schema);
+  return n;
+}
+
+PlanPtr MakeFilter(PlanPtr input, ExprPtr predicate) {
+  auto n = NewNode(PlanKind::kFilter);
+  n->output_schema = input->output_schema;
+  n->predicate = std::move(predicate);
+  n->children = {std::move(input)};
+  return n;
+}
+
+PlanPtr MakeProject(PlanPtr input, std::vector<ExprPtr> exprs,
+                    std::vector<std::string> names) {
+  assert(exprs.size() == names.size());
+  auto n = NewNode(PlanKind::kProject);
+  Schema s;
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    s.AddColumn(names[i], exprs[i]->type);
+  }
+  n->output_schema = std::move(s);
+  n->exprs = std::move(exprs);
+  n->children = {std::move(input)};
+  return n;
+}
+
+PlanPtr MakeJoin(JoinType type, PlanPtr left, PlanPtr right,
+                 std::vector<ExprPtr> left_keys,
+                 std::vector<ExprPtr> right_keys, ExprPtr residual) {
+  assert(left_keys.size() == right_keys.size());
+  auto n = NewNode(PlanKind::kJoin);
+  n->join_type = type;
+  n->output_schema = Schema::Concat(left->output_schema, right->output_schema);
+  n->left_keys = std::move(left_keys);
+  n->right_keys = std::move(right_keys);
+  n->residual = std::move(residual);
+  n->children = {std::move(left), std::move(right)};
+  return n;
+}
+
+PlanPtr MakeUnionAll(PlanPtr left, PlanPtr right) {
+  assert(left->output_schema.size() == right->output_schema.size());
+  auto n = NewNode(PlanKind::kUnionAll);
+  n->output_schema = left->output_schema;
+  n->children = {std::move(left), std::move(right)};
+  return n;
+}
+
+PlanPtr MakeAggregate(PlanPtr input, std::vector<ExprPtr> group_by,
+                      std::vector<ExprPtr> aggregates,
+                      std::vector<std::string> names) {
+  assert(names.size() == group_by.size() + aggregates.size());
+  auto n = NewNode(PlanKind::kAggregate);
+  Schema s;
+  for (size_t i = 0; i < group_by.size(); ++i) {
+    s.AddColumn(names[i], group_by[i]->type);
+  }
+  for (size_t i = 0; i < aggregates.size(); ++i) {
+    s.AddColumn(names[group_by.size() + i], aggregates[i]->type);
+  }
+  n->output_schema = std::move(s);
+  n->group_by = std::move(group_by);
+  n->aggregates = std::move(aggregates);
+  n->children = {std::move(input)};
+  return n;
+}
+
+PlanPtr MakeDistinct(PlanPtr input) {
+  auto n = NewNode(PlanKind::kDistinct);
+  n->output_schema = input->output_schema;
+  n->children = {std::move(input)};
+  return n;
+}
+
+PlanPtr MakeWindow(PlanPtr input, std::vector<ExprPtr> partition_by,
+                   std::vector<SortKey> order_by,
+                   std::vector<ExprPtr> window_calls,
+                   std::vector<std::string> call_names) {
+  assert(window_calls.size() == call_names.size());
+  auto n = NewNode(PlanKind::kWindow);
+  Schema s = input->output_schema;
+  for (size_t i = 0; i < window_calls.size(); ++i) {
+    s.AddColumn(call_names[i], window_calls[i]->type);
+  }
+  n->output_schema = std::move(s);
+  n->partition_by = std::move(partition_by);
+  n->order_by = std::move(order_by);
+  n->window_calls = std::move(window_calls);
+  n->children = {std::move(input)};
+  return n;
+}
+
+PlanPtr MakeFlatten(PlanPtr input, ExprPtr flatten_expr,
+                    std::string value_name) {
+  auto n = NewNode(PlanKind::kFlatten);
+  Schema s = input->output_schema;
+  s.AddColumn("index", DataType::kInt64);
+  s.AddColumn(std::move(value_name), DataType::kNull);
+  n->output_schema = std::move(s);
+  n->flatten_expr = std::move(flatten_expr);
+  n->children = {std::move(input)};
+  return n;
+}
+
+PlanPtr MakeOrderBy(PlanPtr input, std::vector<SortKey> keys) {
+  auto n = NewNode(PlanKind::kOrderBy);
+  n->output_schema = input->output_schema;
+  n->sort_keys = std::move(keys);
+  n->children = {std::move(input)};
+  return n;
+}
+
+PlanPtr MakeLimit(PlanPtr input, int64_t limit) {
+  auto n = NewNode(PlanKind::kLimit);
+  n->output_schema = input->output_schema;
+  n->limit = limit;
+  n->children = {std::move(input)};
+  return n;
+}
+
+void VisitPlan(const PlanPtr& p,
+               const std::function<void(const PlanNode&)>& fn) {
+  if (!p) return;
+  fn(*p);
+  for (const PlanPtr& c : p->children) VisitPlan(c, fn);
+}
+
+std::vector<ObjectId> CollectScanIds(const PlanPtr& p) {
+  std::vector<ObjectId> out;
+  VisitPlan(p, [&](const PlanNode& n) {
+    if (n.kind == PlanKind::kScan) out.push_back(n.table_id);
+  });
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+OperatorCounts CountOperators(const PlanPtr& p) {
+  OperatorCounts c;
+  VisitPlan(p, [&](const PlanNode& n) {
+    switch (n.kind) {
+      case PlanKind::kScan: c.scan++; break;
+      case PlanKind::kFilter: c.filter++; break;
+      case PlanKind::kProject: c.project++; break;
+      case PlanKind::kJoin:
+        (n.join_type == JoinType::kInner ? c.inner_join : c.outer_join)++;
+        break;
+      case PlanKind::kUnionAll: c.union_all++; break;
+      case PlanKind::kAggregate: c.aggregate++; break;
+      case PlanKind::kDistinct: c.distinct++; break;
+      case PlanKind::kWindow: c.window++; break;
+      case PlanKind::kFlatten: c.flatten++; break;
+      case PlanKind::kOrderBy: c.order_by++; break;
+      case PlanKind::kLimit: c.limit++; break;
+    }
+  });
+  return c;
+}
+
+}  // namespace dvs

@@ -1,0 +1,141 @@
+// Logical relational plans.
+//
+// These are the plans produced by the SQL binder, consumed by the executor
+// (full evaluation at a snapshot) and the differentiator (delta evaluation
+// over a version interval, §5.5). Like Expr, a single tagged struct with
+// shared_ptr children: immutable once built.
+
+#ifndef DVS_PLAN_LOGICAL_PLAN_H_
+#define DVS_PLAN_LOGICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "plan/expr.h"
+#include "types/schema.h"
+
+namespace dvs {
+
+enum class PlanKind {
+  kScan,      ///< Base table / view / upstream DT by object id.
+  kFilter,
+  kProject,
+  kJoin,
+  kUnionAll,
+  kAggregate, ///< Grouped or scalar aggregation.
+  kDistinct,
+  kWindow,    ///< Partitioned window functions.
+  kFlatten,   ///< LATERAL FLATTEN over an array column.
+  kOrderBy,   ///< Presentation order; full-refresh only.
+  kLimit,     ///< Full-refresh only.
+};
+
+const char* PlanKindName(PlanKind k);
+
+enum class JoinType { kInner, kLeft, kRight, kFull };
+
+const char* JoinTypeName(JoinType t);
+
+struct SortKey {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+struct PlanNode;
+using PlanPtr = std::shared_ptr<const PlanNode>;
+
+struct PlanNode {
+  PlanKind kind = PlanKind::kScan;
+  /// Schema of this node's output rows.
+  Schema output_schema;
+  std::vector<PlanPtr> children;
+
+  /// Stable per-plan node tag; seeds derived row ids so structurally equal
+  /// subtrees in different plan positions produce distinct identities.
+  uint64_t node_tag = 0;
+
+  // kScan
+  ObjectId table_id = kInvalidObjectId;
+  std::string table_name;
+
+  // kFilter
+  ExprPtr predicate;
+
+  // kProject: one expr per output column.
+  std::vector<ExprPtr> exprs;
+
+  // kJoin: equi-keys (left_keys[i] over left child schema matches
+  // right_keys[i] over right child schema) plus optional residual predicate
+  // over the concatenated row.
+  JoinType join_type = JoinType::kInner;
+  std::vector<ExprPtr> left_keys;
+  std::vector<ExprPtr> right_keys;
+  ExprPtr residual;
+
+  // kAggregate: group_by over input schema; aggregates are kAggregate exprs.
+  // Output = group_by columns then aggregate columns.
+  std::vector<ExprPtr> group_by;
+  std::vector<ExprPtr> aggregates;
+
+  // kWindow: output = input columns + one column per window call.
+  std::vector<ExprPtr> partition_by;
+  std::vector<SortKey> order_by;       // within partitions
+  std::vector<ExprPtr> window_calls;
+
+  // kFlatten: array-valued expr over input schema; output = input columns +
+  // (index INT, value) per array element.
+  ExprPtr flatten_expr;
+
+  // kOrderBy
+  std::vector<SortKey> sort_keys;
+
+  // kLimit
+  int64_t limit = -1;
+
+  std::string ToString(int indent = 0) const;
+};
+
+// ---- Builders (compute output schemas; binder and tests use these) ----
+
+PlanPtr MakeScan(ObjectId table_id, std::string table_name, Schema schema);
+PlanPtr MakeFilter(PlanPtr input, ExprPtr predicate);
+PlanPtr MakeProject(PlanPtr input, std::vector<ExprPtr> exprs,
+                    std::vector<std::string> names);
+PlanPtr MakeJoin(JoinType type, PlanPtr left, PlanPtr right,
+                 std::vector<ExprPtr> left_keys, std::vector<ExprPtr> right_keys,
+                 ExprPtr residual = nullptr);
+PlanPtr MakeUnionAll(PlanPtr left, PlanPtr right);
+PlanPtr MakeAggregate(PlanPtr input, std::vector<ExprPtr> group_by,
+                      std::vector<ExprPtr> aggregates,
+                      std::vector<std::string> names);
+PlanPtr MakeDistinct(PlanPtr input);
+PlanPtr MakeWindow(PlanPtr input, std::vector<ExprPtr> partition_by,
+                   std::vector<SortKey> order_by,
+                   std::vector<ExprPtr> window_calls,
+                   std::vector<std::string> call_names);
+PlanPtr MakeFlatten(PlanPtr input, ExprPtr flatten_expr,
+                    std::string value_name = "value");
+PlanPtr MakeOrderBy(PlanPtr input, std::vector<SortKey> keys);
+PlanPtr MakeLimit(PlanPtr input, int64_t limit);
+
+// ---- Analysis ----
+
+/// Pre-order visit of every node.
+void VisitPlan(const PlanPtr& p, const std::function<void(const PlanNode&)>& fn);
+
+/// Collects the object ids of all scanned tables (with duplicates removed).
+std::vector<ObjectId> CollectScanIds(const PlanPtr& p);
+
+/// Counts nodes of each kind; powers the Figure 6 experiment.
+struct OperatorCounts {
+  int scan = 0, filter = 0, project = 0, inner_join = 0, outer_join = 0,
+      union_all = 0, aggregate = 0, distinct = 0, window = 0, flatten = 0,
+      order_by = 0, limit = 0;
+};
+OperatorCounts CountOperators(const PlanPtr& p);
+
+}  // namespace dvs
+
+#endif  // DVS_PLAN_LOGICAL_PLAN_H_

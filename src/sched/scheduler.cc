@@ -1,0 +1,184 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+namespace dvs {
+
+Micros LargestCanonicalPeriodAtMost(Micros limit) {
+  Micros p = kCanonicalBasePeriod;
+  if (limit < p) return p;
+  while (p * 2 <= limit) p *= 2;
+  return p;
+}
+
+std::optional<Micros> Scheduler::EffectiveTargetLag(ObjectId dt_id) {
+  auto obj = engine_->catalog().FindById(dt_id);
+  if (!obj.ok() || obj.value()->kind != ObjectKind::kDynamicTable) {
+    return std::nullopt;
+  }
+  const TargetLag& lag = obj.value()->dt->def.target_lag;
+  if (!lag.downstream) return lag.duration;
+  // DOWNSTREAM: min over downstream consumers (§3.2) — refresh only when
+  // required by others.
+  std::optional<Micros> best;
+  for (ObjectId down : engine_->catalog().DownstreamDynamicTables(dt_id)) {
+    std::optional<Micros> d = EffectiveTargetLag(down);
+    if (d.has_value() && (!best.has_value() || *d < *best)) best = d;
+  }
+  return best;
+}
+
+Micros Scheduler::RefreshPeriod(ObjectId dt_id) {
+  std::optional<Micros> lag = EffectiveTargetLag(dt_id);
+  if (!lag.has_value()) return 0;  // never scheduled (manual only)
+
+  Micros p;
+  if (options_.canonical_periods) {
+    // Leave headroom for waiting (w) and duration (d): target half the lag,
+    // then snap down to the canonical set (§5.2).
+    p = LargestCanonicalPeriodAtMost(*lag / 2);
+  } else {
+    // E9 ablation baseline: period = the target lag itself, floored to the
+    // tick grid (no canonical snapping, no headroom).
+    p = std::max(kCanonicalBasePeriod,
+                 (*lag / kCanonicalBasePeriod) * kCanonicalBasePeriod);
+  }
+  // The period must be >= every upstream period so aligned data timestamps
+  // exist (§5.2).
+  for (ObjectId up : engine_->catalog().UpstreamDynamicTables(dt_id)) {
+    p = std::max(p, RefreshPeriod(up));
+  }
+  return p;
+}
+
+void Scheduler::Tick(Micros t) {
+  clock_->AdvanceTo(t);
+  Catalog& catalog = engine_->catalog();
+
+  // Topological order, upstream first.
+  std::vector<CatalogObject*> dts = catalog.AllDynamicTables();
+  std::vector<ObjectId> order;
+  std::set<ObjectId> visited;
+  std::function<void(ObjectId)> dfs = [&](ObjectId id) {
+    if (!visited.insert(id).second) return;
+    for (ObjectId up : catalog.UpstreamDynamicTables(id)) dfs(up);
+    order.push_back(id);
+  };
+  for (CatalogObject* obj : dts) dfs(obj->id);
+
+  for (ObjectId dt_id : order) {
+    auto found = catalog.FindById(dt_id);
+    if (!found.ok()) continue;
+    CatalogObject* obj = found.value();
+    DynamicTableMeta* meta = obj->dt.get();
+    if (meta->state == DtState::kSuspended) continue;
+
+    Micros period = RefreshPeriod(dt_id);
+    if (period == 0 || t % period != 0) continue;
+    if (meta->refresh_versions.count(t)) continue;  // e.g. manual refresh
+
+    RefreshRecord rec;
+    rec.dt = dt_id;
+    rec.dt_name = obj->name;
+    rec.data_timestamp = t;
+
+    // Skip if the previous refresh is still executing (§3.3.3).
+    auto busy = busy_until_.find(dt_id);
+    if (busy != busy_until_.end() && busy->second > t) {
+      rec.skipped = true;
+      rec.start_time = rec.end_time = t;
+      log_.push_back(std::move(rec));
+      continue;
+    }
+
+    // Snapshot isolation requires every upstream DT to have a version at
+    // this data timestamp; if an upstream skipped or failed, skip too.
+    bool upstream_missing = false;
+    Micros upstream_end = t;
+    for (ObjectId up : catalog.UpstreamDynamicTables(dt_id)) {
+      auto uobj = catalog.FindById(up);
+      if (!uobj.ok() || !uobj.value()->dt->refresh_versions.count(t)) {
+        upstream_missing = true;
+        break;
+      }
+      auto ue = last_end_.find(up);
+      if (ue != last_end_.end()) {
+        upstream_end = std::max(upstream_end, ue->second);
+      }
+    }
+    if (upstream_missing) {
+      rec.skipped = true;
+      rec.error = "upstream refresh unavailable at this data timestamp";
+      rec.start_time = rec.end_time = t;
+      log_.push_back(std::move(rec));
+      continue;
+    }
+
+    Result<RefreshOutcome> result =
+        engine_->refresh_engine().Refresh(dt_id, t);
+    if (!result.ok()) {
+      rec.failed = true;
+      rec.error = result.status().ToString();
+      rec.start_time = rec.end_time = t;
+      log_.push_back(std::move(rec));
+      continue;
+    }
+    const RefreshOutcome& outcome = result.value();
+    rec.action = outcome.action;
+    rec.rows_processed = outcome.rows_processed;
+    rec.changes_applied = outcome.changes_applied;
+    rec.dt_row_count = outcome.dt_row_count;
+
+    // Timing: a refresh waits for upstream completions (w_i >= max(w_j+d_j))
+    // and queues on its warehouse; NO_DATA refreshes use no warehouse
+    // compute (§5.4) and complete in cloud-services time.
+    if (outcome.action == RefreshAction::kNoData) {
+      rec.start_time = upstream_end;
+      rec.end_time = upstream_end + 100 * kMicrosPerMilli;
+    } else {
+      Warehouse* wh = engine_->warehouses().GetOrCreate(meta->def.warehouse);
+      Micros duration = options_.cost_model.RefreshDuration(
+          outcome.rows_processed, wh->size());
+      Warehouse::Slot slot = wh->Schedule(upstream_end, duration);
+      rec.start_time = slot.start;
+      rec.end_time = slot.end;
+    }
+    busy_until_[dt_id] = rec.end_time;
+    last_end_[dt_id] = rec.end_time;
+
+    auto prev = prev_data_ts_.find(dt_id);
+    rec.peak_lag =
+        prev == prev_data_ts_.end() ? rec.end_time - t
+                                    : rec.end_time - prev->second;
+    rec.trough_lag = rec.end_time - t;
+    prev_data_ts_[dt_id] = t;
+    log_.push_back(std::move(rec));
+  }
+}
+
+void Scheduler::RunUntil(Micros t) {
+  Micros tick = ((last_run_ / kCanonicalBasePeriod) + 1) * kCanonicalBasePeriod;
+  for (; tick <= t; tick += kCanonicalBasePeriod) {
+    Tick(tick);
+  }
+  last_run_ = t;
+  clock_->AdvanceTo(t);
+}
+
+std::optional<Micros> Scheduler::LagAt(ObjectId dt_id, Micros t) const {
+  // Data timestamp of the last refresh committed by time t.
+  std::optional<Micros> data_ts;
+  for (const RefreshRecord& rec : log_) {
+    if (rec.dt != dt_id || rec.skipped || rec.failed) continue;
+    if (rec.end_time <= t &&
+        (!data_ts.has_value() || rec.data_timestamp > *data_ts)) {
+      data_ts = rec.data_timestamp;
+    }
+  }
+  if (!data_ts.has_value()) return std::nullopt;
+  return t - *data_ts;
+}
+
+}  // namespace dvs

@@ -1,0 +1,107 @@
+// The refresh scheduler (§3.2, §3.3.3, §5.2).
+//
+// Drives scheduled refreshes over the DT dependency graph against a
+// VirtualClock:
+//  - Effective target lag: a DT's own duration, or for DOWNSTREAM the
+//    minimum effective lag of its downstream consumers (§3.2).
+//  - Canonical refresh periods 48·2^n seconds with a constant phase, each
+//    DT's period >= all upstream periods, so data timestamps of a connected
+//    component always align (§5.2).
+//  - Refreshes of one DT never run concurrently: if the previous refresh is
+//    still executing at the next tick, the tick is skipped; the following
+//    refresh covers the whole interval, shedding the skipped fixed costs
+//    (§3.3.3).
+//  - Refresh durations come from the warehouse cost model; a DT's refresh
+//    cannot start before its upstream refreshes for the same data timestamp
+//    have finished (w_i >= max(w_j + d_j), §5.2), and co-located DTs queue
+//    on their shared warehouse.
+//  - Lag accounting reproduces Figure 4's sawtooth: peak lag of refresh i is
+//    e_i − v_{i−1}, trough lag is e_i − v_i.
+
+#ifndef DVS_SCHED_SCHEDULER_H_
+#define DVS_SCHED_SCHEDULER_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "dt/engine.h"
+
+namespace dvs {
+
+/// The canonical period base: 48 seconds (§5.2).
+constexpr Micros kCanonicalBasePeriod = 48 * kMicrosPerSecond;
+
+/// Largest canonical period 48·2^n <= `limit`, or the base period if none.
+Micros LargestCanonicalPeriodAtMost(Micros limit);
+
+struct RefreshRecord {
+  ObjectId dt = kInvalidObjectId;
+  std::string dt_name;
+  Micros data_timestamp = 0;   ///< v_i
+  Micros start_time = 0;       ///< s_i
+  Micros end_time = 0;         ///< e_i
+  RefreshAction action = RefreshAction::kNoData;
+  bool skipped = false;        ///< Previous refresh still running.
+  bool failed = false;
+  std::string error;
+  uint64_t rows_processed = 0;
+  size_t changes_applied = 0;
+  size_t dt_row_count = 0;
+  /// Peak lag just before this refresh committed: e_i − v_{i−1}.
+  Micros peak_lag = 0;
+  /// Trough lag right after commit: e_i − v_i.
+  Micros trough_lag = 0;
+};
+
+struct SchedulerOptions {
+  CostModel cost_model;
+  /// When false, disables the canonical-period heuristic and uses each DT's
+  /// exact target lag as its period (the E9 ablation baseline).
+  bool canonical_periods = true;
+};
+
+class Scheduler {
+ public:
+  Scheduler(DvsEngine* engine, VirtualClock* clock,
+            SchedulerOptions options = {})
+      : engine_(engine), clock_(clock), options_(options) {}
+
+  /// Advances virtual time to `t`, firing all scheduled refreshes due in
+  /// (now, t]. Ticks are aligned to the canonical base period.
+  void RunUntil(Micros t);
+
+  /// Effective target lag of a DT: its duration, or min over downstream for
+  /// DOWNSTREAM (nullopt if DOWNSTREAM with no consumer — never scheduled).
+  std::optional<Micros> EffectiveTargetLag(ObjectId dt_id);
+
+  /// The refresh period chosen for a DT (§5.2 heuristic).
+  Micros RefreshPeriod(ObjectId dt_id);
+
+  const std::vector<RefreshRecord>& log() const { return log_; }
+  void ClearLog() { log_.clear(); }
+
+  /// Lag of a DT at wall time `t`, from the refresh log: t − (data timestamp
+  /// of the last refresh that had *committed* by t).
+  std::optional<Micros> LagAt(ObjectId dt_id, Micros t) const;
+
+ private:
+  void Tick(Micros t);
+
+  DvsEngine* engine_;
+  VirtualClock* clock_;
+  SchedulerOptions options_;
+  std::vector<RefreshRecord> log_;
+  /// Per-DT busy-until (end time of the in-flight refresh).
+  std::map<ObjectId, Micros> busy_until_;
+  /// Per-DT end time of the last *successful* refresh per data timestamp —
+  /// used for upstream wait (w) computation within a tick.
+  std::map<ObjectId, Micros> last_end_;
+  /// Per-DT data timestamp of the previous committed refresh (for peak lag).
+  std::map<ObjectId, Micros> prev_data_ts_;
+  Micros last_run_ = 0;
+};
+
+}  // namespace dvs
+
+#endif  // DVS_SCHED_SCHEDULER_H_

@@ -1,0 +1,189 @@
+// Untyped SQL abstract syntax trees produced by the parser and consumed by
+// the binder. Deliberately permissive: all semantic checking happens in the
+// binder.
+
+#ifndef DVS_SQL_AST_H_
+#define DVS_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "plan/expr.h"
+#include "types/value.h"
+
+namespace dvs {
+namespace sql {
+
+struct AstExpr;
+using AstExprPtr = std::shared_ptr<AstExpr>;
+
+enum class AstExprKind {
+  kIdent,     ///< a or a.b
+  kLiteral,
+  kStar,      ///< * (only valid inside COUNT(*) / SELECT *)
+  kBinary,
+  kUnary,
+  kCall,      ///< function / aggregate / window call
+  kCase,
+  kCast,
+  kIn,
+  kBetween,   ///< children = [expr, lo, hi]
+  kInterval,  ///< INTERVAL '<duration>' -> micros INT literal at bind time
+};
+
+struct WindowSpecAst {
+  std::vector<AstExprPtr> partition_by;
+  struct OrderItem {
+    AstExprPtr expr;
+    bool ascending = true;
+  };
+  std::vector<OrderItem> order_by;
+};
+
+struct AstExpr {
+  AstExprKind kind = AstExprKind::kLiteral;
+  // kIdent
+  std::vector<std::string> parts;
+  // kLiteral
+  Value literal;
+  // kBinary / kUnary
+  BinaryOp bin_op = BinaryOp::kAdd;
+  UnaryOp un_op = UnaryOp::kNot;
+  // kCall
+  std::string call_name;
+  bool distinct = false;
+  std::optional<WindowSpecAst> over;
+  // kCast
+  DataType cast_type = DataType::kNull;
+  // kInterval
+  std::string interval_text;
+
+  std::vector<AstExprPtr> children;
+};
+
+struct SelectItem {
+  AstExprPtr expr;       ///< null when star.
+  std::string alias;     ///< empty = derive from expr.
+  bool star = false;
+};
+
+struct SelectStmt;
+
+enum class TableRefKind { kNamed, kSubquery, kJoin, kFlatten };
+
+struct TableRef {
+  TableRefKind kind = TableRefKind::kNamed;
+  // kNamed
+  std::string name;
+  std::string alias;
+  // kSubquery
+  std::shared_ptr<SelectStmt> subquery;
+  // kJoin
+  JoinType join_type = JoinType::kInner;
+  std::shared_ptr<TableRef> left;
+  std::shared_ptr<TableRef> right;
+  AstExprPtr on;
+  // kFlatten: left, flatten expr, alias for the (index, value) columns.
+  AstExprPtr flatten_input;
+};
+
+struct OrderByItem {
+  AstExprPtr expr;
+  bool ascending = true;
+};
+
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::shared_ptr<TableRef> from;   ///< null = SELECT of constants.
+  AstExprPtr where;
+  bool group_by_all = false;        ///< GROUP BY ALL (Listing 1).
+  std::vector<AstExprPtr> group_by;
+  AstExprPtr having;
+  std::vector<OrderByItem> order_by;
+  int64_t limit = -1;
+  /// UNION ALL continuation. ORDER BY / LIMIT parsed in the *last* member
+  /// apply to the whole union; earlier members must not have them.
+  std::shared_ptr<SelectStmt> union_next;
+};
+
+// ---- Statements ----
+
+struct CreateTableStmt {
+  std::string name;
+  bool or_replace = false;
+  Schema schema;
+  /// CREATE [DYNAMIC] TABLE <name> CLONE <source> (§3.4 zero-copy cloning).
+  std::string clone_source;
+  bool expect_dynamic = false;  ///< The CLONE statement said DYNAMIC TABLE.
+};
+
+struct CreateViewStmt {
+  std::string name;
+  std::shared_ptr<SelectStmt> select;
+  std::string select_sql;
+};
+
+struct CreateDynamicTableStmt {
+  std::string name;
+  bool or_replace = false;
+  TargetLag target_lag;
+  std::string warehouse;
+  RefreshMode refresh_mode = RefreshMode::kAuto;
+  bool initialize_on_create = true;
+  std::shared_ptr<SelectStmt> select;
+  std::string select_sql;  ///< Text of the defining query (for evolution).
+};
+
+struct DropStmt {
+  std::string name;
+  bool undrop = false;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::vector<AstExprPtr>> rows;  ///< VALUES lists.
+};
+
+struct DeleteStmt {
+  std::string table;
+  AstExprPtr where;  ///< null = delete all.
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, AstExprPtr>> assignments;
+  AstExprPtr where;
+};
+
+/// ALTER DYNAMIC TABLE <name> REFRESH | SUSPEND | RESUME
+struct AlterDtStmt {
+  std::string name;
+  enum class Action { kRefresh, kSuspend, kResume } action = Action::kRefresh;
+};
+
+enum class StatementKind {
+  kSelect, kCreateTable, kCreateView, kCreateDynamicTable, kDrop, kInsert,
+  kDelete, kUpdate, kAlterDt,
+};
+
+struct Statement {
+  StatementKind kind = StatementKind::kSelect;
+  std::shared_ptr<SelectStmt> select;
+  std::shared_ptr<CreateTableStmt> create_table;
+  std::shared_ptr<CreateViewStmt> create_view;
+  std::shared_ptr<CreateDynamicTableStmt> create_dt;
+  std::shared_ptr<DropStmt> drop;
+  std::shared_ptr<InsertStmt> insert;
+  std::shared_ptr<DeleteStmt> del;
+  std::shared_ptr<UpdateStmt> update;
+  std::shared_ptr<AlterDtStmt> alter_dt;
+};
+
+}  // namespace sql
+}  // namespace dvs
+
+#endif  // DVS_SQL_AST_H_

@@ -1,0 +1,829 @@
+#include "sql/binder.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/duration.h"
+#include "exec/functions.h"
+
+namespace dvs {
+namespace sql {
+
+namespace {
+
+bool IsAggregateName(const std::string& name, AggFunc* out) {
+  if (name == "count") { *out = AggFunc::kCount; return true; }
+  if (name == "sum") { *out = AggFunc::kSum; return true; }
+  if (name == "min") { *out = AggFunc::kMin; return true; }
+  if (name == "max") { *out = AggFunc::kMax; return true; }
+  if (name == "avg") { *out = AggFunc::kAvg; return true; }
+  if (name == "count_if") { *out = AggFunc::kCountIf; return true; }
+  return false;
+}
+
+bool IsWindowName(const std::string& name, WindowFunc* out) {
+  if (name == "row_number") { *out = WindowFunc::kRowNumber; return true; }
+  if (name == "rank") { *out = WindowFunc::kRank; return true; }
+  if (name == "dense_rank") { *out = WindowFunc::kDenseRank; return true; }
+  if (name == "sum") { *out = WindowFunc::kSum; return true; }
+  if (name == "count") { *out = WindowFunc::kCount; return true; }
+  if (name == "min") { *out = WindowFunc::kMin; return true; }
+  if (name == "max") { *out = WindowFunc::kMax; return true; }
+  if (name == "avg") { *out = WindowFunc::kAvg; return true; }
+  return false;
+}
+
+/// Derives a display name for an unaliased select item.
+std::string DeriveItemName(const AstExpr& ast, size_t index) {
+  if (ast.kind == AstExprKind::kIdent && !ast.parts.empty()) {
+    return ast.parts.back();
+  }
+  if (ast.kind == AstExprKind::kCall) return ast.call_name;
+  if (ast.kind == AstExprKind::kCast && !ast.children.empty() &&
+      ast.children[0]->kind == AstExprKind::kIdent) {
+    return ast.children[0]->parts.back();
+  }
+  return "col" + std::to_string(index + 1);
+}
+
+}  // namespace
+
+std::string ExprKey(const Expr& e) {
+  std::string out = std::to_string(static_cast<int>(e.kind)) + ":";
+  switch (e.kind) {
+    case ExprKind::kColumnRef:
+      out += "$" + std::to_string(e.column_index);
+      break;
+    case ExprKind::kLiteral:
+      out += std::string(DataTypeName(e.literal.type())) + "=" +
+             e.literal.ToString();
+      break;
+    case ExprKind::kBinary:
+      out += BinaryOpName(e.bin_op);
+      break;
+    case ExprKind::kUnary:
+      out += std::to_string(static_cast<int>(e.un_op));
+      break;
+    case ExprKind::kFunction:
+      out += e.function_name;
+      break;
+    case ExprKind::kAggregate:
+      out += std::string(AggFuncName(e.agg_func)) + (e.distinct ? "/d" : "");
+      break;
+    case ExprKind::kWindow:
+      // Window placeholders are identity-matched (pointer), not key-matched;
+      // include the address so distinct calls never collide.
+      out += std::string(WindowFuncName(e.window_func)) + "@" +
+             std::to_string(reinterpret_cast<uintptr_t>(&e));
+      break;
+    case ExprKind::kCast:
+      out += DataTypeName(e.type);
+      break;
+    default:
+      break;
+  }
+  out += "(";
+  for (const ExprPtr& c : e.children) out += ExprKey(*c) + ",";
+  out += ")";
+  return out;
+}
+
+Schema Binder::Scope::ToSchema() const {
+  Schema s;
+  for (const ScopeColumn& c : columns) s.AddColumn(c.name, c.type);
+  return s;
+}
+
+// ---- FROM binding ----
+
+Result<Binder::BoundFrom> Binder::BindNamed(const TableRef& ref) {
+  DVS_ASSIGN_OR_RETURN(const CatalogObject* obj, catalog_.Find(ref.name));
+  std::string qualifier = ref.alias.empty() ? ref.name : ref.alias;
+
+  BoundFrom out;
+  Schema schema;
+  if (obj->kind == ObjectKind::kView) {
+    out.plan = obj->view_plan;
+    schema = obj->view_plan->output_schema;
+    // Track the view itself plus everything it scans (nested dependencies).
+    deps_.push_back({obj->name, obj->id, schema});
+    for (ObjectId id : CollectScanIds(obj->view_plan)) {
+      if (id == kDualTableId) continue;
+      auto inner = catalog_.FindById(id);
+      if (inner.ok()) {
+        const CatalogObject* in = inner.value();
+        Schema in_schema = in->storage ? in->storage->schema()
+                                       : in->view_plan->output_schema;
+        deps_.push_back({in->name, in->id, in_schema});
+      }
+    }
+  } else {
+    schema = obj->storage->schema();
+    out.plan = MakeScan(obj->id, obj->name, schema);
+    deps_.push_back({obj->name, obj->id, schema});
+  }
+  for (const Column& c : schema.columns()) {
+    out.scope.columns.push_back({qualifier, c.name, c.type});
+  }
+  return out;
+}
+
+Result<Binder::BoundFrom> Binder::BindTableRef(const TableRef& ref) {
+  switch (ref.kind) {
+    case TableRefKind::kNamed:
+      return BindNamed(ref);
+    case TableRefKind::kSubquery: {
+      DVS_ASSIGN_OR_RETURN(BindResult sub, BindSelect(*ref.subquery));
+      BoundFrom out;
+      out.plan = sub.plan;
+      for (const Column& c : sub.plan->output_schema.columns()) {
+        out.scope.columns.push_back({ref.alias, c.name, c.type});
+      }
+      return out;
+    }
+    case TableRefKind::kFlatten: {
+      DVS_ASSIGN_OR_RETURN(BoundFrom left, BindTableRef(*ref.left));
+      DVS_ASSIGN_OR_RETURN(
+          ExprPtr input,
+          BindExpr(*ref.flatten_input, left.scope, false, false));
+      std::string q = ref.alias.empty() ? "flatten" : ref.alias;
+      BoundFrom out;
+      out.plan = MakeFlatten(left.plan, input, "value");
+      out.scope = left.scope;
+      out.scope.columns.push_back({q, "index", DataType::kInt64});
+      out.scope.columns.push_back({q, "value", DataType::kNull});
+      return out;
+    }
+    case TableRefKind::kJoin: {
+      DVS_ASSIGN_OR_RETURN(BoundFrom left, BindTableRef(*ref.left));
+      DVS_ASSIGN_OR_RETURN(BoundFrom right, BindTableRef(*ref.right));
+      Scope combined;
+      combined.columns = left.scope.columns;
+      combined.columns.insert(combined.columns.end(),
+                              right.scope.columns.begin(),
+                              right.scope.columns.end());
+      DVS_ASSIGN_OR_RETURN(ExprPtr on,
+                           BindExpr(*ref.on, combined, false, false));
+
+      // Split the ON condition into equi-key conjuncts and a residual.
+      const size_t lw = left.scope.columns.size();
+      std::vector<const Expr*> conjuncts;
+      std::vector<const Expr*> stack = {on.get()};
+      while (!stack.empty()) {
+        const Expr* e = stack.back();
+        stack.pop_back();
+        if (e->kind == ExprKind::kBinary && e->bin_op == BinaryOp::kAnd) {
+          stack.push_back(e->children[0].get());
+          stack.push_back(e->children[1].get());
+        } else {
+          conjuncts.push_back(e);
+        }
+      }
+      auto side_of = [&](const ExprPtr& e) -> int {
+        // 0 = constant, 1 = left only, 2 = right only, 3 = mixed.
+        std::vector<size_t> refs;
+        CollectColumnRefs(e, &refs);
+        int mask = 0;
+        for (size_t r : refs) mask |= (r < lw) ? 1 : 2;
+        return mask;
+      };
+      std::vector<ExprPtr> left_keys, right_keys;
+      ExprPtr residual;
+      auto add_residual = [&](ExprPtr e) {
+        residual = residual ? Binary(BinaryOp::kAnd, residual, std::move(e))
+                            : std::move(e);
+      };
+      std::vector<size_t> to_right(combined.columns.size());
+      for (size_t i = 0; i < combined.columns.size(); ++i) {
+        to_right[i] = i >= lw ? i - lw : i;  // only right-side refs remapped
+      }
+      for (const Expr* c : conjuncts) {
+        bool is_key = false;
+        if (c->kind == ExprKind::kBinary && c->bin_op == BinaryOp::kEq) {
+          ExprPtr a = c->children[0], b = c->children[1];
+          int sa = side_of(a), sb = side_of(b);
+          if (sa == 1 && sb == 2) {
+            left_keys.push_back(a);
+            right_keys.push_back(RemapColumns(b, to_right));
+            is_key = true;
+          } else if (sa == 2 && sb == 1) {
+            left_keys.push_back(b);
+            right_keys.push_back(RemapColumns(a, to_right));
+            is_key = true;
+          }
+        }
+        if (!is_key) {
+          // Keep as residual over the concatenated row (drop literal TRUE).
+          if (!(c->kind == ExprKind::kLiteral &&
+                c->literal.type() == DataType::kBool &&
+                c->literal.bool_value())) {
+            add_residual(std::make_shared<Expr>(*c));
+          }
+        }
+      }
+      BoundFrom out;
+      out.plan = MakeJoin(ref.join_type, left.plan, right.plan,
+                          std::move(left_keys), std::move(right_keys),
+                          residual);
+      out.scope = std::move(combined);
+      return out;
+    }
+  }
+  return Internal("unhandled table ref kind");
+}
+
+// ---- Expression binding ----
+
+Result<ExprPtr> Binder::ResolveIdent(const std::vector<std::string>& parts,
+                                     const Scope& scope) {
+  if (parts.size() == 1) {
+    const std::string& name = parts[0];
+    int found = -1;
+    for (size_t i = 0; i < scope.columns.size(); ++i) {
+      if (scope.columns[i].name == name) {
+        if (found >= 0) {
+          return BindError("ambiguous column '" + name + "'");
+        }
+        found = static_cast<int>(i);
+      }
+    }
+    if (found < 0) return BindError("unknown column '" + name + "'");
+    return ColRef(static_cast<size_t>(found), name,
+                  scope.columns[found].type);
+  }
+  if (parts.size() == 2) {
+    const std::string& q = parts[0];
+    const std::string& name = parts[1];
+    for (size_t i = 0; i < scope.columns.size(); ++i) {
+      if (scope.columns[i].qualifier == q && scope.columns[i].name == name) {
+        return ColRef(i, q + "." + name, scope.columns[i].type);
+      }
+    }
+    return BindError("unknown column '" + q + "." + name + "'");
+  }
+  return BindError("identifiers with more than two parts are not supported");
+}
+
+Result<ExprPtr> Binder::BindCall(const AstExpr& ast, const Scope& scope,
+                                 bool allow_agg, bool allow_window) {
+  // Window call?
+  if (ast.over.has_value()) {
+    WindowFunc wf;
+    if (!IsWindowName(ast.call_name, &wf)) {
+      return BindError("'" + ast.call_name +
+                       "' is not a supported window function");
+    }
+    if (!allow_window) {
+      return BindError("window function not allowed in this clause");
+    }
+    std::vector<ExprPtr> args;
+    for (const AstExprPtr& c : ast.children) {
+      if (c->kind == AstExprKind::kStar) {
+        // count(*) over (...) counts rows.
+        if (wf != WindowFunc::kCount) {
+          return BindError("'*' argument only valid for COUNT");
+        }
+        args.push_back(LitInt(1));
+        continue;
+      }
+      DVS_ASSIGN_OR_RETURN(ExprPtr a, BindExpr(*c, scope, false, false));
+      args.push_back(std::move(a));
+    }
+    if (wf == WindowFunc::kCount && args.empty()) args.push_back(LitInt(1));
+    ExprPtr call = Win(wf, std::move(args));
+
+    PendingWindow pw;
+    pw.placeholder = call.get();
+    std::string key = "P[";
+    for (const AstExprPtr& p : ast.over->partition_by) {
+      DVS_ASSIGN_OR_RETURN(ExprPtr e, BindExpr(*p, scope, false, false));
+      key += ExprKey(*e) + ",";
+      pw.partition_by.push_back(std::move(e));
+    }
+    key += "]O[";
+    for (const auto& o : ast.over->order_by) {
+      DVS_ASSIGN_OR_RETURN(ExprPtr e, BindExpr(*o.expr, scope, false, false));
+      key += ExprKey(*e) + (o.ascending ? "+" : "-") + ",";
+      pw.order_by.push_back({std::move(e), o.ascending});
+    }
+    key += "]";
+    pw.spec_key = std::move(key);
+    pending_windows_.push_back(std::move(pw));
+    return call;
+  }
+
+  // Aggregate call?
+  AggFunc af;
+  if (IsAggregateName(ast.call_name, &af)) {
+    if (!allow_agg) {
+      return BindError("aggregate '" + ast.call_name +
+                       "' not allowed in this clause");
+    }
+    // COUNT(*) special case.
+    if (af == AggFunc::kCount && ast.children.size() == 1 &&
+        ast.children[0]->kind == AstExprKind::kStar) {
+      return Agg(AggFunc::kCountStar, {});
+    }
+    if (ast.children.size() != 1) {
+      return BindError("aggregate '" + ast.call_name +
+                       "' takes exactly one argument");
+    }
+    // Aggregate arguments may not contain aggregates or windows.
+    DVS_ASSIGN_OR_RETURN(ExprPtr arg,
+                         BindExpr(*ast.children[0], scope, false, false));
+    return Agg(af, {std::move(arg)}, ast.distinct);
+  }
+
+  // Scalar function.
+  const ScalarFunction* fn = FunctionRegistry::Global().Find(ast.call_name);
+  if (fn == nullptr) {
+    return BindError("unknown function '" + ast.call_name + "'");
+  }
+  int argc = static_cast<int>(ast.children.size());
+  if (argc < fn->min_args || (fn->max_args >= 0 && argc > fn->max_args)) {
+    return BindError("wrong number of arguments for '" + ast.call_name + "'");
+  }
+  std::vector<ExprPtr> args;
+  for (const AstExprPtr& c : ast.children) {
+    if (c->kind == AstExprKind::kStar) {
+      return BindError("'*' argument only valid in COUNT(*)");
+    }
+    DVS_ASSIGN_OR_RETURN(ExprPtr a,
+                         BindExpr(*c, scope, allow_agg, allow_window));
+    args.push_back(std::move(a));
+  }
+  return Func(ast.call_name, std::move(args));
+}
+
+Result<ExprPtr> Binder::BindExpr(const AstExpr& ast, const Scope& scope,
+                                 bool allow_agg, bool allow_window) {
+  switch (ast.kind) {
+    case AstExprKind::kIdent:
+      return ResolveIdent(ast.parts, scope);
+    case AstExprKind::kLiteral:
+      return Lit(ast.literal);
+    case AstExprKind::kStar:
+      return BindError("'*' not valid here");
+    case AstExprKind::kInterval: {
+      DVS_ASSIGN_OR_RETURN(Micros d, ParseDuration(ast.interval_text));
+      return LitInt(d);
+    }
+    case AstExprKind::kBinary: {
+      DVS_ASSIGN_OR_RETURN(
+          ExprPtr l, BindExpr(*ast.children[0], scope, allow_agg, allow_window));
+      DVS_ASSIGN_OR_RETURN(
+          ExprPtr r, BindExpr(*ast.children[1], scope, allow_agg, allow_window));
+      return Binary(ast.bin_op, std::move(l), std::move(r));
+    }
+    case AstExprKind::kUnary: {
+      DVS_ASSIGN_OR_RETURN(
+          ExprPtr c, BindExpr(*ast.children[0], scope, allow_agg, allow_window));
+      return Unary(ast.un_op, std::move(c));
+    }
+    case AstExprKind::kCall:
+      return BindCall(ast, scope, allow_agg, allow_window);
+    case AstExprKind::kCase: {
+      std::vector<ExprPtr> children;
+      for (const AstExprPtr& c : ast.children) {
+        DVS_ASSIGN_OR_RETURN(ExprPtr e,
+                             BindExpr(*c, scope, allow_agg, allow_window));
+        children.push_back(std::move(e));
+      }
+      return CaseWhen(std::move(children));
+    }
+    case AstExprKind::kCast: {
+      DVS_ASSIGN_OR_RETURN(
+          ExprPtr c, BindExpr(*ast.children[0], scope, allow_agg, allow_window));
+      return CastTo(ast.cast_type, std::move(c));
+    }
+    case AstExprKind::kIn: {
+      std::vector<ExprPtr> children;
+      for (const AstExprPtr& c : ast.children) {
+        DVS_ASSIGN_OR_RETURN(ExprPtr e,
+                             BindExpr(*c, scope, allow_agg, allow_window));
+        children.push_back(std::move(e));
+      }
+      return InList(std::move(children));
+    }
+    case AstExprKind::kBetween: {
+      DVS_ASSIGN_OR_RETURN(
+          ExprPtr v, BindExpr(*ast.children[0], scope, allow_agg, allow_window));
+      DVS_ASSIGN_OR_RETURN(
+          ExprPtr lo, BindExpr(*ast.children[1], scope, allow_agg, allow_window));
+      DVS_ASSIGN_OR_RETURN(
+          ExprPtr hi, BindExpr(*ast.children[2], scope, allow_agg, allow_window));
+      return Binary(BinaryOp::kAnd, Binary(BinaryOp::kGe, v, std::move(lo)),
+                    Binary(BinaryOp::kLe, v, std::move(hi)));
+    }
+  }
+  return Internal("unhandled AST expression kind");
+}
+
+// ---- SELECT binding ----
+
+namespace {
+
+/// Replaces subtrees matching group-key / aggregate-call keys with column
+/// refs into the Aggregate node's output. Leaves window placeholders intact.
+Result<ExprPtr> RewriteOverAggregate(
+    const ExprPtr& e, const std::map<std::string, size_t>& replacement,
+    bool in_aggregate_context) {
+  auto it = replacement.find(ExprKey(*e));
+  if (it != replacement.end()) {
+    return ColRef(it->second, e->column_name, e->type);
+  }
+  if (e->kind == ExprKind::kColumnRef && in_aggregate_context) {
+    return BindError("column '" +
+                     (e->column_name.empty()
+                          ? "$" + std::to_string(e->column_index)
+                          : e->column_name) +
+                     "' must appear in GROUP BY or inside an aggregate");
+  }
+  if (e->kind == ExprKind::kAggregate && in_aggregate_context) {
+    return Internal("unmatched aggregate call survived rewrite");
+  }
+  auto copy = std::make_shared<Expr>(*e);
+  for (ExprPtr& c : copy->children) {
+    DVS_ASSIGN_OR_RETURN(ExprPtr nc,
+                         RewriteOverAggregate(c, replacement,
+                                              in_aggregate_context));
+    c = std::move(nc);
+  }
+  return ExprPtr(copy);
+}
+
+/// Replaces window placeholders (matched by pointer identity) with refs.
+ExprPtr ReplaceWindowPlaceholders(
+    const ExprPtr& e, const std::map<const Expr*, size_t>& mapping) {
+  auto it = mapping.find(e.get());
+  if (it != mapping.end()) {
+    return ColRef(it->second, "", e->type);
+  }
+  auto copy = std::make_shared<Expr>(*e);
+  for (ExprPtr& c : copy->children) {
+    c = ReplaceWindowPlaceholders(c, mapping);
+  }
+  return copy;
+}
+
+bool ContainsWindowPlaceholder(const ExprPtr& e) { return ContainsWindow(e); }
+
+}  // namespace
+
+Result<BindResult> Binder::BindSelect(const SelectStmt& stmt) {
+  // UNION ALL chains: bind each member, fold, then apply the trailing
+  // ORDER BY / LIMIT (which the grammar attaches to the last member) to the
+  // whole union.
+  if (stmt.union_next) {
+    std::vector<const SelectStmt*> members;
+    for (const SelectStmt* s = &stmt; s != nullptr; s = s->union_next.get()) {
+      members.push_back(s);
+    }
+    for (size_t i = 0; i + 1 < members.size(); ++i) {
+      if (!members[i]->order_by.empty() || members[i]->limit >= 0) {
+        return BindError(
+            "ORDER BY / LIMIT must follow the last UNION ALL member");
+      }
+    }
+    PlanPtr folded;
+    for (const SelectStmt* m : members) {
+      SelectStmt copy = *m;
+      copy.union_next = nullptr;
+      copy.order_by.clear();
+      copy.limit = -1;
+      DVS_ASSIGN_OR_RETURN(BindResult r, BindSelect(copy));
+      if (folded != nullptr &&
+          r.plan->output_schema.size() != folded->output_schema.size()) {
+        return BindError("UNION ALL members have different column counts");
+      }
+      folded = folded == nullptr ? r.plan : MakeUnionAll(folded, r.plan);
+    }
+    const SelectStmt* last = members.back();
+    if (!last->order_by.empty()) {
+      Scope out_scope;
+      for (const Column& c : folded->output_schema.columns()) {
+        out_scope.columns.push_back({"", c.name, c.type});
+      }
+      std::vector<SortKey> keys;
+      for (const OrderByItem& o : last->order_by) {
+        if (o.expr->kind == AstExprKind::kLiteral &&
+            o.expr->literal.type() == DataType::kInt64) {
+          int64_t pos = o.expr->literal.int_value();
+          if (pos < 1 ||
+              pos > static_cast<int64_t>(folded->output_schema.size())) {
+            return BindError("ORDER BY position out of range");
+          }
+          keys.push_back(
+              {ColRef(static_cast<size_t>(pos - 1)), o.ascending});
+          continue;
+        }
+        DVS_ASSIGN_OR_RETURN(ExprPtr e,
+                             BindExpr(*o.expr, out_scope, false, false));
+        keys.push_back({std::move(e), o.ascending});
+      }
+      folded = MakeOrderBy(folded, std::move(keys));
+    }
+    if (last->limit >= 0) folded = MakeLimit(folded, last->limit);
+
+    BindResult out;
+    out.plan = folded;
+    std::set<ObjectId> seen;
+    for (TrackedDependency& d : deps_) {
+      if (seen.insert(d.object_id).second) out.dependencies.push_back(d);
+    }
+    return out;
+  }
+
+  // 1. FROM.
+  BoundFrom from;
+  if (stmt.from) {
+    DVS_ASSIGN_OR_RETURN(from, BindTableRef(*stmt.from));
+  } else {
+    from.plan = MakeScan(kDualTableId, "dual", Schema{});
+  }
+
+  // 2. WHERE (no aggregates, no windows).
+  PlanPtr plan = from.plan;
+  if (stmt.where) {
+    DVS_ASSIGN_OR_RETURN(ExprPtr pred,
+                         BindExpr(*stmt.where, from.scope, false, false));
+    plan = MakeFilter(plan, pred);
+  }
+
+  // 3. Bind select items against the FROM scope.
+  pending_windows_.clear();
+  struct BoundItem {
+    ExprPtr expr;
+    std::string name;
+  };
+  std::vector<BoundItem> items;
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    const SelectItem& item = stmt.items[i];
+    if (item.star) {
+      for (size_t c = 0; c < from.scope.columns.size(); ++c) {
+        items.push_back({ColRef(c, from.scope.columns[c].name,
+                                from.scope.columns[c].type),
+                         from.scope.columns[c].name});
+      }
+      continue;
+    }
+    DVS_ASSIGN_OR_RETURN(ExprPtr bound,
+                         BindExpr(*item.expr, from.scope, true, true));
+    std::string name =
+        item.alias.empty() ? DeriveItemName(*item.expr, i) : item.alias;
+    items.push_back({std::move(bound), std::move(name)});
+  }
+
+  // 4. Aggregation analysis.
+  bool any_agg = false;
+  for (const BoundItem& it : items) any_agg |= ContainsAggregate(it.expr);
+  ExprPtr having_bound;
+  if (stmt.having) {
+    DVS_ASSIGN_OR_RETURN(having_bound,
+                         BindExpr(*stmt.having, from.scope, true, false));
+    any_agg |= ContainsAggregate(having_bound);
+  }
+  const bool aggregating =
+      any_agg || !stmt.group_by.empty() || stmt.group_by_all;
+
+  if (aggregating && !pending_windows_.empty()) {
+    return Unsupported(
+        "mixing window functions with GROUP BY / aggregates in one SELECT is "
+        "not supported; factor the query into two dynamic tables");
+  }
+
+  if (aggregating) {
+    // Resolve group expressions.
+    std::vector<ExprPtr> group_exprs;
+    std::vector<std::string> group_names;
+    if (stmt.group_by_all) {
+      for (const BoundItem& it : items) {
+        if (!ContainsAggregate(it.expr)) {
+          group_exprs.push_back(it.expr);
+          group_names.push_back(it.name);
+        }
+      }
+    } else {
+      for (const AstExprPtr& g : stmt.group_by) {
+        // Positional reference (GROUP BY 1).
+        if (g->kind == AstExprKind::kLiteral &&
+            g->literal.type() == DataType::kInt64) {
+          int64_t pos = g->literal.int_value();
+          if (pos < 1 || pos > static_cast<int64_t>(items.size())) {
+            return BindError("GROUP BY position " + std::to_string(pos) +
+                             " out of range");
+          }
+          group_exprs.push_back(items[pos - 1].expr);
+          group_names.push_back(items[pos - 1].name);
+          continue;
+        }
+        // Alias reference.
+        if (g->kind == AstExprKind::kIdent && g->parts.size() == 1) {
+          bool found = false;
+          for (const BoundItem& it : items) {
+            if (it.name == g->parts[0] && !ContainsAggregate(it.expr)) {
+              group_exprs.push_back(it.expr);
+              group_names.push_back(it.name);
+              found = true;
+              break;
+            }
+          }
+          if (found) continue;
+        }
+        DVS_ASSIGN_OR_RETURN(ExprPtr e,
+                             BindExpr(*g, from.scope, false, false));
+        group_exprs.push_back(e);
+        group_names.push_back("group_" +
+                              std::to_string(group_exprs.size()));
+      }
+    }
+
+    // Collect unique aggregate calls from items and HAVING.
+    std::vector<ExprPtr> agg_calls;
+    std::map<std::string, size_t> agg_index;
+    auto collect = [&](const ExprPtr& root) {
+      std::vector<const Expr*> stack = {root.get()};
+      std::vector<ExprPtr> found;
+      std::function<void(const ExprPtr&)> walk = [&](const ExprPtr& e) {
+        if (e->kind == ExprKind::kAggregate) {
+          std::string key = ExprKey(*e);
+          if (!agg_index.count(key)) {
+            agg_index[key] = agg_calls.size();
+            agg_calls.push_back(e);
+          }
+          return;
+        }
+        for (const ExprPtr& c : e->children) walk(c);
+      };
+      walk(root);
+      (void)stack;
+      (void)found;
+    };
+    for (const BoundItem& it : items) collect(it.expr);
+    if (having_bound) collect(having_bound);
+
+    // Build the Aggregate node.
+    std::vector<std::string> agg_names;
+    for (size_t i = 0; i < agg_calls.size(); ++i) {
+      agg_names.push_back("agg_" + std::to_string(i + 1));
+    }
+    std::vector<std::string> all_names = group_names;
+    all_names.insert(all_names.end(), agg_names.begin(), agg_names.end());
+    plan = MakeAggregate(plan, group_exprs, agg_calls, all_names);
+
+    // Rewrite items/having over the aggregate output.
+    std::map<std::string, size_t> replacement;
+    for (size_t i = 0; i < group_exprs.size(); ++i) {
+      replacement[ExprKey(*group_exprs[i])] = i;
+    }
+    for (const auto& [key, idx] : agg_index) {
+      replacement[key] = group_exprs.size() + idx;
+    }
+    for (BoundItem& it : items) {
+      DVS_ASSIGN_OR_RETURN(ExprPtr rewritten,
+                           RewriteOverAggregate(it.expr, replacement, true));
+      it.expr = std::move(rewritten);
+    }
+    if (having_bound) {
+      DVS_ASSIGN_OR_RETURN(
+          ExprPtr rewritten,
+          RewriteOverAggregate(having_bound, replacement, true));
+      plan = MakeFilter(plan, rewritten);
+    }
+  } else if (having_bound) {
+    return BindError("HAVING without aggregation");
+  }
+
+  // 5. Window nodes (only in the non-aggregating path).
+  if (!pending_windows_.empty()) {
+    // Group pending calls by spec.
+    std::map<std::string, std::vector<size_t>> by_spec;
+    for (size_t i = 0; i < pending_windows_.size(); ++i) {
+      by_spec[pending_windows_[i].spec_key].push_back(i);
+    }
+    std::map<const Expr*, size_t> placeholder_to_col;
+    size_t width = plan->output_schema.size();
+    for (const auto& [spec, indices] : by_spec) {
+      (void)spec;
+      const PendingWindow& first = pending_windows_[indices[0]];
+      std::vector<ExprPtr> calls;
+      std::vector<std::string> names;
+      for (size_t k = 0; k < indices.size(); ++k) {
+        const Expr* ph = pending_windows_[indices[k]].placeholder;
+        // Reconstruct an owning pointer to the placeholder expression: the
+        // items still hold it; create a shallow copy for the plan node.
+        calls.push_back(std::make_shared<Expr>(*ph));
+        names.push_back("win_" + std::to_string(width + k + 1));
+        placeholder_to_col[ph] = width + k;
+      }
+      plan = MakeWindow(plan, first.partition_by, first.order_by,
+                        std::move(calls), std::move(names));
+      width = plan->output_schema.size();
+    }
+    for (BoundItem& it : items) {
+      if (ContainsWindowPlaceholder(it.expr)) {
+        it.expr = ReplaceWindowPlaceholders(it.expr, placeholder_to_col);
+      }
+    }
+  }
+
+  // 6. ORDER BY resolution. Keys resolve against the select list (aliases
+  // and positions); in non-aggregating queries they may also reference
+  // underlying FROM columns, which become hidden sort columns appended to
+  // the projection and stripped afterwards.
+  std::vector<SortKey> sort_keys;        // over the projected schema
+  std::vector<ExprPtr> hidden_sort;      // over the pre-projection schema
+  if (!stmt.order_by.empty()) {
+    Scope out_scope;
+    for (const BoundItem& it : items) {
+      // Output types: take from the bound expression.
+      out_scope.columns.push_back({"", it.name, it.expr->type});
+    }
+    for (const OrderByItem& o : stmt.order_by) {
+      if (o.expr->kind == AstExprKind::kLiteral &&
+          o.expr->literal.type() == DataType::kInt64) {
+        int64_t pos = o.expr->literal.int_value();
+        if (pos < 1 || pos > static_cast<int64_t>(items.size())) {
+          return BindError("ORDER BY position out of range");
+        }
+        sort_keys.push_back({ColRef(static_cast<size_t>(pos - 1)), o.ascending});
+        continue;
+      }
+      auto attempt = BindExpr(*o.expr, out_scope, false, false);
+      if (attempt.ok()) {
+        sort_keys.push_back({attempt.take(), o.ascending});
+        continue;
+      }
+      if (aggregating) return attempt.status();
+      if (stmt.distinct) {
+        return BindError(
+            "ORDER BY column must appear in the SELECT DISTINCT list");
+      }
+      // Hidden sort column over the FROM scope (window nodes only append
+      // columns, so FROM indices stay valid).
+      DVS_ASSIGN_OR_RETURN(ExprPtr e,
+                           BindExpr(*o.expr, from.scope, false, false));
+      sort_keys.push_back(
+          {ColRef(items.size() + hidden_sort.size()), o.ascending});
+      hidden_sort.push_back(std::move(e));
+    }
+  }
+
+  // 7. Final projection (plus hidden sort columns).
+  const size_t visible = items.size();
+  {
+    std::vector<ExprPtr> exprs;
+    std::vector<std::string> names;
+    for (BoundItem& it : items) {
+      exprs.push_back(std::move(it.expr));
+      names.push_back(std::move(it.name));
+    }
+    for (size_t i = 0; i < hidden_sort.size(); ++i) {
+      exprs.push_back(hidden_sort[i]);
+      names.push_back("$sort" + std::to_string(i + 1));
+    }
+    plan = MakeProject(plan, std::move(exprs), names);
+  }
+
+  // 8. DISTINCT, ORDER BY, strip hidden columns, LIMIT.
+  if (stmt.distinct) plan = MakeDistinct(plan);
+  if (!sort_keys.empty()) plan = MakeOrderBy(plan, std::move(sort_keys));
+  if (!hidden_sort.empty()) {
+    std::vector<ExprPtr> strip;
+    std::vector<std::string> names;
+    for (size_t i = 0; i < visible; ++i) {
+      strip.push_back(ColRef(i, plan->output_schema.column(i).name,
+                             plan->output_schema.column(i).type));
+      names.push_back(plan->output_schema.column(i).name);
+    }
+    plan = MakeProject(plan, std::move(strip), names);
+  }
+  if (stmt.limit >= 0) plan = MakeLimit(plan, stmt.limit);
+
+  BindResult out;
+  out.plan = plan;
+  // Deduplicate dependencies by object id.
+  std::set<ObjectId> seen;
+  for (TrackedDependency& d : deps_) {
+    if (seen.insert(d.object_id).second) out.dependencies.push_back(d);
+  }
+  return out;
+}
+
+Result<ExprPtr> Binder::BindConstExpr(const AstExpr& ast) {
+  Scope empty;
+  return BindExpr(ast, empty, false, false);
+}
+
+Result<ExprPtr> Binder::BindExprForSchema(const AstExpr& ast,
+                                          const Schema& schema) {
+  Scope scope;
+  for (const Column& c : schema.columns()) {
+    scope.columns.push_back({"", c.name, c.type});
+  }
+  return BindExpr(ast, scope, false, false);
+}
+
+}  // namespace sql
+}  // namespace dvs

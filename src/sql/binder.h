@@ -1,0 +1,95 @@
+// Binder: resolves parsed ASTs against the catalog into logical plans.
+//
+// Responsibilities (paper §5.1 "parses, binds identifiers, and generates an
+// optimized query plan", §5.4 dependency tracking):
+//  - name resolution with alias scopes, ambiguity detection
+//  - view expansion (nested views bound at view-creation time)
+//  - aggregate extraction / GROUP BY (incl. GROUP BY ALL and positional)
+//  - window-call extraction into Window plan nodes (one node per distinct
+//    PARTITION BY / ORDER BY spec)
+//  - equi-join key extraction from ON conjunctions, residual predicates
+//  - tracked-dependency recording for query evolution
+
+#ifndef DVS_SQL_BINDER_H_
+#define DVS_SQL_BINDER_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "plan/logical_plan.h"
+#include "sql/ast.h"
+
+namespace dvs {
+namespace sql {
+
+/// Scan id used for FROM-less SELECTs; the engine resolves it to a single
+/// empty row.
+constexpr ObjectId kDualTableId = ~0ull;
+
+struct BindResult {
+  PlanPtr plan;
+  std::vector<TrackedDependency> dependencies;
+};
+
+class Binder {
+ public:
+  explicit Binder(const Catalog& catalog) : catalog_(catalog) {}
+
+  /// Binds a full SELECT statement to a plan.
+  Result<BindResult> BindSelect(const SelectStmt& stmt);
+
+  /// Binds an expression with no input columns (INSERT ... VALUES lists).
+  Result<ExprPtr> BindConstExpr(const AstExpr& ast);
+
+  /// Binds an expression against a single table's schema (DELETE/UPDATE
+  /// predicates and assignments).
+  Result<ExprPtr> BindExprForSchema(const AstExpr& ast, const Schema& schema);
+
+ private:
+  struct ScopeColumn {
+    std::string qualifier;  ///< table alias (lower case)
+    std::string name;       ///< column name (lower case)
+    DataType type = DataType::kNull;
+  };
+  struct Scope {
+    std::vector<ScopeColumn> columns;
+    Schema ToSchema() const;
+  };
+
+  struct BoundFrom {
+    PlanPtr plan;
+    Scope scope;
+  };
+
+  /// A window call found during item binding, waiting for its Window node.
+  struct PendingWindow {
+    const Expr* placeholder = nullptr;   // identity of the kWindow expr
+    std::vector<ExprPtr> partition_by;
+    std::vector<SortKey> order_by;
+    std::string spec_key;                // groups calls with equal specs
+  };
+
+  Result<BoundFrom> BindTableRef(const TableRef& ref);
+  Result<BoundFrom> BindNamed(const TableRef& ref);
+
+  Result<ExprPtr> BindExpr(const AstExpr& ast, const Scope& scope,
+                           bool allow_agg, bool allow_window);
+  Result<ExprPtr> BindCall(const AstExpr& ast, const Scope& scope,
+                           bool allow_agg, bool allow_window);
+  Result<ExprPtr> ResolveIdent(const std::vector<std::string>& parts,
+                               const Scope& scope);
+
+  const Catalog& catalog_;
+  std::vector<TrackedDependency> deps_;
+  std::vector<PendingWindow> pending_windows_;
+};
+
+/// Canonical structural key for a bound expression; used to match GROUP BY
+/// expressions with select items and to deduplicate aggregate calls.
+std::string ExprKey(const Expr& e);
+
+}  // namespace sql
+}  // namespace dvs
+
+#endif  // DVS_SQL_BINDER_H_

@@ -1,0 +1,887 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+#include <set>
+
+#include "common/duration.h"
+#include "sql/token.h"
+
+namespace dvs {
+namespace sql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens, std::string sql)
+      : tokens_(std::move(tokens)), sql_(std::move(sql)) {}
+
+  Result<Statement> ParseStatementTop();
+  Result<std::shared_ptr<SelectStmt>> ParseSelectTop();
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+
+  bool MatchKeyword(const char* kw) {
+    if (Peek().IsKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool MatchSymbol(const char* s) {
+    if (Peek().IsSymbol(s)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!MatchKeyword(kw)) {
+      return ParseError(std::string("expected '") + kw + "' near offset " +
+                        std::to_string(Peek().offset));
+    }
+    return OkStatus();
+  }
+  Status ExpectSymbol(const char* s) {
+    if (!MatchSymbol(s)) {
+      return ParseError(std::string("expected '") + s + "' near offset " +
+                        std::to_string(Peek().offset) + " (got '" +
+                        Peek().text + "')");
+    }
+    return OkStatus();
+  }
+  Result<std::string> ExpectIdent(const char* what) {
+    if (Peek().type != TokenType::kIdent) {
+      return ParseError(std::string("expected ") + what + " near offset " +
+                        std::to_string(Peek().offset));
+    }
+    return Advance().text;
+  }
+
+  // Statements.
+  Result<Statement> ParseCreate();
+  Result<Statement> ParseDropOrUndrop(bool undrop);
+  Result<Statement> ParseInsert();
+  Result<Statement> ParseDelete();
+  Result<Statement> ParseUpdate();
+  Result<Statement> ParseAlter();
+  Result<std::shared_ptr<CreateDynamicTableStmt>> ParseCreateDt(bool or_replace);
+  Result<Schema> ParseColumnDefs();
+  Result<DataType> ParseType();
+
+  // Queries.
+  Result<std::shared_ptr<SelectStmt>> ParseSelectStmt();
+  Result<std::shared_ptr<TableRef>> ParseFromClause();
+  Result<std::shared_ptr<TableRef>> ParseTableRef();
+  Result<std::shared_ptr<TableRef>> ParseTablePrimary();
+
+  // Expressions (precedence climbing).
+  Result<AstExprPtr> ParseExpr() { return ParseOr(); }
+  Result<AstExprPtr> ParseOr();
+  Result<AstExprPtr> ParseAnd();
+  Result<AstExprPtr> ParseNot();
+  Result<AstExprPtr> ParseComparison();
+  Result<AstExprPtr> ParseConcat();
+  Result<AstExprPtr> ParseAdditive();
+  Result<AstExprPtr> ParseMultiplicative();
+  Result<AstExprPtr> ParseUnary();
+  Result<AstExprPtr> ParsePostfix();
+  Result<AstExprPtr> ParsePrimary();
+  Result<WindowSpecAst> ParseOverClause();
+
+  std::string SqlSince(size_t start_offset) const {
+    return sql_.substr(start_offset);
+  }
+
+  std::vector<Token> tokens_;
+  std::string sql_;
+  size_t pos_ = 0;
+};
+
+/// Keywords that may not start an expression or serve as bare identifiers;
+/// prevents "SELECT FROM t" from parsing as a column named "from".
+bool IsReservedWord(const std::string& s) {
+  static const std::set<std::string> kReserved = {
+      "select", "from",  "where", "group", "having", "order",  "limit",
+      "join",   "on",    "inner", "left",  "right",  "full",   "outer",
+      "union",  "as",    "by",    "and",   "or",     "when",   "then",
+      "else",   "end",   "between", "is",  "in",     "distinct", "lateral",
+      "cross",  "create", "insert", "update", "delete", "set", "values",
+      "drop",   "undrop", "alter"};
+  return kReserved.count(s) > 0;
+}
+
+AstExprPtr NewAst(AstExprKind kind) {
+  auto e = std::make_shared<AstExpr>();
+  e->kind = kind;
+  return e;
+}
+
+AstExprPtr AstLit(Value v) {
+  auto e = NewAst(AstExprKind::kLiteral);
+  e->literal = std::move(v);
+  return e;
+}
+
+AstExprPtr AstBin(BinaryOp op, AstExprPtr l, AstExprPtr r) {
+  auto e = NewAst(AstExprKind::kBinary);
+  e->bin_op = op;
+  e->children = {std::move(l), std::move(r)};
+  return e;
+}
+
+// ---- Statements ----
+
+Result<Statement> Parser::ParseStatementTop() {
+  Statement stmt;
+  if (Peek().IsKeyword("create")) {
+    return ParseCreate();
+  }
+  if (MatchKeyword("drop")) {
+    return ParseDropOrUndrop(false);
+  }
+  if (MatchKeyword("undrop")) {
+    return ParseDropOrUndrop(true);
+  }
+  if (Peek().IsKeyword("insert")) return ParseInsert();
+  if (Peek().IsKeyword("delete")) return ParseDelete();
+  if (Peek().IsKeyword("update")) return ParseUpdate();
+  if (Peek().IsKeyword("alter")) return ParseAlter();
+  if (Peek().IsKeyword("select")) {
+    DVS_ASSIGN_OR_RETURN(stmt.select, ParseSelectStmt());
+    stmt.kind = StatementKind::kSelect;
+    MatchSymbol(";");
+    if (!AtEnd()) return ParseError("trailing tokens after SELECT");
+    return stmt;
+  }
+  return ParseError("unrecognized statement near offset " +
+                    std::to_string(Peek().offset));
+}
+
+Result<std::shared_ptr<SelectStmt>> Parser::ParseSelectTop() {
+  DVS_ASSIGN_OR_RETURN(auto sel, ParseSelectStmt());
+  MatchSymbol(";");
+  if (!AtEnd()) return ParseError("trailing tokens after SELECT");
+  return sel;
+}
+
+Result<Statement> Parser::ParseCreate() {
+  DVS_RETURN_IF_ERROR(ExpectKeyword("create"));
+  bool or_replace = false;
+  if (MatchKeyword("or")) {
+    DVS_RETURN_IF_ERROR(ExpectKeyword("replace"));
+    or_replace = true;
+  }
+  Statement stmt;
+  if (MatchKeyword("dynamic")) {
+    DVS_RETURN_IF_ERROR(ExpectKeyword("table"));
+    // CREATE DYNAMIC TABLE <name> CLONE <source>.
+    if (Peek(1).IsKeyword("clone")) {
+      auto ct = std::make_shared<CreateTableStmt>();
+      ct->expect_dynamic = true;
+      DVS_ASSIGN_OR_RETURN(ct->name, ExpectIdent("dynamic table name"));
+      DVS_RETURN_IF_ERROR(ExpectKeyword("clone"));
+      DVS_ASSIGN_OR_RETURN(ct->clone_source, ExpectIdent("source name"));
+      MatchSymbol(";");
+      stmt.kind = StatementKind::kCreateTable;
+      stmt.create_table = std::move(ct);
+      return stmt;
+    }
+    DVS_ASSIGN_OR_RETURN(stmt.create_dt, ParseCreateDt(or_replace));
+    stmt.kind = StatementKind::kCreateDynamicTable;
+    return stmt;
+  }
+  if (MatchKeyword("table")) {
+    auto ct = std::make_shared<CreateTableStmt>();
+    ct->or_replace = or_replace;
+    DVS_ASSIGN_OR_RETURN(ct->name, ExpectIdent("table name"));
+    if (MatchKeyword("clone")) {
+      DVS_ASSIGN_OR_RETURN(ct->clone_source, ExpectIdent("source name"));
+    } else {
+      DVS_ASSIGN_OR_RETURN(ct->schema, ParseColumnDefs());
+    }
+    MatchSymbol(";");
+    stmt.kind = StatementKind::kCreateTable;
+    stmt.create_table = std::move(ct);
+    return stmt;
+  }
+  if (MatchKeyword("view")) {
+    auto cv = std::make_shared<CreateViewStmt>();
+    DVS_ASSIGN_OR_RETURN(cv->name, ExpectIdent("view name"));
+    DVS_RETURN_IF_ERROR(ExpectKeyword("as"));
+    size_t sel_start = Peek().offset;
+    DVS_ASSIGN_OR_RETURN(cv->select, ParseSelectStmt());
+    cv->select_sql = SqlSince(sel_start);
+    MatchSymbol(";");
+    stmt.kind = StatementKind::kCreateView;
+    stmt.create_view = std::move(cv);
+    return stmt;
+  }
+  return ParseError("expected TABLE, VIEW, or DYNAMIC TABLE after CREATE");
+}
+
+Result<std::shared_ptr<CreateDynamicTableStmt>> Parser::ParseCreateDt(
+    bool or_replace) {
+  auto dt = std::make_shared<CreateDynamicTableStmt>();
+  dt->or_replace = or_replace;
+  DVS_ASSIGN_OR_RETURN(dt->name, ExpectIdent("dynamic table name"));
+
+  bool saw_lag = false, saw_wh = false;
+  while (true) {
+    if (MatchKeyword("target_lag")) {
+      DVS_RETURN_IF_ERROR(ExpectSymbol("="));
+      if (MatchKeyword("downstream")) {
+        dt->target_lag = TargetLag::Downstream();
+      } else if (Peek().type == TokenType::kString) {
+        DVS_ASSIGN_OR_RETURN(Micros d, ParseDuration(Advance().text));
+        dt->target_lag = TargetLag::Of(d);
+      } else {
+        return ParseError("TARGET_LAG must be a duration string or DOWNSTREAM");
+      }
+      saw_lag = true;
+      continue;
+    }
+    if (MatchKeyword("warehouse")) {
+      DVS_RETURN_IF_ERROR(ExpectSymbol("="));
+      DVS_ASSIGN_OR_RETURN(dt->warehouse, ExpectIdent("warehouse name"));
+      saw_wh = true;
+      continue;
+    }
+    if (MatchKeyword("refresh_mode")) {
+      DVS_RETURN_IF_ERROR(ExpectSymbol("="));
+      DVS_ASSIGN_OR_RETURN(std::string mode, ExpectIdent("refresh mode"));
+      if (mode == "full") dt->refresh_mode = RefreshMode::kFull;
+      else if (mode == "incremental") dt->refresh_mode = RefreshMode::kIncremental;
+      else if (mode == "auto") dt->refresh_mode = RefreshMode::kAuto;
+      else return ParseError("REFRESH_MODE must be AUTO, FULL, or INCREMENTAL");
+      continue;
+    }
+    if (MatchKeyword("initialize")) {
+      DVS_RETURN_IF_ERROR(ExpectSymbol("="));
+      DVS_ASSIGN_OR_RETURN(std::string init, ExpectIdent("initialize mode"));
+      if (init == "on_create") dt->initialize_on_create = true;
+      else if (init == "on_schedule") dt->initialize_on_create = false;
+      else return ParseError("INITIALIZE must be ON_CREATE or ON_SCHEDULE");
+      continue;
+    }
+    break;
+  }
+  if (!saw_lag) return ParseError("CREATE DYNAMIC TABLE requires TARGET_LAG");
+  if (!saw_wh) return ParseError("CREATE DYNAMIC TABLE requires WAREHOUSE");
+
+  DVS_RETURN_IF_ERROR(ExpectKeyword("as"));
+  size_t sel_start = Peek().offset;
+  DVS_ASSIGN_OR_RETURN(dt->select, ParseSelectStmt());
+  dt->select_sql = SqlSince(sel_start);
+  MatchSymbol(";");
+  return dt;
+}
+
+Result<Schema> Parser::ParseColumnDefs() {
+  DVS_RETURN_IF_ERROR(ExpectSymbol("("));
+  Schema schema;
+  while (true) {
+    DVS_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
+    DVS_ASSIGN_OR_RETURN(DataType type, ParseType());
+    schema.AddColumn(std::move(col), type);
+    if (MatchSymbol(",")) continue;
+    DVS_RETURN_IF_ERROR(ExpectSymbol(")"));
+    break;
+  }
+  return schema;
+}
+
+Result<DataType> Parser::ParseType() {
+  DVS_ASSIGN_OR_RETURN(std::string t, ExpectIdent("type name"));
+  if (t == "int" || t == "integer" || t == "bigint" || t == "number")
+    return DataType::kInt64;
+  if (t == "double" || t == "float" || t == "real") return DataType::kDouble;
+  if (t == "string" || t == "text" || t == "varchar") return DataType::kString;
+  if (t == "bool" || t == "boolean") return DataType::kBool;
+  if (t == "timestamp") return DataType::kTimestamp;
+  if (t == "array") return DataType::kArray;
+  return ParseError("unknown type '" + t + "'");
+}
+
+Result<Statement> Parser::ParseDropOrUndrop(bool undrop) {
+  // Accept DROP [DYNAMIC] TABLE / VIEW, all treated uniformly by name.
+  MatchKeyword("dynamic");
+  if (!MatchKeyword("table")) MatchKeyword("view");
+  Statement stmt;
+  stmt.kind = StatementKind::kDrop;
+  stmt.drop = std::make_shared<DropStmt>();
+  stmt.drop->undrop = undrop;
+  DVS_ASSIGN_OR_RETURN(stmt.drop->name, ExpectIdent("object name"));
+  MatchSymbol(";");
+  return stmt;
+}
+
+Result<Statement> Parser::ParseInsert() {
+  DVS_RETURN_IF_ERROR(ExpectKeyword("insert"));
+  DVS_RETURN_IF_ERROR(ExpectKeyword("into"));
+  Statement stmt;
+  stmt.kind = StatementKind::kInsert;
+  stmt.insert = std::make_shared<InsertStmt>();
+  DVS_ASSIGN_OR_RETURN(stmt.insert->table, ExpectIdent("table name"));
+  DVS_RETURN_IF_ERROR(ExpectKeyword("values"));
+  while (true) {
+    DVS_RETURN_IF_ERROR(ExpectSymbol("("));
+    std::vector<AstExprPtr> row;
+    while (true) {
+      DVS_ASSIGN_OR_RETURN(AstExprPtr e, ParseExpr());
+      row.push_back(std::move(e));
+      if (MatchSymbol(",")) continue;
+      DVS_RETURN_IF_ERROR(ExpectSymbol(")"));
+      break;
+    }
+    stmt.insert->rows.push_back(std::move(row));
+    if (!MatchSymbol(",")) break;
+  }
+  MatchSymbol(";");
+  return stmt;
+}
+
+Result<Statement> Parser::ParseDelete() {
+  DVS_RETURN_IF_ERROR(ExpectKeyword("delete"));
+  DVS_RETURN_IF_ERROR(ExpectKeyword("from"));
+  Statement stmt;
+  stmt.kind = StatementKind::kDelete;
+  stmt.del = std::make_shared<DeleteStmt>();
+  DVS_ASSIGN_OR_RETURN(stmt.del->table, ExpectIdent("table name"));
+  if (MatchKeyword("where")) {
+    DVS_ASSIGN_OR_RETURN(stmt.del->where, ParseExpr());
+  }
+  MatchSymbol(";");
+  return stmt;
+}
+
+Result<Statement> Parser::ParseUpdate() {
+  DVS_RETURN_IF_ERROR(ExpectKeyword("update"));
+  Statement stmt;
+  stmt.kind = StatementKind::kUpdate;
+  stmt.update = std::make_shared<UpdateStmt>();
+  DVS_ASSIGN_OR_RETURN(stmt.update->table, ExpectIdent("table name"));
+  DVS_RETURN_IF_ERROR(ExpectKeyword("set"));
+  while (true) {
+    DVS_ASSIGN_OR_RETURN(std::string col, ExpectIdent("column name"));
+    DVS_RETURN_IF_ERROR(ExpectSymbol("="));
+    DVS_ASSIGN_OR_RETURN(AstExprPtr e, ParseExpr());
+    stmt.update->assignments.emplace_back(std::move(col), std::move(e));
+    if (!MatchSymbol(",")) break;
+  }
+  if (MatchKeyword("where")) {
+    DVS_ASSIGN_OR_RETURN(stmt.update->where, ParseExpr());
+  }
+  MatchSymbol(";");
+  return stmt;
+}
+
+Result<Statement> Parser::ParseAlter() {
+  DVS_RETURN_IF_ERROR(ExpectKeyword("alter"));
+  DVS_RETURN_IF_ERROR(ExpectKeyword("dynamic"));
+  DVS_RETURN_IF_ERROR(ExpectKeyword("table"));
+  Statement stmt;
+  stmt.kind = StatementKind::kAlterDt;
+  stmt.alter_dt = std::make_shared<AlterDtStmt>();
+  DVS_ASSIGN_OR_RETURN(stmt.alter_dt->name, ExpectIdent("dynamic table name"));
+  if (MatchKeyword("refresh")) {
+    stmt.alter_dt->action = AlterDtStmt::Action::kRefresh;
+  } else if (MatchKeyword("suspend")) {
+    stmt.alter_dt->action = AlterDtStmt::Action::kSuspend;
+  } else if (MatchKeyword("resume")) {
+    stmt.alter_dt->action = AlterDtStmt::Action::kResume;
+  } else {
+    return ParseError("expected REFRESH, SUSPEND, or RESUME");
+  }
+  MatchSymbol(";");
+  return stmt;
+}
+
+// ---- Queries ----
+
+Result<std::shared_ptr<SelectStmt>> Parser::ParseSelectStmt() {
+  DVS_RETURN_IF_ERROR(ExpectKeyword("select"));
+  auto sel = std::make_shared<SelectStmt>();
+  sel->distinct = MatchKeyword("distinct");
+
+  while (true) {
+    SelectItem item;
+    if (MatchSymbol("*")) {
+      item.star = true;
+    } else {
+      DVS_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("as")) {
+        DVS_ASSIGN_OR_RETURN(item.alias, ExpectIdent("alias"));
+      } else if (Peek().type == TokenType::kIdent &&
+                 !Peek().IsKeyword("from") && !Peek().IsKeyword("where") &&
+                 !Peek().IsKeyword("group") && !Peek().IsKeyword("having") &&
+                 !Peek().IsKeyword("order") && !Peek().IsKeyword("limit") &&
+                 !Peek().IsKeyword("union")) {
+        item.alias = Advance().text;  // bare alias
+      }
+    }
+    sel->items.push_back(std::move(item));
+    if (!MatchSymbol(",")) break;
+  }
+
+  if (MatchKeyword("from")) {
+    DVS_ASSIGN_OR_RETURN(sel->from, ParseFromClause());
+  }
+  if (MatchKeyword("where")) {
+    DVS_ASSIGN_OR_RETURN(sel->where, ParseExpr());
+  }
+  if (MatchKeyword("group")) {
+    DVS_RETURN_IF_ERROR(ExpectKeyword("by"));
+    if (MatchKeyword("all")) {
+      sel->group_by_all = true;
+    } else {
+      while (true) {
+        DVS_ASSIGN_OR_RETURN(AstExprPtr e, ParseExpr());
+        sel->group_by.push_back(std::move(e));
+        if (!MatchSymbol(",")) break;
+      }
+    }
+  }
+  if (MatchKeyword("having")) {
+    DVS_ASSIGN_OR_RETURN(sel->having, ParseExpr());
+  }
+  if (MatchKeyword("order")) {
+    DVS_RETURN_IF_ERROR(ExpectKeyword("by"));
+    while (true) {
+      OrderByItem item;
+      DVS_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("desc")) item.ascending = false;
+      else MatchKeyword("asc");
+      sel->order_by.push_back(std::move(item));
+      if (!MatchSymbol(",")) break;
+    }
+  }
+  if (MatchKeyword("limit")) {
+    if (Peek().type != TokenType::kNumber) {
+      return ParseError("LIMIT requires a number");
+    }
+    sel->limit = std::strtoll(Advance().text.c_str(), nullptr, 10);
+  }
+  if (MatchKeyword("union")) {
+    DVS_RETURN_IF_ERROR(ExpectKeyword("all"));
+    DVS_ASSIGN_OR_RETURN(sel->union_next, ParseSelectStmt());
+  }
+  return sel;
+}
+
+Result<std::shared_ptr<TableRef>> Parser::ParseFromClause() {
+  DVS_ASSIGN_OR_RETURN(auto ref, ParseTableRef());
+  // Comma-separated refs: cross join, or LATERAL FLATTEN.
+  while (MatchSymbol(",")) {
+    if (MatchKeyword("lateral")) {
+      DVS_RETURN_IF_ERROR(ExpectKeyword("flatten"));
+      DVS_RETURN_IF_ERROR(ExpectSymbol("("));
+      auto fl = std::make_shared<TableRef>();
+      fl->kind = TableRefKind::kFlatten;
+      fl->left = ref;
+      DVS_ASSIGN_OR_RETURN(fl->flatten_input, ParseExpr());
+      DVS_RETURN_IF_ERROR(ExpectSymbol(")"));
+      if (Peek().type == TokenType::kIdent && !Peek().IsKeyword("where") &&
+          !Peek().IsKeyword("group") && !Peek().IsKeyword("order") &&
+          !Peek().IsKeyword("having") && !Peek().IsKeyword("limit") &&
+          !Peek().IsKeyword("join") && !Peek().IsKeyword("inner") &&
+          !Peek().IsKeyword("left") && !Peek().IsKeyword("right") &&
+          !Peek().IsKeyword("full")) {
+        fl->alias = Advance().text;
+      }
+      ref = fl;
+      continue;
+    }
+    // Plain cross join: model as inner join with TRUE condition.
+    DVS_ASSIGN_OR_RETURN(auto right, ParseTableRef());
+    auto join = std::make_shared<TableRef>();
+    join->kind = TableRefKind::kJoin;
+    join->join_type = JoinType::kInner;
+    join->left = ref;
+    join->right = right;
+    join->on = AstLit(Value::Bool(true));
+    ref = join;
+  }
+  return ref;
+}
+
+Result<std::shared_ptr<TableRef>> Parser::ParseTableRef() {
+  DVS_ASSIGN_OR_RETURN(auto left, ParseTablePrimary());
+  while (true) {
+    JoinType jt;
+    if (MatchKeyword("join") || (Peek().IsKeyword("inner") &&
+                                 Peek(1).IsKeyword("join"))) {
+      if (Peek().IsKeyword("inner")) {
+        Advance();
+        Advance();
+      }
+      jt = JoinType::kInner;
+    } else if (Peek().IsKeyword("left")) {
+      Advance();
+      MatchKeyword("outer");
+      DVS_RETURN_IF_ERROR(ExpectKeyword("join"));
+      jt = JoinType::kLeft;
+    } else if (Peek().IsKeyword("right")) {
+      Advance();
+      MatchKeyword("outer");
+      DVS_RETURN_IF_ERROR(ExpectKeyword("join"));
+      jt = JoinType::kRight;
+    } else if (Peek().IsKeyword("full")) {
+      Advance();
+      MatchKeyword("outer");
+      DVS_RETURN_IF_ERROR(ExpectKeyword("join"));
+      jt = JoinType::kFull;
+    } else {
+      break;
+    }
+    DVS_ASSIGN_OR_RETURN(auto right, ParseTablePrimary());
+    DVS_RETURN_IF_ERROR(ExpectKeyword("on"));
+    auto join = std::make_shared<TableRef>();
+    join->kind = TableRefKind::kJoin;
+    join->join_type = jt;
+    join->left = left;
+    join->right = right;
+    DVS_ASSIGN_OR_RETURN(join->on, ParseExpr());
+    left = join;
+  }
+  return left;
+}
+
+Result<std::shared_ptr<TableRef>> Parser::ParseTablePrimary() {
+  auto ref = std::make_shared<TableRef>();
+  if (MatchSymbol("(")) {
+    ref->kind = TableRefKind::kSubquery;
+    auto sub = std::make_shared<SelectStmt>();
+    DVS_ASSIGN_OR_RETURN(sub, ParseSelectStmt());
+    ref->subquery = std::move(sub);
+    DVS_RETURN_IF_ERROR(ExpectSymbol(")"));
+  } else {
+    ref->kind = TableRefKind::kNamed;
+    DVS_ASSIGN_OR_RETURN(ref->name, ExpectIdent("table name"));
+  }
+  // Optional alias.
+  if (MatchKeyword("as")) {
+    DVS_ASSIGN_OR_RETURN(ref->alias, ExpectIdent("alias"));
+  } else if (Peek().type == TokenType::kIdent &&
+             !Peek().IsKeyword("on") && !Peek().IsKeyword("join") &&
+             !Peek().IsKeyword("inner") && !Peek().IsKeyword("left") &&
+             !Peek().IsKeyword("right") && !Peek().IsKeyword("full") &&
+             !Peek().IsKeyword("where") && !Peek().IsKeyword("group") &&
+             !Peek().IsKeyword("having") && !Peek().IsKeyword("order") &&
+             !Peek().IsKeyword("limit") && !Peek().IsKeyword("lateral") &&
+             !Peek().IsKeyword("cross") && !Peek().IsKeyword("union")) {
+    ref->alias = Advance().text;
+  }
+  if (ref->kind == TableRefKind::kSubquery && ref->alias.empty()) {
+    return ParseError("subquery in FROM requires an alias");
+  }
+  return ref;
+}
+
+// ---- Expressions ----
+
+Result<AstExprPtr> Parser::ParseOr() {
+  DVS_ASSIGN_OR_RETURN(AstExprPtr l, ParseAnd());
+  while (MatchKeyword("or")) {
+    DVS_ASSIGN_OR_RETURN(AstExprPtr r, ParseAnd());
+    l = AstBin(BinaryOp::kOr, std::move(l), std::move(r));
+  }
+  return l;
+}
+
+Result<AstExprPtr> Parser::ParseAnd() {
+  DVS_ASSIGN_OR_RETURN(AstExprPtr l, ParseNot());
+  while (MatchKeyword("and")) {
+    DVS_ASSIGN_OR_RETURN(AstExprPtr r, ParseNot());
+    l = AstBin(BinaryOp::kAnd, std::move(l), std::move(r));
+  }
+  return l;
+}
+
+Result<AstExprPtr> Parser::ParseNot() {
+  if (MatchKeyword("not")) {
+    DVS_ASSIGN_OR_RETURN(AstExprPtr operand, ParseNot());
+    auto e = NewAst(AstExprKind::kUnary);
+    e->un_op = UnaryOp::kNot;
+    e->children = {std::move(operand)};
+    return e;
+  }
+  return ParseComparison();
+}
+
+Result<AstExprPtr> Parser::ParseComparison() {
+  DVS_ASSIGN_OR_RETURN(AstExprPtr l, ParseConcat());
+  // IS [NOT] NULL
+  if (MatchKeyword("is")) {
+    bool negated = MatchKeyword("not");
+    DVS_RETURN_IF_ERROR(ExpectKeyword("null"));
+    auto e = NewAst(AstExprKind::kUnary);
+    e->un_op = negated ? UnaryOp::kIsNotNull : UnaryOp::kIsNull;
+    e->children = {std::move(l)};
+    return e;
+  }
+  // [NOT] IN ( ... ) / [NOT] BETWEEN a AND b
+  bool negated = false;
+  if (Peek().IsKeyword("not") &&
+      (Peek(1).IsKeyword("in") || Peek(1).IsKeyword("between"))) {
+    Advance();
+    negated = true;
+  }
+  if (MatchKeyword("in")) {
+    DVS_RETURN_IF_ERROR(ExpectSymbol("("));
+    auto e = NewAst(AstExprKind::kIn);
+    e->children.push_back(std::move(l));
+    while (true) {
+      DVS_ASSIGN_OR_RETURN(AstExprPtr c, ParseExpr());
+      e->children.push_back(std::move(c));
+      if (!MatchSymbol(",")) break;
+    }
+    DVS_RETURN_IF_ERROR(ExpectSymbol(")"));
+    if (!negated) return e;
+    auto n = NewAst(AstExprKind::kUnary);
+    n->un_op = UnaryOp::kNot;
+    n->children = {std::move(e)};
+    return n;
+  }
+  if (MatchKeyword("between")) {
+    auto e = NewAst(AstExprKind::kBetween);
+    e->children.push_back(std::move(l));
+    DVS_ASSIGN_OR_RETURN(AstExprPtr lo, ParseConcat());
+    DVS_RETURN_IF_ERROR(ExpectKeyword("and"));
+    DVS_ASSIGN_OR_RETURN(AstExprPtr hi, ParseConcat());
+    e->children.push_back(std::move(lo));
+    e->children.push_back(std::move(hi));
+    if (!negated) return e;
+    auto n = NewAst(AstExprKind::kUnary);
+    n->un_op = UnaryOp::kNot;
+    n->children = {std::move(e)};
+    return n;
+  }
+
+  BinaryOp op;
+  if (MatchSymbol("=")) op = BinaryOp::kEq;
+  else if (MatchSymbol("<>")) op = BinaryOp::kNe;
+  else if (MatchSymbol("<=")) op = BinaryOp::kLe;
+  else if (MatchSymbol(">=")) op = BinaryOp::kGe;
+  else if (MatchSymbol("<")) op = BinaryOp::kLt;
+  else if (MatchSymbol(">")) op = BinaryOp::kGt;
+  else return l;
+  DVS_ASSIGN_OR_RETURN(AstExprPtr r, ParseConcat());
+  return AstBin(op, std::move(l), std::move(r));
+}
+
+Result<AstExprPtr> Parser::ParseConcat() {
+  DVS_ASSIGN_OR_RETURN(AstExprPtr l, ParseAdditive());
+  while (MatchSymbol("||")) {
+    DVS_ASSIGN_OR_RETURN(AstExprPtr r, ParseAdditive());
+    l = AstBin(BinaryOp::kConcat, std::move(l), std::move(r));
+  }
+  return l;
+}
+
+Result<AstExprPtr> Parser::ParseAdditive() {
+  DVS_ASSIGN_OR_RETURN(AstExprPtr l, ParseMultiplicative());
+  while (true) {
+    if (MatchSymbol("+")) {
+      DVS_ASSIGN_OR_RETURN(AstExprPtr r, ParseMultiplicative());
+      l = AstBin(BinaryOp::kAdd, std::move(l), std::move(r));
+    } else if (MatchSymbol("-")) {
+      DVS_ASSIGN_OR_RETURN(AstExprPtr r, ParseMultiplicative());
+      l = AstBin(BinaryOp::kSub, std::move(l), std::move(r));
+    } else {
+      return l;
+    }
+  }
+}
+
+Result<AstExprPtr> Parser::ParseMultiplicative() {
+  DVS_ASSIGN_OR_RETURN(AstExprPtr l, ParseUnary());
+  while (true) {
+    if (MatchSymbol("*")) {
+      DVS_ASSIGN_OR_RETURN(AstExprPtr r, ParseUnary());
+      l = AstBin(BinaryOp::kMul, std::move(l), std::move(r));
+    } else if (MatchSymbol("/")) {
+      DVS_ASSIGN_OR_RETURN(AstExprPtr r, ParseUnary());
+      l = AstBin(BinaryOp::kDiv, std::move(l), std::move(r));
+    } else if (MatchSymbol("%")) {
+      DVS_ASSIGN_OR_RETURN(AstExprPtr r, ParseUnary());
+      l = AstBin(BinaryOp::kMod, std::move(l), std::move(r));
+    } else {
+      return l;
+    }
+  }
+}
+
+Result<AstExprPtr> Parser::ParseUnary() {
+  if (MatchSymbol("-")) {
+    DVS_ASSIGN_OR_RETURN(AstExprPtr operand, ParseUnary());
+    auto e = NewAst(AstExprKind::kUnary);
+    e->un_op = UnaryOp::kNeg;
+    e->children = {std::move(operand)};
+    return e;
+  }
+  MatchSymbol("+");
+  return ParsePostfix();
+}
+
+Result<AstExprPtr> Parser::ParsePostfix() {
+  DVS_ASSIGN_OR_RETURN(AstExprPtr e, ParsePrimary());
+  while (MatchSymbol("::")) {
+    DVS_ASSIGN_OR_RETURN(DataType type, ParseType());
+    auto cast = NewAst(AstExprKind::kCast);
+    cast->cast_type = type;
+    cast->children = {std::move(e)};
+    e = cast;
+  }
+  return e;
+}
+
+Result<WindowSpecAst> Parser::ParseOverClause() {
+  DVS_RETURN_IF_ERROR(ExpectSymbol("("));
+  WindowSpecAst spec;
+  if (MatchKeyword("partition")) {
+    DVS_RETURN_IF_ERROR(ExpectKeyword("by"));
+    while (true) {
+      DVS_ASSIGN_OR_RETURN(AstExprPtr e, ParseExpr());
+      spec.partition_by.push_back(std::move(e));
+      if (!MatchSymbol(",")) break;
+    }
+  }
+  if (MatchKeyword("order")) {
+    DVS_RETURN_IF_ERROR(ExpectKeyword("by"));
+    while (true) {
+      WindowSpecAst::OrderItem item;
+      DVS_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("desc")) item.ascending = false;
+      else MatchKeyword("asc");
+      spec.order_by.push_back(std::move(item));
+      if (!MatchSymbol(",")) break;
+    }
+  }
+  DVS_RETURN_IF_ERROR(ExpectSymbol(")"));
+  return spec;
+}
+
+Result<AstExprPtr> Parser::ParsePrimary() {
+  const Token& t = Peek();
+
+  if (t.type == TokenType::kNumber) {
+    Advance();
+    if (t.text.find('.') != std::string::npos) {
+      return AstLit(Value::Double(std::strtod(t.text.c_str(), nullptr)));
+    }
+    return AstLit(Value::Int(std::strtoll(t.text.c_str(), nullptr, 10)));
+  }
+  if (t.type == TokenType::kString) {
+    Advance();
+    return AstLit(Value::String(t.text));
+  }
+  if (MatchSymbol("(")) {
+    DVS_ASSIGN_OR_RETURN(AstExprPtr e, ParseExpr());
+    DVS_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return e;
+  }
+  if (t.type != TokenType::kIdent) {
+    return ParseError("unexpected token '" + t.text + "' at offset " +
+                      std::to_string(t.offset));
+  }
+
+  // Keyword-led expressions.
+  if (MatchKeyword("null")) return AstLit(Value::Null());
+  if (MatchKeyword("true")) return AstLit(Value::Bool(true));
+  if (MatchKeyword("false")) return AstLit(Value::Bool(false));
+  if (MatchKeyword("interval")) {
+    if (Peek().type != TokenType::kString) {
+      return ParseError("INTERVAL requires a duration string");
+    }
+    auto e = NewAst(AstExprKind::kInterval);
+    e->interval_text = Advance().text;
+    return e;
+  }
+  if (MatchKeyword("case")) {
+    auto e = NewAst(AstExprKind::kCase);
+    while (MatchKeyword("when")) {
+      DVS_ASSIGN_OR_RETURN(AstExprPtr cond, ParseExpr());
+      DVS_RETURN_IF_ERROR(ExpectKeyword("then"));
+      DVS_ASSIGN_OR_RETURN(AstExprPtr val, ParseExpr());
+      e->children.push_back(std::move(cond));
+      e->children.push_back(std::move(val));
+    }
+    if (e->children.empty()) return ParseError("CASE requires WHEN clauses");
+    if (MatchKeyword("else")) {
+      DVS_ASSIGN_OR_RETURN(AstExprPtr val, ParseExpr());
+      e->children.push_back(std::move(val));
+    }
+    DVS_RETURN_IF_ERROR(ExpectKeyword("end"));
+    return e;
+  }
+  if (MatchKeyword("cast")) {
+    DVS_RETURN_IF_ERROR(ExpectSymbol("("));
+    DVS_ASSIGN_OR_RETURN(AstExprPtr operand, ParseExpr());
+    DVS_RETURN_IF_ERROR(ExpectKeyword("as"));
+    DVS_ASSIGN_OR_RETURN(DataType type, ParseType());
+    DVS_RETURN_IF_ERROR(ExpectSymbol(")"));
+    auto e = NewAst(AstExprKind::kCast);
+    e->cast_type = type;
+    e->children = {std::move(operand)};
+    return e;
+  }
+
+  // Identifier or function call.
+  if (IsReservedWord(t.text)) {
+    return ParseError("unexpected keyword '" + t.text + "' at offset " +
+                      std::to_string(t.offset));
+  }
+  std::string first = Advance().text;
+  if (MatchSymbol("(")) {
+    auto e = NewAst(AstExprKind::kCall);
+    e->call_name = first;
+    if (!Peek().IsSymbol(")")) {
+      e->distinct = MatchKeyword("distinct");
+      while (true) {
+        if (MatchSymbol("*")) {
+          e->children.push_back(NewAst(AstExprKind::kStar));
+        } else {
+          DVS_ASSIGN_OR_RETURN(AstExprPtr arg, ParseExpr());
+          e->children.push_back(std::move(arg));
+        }
+        if (!MatchSymbol(",")) break;
+      }
+    }
+    DVS_RETURN_IF_ERROR(ExpectSymbol(")"));
+    if (MatchKeyword("over")) {
+      DVS_ASSIGN_OR_RETURN(e->over, ParseOverClause());
+    }
+    return e;
+  }
+  auto e = NewAst(AstExprKind::kIdent);
+  e->parts.push_back(std::move(first));
+  while (MatchSymbol(".")) {
+    DVS_ASSIGN_OR_RETURN(std::string part, ExpectIdent("identifier part"));
+    e->parts.push_back(std::move(part));
+  }
+  return e;
+}
+
+}  // namespace
+
+Result<Statement> ParseStatement(const std::string& sql) {
+  DVS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser p(std::move(tokens), sql);
+  return p.ParseStatementTop();
+}
+
+Result<std::shared_ptr<SelectStmt>> ParseSelect(const std::string& sql) {
+  DVS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser p(std::move(tokens), sql);
+  return p.ParseSelectTop();
+}
+
+}  // namespace sql
+}  // namespace dvs

@@ -1,0 +1,22 @@
+// Recursive-descent SQL parser.
+
+#ifndef DVS_SQL_PARSER_H_
+#define DVS_SQL_PARSER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+
+namespace dvs {
+namespace sql {
+
+/// Parses a single SQL statement (trailing ';' optional).
+Result<Statement> ParseStatement(const std::string& sql);
+
+/// Parses a bare SELECT query.
+Result<std::shared_ptr<SelectStmt>> ParseSelect(const std::string& sql);
+
+}  // namespace sql
+}  // namespace dvs
+
+#endif  // DVS_SQL_PARSER_H_

@@ -1,0 +1,106 @@
+#include "sql/token.h"
+
+#include <cctype>
+
+namespace dvs {
+
+namespace {
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+bool IsIdentChar(char c) {
+  return IsIdentStart(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      std::string text = sql.substr(start, i - start);
+      for (char& ch : text)
+        ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+      out.push_back({TokenType::kIdent, std::move(text), start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      bool saw_dot = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       (!saw_dot && sql[i] == '.'))) {
+        if (sql[i] == '.') saw_dot = true;
+        ++i;
+      }
+      out.push_back({TokenType::kNumber, sql.substr(start, i - start), start});
+      continue;
+    }
+    if (c == '\'') {
+      std::string text;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text.push_back(sql[i++]);
+      }
+      if (!closed) {
+        return ParseError("unterminated string literal at offset " +
+                          std::to_string(start));
+      }
+      out.push_back({TokenType::kString, std::move(text), start});
+      continue;
+    }
+    // Multi-char symbols first.
+    auto two = [&](const char* s) {
+      return i + 1 < n && sql[i] == s[0] && sql[i + 1] == s[1];
+    };
+    if (two("<>") || two("<=") || two(">=") || two("!=") || two("||") ||
+        two("=>")) {
+      std::string sym = sql.substr(i, 2);
+      if (sym == "!=") sym = "<>";
+      out.push_back({TokenType::kSymbol, sym, start});
+      i += 2;
+      continue;
+    }
+    if (two("::")) {
+      out.push_back({TokenType::kSymbol, "::", start});
+      i += 2;
+      continue;
+    }
+    static const std::string kSingles = "(),.=<>+-*/%;:[]";
+    if (kSingles.find(c) != std::string::npos) {
+      out.push_back({TokenType::kSymbol, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return ParseError("unexpected character '" + std::string(1, c) +
+                      "' at offset " + std::to_string(i));
+  }
+  out.push_back({TokenType::kEnd, "", n});
+  return out;
+}
+
+}  // namespace dvs

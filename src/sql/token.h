@@ -1,0 +1,39 @@
+// SQL token model.
+
+#ifndef DVS_SQL_TOKEN_H_
+#define DVS_SQL_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dvs {
+
+enum class TokenType {
+  kIdent,    ///< Unquoted identifier / keyword (normalized to lower case).
+  kNumber,   ///< Integer or decimal literal.
+  kString,   ///< 'single quoted'.
+  kSymbol,   ///< Operators and punctuation: ( ) , . = <> <= >= < > + - * / % || =>
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   ///< Normalized: identifiers lower-cased, strings unquoted.
+  size_t offset = 0;  ///< Byte offset in the source, for error messages.
+
+  bool IsKeyword(const char* kw) const {
+    return type == TokenType::kIdent && text == kw;
+  }
+  bool IsSymbol(const char* s) const {
+    return type == TokenType::kSymbol && text == s;
+  }
+};
+
+/// Splits `sql` into tokens. Comments (-- to end of line) are skipped.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace dvs
+
+#endif  // DVS_SQL_TOKEN_H_

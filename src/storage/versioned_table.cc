@@ -1,0 +1,302 @@
+#include "storage/versioned_table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace dvs {
+
+VersionedTable::VersionedTable(Schema schema, size_t max_partition_rows)
+    : schema_(std::move(schema)),
+      max_partition_rows_(max_partition_rows == 0 ? 1 : max_partition_rows) {
+  TableVersion v0;
+  v0.id = 1;
+  v0.commit_ts = HlcTimestamp::Min();
+  v0.row_count = 0;
+  versions_.push_back(std::move(v0));
+}
+
+const TableVersion& VersionedTable::version(VersionId id) const {
+  assert(id >= 1 && id <= versions_.size());
+  return versions_[id - 1];
+}
+
+const MicroPartition& VersionedTable::partition(PartitionId id) const {
+  auto it = partitions_.find(id);
+  assert(it != partitions_.end());
+  return *it->second;
+}
+
+VersionId VersionedTable::ResolveVersionAt(HlcTimestamp ts) const {
+  // Versions are committed in increasing timestamp order; binary search for
+  // the last one with commit_ts <= ts.
+  auto it = std::upper_bound(
+      versions_.begin(), versions_.end(), ts,
+      [](const HlcTimestamp& t, const TableVersion& v) { return t < v.commit_ts; });
+  if (it == versions_.begin()) return kInvalidVersionId;
+  return std::prev(it)->id;
+}
+
+void VersionedTable::AddRowsAsPartitions(std::vector<IdRow> rows,
+                                         TableVersion* version) {
+  size_t i = 0;
+  while (i < rows.size()) {
+    size_t n = std::min(max_partition_rows_, rows.size() - i);
+    auto part = std::make_shared<MicroPartition>();
+    part->id = next_partition_id_++;
+    part->rows.assign(std::make_move_iterator(rows.begin() + i),
+                      std::make_move_iterator(rows.begin() + i + n));
+    for (const IdRow& r : part->rows) row_index_[r.id] = part->id;
+    version->added.push_back(part->id);
+    version->live.push_back(part->id);
+    stats_.partitions_created += 1;
+    stats_.rows_written += part->rows.size();
+    partitions_.emplace(part->id, std::move(part));
+    i += n;
+  }
+}
+
+Status VersionedTable::ValidateChanges(const ChangeSet& changes) const {
+  // Production validation (§6.1): at most one change per (row_id, action).
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(changes.size());
+  std::unordered_set<RowId> deleted;
+  for (const ChangeRow& c : changes) {
+    uint64_t key = c.row_id * 2 + (c.action == ChangeAction::kDelete ? 1 : 0);
+    if (!seen.insert(key).second) {
+      return Corruption("duplicate (row_id, action) pair in change set: "
+                        "row_id=" + std::to_string(c.row_id) + " action=" +
+                        ChangeActionName(c.action));
+    }
+    if (c.action == ChangeAction::kDelete) deleted.insert(c.row_id);
+  }
+  // Never delete a row that does not exist; never insert a duplicate row id
+  // (unless this change set also deletes it, i.e. an update).
+  for (const ChangeRow& c : changes) {
+    if (c.action == ChangeAction::kDelete) {
+      if (!row_index_.count(c.row_id)) {
+        return Corruption("delete of non-existent row id " +
+                          std::to_string(c.row_id));
+      }
+    } else if (row_index_.count(c.row_id) && !deleted.count(c.row_id)) {
+      return Corruption("insert of duplicate row id " +
+                        std::to_string(c.row_id));
+    }
+  }
+  return OkStatus();
+}
+
+Result<VersionId> VersionedTable::ApplyChanges(const ChangeSet& changes,
+                                               HlcTimestamp commit_ts) {
+  if (commit_ts <= versions_.back().commit_ts) {
+    return Internal("non-monotonic commit timestamp for table version");
+  }
+  DVS_RETURN_IF_ERROR(ValidateChanges(changes));
+
+  std::unordered_map<RowId, const ChangeRow*> deletes;
+  std::vector<IdRow> inserts;
+  for (const ChangeRow& c : changes) {
+    if (c.action == ChangeAction::kDelete) {
+      deletes.emplace(c.row_id, &c);
+    } else {
+      inserts.push_back({c.row_id, c.values});
+    }
+  }
+
+  TableVersion next;
+  next.id = versions_.back().id + 1;
+  next.commit_ts = commit_ts;
+
+  // Copy-on-write: partitions untouched by deletes stay live; touched ones
+  // are removed and their surviving rows rewritten into new partitions.
+  std::unordered_set<PartitionId> touched;
+  for (const auto& [rid, unused] : deletes) {
+    (void)unused;
+    touched.insert(row_index_.at(rid));
+  }
+  std::vector<IdRow> survivors;
+  const TableVersion& prev = versions_.back();
+  for (PartitionId pid : prev.live) {
+    if (!touched.count(pid)) {
+      next.live.push_back(pid);
+      continue;
+    }
+    next.removed.push_back(pid);
+    for (const IdRow& r : partition(pid).rows) {
+      if (deletes.count(r.id)) {
+        row_index_.erase(r.id);
+      } else {
+        survivors.push_back(r);
+        stats_.rows_rewritten_copy += 1;
+      }
+    }
+  }
+  AddRowsAsPartitions(std::move(survivors), &next);
+  AddRowsAsPartitions(std::move(inserts), &next);
+
+  std::sort(next.live.begin(), next.live.end());
+  next.row_count = prev.row_count + CountChanges(changes).inserts -
+                   CountChanges(changes).deletes;
+  versions_.push_back(std::move(next));
+  return versions_.back().id;
+}
+
+Result<VersionId> VersionedTable::Overwrite(std::vector<IdRow> rows,
+                                            HlcTimestamp commit_ts) {
+  if (commit_ts <= versions_.back().commit_ts) {
+    return Internal("non-monotonic commit timestamp for table version");
+  }
+  {
+    std::unordered_set<RowId> ids;
+    ids.reserve(rows.size());
+    for (const IdRow& r : rows) {
+      if (!ids.insert(r.id).second) {
+        return Corruption("duplicate row id in overwrite: " +
+                          std::to_string(r.id));
+      }
+    }
+  }
+  TableVersion next;
+  next.id = versions_.back().id + 1;
+  next.commit_ts = commit_ts;
+  next.removed = versions_.back().live;
+  next.row_count = rows.size();
+  row_index_.clear();
+  AddRowsAsPartitions(std::move(rows), &next);
+  std::sort(next.live.begin(), next.live.end());
+  versions_.push_back(std::move(next));
+  return versions_.back().id;
+}
+
+VersionId VersionedTable::CommitNoOp(HlcTimestamp commit_ts) {
+  assert(commit_ts > versions_.back().commit_ts);
+  TableVersion next;
+  next.id = versions_.back().id + 1;
+  next.commit_ts = commit_ts;
+  next.live = versions_.back().live;
+  next.row_count = versions_.back().row_count;
+  versions_.push_back(std::move(next));
+  return versions_.back().id;
+}
+
+VersionId VersionedTable::Recluster(HlcTimestamp commit_ts) {
+  assert(commit_ts > versions_.back().commit_ts);
+  std::vector<IdRow> all = ScanLatest();
+  TableVersion next;
+  next.id = versions_.back().id + 1;
+  next.commit_ts = commit_ts;
+  next.removed = versions_.back().live;
+  next.row_count = all.size();
+  next.data_equivalent = true;
+  row_index_.clear();
+  AddRowsAsPartitions(std::move(all), &next);
+  std::sort(next.live.begin(), next.live.end());
+  versions_.push_back(std::move(next));
+  return versions_.back().id;
+}
+
+std::vector<IdRow> VersionedTable::ScanAt(VersionId vid) const {
+  const TableVersion& v = version(vid);
+  std::vector<IdRow> out;
+  out.reserve(v.row_count);
+  for (PartitionId pid : v.live) {
+    const MicroPartition& p = partition(pid);
+    out.insert(out.end(), p.rows.begin(), p.rows.end());
+  }
+  return out;
+}
+
+size_t VersionedTable::RowCountAt(VersionId vid) const {
+  return version(vid).row_count;
+}
+
+Result<ChangeSet> VersionedTable::ScanChanges(VersionId from, VersionId to,
+                                              bool cancel_equivalent) const {
+  if (from > to || !has_version(from) || !has_version(to)) {
+    return InvalidArgument("bad change-scan interval [" + std::to_string(from) +
+                           ", " + std::to_string(to) + "]");
+  }
+  const TableVersion& vf = version(from);
+  const TableVersion& vt = version(to);
+
+  // Partition-set diff (both sides sorted).
+  std::vector<PartitionId> removed, added;
+  std::set_difference(vf.live.begin(), vf.live.end(), vt.live.begin(),
+                      vt.live.end(), std::back_inserter(removed));
+  std::set_difference(vt.live.begin(), vt.live.end(), vf.live.begin(),
+                      vf.live.end(), std::back_inserter(added));
+
+  ChangeSet raw;
+  for (PartitionId pid : removed) {
+    for (const IdRow& r : partition(pid).rows) {
+      raw.push_back({ChangeAction::kDelete, r.id, r.values});
+    }
+  }
+  for (PartitionId pid : added) {
+    for (const IdRow& r : partition(pid).rows) {
+      raw.push_back({ChangeAction::kInsert, r.id, r.values});
+    }
+  }
+  stats_.change_scan_raw_rows += raw.size();
+  if (!cancel_equivalent) {
+    stats_.change_scan_net_rows += raw.size();
+    return raw;
+  }
+
+  // Cancel data-equivalent delete/insert pairs: a row rewritten with
+  // identical content (copy-on-write survivor, reclustering) is not a
+  // logical change.
+  std::unordered_map<RowId, size_t> deleted_at;
+  deleted_at.reserve(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i].action == ChangeAction::kDelete) deleted_at[raw[i].row_id] = i;
+  }
+  std::vector<bool> drop(raw.size(), false);
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i].action != ChangeAction::kInsert) continue;
+    auto it = deleted_at.find(raw[i].row_id);
+    if (it == deleted_at.end()) continue;
+    if (RowsEqual(raw[i].values, raw[it->second].values)) {
+      drop[i] = true;
+      drop[it->second] = true;
+    }
+  }
+  ChangeSet net;
+  net.reserve(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (!drop[i]) net.push_back(std::move(raw[i]));
+  }
+  stats_.change_scan_net_rows += net.size();
+  return net;
+}
+
+bool VersionedTable::HasDataChanges(VersionId from, VersionId to) const {
+  assert(has_version(from) && has_version(to) && from <= to);
+  for (VersionId v = from + 1; v <= to; ++v) {
+    const TableVersion& tv = version(v);
+    if (tv.data_equivalent) continue;
+    if (!tv.added.empty() || !tv.removed.empty()) return true;
+  }
+  return false;
+}
+
+std::unique_ptr<VersionedTable> VersionedTable::Clone() const {
+  auto clone = std::make_unique<VersionedTable>(schema_, max_partition_rows_);
+  clone->partitions_ = partitions_;  // shared immutable payloads
+  clone->versions_ = versions_;
+  clone->row_index_ = row_index_;
+  clone->next_partition_id_ = next_partition_id_;
+  clone->next_row_id_ = next_row_id_;
+  return clone;
+}
+
+ChangeSet VersionedTable::MakeInsertChanges(std::vector<Row> rows) {
+  ChangeSet out;
+  out.reserve(rows.size());
+  for (Row& r : rows) {
+    out.push_back({ChangeAction::kInsert, next_row_id_++, std::move(r)});
+  }
+  return out;
+}
+
+}  // namespace dvs

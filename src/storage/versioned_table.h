@@ -1,0 +1,165 @@
+// Versioned, copy-on-write table storage.
+//
+// Mirrors the Snowflake storage model the paper builds on (§5.1, §5.3,
+// §5.5.2): a table is a set of immutable micro-partitions; every committed
+// change produces a new table version that adds and/or removes whole
+// partitions; versions are indexed by HLC commit timestamp, giving time
+// travel ("read as of t" = largest commit ts <= t) and change scans
+// ("changes between v0 and v1" = rows of removed partitions as deletes plus
+// rows of added partitions as inserts, with data-equivalent copied rows
+// cancelled).
+//
+// The in-memory representation is the documented substitution for cloud
+// object storage (DESIGN.md §5): visibility and change semantics are
+// identical, only byte persistence is elided.
+
+#ifndef DVS_STORAGE_VERSIONED_TABLE_H_
+#define DVS_STORAGE_VERSIONED_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hlc.h"
+#include "common/ids.h"
+#include "common/status.h"
+#include "types/row.h"
+#include "types/schema.h"
+
+namespace dvs {
+
+/// An immutable chunk of rows. Never mutated after registration.
+struct MicroPartition {
+  PartitionId id = 0;
+  std::vector<IdRow> rows;
+};
+
+/// One committed state of the table.
+struct TableVersion {
+  VersionId id = kInvalidVersionId;
+  HlcTimestamp commit_ts;
+  std::vector<PartitionId> live;     ///< Sorted live partition ids.
+  std::vector<PartitionId> added;    ///< Relative to the previous version.
+  std::vector<PartitionId> removed;  ///< Relative to the previous version.
+  size_t row_count = 0;
+  /// True for maintenance versions (reclustering/defragmentation) that
+  /// rewrite partitions without changing logical contents. NO_DATA detection
+  /// skips these (the paper's "data-equivalent operations", §5.5.2).
+  bool data_equivalent = false;
+};
+
+/// Counters for storage-level effects; used by the read-amplification
+/// ablation (E11) and general reporting.
+struct StorageStats {
+  uint64_t partitions_created = 0;
+  uint64_t rows_written = 0;          ///< Rows copied into new partitions.
+  uint64_t rows_rewritten_copy = 0;   ///< Rows copied only because a sibling
+                                      ///< in their partition was deleted
+                                      ///< (copy-on-write write amplification).
+  uint64_t change_scan_raw_rows = 0;  ///< Rows surfaced by change scans
+                                      ///< before equivalence cancellation
+                                      ///< (read amplification, §5.5.2).
+  uint64_t change_scan_net_rows = 0;  ///< Rows after cancellation.
+};
+
+class VersionedTable {
+ public:
+  /// `max_partition_rows` bounds partition size; small values increase
+  /// version churn (useful in tests), large values reduce it.
+  explicit VersionedTable(Schema schema, size_t max_partition_rows = 4096);
+
+  const Schema& schema() const { return schema_; }
+  void set_schema(Schema schema) { schema_ = std::move(schema); }
+
+  /// Number of committed versions (>= 1: version 1 is the empty table).
+  size_t version_count() const { return versions_.size(); }
+  VersionId latest_version() const { return versions_.back().id; }
+  const TableVersion& version(VersionId id) const;
+  bool has_version(VersionId id) const {
+    return id >= 1 && id <= versions_.back().id;
+  }
+
+  /// Largest version with commit_ts <= ts, or kInvalidVersionId if the table
+  /// did not exist yet at ts (i.e. ts predates version 1).
+  VersionId ResolveVersionAt(HlcTimestamp ts) const;
+
+  /// Checks `changes` against the §6.1 validations without mutating
+  /// anything. The TransactionManager validates every table's changes before
+  /// applying any of them, making multi-table commits all-or-nothing.
+  Status ValidateChanges(const ChangeSet& changes) const;
+
+  /// Commits `changes` as a new version with the given commit timestamp.
+  /// Enforces the production validations of §6.1:
+  ///   - at most one change per (row_id, action) pair,
+  ///   - never delete a row id that is not currently stored.
+  /// Insert of an already-present row id is likewise corruption.
+  /// Commit timestamps must strictly increase.
+  Result<VersionId> ApplyChanges(const ChangeSet& changes, HlcTimestamp commit_ts);
+
+  /// INSERT OVERWRITE: replaces the full contents (FULL refresh action).
+  Result<VersionId> Overwrite(std::vector<IdRow> rows, HlcTimestamp commit_ts);
+
+  /// Commits a version identical to the previous one. Used by NO_DATA
+  /// refreshes, which advance the DT's data timestamp without touching data,
+  /// and by clustering-style data-equivalent maintenance.
+  VersionId CommitNoOp(HlcTimestamp commit_ts);
+
+  /// Rewrites storage without changing logical contents (the paper's
+  /// background clustering/defragmentation, §5.5.2): merges all live
+  /// partitions into freshly packed ones. A naive change scan across this
+  /// version sees every row twice; the cancellation in ScanChanges hides it.
+  VersionId Recluster(HlcTimestamp commit_ts);
+
+  /// Materializes the full contents at a version.
+  std::vector<IdRow> ScanAt(VersionId version) const;
+
+  /// Rows currently stored (latest version).
+  std::vector<IdRow> ScanLatest() const { return ScanAt(latest_version()); }
+
+  size_t RowCountAt(VersionId version) const;
+
+  /// Net logical changes between two versions (from < to). With
+  /// `cancel_equivalent` (the default, matching the production system's
+  /// goal), rows that appear as both delete and insert with identical
+  /// content — e.g. copy-on-write survivors and reclustered rows — cancel
+  /// out. With false, the raw partition-diff rows are returned, exposing the
+  /// read amplification measured by E11.
+  Result<ChangeSet> ScanChanges(VersionId from, VersionId to,
+                                bool cancel_equivalent = true) const;
+
+  /// True if any version in (from, to] changed data (i.e. the interval
+  /// contains a non-no-op version). Powers NO_DATA detection.
+  bool HasDataChanges(VersionId from, VersionId to) const;
+
+  /// Assigns fresh monotonically increasing row ids to bare rows, producing
+  /// insert changes. Used by base-table DML.
+  ChangeSet MakeInsertChanges(std::vector<Row> rows);
+
+  /// Zero-copy clone (§3.4): the clone shares every immutable micro-
+  /// partition with the original (only metadata is copied) and then
+  /// diverges independently — the Snowflake cloning model.
+  std::unique_ptr<VersionedTable> Clone() const;
+
+  const StorageStats& stats() const { return stats_; }
+
+ private:
+  const MicroPartition& partition(PartitionId id) const;
+
+  /// Appends rows as new partitions (chunked), registering them in `version`.
+  void AddRowsAsPartitions(std::vector<IdRow> rows, TableVersion* version);
+
+  Schema schema_;
+  size_t max_partition_rows_;
+  std::unordered_map<PartitionId, std::shared_ptr<const MicroPartition>> partitions_;
+  std::vector<TableVersion> versions_;
+  /// row id -> live partition, maintained for the latest version only.
+  std::unordered_map<RowId, PartitionId> row_index_;
+  PartitionId next_partition_id_ = 1;
+  RowId next_row_id_ = 1;
+  mutable StorageStats stats_;
+};
+
+}  // namespace dvs
+
+#endif  // DVS_STORAGE_VERSIONED_TABLE_H_

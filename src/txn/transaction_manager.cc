@@ -1,0 +1,43 @@
+#include "txn/transaction_manager.h"
+
+namespace dvs {
+
+Result<HlcTimestamp> TransactionManager::CommitWrites(
+    std::vector<StagedWrite> writes) {
+  // Validate everything before touching anything: multi-table atomicity.
+  for (const StagedWrite& w : writes) {
+    if (w.table == nullptr) return Internal("staged write without table");
+    DVS_RETURN_IF_ERROR(w.table->ValidateChanges(w.changes));
+  }
+  HlcTimestamp ts = NextCommitTimestamp();
+  for (StagedWrite& w : writes) {
+    auto applied = w.table->ApplyChanges(w.changes, ts);
+    if (!applied.ok()) {
+      // Validation passed, so this indicates a bug (e.g. two staged writes
+      // to the same table); surface loudly.
+      return Internal("post-validation apply failed: " +
+                      applied.status().ToString());
+    }
+  }
+  return ts;
+}
+
+Status TransactionManager::TryLock(ObjectId object, uint64_t holder) {
+  auto [it, inserted] = locks_.try_emplace(object, holder);
+  if (!inserted && it->second != holder) {
+    return LockConflict("object " + std::to_string(object) +
+                        " is locked by refresh " + std::to_string(it->second));
+  }
+  return OkStatus();
+}
+
+void TransactionManager::Unlock(ObjectId object, uint64_t holder) {
+  auto it = locks_.find(object);
+  if (it != locks_.end() && it->second == holder) locks_.erase(it);
+}
+
+bool TransactionManager::IsLocked(ObjectId object) const {
+  return locks_.count(object) > 0;
+}
+
+}  // namespace dvs

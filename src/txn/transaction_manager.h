@@ -1,0 +1,73 @@
+// Transaction manager (§5.3): HLC-stamped atomic commits across tables,
+// per-table locks for refresh conflict management, and snapshot helpers.
+//
+// Reads resolve table versions against a snapshot timestamp — "largest
+// commit timestamp <= t" — exactly the visibility rule of the paper. The
+// refresh-timestamp -> version mapping for DT-on-DT reads lives with the DT
+// metadata (catalog); this class handles the base mechanism.
+
+#ifndef DVS_TXN_TRANSACTION_MANAGER_H_
+#define DVS_TXN_TRANSACTION_MANAGER_H_
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/hlc.h"
+#include "common/ids.h"
+#include "common/status.h"
+#include "storage/versioned_table.h"
+
+namespace dvs {
+
+/// One table's staged writes inside a transaction.
+struct StagedWrite {
+  VersionedTable* table = nullptr;
+  ChangeSet changes;
+};
+
+class TransactionManager {
+ public:
+  explicit TransactionManager(const Clock& clock)
+      : clock_(clock), hlc_(clock) {}
+
+  const Clock& clock() const { return clock_; }
+
+  /// Issues the next commit timestamp (strictly increasing).
+  HlcTimestamp NextCommitTimestamp() { return hlc_.Next(); }
+
+  /// Snapshot timestamp covering everything committed up to wall time `t`.
+  static HlcTimestamp SnapshotAt(Micros t) {
+    return HlcTimestamp::AtWallTime(t);
+  }
+
+  /// Snapshot of "now": everything committed so far.
+  HlcTimestamp CurrentSnapshot() const {
+    return HlcTimestamp::AtWallTime(clock_.Now());
+  }
+
+  /// Atomically commits staged writes to one or more tables: all change
+  /// sets are validated first, then applied with a single commit timestamp.
+  /// On validation failure nothing is applied.
+  Result<HlcTimestamp> CommitWrites(std::vector<StagedWrite> writes);
+
+  // ---- Table locks (§5.3: "Each Dynamic Table is locked when a refresh
+  // operation begins, and unlocked after it commits.") ----
+
+  /// Attempts to take the lock for `object` on behalf of `holder`.
+  /// Returns LockConflict if held by someone else; re-entrant for the same
+  /// holder.
+  Status TryLock(ObjectId object, uint64_t holder);
+  void Unlock(ObjectId object, uint64_t holder);
+  bool IsLocked(ObjectId object) const;
+
+ private:
+  const Clock& clock_;
+  HybridLogicalClock hlc_;
+  std::unordered_map<ObjectId, uint64_t> locks_;
+};
+
+}  // namespace dvs
+
+#endif  // DVS_TXN_TRANSACTION_MANAGER_H_

@@ -1,0 +1,49 @@
+#include "types/row.h"
+
+#include "common/hash.h"
+
+namespace dvs {
+
+uint64_t HashRow(const Row& row) {
+  uint64_t h = HashUint64(row.size());
+  for (const Value& v : row) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+std::string RowToString(const Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i) out += ", ";
+    out += row[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+bool RowsEqual(const Row& a, const Row& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+ChangeStats CountChanges(const ChangeSet& changes) {
+  ChangeStats s;
+  for (const ChangeRow& c : changes) {
+    if (c.action == ChangeAction::kInsert)
+      ++s.inserts;
+    else
+      ++s.deletes;
+  }
+  return s;
+}
+
+bool IsInsertOnly(const ChangeSet& changes) {
+  for (const ChangeRow& c : changes) {
+    if (c.action == ChangeAction::kDelete) return false;
+  }
+  return true;
+}
+
+}  // namespace dvs

@@ -1,0 +1,68 @@
+// Rows, identified rows, and change sets.
+//
+// A ChangeSet is the library's CDC currency (§5.5): a list of rows each
+// carrying the $ACTION (insert/delete) and $ROW_ID metadata columns. Updates
+// are represented as a delete plus an insert with the same row id. The
+// differentiation framework guarantees — and the merge operator re-verifies —
+// that a consolidated ChangeSet has at most one row per (row_id, action).
+
+#ifndef DVS_TYPES_ROW_H_
+#define DVS_TYPES_ROW_H_
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "types/value.h"
+
+namespace dvs {
+
+using Row = std::vector<Value>;
+
+uint64_t HashRow(const Row& row);
+std::string RowToString(const Row& row);
+bool RowsEqual(const Row& a, const Row& b);
+
+/// A row with its stable identity. Query results are vectors of IdRow so
+/// incremental merges know which stored rows they correspond to.
+struct IdRow {
+  RowId id = 0;
+  Row values;
+};
+
+/// $ACTION column values.
+enum class ChangeAction { kInsert, kDelete };
+
+inline const char* ChangeActionName(ChangeAction a) {
+  return a == ChangeAction::kInsert ? "INSERT" : "DELETE";
+}
+
+/// One CDC record: ($ACTION, $ROW_ID, row values).
+struct ChangeRow {
+  ChangeAction action = ChangeAction::kInsert;
+  RowId row_id = 0;
+  Row values;
+
+  /// Signed multiplicity view: +1 for insert, -1 for delete. The inner-join
+  /// derivative multiplies signs (DESIGN.md §6).
+  int sign() const { return action == ChangeAction::kInsert ? 1 : -1; }
+};
+
+using ChangeSet = std::vector<ChangeRow>;
+
+/// Counts by action, for reporting.
+struct ChangeStats {
+  size_t inserts = 0;
+  size_t deletes = 0;
+  size_t total() const { return inserts + deletes; }
+};
+
+ChangeStats CountChanges(const ChangeSet& changes);
+
+/// True if the set contains no deletes (enables the insert-only
+/// specialization of §5.5.2).
+bool IsInsertOnly(const ChangeSet& changes);
+
+}  // namespace dvs
+
+#endif  // DVS_TYPES_ROW_H_

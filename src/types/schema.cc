@@ -1,0 +1,52 @@
+#include "types/schema.h"
+
+#include <cctype>
+
+namespace dvs {
+
+namespace {
+bool NameEquals(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i])))
+      return false;
+  }
+  return true;
+}
+}  // namespace
+
+std::optional<size_t> Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (NameEquals(columns_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+bool Schema::IsAmbiguous(const std::string& name) const {
+  int count = 0;
+  for (const Column& c : columns_) {
+    if (NameEquals(c.name, name) && ++count > 1) return true;
+  }
+  return false;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<Column> cols = left.columns();
+  cols.insert(cols.end(), right.columns().begin(), right.columns().end());
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += DataTypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace dvs

@@ -1,0 +1,57 @@
+// Column and Schema descriptors.
+
+#ifndef DVS_TYPES_SCHEMA_H_
+#define DVS_TYPES_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace dvs {
+
+struct Column {
+  std::string name;
+  DataType type = DataType::kNull;
+
+  bool operator==(const Column&) const = default;
+};
+
+/// An ordered list of named, typed columns. Name lookup is case-insensitive
+/// (SQL identifiers are lower-cased by the lexer, but programmatic callers
+/// may use any case).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t size() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  void AddColumn(std::string name, DataType type) {
+    columns_.push_back({std::move(name), type});
+  }
+
+  /// Index of the column with the given name, or nullopt. If the name is
+  /// ambiguous (appears more than once, e.g. post-join), returns the first.
+  std::optional<size_t> FindColumn(const std::string& name) const;
+
+  /// True if `name` matches more than one column.
+  bool IsAmbiguous(const std::string& name) const;
+
+  /// Concatenation, for join outputs.
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  std::string ToString() const;
+
+  bool operator==(const Schema&) const = default;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace dvs
+
+#endif  // DVS_TYPES_SCHEMA_H_

@@ -1,0 +1,185 @@
+#include "types/value.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace dvs {
+
+const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kNull: return "NULL";
+    case DataType::kBool: return "BOOL";
+    case DataType::kInt64: return "INT";
+    case DataType::kDouble: return "DOUBLE";
+    case DataType::kString: return "STRING";
+    case DataType::kTimestamp: return "TIMESTAMP";
+    case DataType::kArray: return "ARRAY";
+  }
+  return "?";
+}
+
+Value Value::MakeArray(Array items) {
+  Value v;
+  v.tag_ = DataType::kArray;
+  v.data_ = std::make_shared<const Array>(std::move(items));
+  return v;
+}
+
+const Array& Value::array_value() const {
+  return *std::get<std::shared_ptr<const Array>>(data_);
+}
+
+double Value::AsDouble() const {
+  switch (tag_) {
+    case DataType::kBool: return bool_value() ? 1.0 : 0.0;
+    case DataType::kInt64: return static_cast<double>(int_value());
+    case DataType::kDouble: return double_value();
+    case DataType::kTimestamp: return static_cast<double>(timestamp_value());
+    default:
+      assert(false && "AsDouble on non-numeric value");
+      return 0.0;
+  }
+}
+
+int64_t Value::AsInt() const {
+  switch (tag_) {
+    case DataType::kBool: return bool_value() ? 1 : 0;
+    case DataType::kInt64: return int_value();
+    case DataType::kDouble: return static_cast<int64_t>(double_value());
+    case DataType::kTimestamp: return timestamp_value();
+    default:
+      assert(false && "AsInt on non-numeric value");
+      return 0;
+  }
+}
+
+namespace {
+int CompareDoubles(double a, double b) {
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  const bool ln = is_null(), rn = other.is_null();
+  if (ln || rn) return (ln ? 0 : 1) - (rn ? 0 : 1);
+
+  // Cross-numeric comparison (INT vs DOUBLE); TIMESTAMP stays distinct.
+  if (is_numeric() && other.is_numeric() && tag_ != other.tag_) {
+    return CompareDoubles(AsDouble(), other.AsDouble());
+  }
+  if (tag_ != other.tag_) {
+    return static_cast<int>(tag_) < static_cast<int>(other.tag_) ? -1 : 1;
+  }
+  switch (tag_) {
+    case DataType::kNull: return 0;
+    case DataType::kBool:
+      return static_cast<int>(bool_value()) - static_cast<int>(other.bool_value());
+    case DataType::kInt64: {
+      int64_t a = int_value(), b = other.int_value();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case DataType::kDouble:
+      return CompareDoubles(double_value(), other.double_value());
+    case DataType::kString:
+      return string_value().compare(other.string_value()) < 0
+                 ? -1
+                 : (string_value() == other.string_value() ? 0 : 1);
+    case DataType::kTimestamp: {
+      Micros a = timestamp_value(), b = other.timestamp_value();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case DataType::kArray: {
+      const Array& a = array_value();
+      const Array& b = other.array_value();
+      size_t n = std::min(a.size(), b.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = a[i].Compare(b[i]);
+        if (c != 0) return c;
+      }
+      if (a.size() == b.size()) return 0;
+      return a.size() < b.size() ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+uint64_t Value::Hash() const {
+  uint64_t seed = HashUint64(static_cast<uint64_t>(tag_));
+  switch (tag_) {
+    case DataType::kNull: return seed;
+    case DataType::kBool: return HashCombine(seed, bool_value() ? 1 : 0);
+    case DataType::kInt64:
+      return HashCombine(seed, HashUint64(static_cast<uint64_t>(int_value())));
+    case DataType::kDouble: {
+      // Hash doubles via their value-compare class: integral doubles hash
+      // like ints so cross-numeric equality stays consistent with Hash().
+      double d = double_value();
+      if (d == std::floor(d) && std::abs(d) < 9e18) {
+        uint64_t h = HashUint64(static_cast<uint64_t>(
+            static_cast<int64_t>(d)));
+        return HashCombine(HashUint64(static_cast<uint64_t>(DataType::kInt64)),
+                           h);
+      }
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      std::memcpy(&bits, &d, sizeof(d));
+      return HashCombine(seed, HashUint64(bits));
+    }
+    case DataType::kString: return HashCombine(seed, HashString(string_value()));
+    case DataType::kTimestamp:
+      return HashCombine(
+          seed, HashUint64(static_cast<uint64_t>(timestamp_value())));
+    case DataType::kArray: {
+      uint64_t h = seed;
+      for (const Value& v : array_value()) h = HashCombine(h, v.Hash());
+      return h;
+    }
+  }
+  return seed;
+}
+
+namespace {
+// Ints and integral doubles must hash identically (see Hash()); the int
+// branch therefore needs the same double-style treatment.
+}  // namespace
+
+std::string Value::ToString() const {
+  switch (tag_) {
+    case DataType::kNull: return "NULL";
+    case DataType::kBool: return bool_value() ? "true" : "false";
+    case DataType::kInt64: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(int_value()));
+      return buf;
+    }
+    case DataType::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%g", double_value());
+      return buf;
+    }
+    case DataType::kString: return "'" + string_value() + "'";
+    case DataType::kTimestamp: {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "ts:%lld",
+                    static_cast<long long>(timestamp_value()));
+      return buf;
+    }
+    case DataType::kArray: {
+      std::string out = "[";
+      const Array& a = array_value();
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (i) out += ", ";
+        out += a[i].ToString();
+      }
+      out += "]";
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace dvs

@@ -1,0 +1,104 @@
+// Dynamically typed scalar values.
+//
+// The executor is interpreted, so values are a tagged union: NULL, BOOL,
+// INT64, DOUBLE, STRING, TIMESTAMP (int64 micros, distinguished from INT64
+// so date functions can type-check), and ARRAY (for LATERAL FLATTEN, §3.3.2).
+//
+// Ordering: NULLs sort first; cross-numeric comparison (int vs double) is
+// value-based; everything else compares within its own type.
+
+#ifndef DVS_TYPES_VALUE_H_
+#define DVS_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace dvs {
+
+/// SQL-level data types.
+enum class DataType {
+  kNull,
+  kBool,
+  kInt64,
+  kDouble,
+  kString,
+  kTimestamp,  ///< Micros since epoch.
+  kArray,
+};
+
+const char* DataTypeName(DataType t);
+
+class Value;
+using Array = std::vector<Value>;
+
+class Value {
+ public:
+  Value() : tag_(DataType::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(DataType::kBool, b); }
+  static Value Int(int64_t v) { return Value(DataType::kInt64, v); }
+  static Value Double(double v) { return Value(DataType::kDouble, v); }
+  static Value String(std::string s) {
+    return Value(DataType::kString, std::move(s));
+  }
+  static Value Timestamp(Micros t) { return Value(DataType::kTimestamp, t); }
+  static Value MakeArray(Array items);
+
+  DataType type() const { return tag_; }
+  bool is_null() const { return tag_ == DataType::kNull; }
+  bool is_numeric() const {
+    return tag_ == DataType::kInt64 || tag_ == DataType::kDouble;
+  }
+
+  bool bool_value() const { return std::get<bool>(data_); }
+  int64_t int_value() const { return std::get<int64_t>(data_); }
+  double double_value() const { return std::get<double>(data_); }
+  const std::string& string_value() const {
+    return std::get<std::string>(data_);
+  }
+  Micros timestamp_value() const { return std::get<int64_t>(data_); }
+  const Array& array_value() const;
+
+  /// Numeric coercion: int/double/bool/timestamp as double. Asserts on other
+  /// types — callers type-check first.
+  double AsDouble() const;
+  /// Numeric coercion to int64 (truncating for doubles).
+  int64_t AsInt() const;
+
+  /// Total order used by ORDER BY / GROUP BY keys; NULL < everything,
+  /// numerics compare across int/double, otherwise type tag then payload.
+  int Compare(const Value& other) const;
+
+  /// SQL equality semantics are handled in the evaluator (NULL = NULL is
+  /// NULL there); operator== here is *structural* equality, used by hash
+  /// maps, change consolidation and tests. NULL == NULL is true.
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Deterministic 64-bit hash consistent with structural equality.
+  uint64_t Hash() const;
+
+  std::string ToString() const;
+
+ private:
+  template <typename T>
+  Value(DataType tag, T v) : tag_(tag), data_(std::move(v)) {}
+
+  DataType tag_;
+  // Arrays are shared immutable payloads so Value copies stay cheap.
+  std::variant<std::monostate, bool, int64_t, double, std::string,
+               std::shared_ptr<const Array>>
+      data_;
+};
+
+}  // namespace dvs
+
+#endif  // DVS_TYPES_VALUE_H_

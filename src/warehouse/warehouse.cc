@@ -1,0 +1,45 @@
+#include "warehouse/warehouse.h"
+
+namespace dvs {
+
+Warehouse::Slot Warehouse::Schedule(Micros earliest, Micros duration) {
+  Micros start = earliest;
+  if (busy_until_ < 0) {
+    // First use: resume from suspended.
+    resumes_ += 1;
+  } else if (start < busy_until_) {
+    // Queue behind the current refresh.
+    start = busy_until_;
+  } else {
+    Micros idle = start - busy_until_;
+    if (idle <= auto_suspend_) {
+      // Stayed resumed through the gap: idle time is billed.
+      billed_ += idle;
+    } else {
+      resumes_ += 1;  // suspended in between, fresh resume
+    }
+  }
+  billed_ += duration;
+  busy_until_ = start + duration;
+  return {start, busy_until_};
+}
+
+Warehouse* WarehousePool::GetOrCreate(const std::string& name, int size,
+                                      Micros auto_suspend) {
+  auto it = warehouses_.find(name);
+  if (it != warehouses_.end()) return it->second.get();
+  auto wh = std::make_unique<Warehouse>(name, size, auto_suspend);
+  Warehouse* out = wh.get();
+  warehouses_.emplace(name, std::move(wh));
+  return out;
+}
+
+Result<Warehouse*> WarehousePool::Find(const std::string& name) {
+  auto it = warehouses_.find(name);
+  if (it == warehouses_.end()) {
+    return NotFound("warehouse '" + name + "' does not exist");
+  }
+  return it->second.get();
+}
+
+}  // namespace dvs

@@ -1,0 +1,119 @@
+#include "workload/fleet.h"
+
+namespace dvs {
+namespace workload {
+
+const std::vector<LagBucket>& LagBuckets() {
+  static const std::vector<LagBucket>* kBuckets = new std::vector<LagBucket>{
+      {"<=1m", kMicrosPerMinute},
+      {"<=5m", 5 * kMicrosPerMinute},
+      {"<=15m", 15 * kMicrosPerMinute},
+      {"<=1h", kMicrosPerHour},
+      {"<=4h", 4 * kMicrosPerHour},
+      {"<=16h", 16 * kMicrosPerHour},
+      {"<=24h", 24 * kMicrosPerHour},
+      {">24h", INT64_MAX},
+  };
+  return *kBuckets;
+}
+
+const char* LagBucketLabel(Micros lag) {
+  for (const LagBucket& b : LagBuckets()) {
+    if (lag <= b.at_most) return b.label;
+  }
+  return ">24h";
+}
+
+Micros Fleet::SampleTargetLag(Rng* rng) {
+  // Mixture calibrated to Figure 5: ~20% < 5 min, ~55% in the middle, ~25%
+  // >= 16 h.
+  struct Choice {
+    Micros lag;
+    double weight;
+  };
+  static const Choice kChoices[] = {
+      {1 * kMicrosPerMinute, 0.08},  {2 * kMicrosPerMinute, 0.05},
+      {4 * kMicrosPerMinute, 0.07},  {15 * kMicrosPerMinute, 0.12},
+      {1 * kMicrosPerHour, 0.18},    {4 * kMicrosPerHour, 0.15},
+      {8 * kMicrosPerHour, 0.10},    {16 * kMicrosPerHour, 0.13},
+      {24 * kMicrosPerHour, 0.09},   {48 * kMicrosPerHour, 0.03},
+  };
+  std::vector<double> weights;
+  for (const Choice& c : kChoices) weights.push_back(c.weight);
+  return kChoices[rng->WeightedPick(weights)].lag;
+}
+
+Result<Fleet> Fleet::Build(DvsEngine* engine, Rng* rng, FleetOptions options) {
+  Fleet fleet;
+  auto run = [engine](const std::string& sql) -> Status {
+    auto r = engine->Execute(sql);
+    return r.ok() ? OkStatus() : r.status();
+  };
+  for (int i = 0; i < options.pipelines; ++i) {
+    FleetPipeline p;
+    p.table = "src_" + std::to_string(i);
+    DVS_RETURN_IF_ERROR(
+        run("CREATE TABLE " + p.table + " (k INT, v INT, cat STRING)"));
+
+    Micros lag = SampleTargetLag(rng);
+    double factor = options.min_arrival_factor +
+                    rng->NextDouble() * (options.max_arrival_factor -
+                                         options.min_arrival_factor);
+    p.arrival_period = std::max<Micros>(
+        kMicrosPerMinute, static_cast<Micros>(lag * factor));
+
+    FleetDt dt;
+    dt.name = "dt_" + std::to_string(i);
+    dt.target_lag = lag;
+    std::string query =
+        rng->Bernoulli(options.aggregate_fraction)
+            ? "SELECT cat, count(*) AS n, sum(v) AS total FROM " + p.table +
+                  " GROUP BY ALL"
+            : "SELECT k, v * 2 AS v2, cat FROM " + p.table + " WHERE v > 0";
+    DVS_RETURN_IF_ERROR(run(
+        "CREATE DYNAMIC TABLE " + dt.name + " TARGET_LAG = '" +
+        std::to_string(lag / kMicrosPerSecond) + " seconds' WAREHOUSE = wh_" +
+        std::to_string(i % 8) + " INITIALIZE = ON_SCHEDULE AS " + query));
+    DVS_ASSIGN_OR_RETURN(dt.id, engine->ObjectIdOf(dt.name));
+    p.dts.push_back(dt);
+
+    if (rng->Bernoulli(options.chain_probability)) {
+      FleetDt dt2;
+      dt2.name = "dt_" + std::to_string(i) + "_b";
+      dt2.target_lag = lag * 2;
+      DVS_RETURN_IF_ERROR(run(
+          "CREATE DYNAMIC TABLE " + dt2.name + " TARGET_LAG = '" +
+          std::to_string(dt2.target_lag / kMicrosPerSecond) +
+          " seconds' WAREHOUSE = wh_" + std::to_string(i % 8) +
+          " INITIALIZE = ON_SCHEDULE AS SELECT * FROM " + dt.name));
+      DVS_ASSIGN_OR_RETURN(dt2.id, engine->ObjectIdOf(dt2.name));
+      p.dts.push_back(dt2);
+    }
+    fleet.pipelines_.push_back(std::move(p));
+  }
+  return fleet;
+}
+
+Status Fleet::PumpArrivals(DvsEngine* engine, Rng* rng, Micros from,
+                           Micros to) {
+  for (FleetPipeline& p : pipelines_) {
+    while (p.last_arrival + p.arrival_period <= to) {
+      p.last_arrival += p.arrival_period;
+      if (p.last_arrival <= from) continue;
+      int batch = static_cast<int>(rng->Uniform(1, 5));
+      std::string sql = "INSERT INTO " + p.table + " VALUES ";
+      for (int b = 0; b < batch; ++b) {
+        if (b) sql += ", ";
+        sql += "(" + std::to_string(p.next_key++) + ", " +
+               std::to_string(rng->Uniform(-50, 100)) + ", 'c" +
+               std::to_string(rng->Uniform(0, 5)) + "')";
+      }
+      auto r = engine->Execute(sql);
+      if (!r.ok()) return r.status();
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace workload
+}  // namespace dvs

@@ -1,0 +1,77 @@
+// Synthetic DT fleet (DESIGN.md §5 substitution for production telemetry).
+//
+// The paper's §6.3 statistics are measured over >1M customer DTs. We
+// synthesize a fleet whose *target-lag marginals match Figure 5's published
+// distribution* (≈20% < 5 min, ≈55% between 5 min and 16 h, ≥25% >= 16 h)
+// and whose data-arrival cadence is configurable relative to the target lag,
+// then re-measure everything through the real scheduler + IVM pipeline.
+
+#ifndef DVS_WORKLOAD_FLEET_H_
+#define DVS_WORKLOAD_FLEET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "dt/engine.h"
+
+namespace dvs {
+namespace workload {
+
+struct FleetOptions {
+  int pipelines = 100;
+  /// Probability that a pipeline gets a second-level DT stacked on the first.
+  double chain_probability = 0.3;
+  /// Data arrival period = target lag × factor drawn uniformly from this
+  /// range. Factors > 1 make most refreshes NO_DATA (the §6.3 ">90%" regime).
+  double min_arrival_factor = 0.5;
+  double max_arrival_factor = 8.0;
+  /// Fraction of DTs defined with an aggregation (vs plain projection).
+  double aggregate_fraction = 0.4;
+};
+
+struct FleetDt {
+  std::string name;
+  ObjectId id = kInvalidObjectId;
+  Micros target_lag = 0;
+};
+
+struct FleetPipeline {
+  std::string table;
+  Micros arrival_period = 0;
+  std::vector<FleetDt> dts;
+  // Pump bookkeeping:
+  Micros last_arrival = 0;
+  int next_key = 0;
+};
+
+/// Figure 5's lag buckets, for histogram reporting.
+struct LagBucket {
+  const char* label;
+  Micros at_most;
+};
+const std::vector<LagBucket>& LagBuckets();
+const char* LagBucketLabel(Micros lag);
+
+class Fleet {
+ public:
+  /// Samples a target lag from the Figure-5-calibrated mixture.
+  static Micros SampleTargetLag(Rng* rng);
+
+  /// Creates tables + DTs in `engine` (DTs initialize on schedule).
+  static Result<Fleet> Build(DvsEngine* engine, Rng* rng, FleetOptions options);
+
+  /// Inserts arrival rows due in (from, to] into every pipeline's table.
+  Status PumpArrivals(DvsEngine* engine, Rng* rng, Micros from, Micros to);
+
+  std::vector<FleetPipeline>& pipelines() { return pipelines_; }
+  const std::vector<FleetPipeline>& pipelines() const { return pipelines_; }
+
+ private:
+  std::vector<FleetPipeline> pipelines_;
+};
+
+}  // namespace workload
+}  // namespace dvs
+
+#endif  // DVS_WORKLOAD_FLEET_H_

@@ -1,0 +1,180 @@
+#include "workload/query_generator.h"
+
+namespace dvs {
+namespace workload {
+
+namespace {
+
+std::string Istr(int64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+Status QueryGenerator::SetupSources(DvsEngine* engine, Rng* rng,
+                                    int rows_per_table) {
+  auto run = [engine](const std::string& sql) -> Status {
+    auto r = engine->Execute(sql);
+    return r.ok() ? OkStatus() : r.status();
+  };
+  DVS_RETURN_IF_ERROR(
+      run("CREATE TABLE t1 (k INT, v INT, grp STRING, tags ARRAY)"));
+  DVS_RETURN_IF_ERROR(run("CREATE TABLE t2 (k INT, w INT, label STRING)"));
+  for (int i = 0; i < rows_per_table; ++i) {
+    int64_t k = rng->Uniform(0, 200);
+    int64_t v = rng->Uniform(-100, 100);
+    std::string grp = "'g" + Istr(rng->Uniform(0, 7)) + "'";
+    std::string tags = "array_construct(";
+    int nt = static_cast<int>(rng->Uniform(0, 3));
+    for (int t = 0; t < nt; ++t) {
+      if (t) tags += ", ";
+      tags += Istr(rng->Uniform(0, 9));
+    }
+    tags += ")";
+    DVS_RETURN_IF_ERROR(run("INSERT INTO t1 VALUES (" + Istr(k) + ", " +
+                            Istr(v) + ", " + grp + ", " + tags + ")"));
+    DVS_RETURN_IF_ERROR(run("INSERT INTO t2 VALUES (" +
+                            Istr(rng->Uniform(0, 200)) + ", " +
+                            Istr(rng->Uniform(0, 50)) + ", 'l" +
+                            Istr(rng->Uniform(0, 5)) + "')"));
+  }
+  return OkStatus();
+}
+
+Status QueryGenerator::ApplyRandomDml(DvsEngine* engine, Rng* rng, int ops) {
+  auto run = [engine](const std::string& sql) -> Status {
+    auto r = engine->Execute(sql);
+    return r.ok() ? OkStatus() : r.status();
+  };
+  for (int i = 0; i < ops; ++i) {
+    double p = rng->NextDouble();
+    if (p < 0.5) {
+      // Insert.
+      if (rng->Bernoulli(0.6)) {
+        DVS_RETURN_IF_ERROR(run(
+            "INSERT INTO t1 VALUES (" + Istr(rng->Uniform(0, 200)) + ", " +
+            Istr(rng->Uniform(-100, 100)) + ", 'g" + Istr(rng->Uniform(0, 7)) +
+            "', array_construct(" + Istr(rng->Uniform(0, 9)) + "))"));
+      } else {
+        DVS_RETURN_IF_ERROR(run("INSERT INTO t2 VALUES (" +
+                                Istr(rng->Uniform(0, 200)) + ", " +
+                                Istr(rng->Uniform(0, 50)) + ", 'l" +
+                                Istr(rng->Uniform(0, 5)) + "')"));
+      }
+    } else if (p < 0.75) {
+      // Update.
+      if (rng->Bernoulli(0.7)) {
+        DVS_RETURN_IF_ERROR(run("UPDATE t1 SET v = v + " +
+                                Istr(rng->Uniform(1, 20)) + " WHERE k = " +
+                                Istr(rng->Uniform(0, 200))));
+      } else {
+        DVS_RETURN_IF_ERROR(run("UPDATE t2 SET w = w + 1 WHERE k = " +
+                                Istr(rng->Uniform(0, 200))));
+      }
+    } else {
+      // Delete (narrow, so tables do not drain).
+      if (rng->Bernoulli(0.7)) {
+        DVS_RETURN_IF_ERROR(
+            run("DELETE FROM t1 WHERE k = " + Istr(rng->Uniform(0, 200))));
+      } else {
+        DVS_RETURN_IF_ERROR(
+            run("DELETE FROM t2 WHERE k = " + Istr(rng->Uniform(0, 200))));
+      }
+    }
+  }
+  return OkStatus();
+}
+
+std::string QueryGenerator::RandomPredicate(bool table2) {
+  switch (rng_->Uniform(0, 3)) {
+    case 0:
+      return (table2 ? "w > " : "v > ") + Istr(rng_->Uniform(-50, 50));
+    case 1:
+      return "k % " + Istr(rng_->Uniform(2, 7)) + " = " +
+             Istr(rng_->Uniform(0, 1));
+    case 2:
+      return table2 ? ("label <> 'l" + Istr(rng_->Uniform(0, 5)) + "'")
+                    : ("grp <> 'g" + Istr(rng_->Uniform(0, 7)) + "'");
+    default:
+      return (table2 ? "w" : "v") + std::string(" BETWEEN ") +
+             Istr(rng_->Uniform(-80, 0)) + " AND " + Istr(rng_->Uniform(1, 80));
+  }
+}
+
+std::string QueryGenerator::RandomScalar(bool table2) {
+  switch (rng_->Uniform(0, 3)) {
+    case 0: return table2 ? "w" : "v";
+    case 1: return "k";
+    case 2: return table2 ? "w + 1" : "v * 2";
+    default: return "k % 10";
+  }
+}
+
+std::string QueryGenerator::Generate() {
+  const bool agg = rng_->Bernoulli(mix_.p_aggregate);
+  const bool window = !agg && rng_->Bernoulli(mix_.p_window);
+  const bool join = !window && rng_->Bernoulli(mix_.p_join);
+  const bool flatten = !window && !join && rng_->Bernoulli(mix_.p_flatten);
+  const bool union_all =
+      !window && !flatten && !join && rng_->Bernoulli(mix_.p_union_all);
+  const bool distinct = !agg && !window && rng_->Bernoulli(mix_.p_distinct);
+  const bool filter = rng_->Bernoulli(mix_.p_filter);
+
+  if (union_all) {
+    std::string q = "SELECT k, v AS x FROM t1";
+    if (filter) q += " WHERE " + RandomPredicate(false);
+    q += " UNION ALL SELECT k, w AS x FROM t2";
+    if (rng_->Bernoulli(mix_.p_filter)) q += " WHERE " + RandomPredicate(true);
+    if (agg) {
+      // (not reachable: agg excluded above) — kept simple.
+    }
+    return q;
+  }
+
+  if (window) {
+    std::string q =
+        "SELECT k, v, grp, row_number() OVER (PARTITION BY grp "
+        "ORDER BY v, k) AS rn, sum(v) OVER (PARTITION BY grp) AS gv FROM t1";
+    if (filter) q += " WHERE " + RandomPredicate(false);
+    return q;
+  }
+
+  std::string from = "FROM t1 a";
+  if (join) {
+    const bool outer = rng_->Bernoulli(mix_.p_outer_given_join);
+    const char* jt = "JOIN";
+    if (outer) {
+      jt = rng_->Bernoulli(0.6) ? "LEFT JOIN" : "FULL OUTER JOIN";
+    }
+    from += std::string(" ") + jt + " t2 b ON a.k = b.k";
+  } else if (flatten) {
+    from = "FROM t1 a, LATERAL FLATTEN(a.tags) f";
+  }
+
+  std::string where;
+  if (filter) where = " WHERE a." + RandomPredicate(false);
+
+  if (agg) {
+    std::string key = join && rng_->Bernoulli(0.4) ? "b.label" : "a.grp";
+    std::string val = join && rng_->Bernoulli(0.5) ? "b.w" : "a.v";
+    std::string q = "SELECT " + key + " AS key, count(*) AS n, sum(" + val +
+                    ") AS sv";
+    if (rng_->Bernoulli(0.4)) q += ", max(" + val + ") AS mx";
+    if (rng_->Bernoulli(0.3)) q += ", min(a.k) AS mk";
+    q += " " + from + where + " GROUP BY ALL";
+    return q;
+  }
+
+  std::string q = std::string("SELECT ") + (distinct ? "DISTINCT " : "");
+  q += "a.k AS k, a." + RandomScalar(false) + " AS s1";
+  if (join) {
+    q += ", b.w AS w, b.label AS label";
+  } else if (flatten) {
+    q += ", f.index AS idx, f.value AS tag";
+  } else {
+    q += ", a.grp AS grp";
+  }
+  q += " " + from + where;
+  return q;
+}
+
+}  // namespace workload
+}  // namespace dvs

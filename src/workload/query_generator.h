@@ -1,0 +1,69 @@
+// Random DT-definition generator.
+//
+// Two consumers:
+//  - Experiment E5 (Figure 6): generate a large population of incremental DT
+//    definitions with an operator mix calibrated to the paper's reported
+//    frequencies, then re-measure the per-operator frequency through the
+//    real binder.
+//  - Property-based randomized testing (§6.1 level 4): generated DTs are
+//    created twice (incremental + forced FULL), fed random CDC, and checked
+//    against the paper's core invariant after every refresh.
+//
+// Queries are generated against two fixed-schema source tables so they are
+// valid by construction:
+//   t1(k INT, v INT, grp STRING, tags ARRAY)
+//   t2(k INT, w INT, label STRING)
+// Window functions are only applied directly over a single-table scan so
+// that tie-breaking (by storage row id) is identical between full and
+// incremental plans.
+
+#ifndef DVS_WORKLOAD_QUERY_GENERATOR_H_
+#define DVS_WORKLOAD_QUERY_GENERATOR_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "dt/engine.h"
+
+namespace dvs {
+namespace workload {
+
+struct QueryMix {
+  // Probabilities of including each construct (independent unless noted).
+  double p_filter = 0.60;
+  double p_join = 0.45;
+  double p_outer_given_join = 0.25;
+  double p_aggregate = 0.35;
+  double p_distinct = 0.06;
+  double p_window = 0.12;   ///< Mutually exclusive with aggregate.
+  double p_union_all = 0.08;
+  double p_flatten = 0.05;
+};
+
+class QueryGenerator {
+ public:
+  QueryGenerator(Rng* rng, QueryMix mix = {}) : rng_(rng), mix_(mix) {}
+
+  /// One random DT defining query (a SELECT over t1/t2).
+  std::string Generate();
+
+  /// Creates the two source tables in `engine` and seeds them with
+  /// `rows_per_table` random rows.
+  static Status SetupSources(DvsEngine* engine, Rng* rng, int rows_per_table);
+
+  /// Applies one random CDC batch (inserts / updates / deletes) to the
+  /// source tables.
+  static Status ApplyRandomDml(DvsEngine* engine, Rng* rng, int ops);
+
+ private:
+  std::string RandomPredicate(bool table2);
+  std::string RandomScalar(bool table2);
+
+  Rng* rng_;
+  QueryMix mix_;
+};
+
+}  // namespace workload
+}  // namespace dvs
+
+#endif  // DVS_WORKLOAD_QUERY_GENERATOR_H_

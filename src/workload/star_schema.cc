@@ -1,0 +1,94 @@
+#include "workload/star_schema.h"
+
+#include <algorithm>
+
+namespace dvs {
+namespace workload {
+
+namespace {
+int g_next_sale_id = 1;
+
+Status Run(DvsEngine* engine, const std::string& sql) {
+  auto r = engine->Execute(sql);
+  return r.ok() ? OkStatus() : r.status();
+}
+}  // namespace
+
+Status BuildStarSchema(DvsEngine* engine, Rng* rng,
+                       const StarOptions& options) {
+  g_next_sale_id = 1;
+  DVS_RETURN_IF_ERROR(Run(engine,
+      "CREATE TABLE product (product_id INT, name STRING, category STRING)"));
+  DVS_RETURN_IF_ERROR(Run(engine,
+      "CREATE TABLE customer (customer_id INT, region STRING)"));
+  DVS_RETURN_IF_ERROR(Run(engine,
+      "CREATE TABLE sales (sale_id INT, product_id INT, customer_id INT, "
+      "amount INT)"));
+
+  for (int i = 0; i < options.products; ++i) {
+    DVS_RETURN_IF_ERROR(Run(engine,
+        "INSERT INTO product VALUES (" + std::to_string(i) + ", 'product_" +
+        std::to_string(i) + "', 'cat" + std::to_string(i % 6) + "')"));
+  }
+  for (int i = 0; i < options.customers; ++i) {
+    DVS_RETURN_IF_ERROR(Run(engine,
+        "INSERT INTO customer VALUES (" + std::to_string(i) + ", 'region" +
+        std::to_string(i % 4) + "')"));
+  }
+  DVS_RETURN_IF_ERROR(AppendSales(engine, rng, options.initial_facts));
+
+  return Run(engine,
+      "CREATE DYNAMIC TABLE sales_enriched TARGET_LAG = '1 minute' "
+      "WAREHOUSE = star_wh AS "
+      "SELECT s.sale_id, s.amount, p.name AS product_name, "
+      "p.category, c.region "
+      "FROM sales s "
+      "JOIN product p ON s.product_id = p.product_id "
+      "JOIN customer c ON s.customer_id = c.customer_id");
+}
+
+Status AppendSales(DvsEngine* engine, Rng* rng, int n) {
+  // Count dimension sizes once via queries (keeps this function standalone).
+  auto products = engine->Query("SELECT count(*) AS n FROM product");
+  auto customers = engine->Query("SELECT count(*) AS n FROM customer");
+  if (!products.ok()) return products.status();
+  if (!customers.ok()) return customers.status();
+  int64_t np = products.value().rows[0][0].int_value();
+  int64_t nc = customers.value().rows[0][0].int_value();
+  if (np == 0 || nc == 0) return FailedPrecondition("empty dimensions");
+
+  const int kBatch = 50;
+  for (int i = 0; i < n; i += kBatch) {
+    std::string sql = "INSERT INTO sales VALUES ";
+    int end = std::min(n, i + kBatch);
+    for (int j = i; j < end; ++j) {
+      if (j > i) sql += ", ";
+      sql += "(" + std::to_string(g_next_sale_id++) + ", " +
+             std::to_string(rng->Uniform(0, np - 1)) + ", " +
+             std::to_string(rng->Uniform(0, nc - 1)) + ", " +
+             std::to_string(rng->Uniform(1, 500)) + ")";
+    }
+    DVS_RETURN_IF_ERROR(Run(engine, sql));
+  }
+  return OkStatus();
+}
+
+Status UpdateProductFraction(DvsEngine* engine, Rng* rng, double fraction) {
+  auto products = engine->Query("SELECT count(*) AS n FROM product");
+  if (!products.ok()) return products.status();
+  int64_t np = products.value().rows[0][0].int_value();
+  int64_t to_update = static_cast<int64_t>(np * fraction + 0.5);
+  // Distinct products (a random rotation of the id space), so `fraction`
+  // is exactly the share of the dimension touched.
+  int64_t offset = rng->Uniform(0, np - 1);
+  for (int64_t i = 0; i < to_update; ++i) {
+    int64_t pid = (offset + i) % np;
+    DVS_RETURN_IF_ERROR(Run(engine,
+        "UPDATE product SET name = 'renamed_" + std::to_string(pid) + "_" +
+        std::to_string(i) + "' WHERE product_id = " + std::to_string(pid)));
+  }
+  return OkStatus();
+}
+
+}  // namespace workload
+}  // namespace dvs

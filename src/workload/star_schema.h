@@ -1,0 +1,35 @@
+// Star-schema workload for E13 (§6.4): a fact table joined with dimension
+// tables. Appending facts is the cheap, common case; *updating a dimension*
+// invalidates every joined fact row, which is the paper's worked example of
+// an inherent DVS/IVM limitation ("can be as costly as rewriting the entire
+// table").
+
+#ifndef DVS_WORKLOAD_STAR_SCHEMA_H_
+#define DVS_WORKLOAD_STAR_SCHEMA_H_
+
+#include "common/rng.h"
+#include "dt/engine.h"
+
+namespace dvs {
+namespace workload {
+
+struct StarOptions {
+  int products = 40;
+  int customers = 100;
+  int initial_facts = 1000;
+};
+
+/// Creates product / customer dimensions, the sales fact table, and an
+/// incremental DT `sales_enriched` joining all three.
+Status BuildStarSchema(DvsEngine* engine, Rng* rng, const StarOptions& options);
+
+/// Appends `n` fact rows.
+Status AppendSales(DvsEngine* engine, Rng* rng, int n);
+
+/// Renames a `fraction` of the product dimension (the expensive update).
+Status UpdateProductFraction(DvsEngine* engine, Rng* rng, double fraction);
+
+}  // namespace workload
+}  // namespace dvs
+
+#endif  // DVS_WORKLOAD_STAR_SCHEMA_H_

@@ -1,0 +1,181 @@
+// Tests for catalog/ and txn/: DDL log, drop/undrop, replace, dependency
+// queries, RBAC, HLC commit stamping, atomic multi-table commits, locks.
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "txn/transaction_manager.h"
+
+namespace dvs {
+namespace {
+
+Schema OneCol() { return Schema({{"v", DataType::kInt64}}); }
+
+TEST(CatalogTest, CreateAndFind) {
+  Catalog c;
+  ASSERT_TRUE(c.CreateBaseTable("t", OneCol(), {1, 0}).ok());
+  EXPECT_TRUE(c.Exists("t"));
+  EXPECT_TRUE(c.Exists("T"));  // case-insensitive
+  EXPECT_TRUE(c.Find("t").ok());
+  EXPECT_FALSE(c.Find("nope").ok());
+  EXPECT_FALSE(c.CreateBaseTable("t", OneCol(), {2, 0}).ok());  // dup
+}
+
+TEST(CatalogTest, DropAndUndropRestoresSameObject) {
+  Catalog c;
+  ObjectId id = c.CreateBaseTable("t", OneCol(), {1, 0}).value();
+  ASSERT_TRUE(c.DropObject("t", {2, 0}).ok());
+  EXPECT_FALSE(c.Find("t").ok());
+  EXPECT_FALSE(c.FindById(id).ok());  // dropped objects invisible by id too
+  ASSERT_TRUE(c.UndropObject("t", {3, 0}).ok());
+  EXPECT_EQ(c.Find("t").value()->id, id);  // same object, same id
+}
+
+TEST(CatalogTest, UndropWithoutDropFails) {
+  Catalog c;
+  EXPECT_FALSE(c.UndropObject("ghost", {1, 0}).ok());
+  ASSERT_TRUE(c.CreateBaseTable("t", OneCol(), {1, 0}).ok());
+  EXPECT_FALSE(c.UndropObject("t", {2, 0}).ok());  // name still taken
+}
+
+TEST(CatalogTest, ReplaceCreatesNewObjectId) {
+  Catalog c;
+  ObjectId id1 = c.CreateBaseTable("t", OneCol(), {1, 0}).value();
+  ObjectId id2 = c.ReplaceBaseTable("t", OneCol(), {2, 0}).value();
+  EXPECT_NE(id1, id2);
+  EXPECT_EQ(c.Find("t").value()->id, id2);
+}
+
+TEST(CatalogTest, DdlLogIsOrderedAndComplete) {
+  Catalog c;
+  ASSERT_TRUE(c.CreateBaseTable("a", OneCol(), {1, 0}).ok());
+  ASSERT_TRUE(c.DropObject("a", {2, 0}).ok());
+  ASSERT_TRUE(c.UndropObject("a", {3, 0}).ok());
+  ASSERT_TRUE(c.ReplaceBaseTable("a", OneCol(), {4, 0}).ok());
+  const auto& log = c.ddl_log();
+  ASSERT_EQ(log.size(), 5u);  // create, drop, undrop, replace-drop, create
+  for (size_t i = 1; i < log.size(); ++i) {
+    EXPECT_LT(log[i - 1].seq, log[i].seq);
+    EXPECT_LE(log[i - 1].ts, log[i].ts);
+  }
+}
+
+TEST(CatalogTest, DependencyQueries) {
+  Catalog c;
+  ObjectId src = c.CreateBaseTable("src", OneCol(), {1, 0}).value();
+  // A DT reading src.
+  auto select = sql::ParseSelect("SELECT v FROM src").value();
+  sql::Binder binder(c);
+  auto bound = binder.BindSelect(*select).value();
+  DynamicTableDef def;
+  def.sql = "SELECT v FROM src";
+  def.target_lag = TargetLag::Of(kMicrosPerMinute);
+  def.warehouse = "wh";
+  ObjectId dt = c.CreateDynamicTable("dt", def, bound.plan,
+                                     bound.plan->output_schema, true,
+                                     bound.dependencies, {2, 0})
+                    .value();
+  auto down = c.DownstreamDynamicTables(src);
+  ASSERT_EQ(down.size(), 1u);
+  EXPECT_EQ(down[0], dt);
+  EXPECT_TRUE(c.UpstreamDynamicTables(dt).empty());  // src is a base table
+
+  // Stack another DT on top.
+  auto select2 = sql::ParseSelect("SELECT v FROM dt").value();
+  sql::Binder binder2(c);
+  auto bound2 = binder2.BindSelect(*select2).value();
+  ObjectId dt2 = c.CreateDynamicTable("dt2", def, bound2.plan,
+                                      bound2.plan->output_schema, true,
+                                      bound2.dependencies, {3, 0})
+                     .value();
+  auto ups = c.UpstreamDynamicTables(dt2);
+  ASSERT_EQ(ups.size(), 1u);
+  EXPECT_EQ(ups[0], dt);
+}
+
+TEST(CatalogTest, TargetLagToString) {
+  EXPECT_EQ(TargetLag::Downstream().ToString(), "DOWNSTREAM");
+  EXPECT_EQ(TargetLag::Of(kMicrosPerMinute).ToString(), "1m 0s");
+}
+
+TEST(CatalogTest, RefreshVersionLookups) {
+  DynamicTableMeta meta;
+  meta.refresh_versions[100] = 2;
+  meta.refresh_versions[200] = 3;
+  EXPECT_EQ(meta.VersionForRefresh(100).value(), 2u);
+  EXPECT_FALSE(meta.VersionForRefresh(150).has_value());  // exact only
+  EXPECT_EQ(meta.LatestRefreshAtOrBefore(150).value(), 100);
+  EXPECT_EQ(meta.LatestRefreshAtOrBefore(200).value(), 200);
+  EXPECT_FALSE(meta.LatestRefreshAtOrBefore(50).has_value());
+}
+
+TEST(TxnTest, CommitTimestampsStrictlyIncrease) {
+  VirtualClock clock(100);
+  TransactionManager txn(clock);
+  HlcTimestamp a = txn.NextCommitTimestamp();
+  HlcTimestamp b = txn.NextCommitTimestamp();
+  clock.Advance(10);
+  HlcTimestamp c = txn.NextCommitTimestamp();
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(c.logical, 0u);
+}
+
+TEST(TxnTest, MultiTableCommitIsAtomic) {
+  VirtualClock clock(100);
+  TransactionManager txn(clock);
+  VersionedTable t1(OneCol()), t2(OneCol());
+  ChangeSet c1 = t1.MakeInsertChanges({{Value::Int(1)}});
+  ChangeSet c2 = t2.MakeInsertChanges({{Value::Int(2)}});
+  auto ts = txn.CommitWrites({{&t1, c1}, {&t2, c2}});
+  ASSERT_TRUE(ts.ok());
+  // Same commit timestamp on both tables.
+  EXPECT_EQ(t1.version(t1.latest_version()).commit_ts, ts.value());
+  EXPECT_EQ(t2.version(t2.latest_version()).commit_ts, ts.value());
+}
+
+TEST(TxnTest, ValidationFailureAppliesNothing) {
+  VirtualClock clock(100);
+  TransactionManager txn(clock);
+  VersionedTable t1(OneCol()), t2(OneCol());
+  ChangeSet good = t1.MakeInsertChanges({{Value::Int(1)}});
+  ChangeSet bad = {{ChangeAction::kDelete, 999, {Value::Int(9)}}};
+  auto ts = txn.CommitWrites({{&t1, good}, {&t2, bad}});
+  ASSERT_FALSE(ts.ok());
+  EXPECT_EQ(ts.status().code(), StatusCode::kCorruption);
+  // t1 must not have been touched despite its changes being valid.
+  EXPECT_EQ(t1.latest_version(), 1u);
+  EXPECT_EQ(t2.latest_version(), 1u);
+}
+
+TEST(TxnTest, LocksConflictAndAreReentrant) {
+  VirtualClock clock(0);
+  TransactionManager txn(clock);
+  ASSERT_TRUE(txn.TryLock(7, /*holder=*/1).ok());
+  EXPECT_TRUE(txn.TryLock(7, 1).ok());  // re-entrant for same holder
+  Status conflict = txn.TryLock(7, 2);
+  ASSERT_FALSE(conflict.ok());
+  EXPECT_EQ(conflict.code(), StatusCode::kLockConflict);
+  txn.Unlock(7, 2);  // non-holder unlock is a no-op
+  EXPECT_TRUE(txn.IsLocked(7));
+  txn.Unlock(7, 1);
+  EXPECT_FALSE(txn.IsLocked(7));
+  EXPECT_TRUE(txn.TryLock(7, 2).ok());
+}
+
+TEST(TxnTest, SnapshotVisibility) {
+  VirtualClock clock(100);
+  TransactionManager txn(clock);
+  VersionedTable t(OneCol());
+  ASSERT_TRUE(txn.CommitWrites({{&t, t.MakeInsertChanges({{Value::Int(1)}})}}).ok());
+  clock.Advance(50);
+  ASSERT_TRUE(txn.CommitWrites({{&t, t.MakeInsertChanges({{Value::Int(2)}})}}).ok());
+  // Snapshot at t=100 sees only the first commit; at t=150 both.
+  EXPECT_EQ(t.ScanAt(t.ResolveVersionAt(TransactionManager::SnapshotAt(100))).size(), 1u);
+  EXPECT_EQ(t.ScanAt(t.ResolveVersionAt(TransactionManager::SnapshotAt(150))).size(), 2u);
+}
+
+}  // namespace
+}  // namespace dvs

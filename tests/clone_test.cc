@@ -1,0 +1,163 @@
+// Tests for §3.4 zero-copy cloning: CREATE [DYNAMIC] TABLE ... CLONE ...
+// Clones share immutable micro-partitions (metadata-only copy), diverge
+// independently, and cloned DTs avoid reinitialization — they keep their
+// frontier and refresh history and continue refreshing "unperturbed".
+
+#include <gtest/gtest.h>
+
+#include "dt/engine.h"
+
+namespace dvs {
+namespace {
+
+class CloneTest : public ::testing::Test {
+ protected:
+  CloneTest() : clock_(kMicrosPerHour), engine_(clock_) {}
+
+  void Exec(const std::string& sql) {
+    auto r = engine_.Execute(sql);
+    ASSERT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+  }
+
+  size_t Count(const std::string& table) {
+    auto r = engine_.Query("SELECT count(*) AS n FROM " + table);
+    EXPECT_TRUE(r.ok());
+    return r.ok() ? static_cast<size_t>(r.value().rows[0][0].int_value()) : 0;
+  }
+
+  const DynamicTableMeta& Meta(const std::string& name) {
+    return *engine_.catalog().Find(name).value()->dt;
+  }
+
+  VirtualClock clock_;
+  DvsEngine engine_;
+};
+
+TEST_F(CloneTest, StorageCloneSharesPartitionsZeroCopy) {
+  VersionedTable t(Schema({{"v", DataType::kInt64}}));
+  std::vector<Row> rows;
+  for (int i = 0; i < 1000; ++i) rows.push_back({Value::Int(i)});
+  ASSERT_TRUE(t.ApplyChanges(t.MakeInsertChanges(std::move(rows)), {1, 0}).ok());
+  uint64_t writes_before = t.stats().rows_written;
+
+  auto clone = t.Clone();
+  // No rows were copied: the clone's stats are fresh and the original's
+  // write counter did not move.
+  EXPECT_EQ(t.stats().rows_written, writes_before);
+  EXPECT_EQ(clone->stats().rows_written, 0u);
+  EXPECT_EQ(clone->ScanLatest().size(), 1000u);
+  // Full time travel history is preserved.
+  EXPECT_EQ(clone->version_count(), t.version_count());
+}
+
+TEST_F(CloneTest, StorageCloneDivergesIndependently) {
+  VersionedTable t(Schema({{"v", DataType::kInt64}}));
+  ASSERT_TRUE(t.ApplyChanges(t.MakeInsertChanges({{Value::Int(1)}}), {1, 0}).ok());
+  auto clone = t.Clone();
+  ASSERT_TRUE(
+      clone->ApplyChanges(clone->MakeInsertChanges({{Value::Int(2)}}), {2, 0})
+          .ok());
+  ASSERT_TRUE(t.ApplyChanges(t.MakeInsertChanges({{Value::Int(3)}}), {3, 0}).ok());
+  EXPECT_EQ(t.ScanLatest().size(), 2u);
+  EXPECT_EQ(clone->ScanLatest().size(), 2u);
+  EXPECT_EQ(clone->ScanLatest()[1].values[0].int_value(), 2);
+}
+
+TEST_F(CloneTest, BaseTableCloneViaSql) {
+  Exec("CREATE TABLE t (v INT)");
+  Exec("INSERT INTO t VALUES (1), (2), (3)");
+  Exec("CREATE TABLE t2 CLONE t");
+  EXPECT_EQ(Count("t2"), 3u);
+  Exec("INSERT INTO t2 VALUES (4)");
+  Exec("DELETE FROM t WHERE v = 1");
+  EXPECT_EQ(Count("t"), 2u);
+  EXPECT_EQ(Count("t2"), 4u);
+}
+
+TEST_F(CloneTest, CloneKindMismatchRejected) {
+  Exec("CREATE TABLE t (v INT)");
+  auto r = engine_.Execute("CREATE DYNAMIC TABLE d CLONE t");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CloneTest, CloneOfMissingSourceFails) {
+  EXPECT_FALSE(engine_.Execute("CREATE TABLE x CLONE ghost").ok());
+}
+
+TEST_F(CloneTest, ViewsCannotBeCloned) {
+  Exec("CREATE TABLE t (v INT)");
+  Exec("CREATE VIEW vw AS SELECT v FROM t");
+  auto r = engine_.catalog().CloneObject("vw2", "vw", {99, 0});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CloneTest, ClonedDtAvoidsReinitialization) {
+  Exec("CREATE TABLE src (v INT)");
+  Exec("INSERT INTO src VALUES (1), (2)");
+  Exec("CREATE DYNAMIC TABLE d TARGET_LAG = '1 minute' WAREHOUSE = wh "
+       "AS SELECT v * 10 AS v10 FROM src");
+  Micros src_ts = Meta("d").data_timestamp;
+
+  Exec("CREATE DYNAMIC TABLE d2 CLONE d");
+  // Initialized without any computation: same data timestamp, same contents.
+  EXPECT_TRUE(Meta("d2").initialized);
+  EXPECT_EQ(Meta("d2").data_timestamp, src_ts);
+  EXPECT_EQ(Count("d2"), 2u);
+
+  // The clone refreshes *incrementally* from the inherited frontier — no
+  // REINITIALIZE, no full recompute.
+  clock_.Advance(kMicrosPerMinute);
+  Exec("INSERT INTO src VALUES (3)");
+  ObjectId id = engine_.ObjectIdOf("d2").value();
+  auto outcome = engine_.refresh_engine().Refresh(id, clock_.Now());
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome.value().action, RefreshAction::kIncremental);
+  EXPECT_EQ(Count("d2"), 3u);
+
+  // Original unaffected (still at its old data timestamp).
+  EXPECT_EQ(Meta("d").data_timestamp, src_ts);
+  EXPECT_EQ(Count("d"), 2u);
+}
+
+TEST_F(CloneTest, ClonedDtRefreshesIndependently) {
+  Exec("CREATE TABLE src (v INT)");
+  Exec("INSERT INTO src VALUES (1)");
+  Exec("CREATE DYNAMIC TABLE d TARGET_LAG = '1 minute' WAREHOUSE = wh "
+       "AS SELECT v FROM src");
+  Exec("CREATE DYNAMIC TABLE d2 CLONE d");
+  clock_.Advance(kMicrosPerMinute);
+  Exec("INSERT INTO src VALUES (2)");
+  Exec("ALTER DYNAMIC TABLE d REFRESH");
+  // Only the original moved.
+  EXPECT_EQ(Count("d"), 2u);
+  EXPECT_EQ(Count("d2"), 1u);
+  // DVS: the clone's contents still match its defining query at *its* data
+  // timestamp.
+  auto expected = engine_.QueryAsOf(Meta("d2").def.sql,
+                                    Meta("d2").data_timestamp);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(expected.value().size(), 1u);
+}
+
+TEST_F(CloneTest, CloneResetsFailureStateButKeepsHistory) {
+  Exec("CREATE TABLE src (v INT)");
+  Exec("INSERT INTO src VALUES (1)");
+  Exec("CREATE DYNAMIC TABLE d TARGET_LAG = '1 minute' WAREHOUSE = wh "
+       "AS SELECT 10 / v AS q FROM src");
+  Exec("INSERT INTO src VALUES (0)");
+  ObjectId id = engine_.ObjectIdOf("d").value();
+  clock_.Advance(kMicrosPerMinute);
+  ASSERT_FALSE(engine_.refresh_engine().Refresh(id, clock_.Now()).ok());
+  ASSERT_GT(Meta("d").consecutive_failures, 0);
+
+  Exec("CREATE DYNAMIC TABLE d2 CLONE d");
+  EXPECT_EQ(Meta("d2").consecutive_failures, 0);
+  EXPECT_EQ(Meta("d2").state, DtState::kActive);
+  EXPECT_EQ(Meta("d2").refresh_versions.size(),
+            Meta("d").refresh_versions.size());
+}
+
+}  // namespace
+}  // namespace dvs

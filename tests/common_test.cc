@@ -1,0 +1,191 @@
+// Tests for common/: Status, clocks, HLC, duration parsing, hashing, rng.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/clock.h"
+#include "common/duration.h"
+#include "common/hash.h"
+#include "common/hlc.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace dvs {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = NotFound("table 'foo' does not exist");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: table 'foo' does not exist");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(FailedPrecondition("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Unsupported("x").code(), StatusCode::kUnsupported);
+  EXPECT_EQ(ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(BindError("x").code(), StatusCode::kBindError);
+  EXPECT_EQ(UserError("x").code(), StatusCode::kUserError);
+  EXPECT_EQ(Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(LockConflict("x").code(), StatusCode::kLockConflict);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(VirtualClockTest, AdvancesManually) {
+  VirtualClock clock(100);
+  EXPECT_EQ(clock.Now(), 100);
+  clock.Advance(50);
+  EXPECT_EQ(clock.Now(), 150);
+  clock.AdvanceTo(120);  // backwards jump is ignored
+  EXPECT_EQ(clock.Now(), 150);
+  clock.AdvanceTo(500);
+  EXPECT_EQ(clock.Now(), 500);
+}
+
+TEST(RealClockTest, MovesForward) {
+  RealClock clock;
+  Micros a = clock.Now();
+  Micros b = clock.Now();
+  EXPECT_LE(a, b);
+  EXPECT_GT(a, 0);
+}
+
+TEST(HlcTest, StrictlyMonotonicUnderFrozenClock) {
+  VirtualClock clock(1000);
+  HybridLogicalClock hlc(clock);
+  HlcTimestamp prev = hlc.Next();
+  for (int i = 0; i < 100; ++i) {
+    HlcTimestamp next = hlc.Next();
+    EXPECT_LT(prev, next);
+    prev = next;
+  }
+  EXPECT_EQ(prev.physical, 1000);
+  EXPECT_EQ(prev.logical, 100u);
+}
+
+TEST(HlcTest, PhysicalAdvanceResetsLogical) {
+  VirtualClock clock(1000);
+  HybridLogicalClock hlc(clock);
+  hlc.Next();
+  hlc.Next();
+  clock.Advance(1);
+  HlcTimestamp t = hlc.Next();
+  EXPECT_EQ(t.physical, 1001);
+  EXPECT_EQ(t.logical, 0u);
+}
+
+TEST(HlcTest, ObserveFoldsInRemoteTimestamp) {
+  VirtualClock clock(10);
+  HybridLogicalClock hlc(clock);
+  hlc.Observe({5000, 7});
+  HlcTimestamp t = hlc.Next();
+  EXPECT_GT(t, (HlcTimestamp{5000, 7}));
+}
+
+TEST(HlcTest, AtWallTimeDominatesAllLogicalCounters) {
+  HlcTimestamp commit{500, 123456};
+  EXPECT_LT(commit, HlcTimestamp::AtWallTime(500) <= commit
+                        ? HlcTimestamp::Max()
+                        : HlcTimestamp::AtWallTime(500));
+  EXPECT_LE(commit, HlcTimestamp::AtWallTime(500));
+  EXPECT_LT(HlcTimestamp::AtWallTime(499), commit);
+}
+
+TEST(DurationTest, ParsesWordForms) {
+  EXPECT_EQ(ParseDuration("1 minute").value(), kMicrosPerMinute);
+  EXPECT_EQ(ParseDuration("10 minutes").value(), 10 * kMicrosPerMinute);
+  EXPECT_EQ(ParseDuration("30 seconds").value(), 30 * kMicrosPerSecond);
+  EXPECT_EQ(ParseDuration("16 hours").value(), 16 * kMicrosPerHour);
+  EXPECT_EQ(ParseDuration("2 days").value(), 2 * kMicrosPerDay);
+  EXPECT_EQ(ParseDuration("250 ms").value(), 250 * kMicrosPerMilli);
+}
+
+TEST(DurationTest, ParsesCompactForms) {
+  EXPECT_EQ(ParseDuration("90s").value(), 90 * kMicrosPerSecond);
+  EXPECT_EQ(ParseDuration("5m").value(), 5 * kMicrosPerMinute);
+  EXPECT_EQ(ParseDuration("2h").value(), 2 * kMicrosPerHour);
+  EXPECT_EQ(ParseDuration("1.5h").value(), kMicrosPerHour * 3 / 2);
+}
+
+TEST(DurationTest, CaseAndWhitespaceInsensitive) {
+  EXPECT_EQ(ParseDuration("  1 MINUTE  ").value(), kMicrosPerMinute);
+}
+
+TEST(DurationTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseDuration("").ok());
+  EXPECT_FALSE(ParseDuration("minute").ok());
+  EXPECT_FALSE(ParseDuration("5 lightyears").ok());
+}
+
+TEST(FormatDurationTest, HumanReadable) {
+  EXPECT_EQ(FormatDuration(500), "500us");
+  EXPECT_EQ(FormatDuration(5 * kMicrosPerMilli), "5ms");
+  EXPECT_EQ(FormatDuration(90 * kMicrosPerSecond), "1m 30s");
+  EXPECT_EQ(FormatDuration(3 * kMicrosPerHour + 5 * kMicrosPerMinute),
+            "3h 5m");
+}
+
+TEST(HashTest, DeterministicAndSpread) {
+  EXPECT_EQ(HashString("dynamic_tables"), HashString("dynamic_tables"));
+  EXPECT_NE(HashString("a"), HashString("b"));
+  EXPECT_NE(HashUint64(1), HashUint64(2));
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));  // order-dependent
+}
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000000), b.Uniform(0, 1000000));
+  }
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  Rng rng(7);
+  int low = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (rng.Zipf(100) < 10) ++low;
+  }
+  EXPECT_GT(low, 400);  // with s=1, the first 10 of 100 ranks carry >50% mass
+}
+
+TEST(RngTest, WeightedPickHonorsWeights) {
+  Rng rng(7);
+  std::vector<double> w = {0.0, 10.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.WeightedPick(w), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace dvs

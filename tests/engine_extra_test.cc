@@ -1,0 +1,248 @@
+// Additional end-to-end engine coverage: UNION ALL, LATERAL FLATTEN,
+// subqueries in FROM, expression surface (IN/BETWEEN/CASE/INTERVAL/casts),
+// multi-statement pipelines, and miscellaneous error paths.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dt/engine.h"
+
+namespace dvs {
+namespace {
+
+class EngineExtraTest : public ::testing::Test {
+ protected:
+  EngineExtraTest() : clock_(kMicrosPerHour), engine_(clock_) {}
+
+  void Exec(const std::string& sql) {
+    auto r = engine_.Execute(sql);
+    ASSERT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+  }
+
+  QueryResult Q(const std::string& sql) {
+    auto r = engine_.Query(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? r.take() : QueryResult{};
+  }
+
+  void ExpectDvs(const std::string& dt) {
+    const auto& meta = *engine_.catalog().Find(dt).value()->dt;
+    auto expected = engine_.QueryAsOf(meta.def.sql, meta.data_timestamp);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+    auto actual = Q("SELECT * FROM " + dt);
+    auto render = [](const std::vector<Row>& rows) {
+      std::vector<std::string> out;
+      for (const Row& r : rows) out.push_back(RowToString(r));
+      std::sort(out.begin(), out.end());
+      return out;
+    };
+    EXPECT_EQ(render(actual.rows), render(expected.value()));
+  }
+
+  VirtualClock clock_;
+  DvsEngine engine_;
+};
+
+TEST_F(EngineExtraTest, UnionAllQuery) {
+  Exec("CREATE TABLE a (v INT)");
+  Exec("CREATE TABLE b (v INT)");
+  Exec("INSERT INTO a VALUES (1), (2)");
+  Exec("INSERT INTO b VALUES (2), (3)");
+  QueryResult r = Q("SELECT v FROM a UNION ALL SELECT v FROM b ORDER BY v");
+  ASSERT_EQ(r.rows.size(), 4u);
+  EXPECT_EQ(r.rows[0][0].int_value(), 1);
+  EXPECT_EQ(r.rows[3][0].int_value(), 3);
+}
+
+TEST_F(EngineExtraTest, UnionAllThreeWayAndLimit) {
+  Exec("CREATE TABLE a (v INT)");
+  Exec("INSERT INTO a VALUES (1)");
+  QueryResult r = Q("SELECT v FROM a UNION ALL SELECT v + 1 AS v FROM a "
+                    "UNION ALL SELECT v + 2 AS v FROM a ORDER BY 1 LIMIT 2");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[1][0].int_value(), 2);
+}
+
+TEST_F(EngineExtraTest, UnionAllColumnCountMismatchFails) {
+  Exec("CREATE TABLE a (v INT, w INT)");
+  auto r = engine_.Query("SELECT v FROM a UNION ALL SELECT v, w FROM a");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBindError);
+}
+
+TEST_F(EngineExtraTest, UnionAllDtIsIncremental) {
+  Exec("CREATE TABLE web (user_id INT, amount INT)");
+  Exec("CREATE TABLE store (user_id INT, amount INT)");
+  Exec("INSERT INTO web VALUES (1, 10)");
+  Exec("INSERT INTO store VALUES (2, 20)");
+  Exec("CREATE DYNAMIC TABLE all_sales TARGET_LAG = '1 minute' "
+       "WAREHOUSE = wh AS SELECT user_id, amount FROM web "
+       "UNION ALL SELECT user_id, amount FROM store");
+  EXPECT_TRUE(engine_.catalog().Find("all_sales").value()->dt->incremental);
+  EXPECT_EQ(Q("SELECT * FROM all_sales").rows.size(), 2u);
+
+  clock_.Advance(kMicrosPerMinute);
+  Exec("INSERT INTO web VALUES (3, 30)");
+  Exec("DELETE FROM store WHERE user_id = 2");
+  ObjectId id = engine_.ObjectIdOf("all_sales").value();
+  auto outcome = engine_.refresh_engine().Refresh(id, clock_.Now());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().action, RefreshAction::kIncremental);
+  EXPECT_EQ(Q("SELECT * FROM all_sales").rows.size(), 2u);
+  ExpectDvs("all_sales");
+}
+
+TEST_F(EngineExtraTest, FlattenDtEndToEnd) {
+  Exec("CREATE TABLE docs (id INT, tags ARRAY)");
+  Exec("INSERT INTO docs VALUES (1, array_construct(7, 8)), "
+       "(2, array_construct(9))");
+  Exec("CREATE DYNAMIC TABLE doc_tags TARGET_LAG = '1 minute' "
+       "WAREHOUSE = wh AS SELECT id, f.value AS tag "
+       "FROM docs d, LATERAL FLATTEN(d.tags) f");
+  EXPECT_EQ(Q("SELECT * FROM doc_tags").rows.size(), 3u);
+
+  clock_.Advance(kMicrosPerMinute);
+  Exec("INSERT INTO docs VALUES (3, array_construct(1, 2, 3))");
+  Exec("DELETE FROM docs WHERE id = 1");
+  ObjectId id = engine_.ObjectIdOf("doc_tags").value();
+  auto outcome = engine_.refresh_engine().Refresh(id, clock_.Now());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().action, RefreshAction::kIncremental);
+  EXPECT_EQ(Q("SELECT * FROM doc_tags").rows.size(), 4u);
+  ExpectDvs("doc_tags");
+}
+
+TEST_F(EngineExtraTest, SubqueryInFrom) {
+  Exec("CREATE TABLE t (k INT, v INT)");
+  Exec("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)");
+  QueryResult r = Q(
+      "SELECT big_v FROM (SELECT v * 2 AS big_v FROM t WHERE v > 15) sub "
+      "ORDER BY big_v");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0].int_value(), 40);
+}
+
+TEST_F(EngineExtraTest, SubqueryWithAggregationInDt) {
+  Exec("CREATE TABLE t (grp STRING, v INT)");
+  Exec("INSERT INTO t VALUES ('a', 1), ('a', 2), ('b', 9)");
+  Exec("CREATE DYNAMIC TABLE top_groups TARGET_LAG = '1 minute' "
+       "WAREHOUSE = wh AS SELECT grp, total FROM "
+       "(SELECT grp, sum(v) AS total FROM t GROUP BY grp) sums "
+       "WHERE total > 2");
+  EXPECT_EQ(Q("SELECT * FROM top_groups").rows.size(), 2u);
+  clock_.Advance(kMicrosPerMinute);
+  Exec("DELETE FROM t WHERE grp = 'a'");
+  Exec("ALTER DYNAMIC TABLE top_groups REFRESH");
+  EXPECT_EQ(Q("SELECT * FROM top_groups").rows.size(), 1u);
+  ExpectDvs("top_groups");
+}
+
+TEST_F(EngineExtraTest, ExpressionSurface) {
+  Exec("CREATE TABLE t (v INT, s STRING, ts TIMESTAMP)");
+  Exec("INSERT INTO t VALUES (5, 'abc', 3600000000::timestamp)");
+  QueryResult r = Q(
+      "SELECT v IN (1, 5, 9) AS in_list, "
+      "v BETWEEN 2 AND 7 AS in_range, "
+      "CASE WHEN v > 3 THEN 'big' ELSE 'small' END AS label, "
+      "upper(s) AS us, length(s) AS len, "
+      "v::double AS vd, '42'::int AS forty_two, "
+      "date_trunc('hour', ts + INTERVAL '30 minutes') AS hr, "
+      "coalesce(NULL, v) AS co, greatest(v, 7) AS g "
+      "FROM t");
+  ASSERT_EQ(r.rows.size(), 1u);
+  const Row& row = r.rows[0];
+  EXPECT_TRUE(row[0].bool_value());
+  EXPECT_TRUE(row[1].bool_value());
+  EXPECT_EQ(row[2].string_value(), "big");
+  EXPECT_EQ(row[3].string_value(), "ABC");
+  EXPECT_EQ(row[4].int_value(), 3);
+  EXPECT_DOUBLE_EQ(row[5].double_value(), 5.0);
+  EXPECT_EQ(row[6].int_value(), 42);
+  EXPECT_EQ(row[7].timestamp_value(), kMicrosPerHour);
+  EXPECT_EQ(row[8].int_value(), 5);
+  EXPECT_EQ(row[9].int_value(), 7);
+}
+
+TEST_F(EngineExtraTest, OrderByHiddenColumnAndDistinctInteraction) {
+  Exec("CREATE TABLE t (k INT, v INT)");
+  Exec("INSERT INTO t VALUES (1, 30), (2, 10), (3, 20)");
+  // ORDER BY on a non-projected column (hidden sort column machinery).
+  QueryResult r = Q("SELECT k FROM t ORDER BY v");
+  ASSERT_EQ(r.rows.size(), 3u);
+  EXPECT_EQ(r.rows[0][0].int_value(), 2);
+  EXPECT_EQ(r.schema.size(), 1u);  // hidden column stripped
+  // ...but rejected under DISTINCT.
+  auto bad = engine_.Query("SELECT DISTINCT k FROM t ORDER BY v");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kBindError);
+}
+
+TEST_F(EngineExtraTest, InsertArityAndTypeErrors) {
+  Exec("CREATE TABLE t (v INT, s STRING)");
+  EXPECT_FALSE(engine_.Execute("INSERT INTO t VALUES (1)").ok());
+  EXPECT_FALSE(engine_.Execute("INSERT INTO t VALUES ('nope', 'x')").ok());
+  // Coercible values pass.
+  EXPECT_TRUE(engine_.Execute("INSERT INTO t VALUES ('7', 'x')").ok());
+  EXPECT_EQ(Q("SELECT v FROM t").rows[0][0].int_value(), 7);
+}
+
+TEST_F(EngineExtraTest, DmlAgainstDtRejected) {
+  Exec("CREATE TABLE t (v INT)");
+  Exec("CREATE DYNAMIC TABLE d TARGET_LAG = '1 minute' WAREHOUSE = wh "
+       "AS SELECT v FROM t");
+  EXPECT_FALSE(engine_.Execute("INSERT INTO d VALUES (1)").ok());
+  EXPECT_FALSE(engine_.Execute("DELETE FROM d").ok());
+  EXPECT_FALSE(engine_.Execute("UPDATE d SET v = 1").ok());
+}
+
+TEST_F(EngineExtraTest, SelfReferentialDtRejected) {
+  Exec("CREATE TABLE t (v INT)");
+  Exec("CREATE DYNAMIC TABLE d TARGET_LAG = '1 minute' WAREHOUSE = wh "
+       "AS SELECT v FROM t");
+  // OR REPLACE binding the new definition against the *old* d: the new DT
+  // would read itself. The cycle check must reject initialization.
+  auto r = engine_.Execute(
+      "CREATE OR REPLACE DYNAMIC TABLE d TARGET_LAG = '1 minute' "
+      "WAREHOUSE = wh AS SELECT v FROM d");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(EngineExtraTest, ChainedDtThroughViewAndUnion) {
+  Exec("CREATE TABLE a (v INT)");
+  Exec("CREATE TABLE b (v INT)");
+  Exec("INSERT INTO a VALUES (1)");
+  Exec("INSERT INTO b VALUES (2)");
+  Exec("CREATE VIEW ab AS SELECT v FROM a UNION ALL SELECT v FROM b");
+  Exec("CREATE DYNAMIC TABLE d TARGET_LAG = '1 minute' WAREHOUSE = wh "
+       "AS SELECT v, v * v AS sq FROM ab");
+  EXPECT_EQ(Q("SELECT * FROM d").rows.size(), 2u);
+  clock_.Advance(kMicrosPerMinute);
+  Exec("INSERT INTO b VALUES (3)");
+  Exec("ALTER DYNAMIC TABLE d REFRESH");
+  EXPECT_EQ(Q("SELECT * FROM d").rows.size(), 3u);
+  ExpectDvs("d");
+}
+
+TEST_F(EngineExtraTest, HavingFiltersGroups) {
+  Exec("CREATE TABLE t (grp STRING, v INT)");
+  Exec("INSERT INTO t VALUES ('a', 1), ('a', 2), ('b', 9)");
+  QueryResult r = Q("SELECT grp, count(*) AS n FROM t GROUP BY grp "
+                    "HAVING count(*) > 1");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].string_value(), "a");
+}
+
+TEST_F(EngineExtraTest, AggregateInsideExpression) {
+  Exec("CREATE TABLE t (grp STRING, v INT)");
+  Exec("INSERT INTO t VALUES ('a', 10), ('a', 20), ('b', 5)");
+  QueryResult r = Q("SELECT grp, sum(v) / count(*) AS mean, "
+                    "sum(v) * 2 AS double_total FROM t GROUP BY ALL "
+                    "ORDER BY grp");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][1].int_value(), 15);
+  EXPECT_EQ(r.rows[0][2].int_value(), 60);
+}
+
+}  // namespace
+}  // namespace dvs

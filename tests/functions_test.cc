@@ -1,0 +1,147 @@
+// Scalar-function library sweep: every registered builtin gets behavioral
+// coverage, including NULL handling, error cases, and volatility metadata.
+
+#include <gtest/gtest.h>
+
+#include "exec/evaluator.h"
+
+namespace dvs {
+namespace {
+
+Result<Value> Call(const std::string& fn, std::vector<Value> args,
+                   Micros now = 0) {
+  std::vector<ExprPtr> children;
+  for (Value& v : args) children.push_back(Lit(std::move(v)));
+  EvalContext ctx;
+  ctx.current_time = now;
+  return Eval(*Func(fn, std::move(children)), {}, ctx);
+}
+
+TEST(FunctionsTest, NumericFunctions) {
+  EXPECT_EQ(Call("abs", {Value::Int(-7)}).value().int_value(), 7);
+  EXPECT_DOUBLE_EQ(Call("abs", {Value::Double(-2.5)}).value().double_value(), 2.5);
+  EXPECT_EQ(Call("floor", {Value::Double(2.9)}).value().int_value(), 2);
+  EXPECT_EQ(Call("ceil", {Value::Double(2.1)}).value().int_value(), 3);
+  EXPECT_EQ(Call("round", {Value::Double(2.5)}).value().int_value(), 3);
+  EXPECT_DOUBLE_EQ(Call("sqrt", {Value::Int(9)}).value().double_value(), 3.0);
+  EXPECT_DOUBLE_EQ(Call("power", {Value::Int(2), Value::Int(10)})
+                       .value().double_value(), 1024.0);
+  EXPECT_EQ(Call("sign", {Value::Int(-3)}).value().int_value(), -1);
+  EXPECT_EQ(Call("sign", {Value::Int(0)}).value().int_value(), 0);
+  EXPECT_EQ(Call("mod", {Value::Int(7), Value::Int(3)}).value().int_value(), 1);
+}
+
+TEST(FunctionsTest, NumericErrorCases) {
+  EXPECT_EQ(Call("sqrt", {Value::Int(-1)}).status().code(),
+            StatusCode::kUserError);
+  EXPECT_EQ(Call("ln", {Value::Int(0)}).status().code(),
+            StatusCode::kUserError);
+  EXPECT_EQ(Call("mod", {Value::Int(1), Value::Int(0)}).status().code(),
+            StatusCode::kUserError);
+  EXPECT_EQ(Call("abs", {Value::String("x")}).status().code(),
+            StatusCode::kUserError);
+}
+
+TEST(FunctionsTest, StringFunctions) {
+  EXPECT_EQ(Call("length", {Value::String("hello")}).value().int_value(), 5);
+  EXPECT_EQ(Call("upper", {Value::String("aBc")}).value().string_value(), "ABC");
+  EXPECT_EQ(Call("lower", {Value::String("aBc")}).value().string_value(), "abc");
+  EXPECT_EQ(Call("substr", {Value::String("dynamic"), Value::Int(1), Value::Int(3)})
+                .value().string_value(), "dyn");
+  EXPECT_EQ(Call("substr", {Value::String("dynamic"), Value::Int(5)})
+                .value().string_value(), "mic");
+  EXPECT_EQ(Call("substr", {Value::String("abc"), Value::Int(99)})
+                .value().string_value(), "");
+  EXPECT_EQ(Call("concat", {Value::String("a"), Value::Int(1), Value::String("b")})
+                .value().string_value(), "a1b");
+}
+
+TEST(FunctionsTest, ConditionalFunctions) {
+  EXPECT_EQ(Call("coalesce", {Value::Null(), Value::Null(), Value::Int(3)})
+                .value().int_value(), 3);
+  EXPECT_TRUE(Call("coalesce", {Value::Null()}).value().is_null());
+  EXPECT_EQ(Call("iff", {Value::Bool(true), Value::Int(1), Value::Int(2)})
+                .value().int_value(), 1);
+  EXPECT_EQ(Call("iff", {Value::Bool(false), Value::Int(1), Value::Int(2)})
+                .value().int_value(), 2);
+  EXPECT_TRUE(Call("nullif", {Value::Int(5), Value::Int(5)}).value().is_null());
+  EXPECT_EQ(Call("nullif", {Value::Int(5), Value::Int(6)}).value().int_value(), 5);
+  EXPECT_EQ(Call("greatest", {Value::Int(1), Value::Int(9), Value::Int(4)})
+                .value().int_value(), 9);
+  EXPECT_EQ(Call("least", {Value::Int(1), Value::Int(9), Value::Int(4)})
+                .value().int_value(), 1);
+  EXPECT_TRUE(Call("greatest", {Value::Int(1), Value::Null()}).value().is_null());
+}
+
+TEST(FunctionsTest, TimestampFunctions) {
+  Micros t = 5 * kMicrosPerHour + 42 * kMicrosPerMinute + 7 * kMicrosPerSecond;
+  EXPECT_EQ(Call("date_trunc", {Value::String("minute"), Value::Timestamp(t)})
+                .value().timestamp_value(),
+            5 * kMicrosPerHour + 42 * kMicrosPerMinute);
+  EXPECT_EQ(Call("date_trunc", {Value::String("day"), Value::Timestamp(t)})
+                .value().timestamp_value(), 0);
+  EXPECT_EQ(Call("date_trunc", {Value::String("fortnight"), Value::Timestamp(t)})
+                .status().code(), StatusCode::kUserError);
+  EXPECT_EQ(Call("to_timestamp", {Value::Int(60)}).value().timestamp_value(),
+            kMicrosPerMinute);
+  EXPECT_EQ(Call("epoch_seconds", {Value::Timestamp(kMicrosPerMinute)})
+                .value().int_value(), 60);
+  EXPECT_EQ(Call("timestamp_diff",
+                 {Value::Timestamp(1000), Value::Timestamp(400)})
+                .value().int_value(), 600);
+  EXPECT_EQ(Call("current_timestamp", {}, /*now=*/12345)
+                .value().timestamp_value(), 12345);
+}
+
+TEST(FunctionsTest, ArrayFunctions) {
+  Value arr = Call("array_construct",
+                   {Value::Int(1), Value::String("x")}).value();
+  ASSERT_EQ(arr.type(), DataType::kArray);
+  EXPECT_EQ(Call("array_size", {arr}).value().int_value(), 2);
+  EXPECT_EQ(Call("get", {arr, Value::Int(1)}).value().string_value(), "x");
+  EXPECT_TRUE(Call("get", {arr, Value::Int(9)}).value().is_null());
+  EXPECT_TRUE(Call("get", {arr, Value::Int(-1)}).value().is_null());
+  Value empty = Call("array_construct", {}).value();
+  EXPECT_EQ(Call("array_size", {empty}).value().int_value(), 0);
+}
+
+TEST(FunctionsTest, NullPropagationAcrossLibrary) {
+  for (const char* fn : {"abs", "floor", "length", "upper", "array_size"}) {
+    auto r = Call(fn, {Value::Null()});
+    ASSERT_TRUE(r.ok()) << fn;
+    EXPECT_TRUE(r.value().is_null()) << fn;
+  }
+}
+
+TEST(FunctionsTest, VolatilityMetadata) {
+  auto& reg = FunctionRegistry::Global();
+  EXPECT_EQ(reg.Find("abs")->volatility, Volatility::kImmutable);
+  EXPECT_EQ(reg.Find("current_timestamp")->volatility, Volatility::kContext);
+  EXPECT_EQ(reg.Find("random")->volatility, Volatility::kVolatile);
+  EXPECT_EQ(reg.Find("uniform")->volatility, Volatility::kVolatile);
+  EXPECT_EQ(reg.Find("ABS"), reg.Find("abs"));  // case-insensitive
+  EXPECT_EQ(reg.Find("no_such_function"), nullptr);
+}
+
+TEST(FunctionsTest, VolatileFunctionsNeedEntropy) {
+  EXPECT_EQ(Call("random", {}).status().code(), StatusCode::kUserError);
+  Rng rng(1);
+  EvalContext ctx;
+  ctx.rng = &rng;
+  auto r = Eval(*Func("uniform", {LitInt(5), LitInt(5)}), {}, ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().int_value(), 5);
+}
+
+TEST(FunctionsTest, UserRegisteredFunction) {
+  FunctionRegistry::Global().Register(
+      {"triple", Volatility::kImmutable, 1, 1,
+       [](const std::vector<Value>& args, const EvalContext&) -> Result<Value> {
+         if (args[0].is_null()) return Value::Null();
+         return Value::Int(args[0].AsInt() * 3);
+       }});
+  EXPECT_EQ(Call("triple", {Value::Int(4)}).value().int_value(), 12);
+}
+
+}  // namespace
+}  // namespace dvs

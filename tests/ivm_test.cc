@@ -1,0 +1,566 @@
+// Tests for ivm/: differentiation rules against full recomputation,
+// consolidation, insert-only analysis, incrementality analysis, and the
+// state-reusing aggregation extension.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "ivm/differentiator.h"
+#include "ivm/incrementality.h"
+#include "ivm/state_reuse.h"
+
+namespace dvs {
+namespace {
+
+// A two-version in-memory source: rows at I0 and rows at I1, with the delta
+// derived automatically (by row id diff + content comparison).
+class DeltaHarness {
+ public:
+  ObjectId AddTable(std::string name, Schema schema) {
+    ObjectId id = next_id_++;
+    tables_[id] = {std::move(name), std::move(schema), {}, {}, id * 100000};
+    return id;
+  }
+
+  PlanPtr Scan(ObjectId id) const {
+    const auto& t = tables_.at(id);
+    return MakeScan(id, t.name, t.schema);
+  }
+
+  RowId Insert(ObjectId table, Row row, bool in_start) {
+    auto& t = tables_.at(table);
+    RowId rid = t.next_row_id++;
+    if (in_start) t.start.push_back({rid, row});
+    t.end.push_back({rid, std::move(row)});
+    return rid;
+  }
+
+  void Delete(ObjectId table, RowId rid) {
+    auto& t = tables_.at(table);
+    t.end.erase(std::remove_if(t.end.begin(), t.end.end(),
+                               [rid](const IdRow& r) { return r.id == rid; }),
+                t.end.end());
+  }
+
+  void Update(ObjectId table, RowId rid, Row new_row) {
+    Delete(table, rid);
+    tables_.at(table).end.push_back({rid, std::move(new_row)});
+  }
+
+  DeltaContext Ctx() const {
+    DeltaContext ctx;
+    ctx.resolve_at_start = [this](ObjectId id) -> Result<std::vector<IdRow>> {
+      return tables_.at(id).start;
+    };
+    ctx.resolve_at_end = [this](ObjectId id) -> Result<std::vector<IdRow>> {
+      return tables_.at(id).end;
+    };
+    ctx.resolve_delta = [this](ObjectId id) -> Result<ChangeSet> {
+      const auto& t = tables_.at(id);
+      std::map<RowId, const Row*> start_rows, end_rows;
+      for (const IdRow& r : t.start) start_rows[r.id] = &r.values;
+      for (const IdRow& r : t.end) end_rows[r.id] = &r.values;
+      ChangeSet cs;
+      for (const auto& [rid, row] : start_rows) {
+        auto it = end_rows.find(rid);
+        if (it == end_rows.end() || !RowsEqual(*row, *it->second)) {
+          cs.push_back({ChangeAction::kDelete, rid, *row});
+        }
+      }
+      for (const auto& [rid, row] : end_rows) {
+        auto it = start_rows.find(rid);
+        if (it == start_rows.end() || !RowsEqual(*row, *it->second)) {
+          cs.push_back({ChangeAction::kInsert, rid, *row});
+        }
+      }
+      return cs;
+    };
+    return ctx;
+  }
+
+  /// Executes the plan at I0 or I1.
+  std::vector<IdRow> Execute(const PlanPtr& plan, bool at_end) const {
+    ExecContext ctx;
+    DeltaContext d = Ctx();
+    ctx.resolve_scan = at_end ? d.resolve_at_end : d.resolve_at_start;
+    auto r = ExecutePlan(*plan, ctx);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r.take() : std::vector<IdRow>{};
+  }
+
+  /// The golden check: applying Δ(plan) to the plan's I0 result must equal
+  /// the plan's I1 result — identical row ids and contents.
+  void CheckDelta(const PlanPtr& plan) {
+    DeltaContext ctx = Ctx();
+    auto delta = Differentiate(*plan, ctx);
+    ASSERT_TRUE(delta.ok()) << delta.status().ToString();
+
+    std::map<RowId, Row> state;
+    for (IdRow& r : Execute(plan, /*at_end=*/false)) {
+      ASSERT_EQ(state.count(r.id), 0u) << "duplicate row id in base result";
+      state[r.id] = std::move(r.values);
+    }
+    for (const ChangeRow& c : delta.value().changes) {
+      if (c.action == ChangeAction::kDelete) {
+        auto it = state.find(c.row_id);
+        ASSERT_NE(it, state.end()) << "delete of missing row id " << c.row_id;
+        EXPECT_TRUE(RowsEqual(it->second, c.values));
+        state.erase(it);
+      } else {
+        ASSERT_EQ(state.count(c.row_id), 0u)
+            << "insert of duplicate row id " << c.row_id;
+        state[c.row_id] = c.values;
+      }
+    }
+    std::map<RowId, Row> expected;
+    for (IdRow& r : Execute(plan, /*at_end=*/true)) {
+      expected[r.id] = std::move(r.values);
+    }
+    ASSERT_EQ(state.size(), expected.size());
+    for (const auto& [rid, row] : expected) {
+      auto it = state.find(rid);
+      ASSERT_NE(it, state.end()) << "missing row id " << rid;
+      EXPECT_TRUE(RowsEqual(it->second, row))
+          << RowToString(it->second) << " vs " << RowToString(row);
+    }
+  }
+
+ private:
+  struct T {
+    std::string name;
+    Schema schema;
+    std::vector<IdRow> start;
+    std::vector<IdRow> end;
+    RowId next_row_id;
+  };
+  std::map<ObjectId, T> tables_;
+  ObjectId next_id_ = 1;
+};
+
+Schema KV() { return Schema({{"k", DataType::kInt64}, {"v", DataType::kInt64}}); }
+
+Row R(int64_t k, int64_t v) { return {Value::Int(k), Value::Int(v)}; }
+
+TEST(DifferentiatorTest, ScanDeltaPassthrough) {
+  DeltaHarness h;
+  ObjectId t = h.AddTable("t", KV());
+  h.Insert(t, R(1, 10), true);
+  h.Insert(t, R(2, 20), false);  // inserted in the interval
+  h.CheckDelta(h.Scan(t));
+}
+
+TEST(DifferentiatorTest, FilterDelta) {
+  DeltaHarness h;
+  ObjectId t = h.AddTable("t", KV());
+  RowId r1 = h.Insert(t, R(1, 10), true);
+  h.Insert(t, R(2, 3), false);   // filtered out
+  h.Insert(t, R(3, 50), false);  // passes
+  h.Delete(t, r1);               // delete a passing row
+  auto plan = MakeFilter(h.Scan(t), Binary(BinaryOp::kGt, ColRef(1), LitInt(5)));
+  h.CheckDelta(plan);
+}
+
+TEST(DifferentiatorTest, ProjectDelta) {
+  DeltaHarness h;
+  ObjectId t = h.AddTable("t", KV());
+  RowId r1 = h.Insert(t, R(1, 10), true);
+  h.Update(t, r1, R(1, 99));
+  auto plan = MakeProject(h.Scan(t),
+                          {ColRef(0), Binary(BinaryOp::kMul, ColRef(1), LitInt(3))},
+                          {"k", "v3"});
+  h.CheckDelta(plan);
+}
+
+TEST(DifferentiatorTest, InnerJoinBothSidesChange) {
+  DeltaHarness h;
+  ObjectId l = h.AddTable("l", KV());
+  ObjectId r = h.AddTable("r", KV());
+  RowId l1 = h.Insert(l, R(1, 10), true);
+  h.Insert(l, R(2, 20), true);
+  h.Insert(r, R(1, 100), true);
+  // Interval: new left row matching existing right; new right rows matching
+  // both old and new left; update and delete on both sides.
+  h.Insert(l, R(3, 30), false);
+  h.Insert(r, R(2, 200), false);
+  h.Insert(r, R(3, 300), false);
+  h.Update(l, l1, R(1, 11));
+  auto plan = MakeJoin(JoinType::kInner, h.Scan(l), h.Scan(r),
+                       {ColRef(0)}, {ColRef(0)});
+  h.CheckDelta(plan);
+}
+
+TEST(DifferentiatorTest, InnerJoinSimultaneousDeleteBothSides) {
+  DeltaHarness h;
+  ObjectId l = h.AddTable("l", KV());
+  ObjectId r = h.AddTable("r", KV());
+  RowId l1 = h.Insert(l, R(1, 10), true);
+  RowId r1 = h.Insert(r, R(1, 100), true);
+  h.Delete(l, l1);
+  h.Delete(r, r1);  // both sides of the joined row vanish: exactly 1 delete
+  auto plan = MakeJoin(JoinType::kInner, h.Scan(l), h.Scan(r),
+                       {ColRef(0)}, {ColRef(0)});
+  h.CheckDelta(plan);
+}
+
+TEST(DifferentiatorTest, InnerJoinDeleteLeftInsertRightSameKey) {
+  // The classic consolidation case: ΔQ⋈R1 emits a delete of a row that
+  // never existed, Q0⋈ΔR emits its insert; they must cancel.
+  DeltaHarness h;
+  ObjectId l = h.AddTable("l", KV());
+  ObjectId r = h.AddTable("r", KV());
+  RowId l1 = h.Insert(l, R(1, 10), true);
+  h.Delete(l, l1);
+  h.Insert(r, R(1, 100), false);
+  auto plan = MakeJoin(JoinType::kInner, h.Scan(l), h.Scan(r),
+                       {ColRef(0)}, {ColRef(0)});
+  DeltaContext ctx = h.Ctx();
+  auto delta = Differentiate(*plan, ctx);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_TRUE(delta.value().changes.empty());
+  h.CheckDelta(plan);
+}
+
+TEST(DifferentiatorTest, LeftOuterJoinMatchFlips) {
+  DeltaHarness h;
+  ObjectId l = h.AddTable("l", KV());
+  ObjectId r = h.AddTable("r", KV());
+  h.Insert(l, R(1, 10), true);  // unmatched at I0 -> null-extended
+  h.Insert(l, R(2, 20), true);
+  RowId rm = h.Insert(r, R(2, 200), true);
+  h.Insert(r, R(1, 100), false);  // row 1 becomes matched
+  h.Delete(r, rm);                // row 2 becomes unmatched
+  auto plan = MakeJoin(JoinType::kLeft, h.Scan(l), h.Scan(r),
+                       {ColRef(0)}, {ColRef(0)});
+  h.CheckDelta(plan);
+}
+
+TEST(DifferentiatorTest, FullOuterJoinWithNullKeys) {
+  DeltaHarness h;
+  ObjectId l = h.AddTable("l", KV());
+  ObjectId r = h.AddTable("r", KV());
+  h.Insert(l, {Value::Null(), Value::Int(1)}, true);   // never matches
+  h.Insert(l, R(1, 10), true);
+  h.Insert(r, {Value::Null(), Value::Int(2)}, false);  // new null-key row
+  h.Insert(r, R(1, 100), false);
+  auto plan = MakeJoin(JoinType::kFull, h.Scan(l), h.Scan(r),
+                       {ColRef(0)}, {ColRef(0)});
+  h.CheckDelta(plan);
+}
+
+TEST(DifferentiatorTest, UnionAllDelta) {
+  DeltaHarness h;
+  ObjectId a = h.AddTable("a", KV());
+  ObjectId b = h.AddTable("b", KV());
+  h.Insert(a, R(1, 1), true);
+  h.Insert(b, R(1, 1), true);  // same values, different branch
+  h.Insert(a, R(2, 2), false);
+  auto plan = MakeUnionAll(h.Scan(a), h.Scan(b));
+  h.CheckDelta(plan);
+}
+
+TEST(DifferentiatorTest, GroupedAggregateDelta) {
+  DeltaHarness h;
+  ObjectId t = h.AddTable("t", KV());
+  RowId r1 = h.Insert(t, R(1, 10), true);
+  h.Insert(t, R(1, 5), true);
+  h.Insert(t, R(2, 7), true);
+  h.Insert(t, R(1, 3), false);   // group 1 grows
+  h.Delete(t, r1);               // and shrinks
+  h.Insert(t, R(3, 100), false); // new group
+  auto plan = MakeAggregate(
+      h.Scan(t), {ColRef(0)},
+      {Agg(AggFunc::kCountStar, {}), Agg(AggFunc::kSum, {ColRef(1)}),
+       Agg(AggFunc::kMin, {ColRef(1)})},
+      {"k", "n", "sv", "mn"});
+  h.CheckDelta(plan);
+}
+
+TEST(DifferentiatorTest, GroupDisappearsWhenEmpty) {
+  DeltaHarness h;
+  ObjectId t = h.AddTable("t", KV());
+  RowId r1 = h.Insert(t, R(1, 10), true);
+  h.Insert(t, R(2, 20), true);
+  h.Delete(t, r1);  // group 1 empties out
+  auto plan = MakeAggregate(h.Scan(t), {ColRef(0)},
+                            {Agg(AggFunc::kCountStar, {})}, {"k", "n"});
+  DeltaContext ctx = h.Ctx();
+  auto delta = Differentiate(*plan, ctx);
+  ASSERT_TRUE(delta.ok());
+  ChangeStats stats = CountChanges(delta.value().changes);
+  EXPECT_EQ(stats.deletes, 1u);
+  EXPECT_EQ(stats.inserts, 0u);
+  h.CheckDelta(plan);
+}
+
+TEST(DifferentiatorTest, UnchangedGroupsProduceNoChanges) {
+  DeltaHarness h;
+  ObjectId t = h.AddTable("t", KV());
+  h.Insert(t, R(1, 10), true);
+  h.Insert(t, R(2, 20), true);
+  h.Insert(t, R(2, 5), false);  // only group 2 changes
+  auto plan = MakeAggregate(h.Scan(t), {ColRef(0)},
+                            {Agg(AggFunc::kSum, {ColRef(1)})}, {"k", "sv"});
+  DeltaContext ctx = h.Ctx();
+  auto delta = Differentiate(*plan, ctx);
+  ASSERT_TRUE(delta.ok());
+  for (const ChangeRow& c : delta.value().changes) {
+    EXPECT_EQ(c.values[0].int_value(), 2) << "group 1 must not be touched";
+  }
+  h.CheckDelta(plan);
+}
+
+TEST(DifferentiatorTest, DistinctDelta) {
+  DeltaHarness h;
+  ObjectId t = h.AddTable("t", KV());
+  RowId r1 = h.Insert(t, R(1, 1), true);
+  h.Insert(t, R(1, 1), true);  // duplicate
+  h.Delete(t, r1);             // one copy remains: distinct output unchanged
+  h.Insert(t, R(2, 2), false);
+  auto plan = MakeDistinct(MakeProject(h.Scan(t), {ColRef(0)}, {"k"}));
+  DeltaContext ctx = h.Ctx();
+  auto delta = Differentiate(*plan, ctx);
+  ASSERT_TRUE(delta.ok());
+  ChangeStats stats = CountChanges(delta.value().changes);
+  EXPECT_EQ(stats.deletes, 0u);  // value 1 still present
+  EXPECT_EQ(stats.inserts, 1u);  // value 2 appears
+  h.CheckDelta(plan);
+}
+
+TEST(DifferentiatorTest, WindowDeltaRecomputesOnlyAffectedPartitions) {
+  DeltaHarness h;
+  ObjectId t = h.AddTable("t", Schema({{"grp", DataType::kString},
+                                       {"v", DataType::kInt64}}));
+  h.Insert(t, {Value::String("a"), Value::Int(10)}, true);
+  h.Insert(t, {Value::String("a"), Value::Int(20)}, true);
+  h.Insert(t, {Value::String("b"), Value::Int(5)}, true);
+  h.Insert(t, {Value::String("a"), Value::Int(15)}, false);  // only 'a' moves
+  auto plan = MakeWindow(h.Scan(t), {ColRef(0)}, {{ColRef(1), true}},
+                         {Win(WindowFunc::kRowNumber, {})}, {"rn"});
+  DeltaContext ctx = h.Ctx();
+  auto delta = Differentiate(*plan, ctx);
+  ASSERT_TRUE(delta.ok());
+  for (const ChangeRow& c : delta.value().changes) {
+    EXPECT_EQ(c.values[0].string_value(), "a");
+  }
+  h.CheckDelta(plan);
+}
+
+TEST(DifferentiatorTest, FlattenDelta) {
+  DeltaHarness h;
+  ObjectId t = h.AddTable("t", Schema({{"k", DataType::kInt64},
+                                       {"tags", DataType::kArray}}));
+  h.Insert(t, {Value::Int(1),
+               Value::MakeArray({Value::Int(7), Value::Int(8)})}, true);
+  h.Insert(t, {Value::Int(2), Value::MakeArray({Value::Int(9)})}, false);
+  auto plan = MakeFlatten(h.Scan(t), ColRef(1), "tag");
+  h.CheckDelta(plan);
+}
+
+TEST(DifferentiatorTest, DeepPlanJoinOfAggregates) {
+  DeltaHarness h;
+  ObjectId a = h.AddTable("a", KV());
+  ObjectId b = h.AddTable("b", KV());
+  for (int i = 0; i < 10; ++i) {
+    h.Insert(a, R(i % 3, i), true);
+    h.Insert(b, R(i % 3, i * 2), true);
+  }
+  h.Insert(a, R(0, 50), false);
+  h.Insert(b, R(7, 70), false);
+  auto agg_a = MakeAggregate(h.Scan(a), {ColRef(0)},
+                             {Agg(AggFunc::kSum, {ColRef(1)})}, {"k", "sa"});
+  auto agg_b = MakeAggregate(h.Scan(b), {ColRef(0)},
+                             {Agg(AggFunc::kSum, {ColRef(1)})}, {"k", "sb"});
+  auto plan = MakeJoin(JoinType::kFull, agg_a, agg_b, {ColRef(0)}, {ColRef(0)});
+  h.CheckDelta(plan);
+}
+
+TEST(DifferentiatorTest, OrderByNotDifferentiable) {
+  DeltaHarness h;
+  ObjectId t = h.AddTable("t", KV());
+  h.Insert(t, R(1, 1), false);
+  auto plan = MakeOrderBy(h.Scan(t), {{ColRef(0), true}});
+  DeltaContext ctx = h.Ctx();
+  auto delta = Differentiate(*plan, ctx);
+  ASSERT_FALSE(delta.ok());
+  EXPECT_EQ(delta.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(DifferentiatorTest, EmptyDeltaShortCircuits) {
+  DeltaHarness h;
+  ObjectId t = h.AddTable("t", KV());
+  h.Insert(t, R(1, 1), true);  // unchanged over the interval
+  auto plan = MakeAggregate(h.Scan(t), {ColRef(0)},
+                            {Agg(AggFunc::kCountStar, {})}, {"k", "n"});
+  DeltaContext ctx = h.Ctx();
+  auto delta = Differentiate(*plan, ctx);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_TRUE(delta.value().changes.empty());
+  EXPECT_EQ(ctx.rows_processed, 0u);  // no snapshots were materialized
+}
+
+// ---- Consolidation ----
+
+TEST(ConsolidateTest, CancelsEqualPairs) {
+  ChangeSet cs = {
+      {ChangeAction::kDelete, 1, R(1, 10)},
+      {ChangeAction::kInsert, 1, R(1, 10)},  // identical: cancels
+      {ChangeAction::kDelete, 2, R(2, 20)},
+      {ChangeAction::kInsert, 2, R(2, 99)},  // update: survives
+      {ChangeAction::kInsert, 3, R(3, 30)},
+  };
+  ChangeSet net = Consolidate(std::move(cs));
+  EXPECT_EQ(net.size(), 3u);
+}
+
+TEST(ConsolidateTest, PairwiseNotGreedy) {
+  // Two identical deletes and one identical insert: only one pair cancels.
+  ChangeSet cs = {
+      {ChangeAction::kDelete, 1, R(1, 10)},
+      {ChangeAction::kDelete, 1, R(1, 10)},
+      {ChangeAction::kInsert, 1, R(1, 10)},
+  };
+  ChangeSet net = Consolidate(std::move(cs));
+  EXPECT_EQ(net.size(), 1u);
+  EXPECT_EQ(net[0].action, ChangeAction::kDelete);
+}
+
+TEST(ConsolidateTest, SkippabilityAnalysis) {
+  DeltaHarness h;
+  ObjectId t = h.AddTable("t", KV());
+  EXPECT_TRUE(ConsolidationSkippable(
+      *MakeFilter(h.Scan(t), Binary(BinaryOp::kGt, ColRef(1), LitInt(0)))));
+  EXPECT_TRUE(ConsolidationSkippable(*MakeJoin(
+      JoinType::kInner, h.Scan(t), h.Scan(t), {ColRef(0)}, {ColRef(0)})));
+  EXPECT_FALSE(ConsolidationSkippable(*MakeJoin(
+      JoinType::kLeft, h.Scan(t), h.Scan(t), {ColRef(0)}, {ColRef(0)})));
+  EXPECT_FALSE(ConsolidationSkippable(*MakeDistinct(h.Scan(t))));
+  EXPECT_FALSE(ConsolidationSkippable(*MakeAggregate(
+      h.Scan(t), {ColRef(0)}, {Agg(AggFunc::kCountStar, {})}, {"k", "n"})));
+}
+
+// ---- Incrementality analysis ----
+
+TEST(IncrementalityTest, SupportedAndUnsupportedShapes) {
+  DeltaHarness h;
+  ObjectId t = h.AddTable("t", KV());
+  EXPECT_TRUE(AnalyzeIncrementality(*h.Scan(t)).incremental);
+  EXPECT_TRUE(AnalyzeIncrementality(*MakeAggregate(
+                  h.Scan(t), {ColRef(0)}, {Agg(AggFunc::kCountStar, {})},
+                  {"k", "n"})).incremental);
+  EXPECT_FALSE(AnalyzeIncrementality(*MakeAggregate(
+                   h.Scan(t), {}, {Agg(AggFunc::kCountStar, {})}, {"n"}))
+                   .incremental);
+  EXPECT_FALSE(AnalyzeIncrementality(*MakeOrderBy(h.Scan(t), {{ColRef(0), true}}))
+                   .incremental);
+  EXPECT_FALSE(AnalyzeIncrementality(*MakeLimit(h.Scan(t), 5)).incremental);
+  EXPECT_FALSE(AnalyzeIncrementality(*MakeProject(
+                   h.Scan(t), {Func("random", {})}, {"r"})).incremental);
+  EXPECT_TRUE(AnalyzeIncrementality(*MakeProject(
+                  h.Scan(t), {Func("current_timestamp", {})}, {"ts"}))
+                  .incremental);
+}
+
+// ---- State-reusing aggregation (E12 extension) ----
+
+TEST(StateReuseTest, ApplicabilityRules) {
+  DeltaHarness h;
+  ObjectId t = h.AddTable("t", KV());
+  std::string why;
+  EXPECT_TRUE(StateReuseApplicable(
+      *MakeAggregate(h.Scan(t), {ColRef(0)},
+                     {Agg(AggFunc::kCountStar, {}), Agg(AggFunc::kSum, {ColRef(1)})},
+                     {"k", "n", "sv"}),
+      &why));
+  // MIN needs recompute.
+  EXPECT_FALSE(StateReuseApplicable(
+      *MakeAggregate(h.Scan(t), {ColRef(0)},
+                     {Agg(AggFunc::kCountStar, {}), Agg(AggFunc::kMin, {ColRef(1)})},
+                     {"k", "n", "mn"}),
+      &why));
+  // COUNT(*) required.
+  EXPECT_FALSE(StateReuseApplicable(
+      *MakeAggregate(h.Scan(t), {ColRef(0)}, {Agg(AggFunc::kSum, {ColRef(1)})},
+                     {"k", "sv"}),
+      &why));
+  // Scalar aggregation excluded.
+  EXPECT_FALSE(StateReuseApplicable(
+      *MakeAggregate(h.Scan(t), {}, {Agg(AggFunc::kCountStar, {})}, {"n"}),
+      &why));
+}
+
+TEST(StateReuseTest, MatchesRecomputeDerivative) {
+  DeltaHarness h;
+  ObjectId t = h.AddTable("t", KV());
+  RowId r1 = h.Insert(t, R(1, 10), true);
+  h.Insert(t, R(1, 5), true);
+  h.Insert(t, R(2, 7), true);
+  h.Insert(t, R(3, 100), false);  // new group
+  h.Insert(t, R(1, 2), false);
+  h.Delete(t, r1);
+  auto plan = MakeAggregate(
+      h.Scan(t), {ColRef(0)},
+      {Agg(AggFunc::kCountStar, {}), Agg(AggFunc::kSum, {ColRef(1)}),
+       Agg(AggFunc::kCountIf,
+           {Binary(BinaryOp::kGt, ColRef(1), LitInt(4))})},
+      {"k", "n", "sv", "big"});
+
+  std::vector<IdRow> stored = h.Execute(plan, /*at_end=*/false);
+  DeltaContext ctx = h.Ctx();
+  auto sr = DifferentiateAggregateWithState(*plan, stored, ctx);
+  ASSERT_TRUE(sr.ok()) << sr.status().ToString();
+  ASSERT_TRUE(sr.value().applicable) << sr.value().reason;
+
+  DeltaContext ctx2 = h.Ctx();
+  auto full = Differentiate(*plan, ctx2);
+  ASSERT_TRUE(full.ok());
+
+  auto render = [](ChangeSet cs) {
+    std::vector<std::string> out;
+    for (const ChangeRow& c : cs) {
+      out.push_back(std::string(ChangeActionName(c.action)) + " " +
+                    std::to_string(c.row_id) + " " + RowToString(c.values));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(render(sr.value().changes), render(full.value().changes));
+}
+
+TEST(StateReuseTest, GroupEmptyAndGroupBorn) {
+  DeltaHarness h;
+  ObjectId t = h.AddTable("t", KV());
+  RowId r1 = h.Insert(t, R(1, 10), true);
+  h.Delete(t, r1);               // group 1 dies
+  h.Insert(t, R(9, 90), false);  // group 9 born
+  auto plan = MakeAggregate(h.Scan(t), {ColRef(0)},
+                            {Agg(AggFunc::kCountStar, {}),
+                             Agg(AggFunc::kSum, {ColRef(1)})},
+                            {"k", "n", "sv"});
+  std::vector<IdRow> stored = h.Execute(plan, false);
+  DeltaContext ctx = h.Ctx();
+  auto sr = DifferentiateAggregateWithState(*plan, stored, ctx);
+  ASSERT_TRUE(sr.ok());
+  ASSERT_TRUE(sr.value().applicable);
+  ChangeStats stats = CountChanges(sr.value().changes);
+  EXPECT_EQ(stats.deletes, 1u);
+  EXPECT_EQ(stats.inserts, 1u);
+}
+
+TEST(StateReuseTest, BailsOnNullSumInput) {
+  DeltaHarness h;
+  ObjectId t = h.AddTable("t", KV());
+  h.Insert(t, {Value::Int(1), Value::Null()}, false);
+  auto plan = MakeAggregate(h.Scan(t), {ColRef(0)},
+                            {Agg(AggFunc::kCountStar, {}),
+                             Agg(AggFunc::kSum, {ColRef(1)})},
+                            {"k", "n", "sv"});
+  DeltaContext ctx = h.Ctx();
+  auto sr = DifferentiateAggregateWithState(*plan, {}, ctx);
+  ASSERT_TRUE(sr.ok());
+  EXPECT_FALSE(sr.value().applicable);  // graceful fallback, not corruption
+}
+
+}  // namespace
+}  // namespace dvs

@@ -1,0 +1,165 @@
+// Tests for plan/: expression trees, analysis helpers, plan builders,
+// schema computation, and printing (used by debugging tooling).
+
+#include <gtest/gtest.h>
+
+#include "plan/logical_plan.h"
+
+namespace dvs {
+namespace {
+
+TEST(ExprTest, FactoryTypesInference) {
+  EXPECT_EQ(LitInt(1)->type, DataType::kInt64);
+  EXPECT_EQ(LitDouble(1.5)->type, DataType::kDouble);
+  EXPECT_EQ(LitString("x")->type, DataType::kString);
+  EXPECT_EQ(LitBool(true)->type, DataType::kBool);
+  EXPECT_EQ(LitNull()->type, DataType::kNull);
+  EXPECT_EQ(Binary(BinaryOp::kAdd, LitInt(1), LitInt(2))->type,
+            DataType::kInt64);
+  EXPECT_EQ(Binary(BinaryOp::kLt, LitInt(1), LitInt(2))->type,
+            DataType::kBool);
+  EXPECT_EQ(Binary(BinaryOp::kConcat, LitString("a"), LitString("b"))->type,
+            DataType::kString);
+  EXPECT_EQ(Agg(AggFunc::kCountStar, {})->type, DataType::kInt64);
+  EXPECT_EQ(Agg(AggFunc::kAvg, {ColRef(0)})->type, DataType::kDouble);
+  EXPECT_EQ(Agg(AggFunc::kSum, {ColRef(0, "v", DataType::kInt64)})->type,
+            DataType::kInt64);
+  EXPECT_EQ(Win(WindowFunc::kRowNumber, {})->type, DataType::kInt64);
+  EXPECT_EQ(CastTo(DataType::kString, LitInt(1))->type, DataType::kString);
+  EXPECT_EQ(InList({LitInt(1), LitInt(2)})->type, DataType::kBool);
+}
+
+TEST(ExprTest, ToStringForms) {
+  EXPECT_EQ(ColRef(3)->ToString(), "$3");
+  EXPECT_EQ(ColRef(3, "amount")->ToString(), "amount");
+  EXPECT_EQ(Binary(BinaryOp::kGt, ColRef(0, "v"), LitInt(5))->ToString(),
+            "(v > 5)");
+  EXPECT_EQ(Unary(UnaryOp::kIsNull, ColRef(0, "v"))->ToString(), "v IS NULL");
+  EXPECT_EQ(Func("abs", {LitInt(-1)})->ToString(), "abs(-1)");
+  EXPECT_EQ(Agg(AggFunc::kCountStar, {})->ToString(), "COUNT(*)");
+  EXPECT_EQ(Agg(AggFunc::kCount, {ColRef(0, "v")}, true)->ToString(),
+            "COUNT(DISTINCT v)");
+  EXPECT_NE(CaseWhen({LitBool(true), LitInt(1), LitInt(0)})->ToString()
+                .find("CASE"),
+            std::string::npos);
+  EXPECT_EQ(InList({ColRef(0, "v"), LitInt(1), LitInt(2)})->ToString(),
+            "v IN (1, 2)");
+}
+
+TEST(ExprTest, AnalysisHelpers) {
+  ExprPtr agg_tree = Binary(BinaryOp::kAdd, Agg(AggFunc::kCountStar, {}),
+                            LitInt(1));
+  EXPECT_TRUE(ContainsAggregate(agg_tree));
+  EXPECT_FALSE(ContainsWindow(agg_tree));
+  ExprPtr win_tree = Win(WindowFunc::kSum, {ColRef(2)});
+  EXPECT_TRUE(ContainsWindow(win_tree));
+  EXPECT_FALSE(ContainsAggregate(win_tree));
+
+  std::vector<size_t> refs;
+  CollectColumnRefs(
+      Binary(BinaryOp::kAdd, ColRef(1), Func("abs", {ColRef(4)})), &refs);
+  ASSERT_EQ(refs.size(), 2u);
+  EXPECT_EQ(refs[0], 1u);
+  EXPECT_EQ(refs[1], 4u);
+}
+
+TEST(ExprTest, RemapColumnsRewritesDeepTrees) {
+  ExprPtr e = Binary(BinaryOp::kAdd, ColRef(0),
+                     Func("abs", {Binary(BinaryOp::kMul, ColRef(2), ColRef(1))}));
+  std::vector<size_t> mapping = {10, 11, 12};
+  ExprPtr remapped = RemapColumns(e, mapping);
+  std::vector<size_t> refs;
+  CollectColumnRefs(remapped, &refs);
+  std::sort(refs.begin(), refs.end());
+  EXPECT_EQ(refs, (std::vector<size_t>{10, 11, 12}));
+  // Original untouched (immutability).
+  refs.clear();
+  CollectColumnRefs(e, &refs);
+  std::sort(refs.begin(), refs.end());
+  EXPECT_EQ(refs, (std::vector<size_t>{0, 1, 2}));
+}
+
+Schema KV() {
+  return Schema({{"k", DataType::kInt64}, {"v", DataType::kInt64}});
+}
+
+TEST(PlanTest, BuildersComputeSchemas) {
+  PlanPtr scan = MakeScan(1, "t", KV());
+  EXPECT_EQ(scan->output_schema.size(), 2u);
+
+  PlanPtr filter = MakeFilter(scan, Binary(BinaryOp::kGt, ColRef(1), LitInt(0)));
+  EXPECT_EQ(filter->output_schema, scan->output_schema);
+
+  PlanPtr project = MakeProject(scan, {ColRef(0)}, {"k"});
+  EXPECT_EQ(project->output_schema.size(), 1u);
+
+  PlanPtr join = MakeJoin(JoinType::kInner, scan, MakeScan(2, "u", KV()),
+                          {ColRef(0)}, {ColRef(0)});
+  EXPECT_EQ(join->output_schema.size(), 4u);
+
+  PlanPtr agg = MakeAggregate(scan, {ColRef(0)},
+                              {Agg(AggFunc::kCountStar, {})}, {"k", "n"});
+  EXPECT_EQ(agg->output_schema.size(), 2u);
+  EXPECT_EQ(agg->output_schema.column(1).type, DataType::kInt64);
+
+  PlanPtr window = MakeWindow(scan, {ColRef(0)}, {},
+                              {Win(WindowFunc::kRowNumber, {})}, {"rn"});
+  EXPECT_EQ(window->output_schema.size(), 3u);  // input + call
+
+  PlanPtr flatten = MakeFlatten(scan, ColRef(1), "tag");
+  EXPECT_EQ(flatten->output_schema.size(), 4u);  // input + index + value
+  EXPECT_EQ(flatten->output_schema.column(2).name, "index");
+}
+
+TEST(PlanTest, NodeTagsAreUnique) {
+  PlanPtr a = MakeScan(1, "t", KV());
+  PlanPtr b = MakeScan(1, "t", KV());
+  EXPECT_NE(a->node_tag, b->node_tag);
+}
+
+TEST(PlanTest, CollectScanIdsDeduplicates) {
+  PlanPtr scan1 = MakeScan(7, "t", KV());
+  PlanPtr scan2 = MakeScan(7, "t", KV());
+  PlanPtr scan3 = MakeScan(9, "u", KV());
+  PlanPtr join = MakeJoin(JoinType::kInner,
+                          MakeUnionAll(scan1, scan2), scan3,
+                          {ColRef(0)}, {ColRef(0)});
+  std::vector<ObjectId> ids = CollectScanIds(join);
+  EXPECT_EQ(ids, (std::vector<ObjectId>{7, 9}));
+}
+
+TEST(PlanTest, CountOperatorsSplitsJoinKinds) {
+  PlanPtr scan = MakeScan(1, "t", KV());
+  PlanPtr plan = MakeJoin(
+      JoinType::kLeft,
+      MakeJoin(JoinType::kInner, scan, scan, {ColRef(0)}, {ColRef(0)}),
+      scan, {ColRef(0)}, {ColRef(0)});
+  OperatorCounts c = CountOperators(plan);
+  EXPECT_EQ(c.inner_join, 1);
+  EXPECT_EQ(c.outer_join, 1);
+  EXPECT_EQ(c.scan, 3);
+}
+
+TEST(PlanTest, ToStringRendersTree) {
+  PlanPtr plan = MakeFilter(MakeScan(1, "orders", KV()),
+                            Binary(BinaryOp::kGt, ColRef(1, "v"), LitInt(5)));
+  std::string s = plan->ToString();
+  EXPECT_NE(s.find("Filter"), std::string::npos);
+  EXPECT_NE(s.find("Scan(orders)"), std::string::npos);
+  EXPECT_NE(s.find("(v > 5)"), std::string::npos);
+}
+
+TEST(PlanTest, VisitPlanIsPreOrder) {
+  PlanPtr scan = MakeScan(1, "t", KV());
+  PlanPtr plan = MakeFilter(MakeProject(scan, {ColRef(0)}, {"k"}),
+                            Binary(BinaryOp::kGt, ColRef(0), LitInt(0)));
+  std::vector<PlanKind> order;
+  VisitPlan(plan, [&](const PlanNode& n) { order.push_back(n.kind); });
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], PlanKind::kFilter);
+  EXPECT_EQ(order[1], PlanKind::kProject);
+  EXPECT_EQ(order[2], PlanKind::kScan);
+}
+
+}  // namespace
+}  // namespace dvs

@@ -1,0 +1,253 @@
+// Tests for sched/ + warehouse/: canonical periods, DOWNSTREAM lag
+// resolution, skip semantics, lag accounting, auto-suspend, billing.
+
+#include <gtest/gtest.h>
+
+#include "sched/scheduler.h"
+
+namespace dvs {
+namespace {
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest() : clock_(0), engine_(clock_), sched_(&engine_, &clock_) {}
+
+  void Exec(const std::string& sql) {
+    auto r = engine_.Execute(sql);
+    ASSERT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+  }
+
+  ObjectId Id(const std::string& name) {
+    return engine_.ObjectIdOf(name).value();
+  }
+
+  int CountRefreshes(const std::string& name, bool include_nodata = true) {
+    int n = 0;
+    for (const RefreshRecord& r : sched_.log()) {
+      if (r.dt_name != name || r.skipped || r.failed) continue;
+      if (!include_nodata && r.action == RefreshAction::kNoData) continue;
+      ++n;
+    }
+    return n;
+  }
+
+  VirtualClock clock_;
+  DvsEngine engine_;
+  Scheduler sched_;
+};
+
+TEST(CanonicalPeriodTest, PowersOfTwoTimes48s) {
+  EXPECT_EQ(LargestCanonicalPeriodAtMost(10 * kMicrosPerSecond),
+            kCanonicalBasePeriod);  // clamps up to the base
+  EXPECT_EQ(LargestCanonicalPeriodAtMost(48 * kMicrosPerSecond),
+            48 * kMicrosPerSecond);
+  EXPECT_EQ(LargestCanonicalPeriodAtMost(100 * kMicrosPerSecond),
+            96 * kMicrosPerSecond);
+  EXPECT_EQ(LargestCanonicalPeriodAtMost(30 * kMicrosPerMinute),
+            1536 * kMicrosPerSecond);  // 48*2^5
+}
+
+TEST(WarehouseTest, SchedulingAndBilling) {
+  Warehouse wh("wh", 1, /*auto_suspend=*/60 * kMicrosPerSecond);
+  auto s1 = wh.Schedule(100 * kMicrosPerSecond, 10 * kMicrosPerSecond);
+  EXPECT_EQ(s1.start, 100 * kMicrosPerSecond);
+  EXPECT_EQ(s1.end, 110 * kMicrosPerSecond);
+  // Overlapping request queues.
+  auto s2 = wh.Schedule(105 * kMicrosPerSecond, 5 * kMicrosPerSecond);
+  EXPECT_EQ(s2.start, 110 * kMicrosPerSecond);
+  // Small idle gap stays billed (no suspend)...
+  auto s3 = wh.Schedule(130 * kMicrosPerSecond, 5 * kMicrosPerSecond);
+  EXPECT_EQ(s3.start, 130 * kMicrosPerSecond);
+  EXPECT_EQ(wh.billed(), (10 + 5 + 15 + 5) * kMicrosPerSecond);
+  // ...but a long gap suspends: idle not billed, resume counted.
+  int resumes_before = wh.resumes();
+  wh.Schedule(1000 * kMicrosPerSecond, 5 * kMicrosPerSecond);
+  EXPECT_EQ(wh.resumes(), resumes_before + 1);
+  EXPECT_EQ(wh.billed(), (10 + 5 + 15 + 5 + 5) * kMicrosPerSecond);
+}
+
+TEST_F(SchedulerTest, SchedulesWithinTargetLag) {
+  Exec("CREATE TABLE src (v INT)");
+  Exec("INSERT INTO src VALUES (1)");
+  Exec("CREATE DYNAMIC TABLE dt TARGET_LAG = '5 minutes' WAREHOUSE = wh "
+       "INITIALIZE = ON_SCHEDULE AS SELECT v FROM src");
+  sched_.RunUntil(30 * kMicrosPerMinute);
+
+  // Period for 5 min lag: largest 48*2^n <= 150s => 96s.
+  EXPECT_EQ(sched_.RefreshPeriod(Id("dt")), 96 * kMicrosPerSecond);
+  EXPECT_GT(CountRefreshes("dt"), 10);
+
+  // Lag never exceeds the target after initialization.
+  for (Micros t = 10 * kMicrosPerMinute; t <= 30 * kMicrosPerMinute;
+       t += kMicrosPerMinute) {
+    auto lag = sched_.LagAt(Id("dt"), t);
+    ASSERT_TRUE(lag.has_value());
+    EXPECT_LE(*lag, 5 * kMicrosPerMinute) << "at t=" << t;
+  }
+}
+
+TEST_F(SchedulerTest, DownstreamLagResolution) {
+  Exec("CREATE TABLE src (v INT)");
+  Exec("CREATE DYNAMIC TABLE up TARGET_LAG = DOWNSTREAM WAREHOUSE = wh "
+       "INITIALIZE = ON_SCHEDULE AS SELECT v FROM src");
+  // No consumers yet: DOWNSTREAM resolves to nothing; never scheduled.
+  EXPECT_FALSE(sched_.EffectiveTargetLag(Id("up")).has_value());
+  EXPECT_EQ(sched_.RefreshPeriod(Id("up")), 0u);
+
+  Exec("CREATE DYNAMIC TABLE down TARGET_LAG = '10 minutes' WAREHOUSE = wh "
+       "INITIALIZE = ON_SCHEDULE AS SELECT v FROM up");
+  // Now the upstream inherits the consumer's lag (§3.2).
+  ASSERT_TRUE(sched_.EffectiveTargetLag(Id("up")).has_value());
+  EXPECT_EQ(*sched_.EffectiveTargetLag(Id("up")), 10 * kMicrosPerMinute);
+  // Upstream period <= downstream period, both canonical, aligned.
+  Micros pu = sched_.RefreshPeriod(Id("up"));
+  Micros pd = sched_.RefreshPeriod(Id("down"));
+  EXPECT_LE(pu, pd);
+  EXPECT_EQ(pd % pu, 0u);
+}
+
+TEST_F(SchedulerTest, ChainSharesDataTimestamps) {
+  Exec("CREATE TABLE src (v INT)");
+  Exec("INSERT INTO src VALUES (1)");
+  Exec("CREATE DYNAMIC TABLE a TARGET_LAG = DOWNSTREAM WAREHOUSE = wh "
+       "INITIALIZE = ON_SCHEDULE AS SELECT v FROM src");
+  Exec("CREATE DYNAMIC TABLE b TARGET_LAG = '5 minutes' WAREHOUSE = wh "
+       "INITIALIZE = ON_SCHEDULE AS SELECT v FROM a");
+  sched_.RunUntil(20 * kMicrosPerMinute);
+
+  // Every data timestamp of b must also be a data timestamp of a (snapshot
+  // isolation across the chain, §5.2).
+  const auto& a_meta = *engine_.catalog().Find("a").value()->dt;
+  const auto& b_meta = *engine_.catalog().Find("b").value()->dt;
+  ASSERT_FALSE(b_meta.refresh_versions.empty());
+  for (const auto& [ts, v] : b_meta.refresh_versions) {
+    (void)v;
+    EXPECT_TRUE(a_meta.refresh_versions.count(ts))
+        << "b refreshed at " << ts << " without a";
+  }
+}
+
+TEST_F(SchedulerTest, NoDataRefreshesDominateQuietSources) {
+  Exec("CREATE TABLE src (v INT)");
+  Exec("INSERT INTO src VALUES (1)");
+  Exec("CREATE DYNAMIC TABLE dt TARGET_LAG = '2 minutes' WAREHOUSE = wh "
+       "INITIALIZE = ON_SCHEDULE AS SELECT v FROM src");
+  // Source never changes after the first refresh.
+  sched_.RunUntil(kMicrosPerHour);
+  int total = CountRefreshes("dt");
+  int with_data = CountRefreshes("dt", /*include_nodata=*/false);
+  EXPECT_GT(total, 20);
+  EXPECT_LE(with_data, 2);  // initialize (+ maybe one more)
+}
+
+TEST_F(SchedulerTest, SkipWhenPreviousRefreshStillRunning) {
+  // Tiny warehouse + expensive refresh: durations exceed the period.
+  SchedulerOptions opts;
+  opts.cost_model.fixed_cost = 2 * kMicrosPerSecond;
+  opts.cost_model.cost_per_krow = 2000 * kMicrosPerSecond;  // very slow
+  Scheduler slow_sched(&engine_, &clock_, opts);
+
+  Exec("CREATE TABLE src (v INT)");
+  for (int i = 0; i < 20; ++i) {
+    Exec("INSERT INTO src VALUES (" + std::to_string(i) + ")");
+  }
+  Exec("CREATE DYNAMIC TABLE dt TARGET_LAG = '1 minute' WAREHOUSE = wh "
+       "REFRESH_MODE = FULL INITIALIZE = ON_SCHEDULE AS SELECT v FROM src");
+
+  // Keep the source changing so refreshes stay expensive.
+  for (int round = 0; round < 30; ++round) {
+    slow_sched.RunUntil(clock_.Now() + kMicrosPerMinute);
+    Exec("INSERT INTO src VALUES (" + std::to_string(100 + round) + ")");
+  }
+  int skips = 0;
+  for (const RefreshRecord& r : slow_sched.log()) {
+    if (r.dt_name == "dt" && r.skipped) ++skips;
+  }
+  EXPECT_GT(skips, 0);  // §3.3.3 skip semantics engaged
+
+  // Skips never break DVS: contents still match the defining query.
+  const auto& meta = *engine_.catalog().Find("dt").value()->dt;
+  ASSERT_TRUE(meta.initialized);
+  auto expected = engine_.QueryAsOf(meta.def.sql, meta.data_timestamp);
+  ASSERT_TRUE(expected.ok());
+  auto actual = engine_.Query("SELECT * FROM dt");
+  ASSERT_TRUE(actual.ok());
+  EXPECT_EQ(actual.value().rows.size(), expected.value().size());
+}
+
+TEST_F(SchedulerTest, FailingDtAutoSuspendsAndStopsConsuming) {
+  Exec("CREATE TABLE src (v INT)");
+  Exec("INSERT INTO src VALUES (0)");  // division by zero from the start
+  Exec("CREATE DYNAMIC TABLE dt TARGET_LAG = '2 minutes' WAREHOUSE = wh "
+       "INITIALIZE = ON_SCHEDULE AS SELECT 100 / v AS q FROM src");
+  sched_.RunUntil(2 * kMicrosPerHour);
+
+  const auto& meta = *engine_.catalog().Find("dt").value()->dt;
+  EXPECT_EQ(meta.state, DtState::kSuspended);
+  int failures = 0, attempts_after_suspend = 0;
+  bool suspended_seen = false;
+  for (const RefreshRecord& r : sched_.log()) {
+    if (r.dt_name != "dt") continue;
+    if (r.failed) {
+      ++failures;
+      suspended_seen = failures >= 5;
+    } else if (suspended_seen && !r.skipped) {
+      ++attempts_after_suspend;
+    }
+  }
+  EXPECT_EQ(failures, 5);  // then suspended, no more attempts
+  EXPECT_EQ(attempts_after_suspend, 0);
+}
+
+TEST_F(SchedulerTest, LagSawtoothShape) {
+  Exec("CREATE TABLE src (v INT)");
+  Exec("INSERT INTO src VALUES (1)");
+  Exec("CREATE DYNAMIC TABLE dt TARGET_LAG = '5 minutes' WAREHOUSE = wh "
+       "INITIALIZE = ON_SCHEDULE AS SELECT v FROM src");
+  sched_.RunUntil(kMicrosPerHour);
+
+  // Figure 4's identities: trough lag = e_i − v_i, peak lag = e_i − v_{i−1},
+  // and between refreshes lag rises at exactly 1 s/s.
+  const RefreshRecord* prev = nullptr;
+  for (const RefreshRecord& r : sched_.log()) {
+    if (r.dt_name != "dt" || r.skipped || r.failed) continue;
+    EXPECT_EQ(r.trough_lag, r.end_time - r.data_timestamp);
+    if (prev != nullptr) {
+      EXPECT_EQ(r.peak_lag, r.end_time - prev->data_timestamp);
+      // 1 s/s rise between commits:
+      Micros mid = prev->end_time + (r.end_time - prev->end_time) / 2;
+      auto lag_mid = sched_.LagAt(Id("dt"), mid);
+      ASSERT_TRUE(lag_mid.has_value());
+      EXPECT_EQ(*lag_mid, mid - prev->data_timestamp);
+    }
+    prev = &r;
+  }
+  ASSERT_NE(prev, nullptr);
+}
+
+TEST_F(SchedulerTest, SuspendedDtIsNotScheduled) {
+  Exec("CREATE TABLE src (v INT)");
+  Exec("CREATE DYNAMIC TABLE dt TARGET_LAG = '2 minutes' WAREHOUSE = wh "
+       "INITIALIZE = ON_SCHEDULE AS SELECT v FROM src");
+  Exec("ALTER DYNAMIC TABLE dt SUSPEND");
+  sched_.RunUntil(kMicrosPerHour);
+  EXPECT_EQ(CountRefreshes("dt"), 0);
+}
+
+TEST_F(SchedulerTest, ManualRefreshCoexistsWithSchedule) {
+  Exec("CREATE TABLE src (v INT)");
+  Exec("INSERT INTO src VALUES (1)");
+  Exec("CREATE DYNAMIC TABLE dt TARGET_LAG = '5 minutes' WAREHOUSE = wh "
+       "INITIALIZE = ON_SCHEDULE AS SELECT v FROM src");
+  sched_.RunUntil(10 * kMicrosPerMinute);
+  Exec("INSERT INTO src VALUES (2)");
+  Exec("ALTER DYNAMIC TABLE dt REFRESH");
+  auto r = engine_.Query("SELECT * FROM dt");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows.size(), 2u);
+  sched_.RunUntil(20 * kMicrosPerMinute);  // scheduling continues unperturbed
+  EXPECT_GT(CountRefreshes("dt"), 2);
+}
+
+}  // namespace
+}  // namespace dvs

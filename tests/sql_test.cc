@@ -1,0 +1,342 @@
+// Tests for sql/: lexer, parser, binder.
+
+#include <gtest/gtest.h>
+
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "sql/token.h"
+
+namespace dvs {
+namespace {
+
+using sql::ParseSelect;
+using sql::ParseStatement;
+using sql::Statement;
+using sql::StatementKind;
+
+// ---- Lexer ----
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT a, b2 FROM t WHERE a >= 10.5").value();
+  EXPECT_EQ(tokens[0].text, "select");  // keywords lower-cased
+  EXPECT_EQ(tokens[1].text, "a");
+  EXPECT_TRUE(tokens[2].IsSymbol(","));
+  EXPECT_EQ(tokens.back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, StringsAndEscapes) {
+  auto tokens = Tokenize("'hello' 'it''s'").value();
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("SELECT 'oops").ok());
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto tokens = Tokenize("SELECT 1 -- the answer\n + 2").value();
+  // select, 1, +, 2, end
+  EXPECT_EQ(tokens.size(), 5u);
+}
+
+TEST(LexerTest, MultiCharSymbols) {
+  auto tokens = Tokenize("a <> b <= c >= d != e || f :: int").value();
+  EXPECT_TRUE(tokens[1].IsSymbol("<>"));
+  EXPECT_TRUE(tokens[3].IsSymbol("<="));
+  EXPECT_TRUE(tokens[5].IsSymbol(">="));
+  EXPECT_TRUE(tokens[7].IsSymbol("<>"));  // != normalizes
+  EXPECT_TRUE(tokens[9].IsSymbol("||"));
+  EXPECT_TRUE(tokens[11].IsSymbol("::"));
+}
+
+// ---- Parser ----
+
+TEST(ParserTest, SimpleSelect) {
+  auto sel = ParseSelect("SELECT a, b AS bee FROM t WHERE a > 1").value();
+  ASSERT_EQ(sel->items.size(), 2u);
+  EXPECT_EQ(sel->items[1].alias, "bee");
+  ASSERT_TRUE(sel->from != nullptr);
+  EXPECT_EQ(sel->from->name, "t");
+  EXPECT_TRUE(sel->where != nullptr);
+}
+
+TEST(ParserTest, SelectStarAndLimit) {
+  auto sel = ParseSelect("SELECT * FROM t ORDER BY a DESC LIMIT 5").value();
+  EXPECT_TRUE(sel->items[0].star);
+  ASSERT_EQ(sel->order_by.size(), 1u);
+  EXPECT_FALSE(sel->order_by[0].ascending);
+  EXPECT_EQ(sel->limit, 5);
+}
+
+TEST(ParserTest, Joins) {
+  auto sel = ParseSelect(
+      "SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y").value();
+  ASSERT_EQ(sel->from->kind, sql::TableRefKind::kJoin);
+  EXPECT_EQ(sel->from->join_type, JoinType::kLeft);
+  EXPECT_EQ(sel->from->left->join_type, JoinType::kInner);
+}
+
+TEST(ParserTest, GroupByAllAndHaving) {
+  auto sel = ParseSelect(
+      "SELECT c, count(*) n FROM t GROUP BY ALL HAVING count(*) > 1").value();
+  EXPECT_TRUE(sel->group_by_all);
+  EXPECT_TRUE(sel->having != nullptr);
+  EXPECT_EQ(sel->items[1].alias, "n");
+}
+
+TEST(ParserTest, WindowOverClause) {
+  auto sel = ParseSelect(
+      "SELECT sum(v) OVER (PARTITION BY k ORDER BY ts DESC) FROM t").value();
+  const auto& call = sel->items[0].expr;
+  ASSERT_EQ(call->kind, sql::AstExprKind::kCall);
+  ASSERT_TRUE(call->over.has_value());
+  EXPECT_EQ(call->over->partition_by.size(), 1u);
+  ASSERT_EQ(call->over->order_by.size(), 1u);
+  EXPECT_FALSE(call->over->order_by[0].ascending);
+}
+
+TEST(ParserTest, CaseCastInBetweenInterval) {
+  auto sel = ParseSelect(
+      "SELECT CASE WHEN a > 1 THEN 'x' ELSE 'y' END, CAST(a AS double), "
+      "a::string, a IN (1, 2), a BETWEEN 1 AND 5, INTERVAL '10 minutes' "
+      "FROM t").value();
+  EXPECT_EQ(sel->items.size(), 6u);
+  EXPECT_EQ(sel->items[0].expr->kind, sql::AstExprKind::kCase);
+  EXPECT_EQ(sel->items[1].expr->kind, sql::AstExprKind::kCast);
+  EXPECT_EQ(sel->items[2].expr->kind, sql::AstExprKind::kCast);
+  EXPECT_EQ(sel->items[3].expr->kind, sql::AstExprKind::kIn);
+  EXPECT_EQ(sel->items[4].expr->kind, sql::AstExprKind::kBetween);
+  EXPECT_EQ(sel->items[5].expr->kind, sql::AstExprKind::kInterval);
+}
+
+TEST(ParserTest, CreateTable) {
+  auto stmt = ParseStatement(
+      "CREATE TABLE trains (id INT, name STRING, ts TIMESTAMP)").value();
+  ASSERT_EQ(stmt.kind, StatementKind::kCreateTable);
+  EXPECT_EQ(stmt.create_table->name, "trains");
+  ASSERT_EQ(stmt.create_table->schema.size(), 3u);
+  EXPECT_EQ(stmt.create_table->schema.column(2).type, DataType::kTimestamp);
+}
+
+TEST(ParserTest, CreateDynamicTable) {
+  auto stmt = ParseStatement(
+      "CREATE DYNAMIC TABLE dt TARGET_LAG = '1 minute' WAREHOUSE = wh "
+      "AS SELECT a FROM t").value();
+  ASSERT_EQ(stmt.kind, StatementKind::kCreateDynamicTable);
+  EXPECT_EQ(stmt.create_dt->name, "dt");
+  EXPECT_FALSE(stmt.create_dt->target_lag.downstream);
+  EXPECT_EQ(stmt.create_dt->target_lag.duration, kMicrosPerMinute);
+  EXPECT_EQ(stmt.create_dt->warehouse, "wh");
+  EXPECT_NE(stmt.create_dt->select_sql.find("SELECT a"), std::string::npos);
+}
+
+TEST(ParserTest, CreateDynamicTableDownstream) {
+  auto stmt = ParseStatement(
+      "CREATE DYNAMIC TABLE dt TARGET_LAG = DOWNSTREAM WAREHOUSE = wh "
+      "REFRESH_MODE = FULL AS SELECT a FROM t").value();
+  EXPECT_TRUE(stmt.create_dt->target_lag.downstream);
+  EXPECT_EQ(stmt.create_dt->refresh_mode, RefreshMode::kFull);
+}
+
+TEST(ParserTest, CreateDtRequiresLagAndWarehouse) {
+  EXPECT_FALSE(ParseStatement(
+      "CREATE DYNAMIC TABLE dt WAREHOUSE = wh AS SELECT 1").ok());
+  EXPECT_FALSE(ParseStatement(
+      "CREATE DYNAMIC TABLE dt TARGET_LAG = '1 minute' AS SELECT 1").ok());
+}
+
+TEST(ParserTest, InsertDeleteUpdate) {
+  auto ins = ParseStatement(
+      "INSERT INTO t VALUES (1, 'a'), (2, 'b')").value();
+  ASSERT_EQ(ins.kind, StatementKind::kInsert);
+  EXPECT_EQ(ins.insert->rows.size(), 2u);
+
+  auto del = ParseStatement("DELETE FROM t WHERE a = 1").value();
+  ASSERT_EQ(del.kind, StatementKind::kDelete);
+  EXPECT_TRUE(del.del->where != nullptr);
+
+  auto upd = ParseStatement("UPDATE t SET a = 2, b = 'x' WHERE a = 1").value();
+  ASSERT_EQ(upd.kind, StatementKind::kUpdate);
+  EXPECT_EQ(upd.update->assignments.size(), 2u);
+}
+
+TEST(ParserTest, AlterDynamicTable) {
+  auto stmt = ParseStatement("ALTER DYNAMIC TABLE dt REFRESH").value();
+  ASSERT_EQ(stmt.kind, StatementKind::kAlterDt);
+  EXPECT_EQ(stmt.alter_dt->action, sql::AlterDtStmt::Action::kRefresh);
+  auto s2 = ParseStatement("ALTER DYNAMIC TABLE dt SUSPEND").value();
+  EXPECT_EQ(s2.alter_dt->action, sql::AlterDtStmt::Action::kSuspend);
+}
+
+TEST(ParserTest, LateralFlatten) {
+  auto sel = ParseSelect(
+      "SELECT id, value FROM t, LATERAL FLATTEN(tags) f").value();
+  ASSERT_EQ(sel->from->kind, sql::TableRefKind::kFlatten);
+  EXPECT_EQ(sel->from->alias, "f");
+}
+
+TEST(ParserTest, SubqueryRequiresAlias) {
+  EXPECT_TRUE(ParseSelect("SELECT x FROM (SELECT a x FROM t) sub").ok());
+  EXPECT_FALSE(ParseSelect("SELECT x FROM (SELECT a x FROM t)").ok());
+}
+
+TEST(ParserTest, SyntaxErrors) {
+  EXPECT_FALSE(ParseSelect("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseSelect("SELECT a FROM").ok());
+  EXPECT_FALSE(ParseStatement("CREATE TABLE t (a unknown_type)").ok());
+  EXPECT_FALSE(ParseStatement("FOO BAR").ok());
+}
+
+// ---- Binder ----
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(catalog_
+                    .CreateBaseTable(
+                        "orders",
+                        Schema({{"id", DataType::kInt64},
+                                {"customer", DataType::kString},
+                                {"amount", DataType::kInt64}}),
+                        {1, 0})
+                    .ok());
+    ASSERT_TRUE(catalog_
+                    .CreateBaseTable("customers",
+                                     Schema({{"name", DataType::kString},
+                                             {"tier", DataType::kString}}),
+                                     {2, 0})
+                    .ok());
+  }
+
+  Result<sql::BindResult> Bind(const std::string& query) {
+    auto sel = ParseSelect(query);
+    if (!sel.ok()) return sel.status();
+    sql::Binder binder(catalog_);
+    return binder.BindSelect(*sel.value());
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(BinderTest, ResolvesColumnsAndSchema) {
+  auto bound = Bind("SELECT customer, amount * 2 AS dbl FROM orders").value();
+  ASSERT_EQ(bound.plan->output_schema.size(), 2u);
+  EXPECT_EQ(bound.plan->output_schema.column(0).name, "customer");
+  EXPECT_EQ(bound.plan->output_schema.column(1).name, "dbl");
+  EXPECT_EQ(bound.plan->output_schema.column(1).type, DataType::kInt64);
+}
+
+TEST_F(BinderTest, UnknownColumnFails) {
+  auto bound = Bind("SELECT nope FROM orders");
+  ASSERT_FALSE(bound.ok());
+  EXPECT_EQ(bound.status().code(), StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, UnknownTableFails) {
+  EXPECT_EQ(Bind("SELECT 1 FROM missing").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(BinderTest, AmbiguousColumnFails) {
+  // Both orders and the self-join alias expose "amount".
+  auto bound = Bind(
+      "SELECT amount FROM orders a JOIN orders b ON a.id = b.id");
+  ASSERT_FALSE(bound.ok());
+  EXPECT_NE(bound.status().message().find("ambiguous"), std::string::npos);
+}
+
+TEST_F(BinderTest, QualifiedColumnsResolve) {
+  auto bound = Bind(
+      "SELECT a.amount, b.amount FROM orders a JOIN orders b ON a.id = b.id");
+  EXPECT_TRUE(bound.ok());
+}
+
+TEST_F(BinderTest, EquiJoinKeysExtracted) {
+  auto bound = Bind(
+      "SELECT o.id FROM orders o JOIN customers c "
+      "ON o.customer = c.name AND o.amount > 10").value();
+  // Find the join node.
+  const PlanNode* join = nullptr;
+  VisitPlan(bound.plan, [&](const PlanNode& n) {
+    if (n.kind == PlanKind::kJoin) join = &n;
+  });
+  ASSERT_NE(join, nullptr);
+  ASSERT_EQ(join->left_keys.size(), 1u);
+  EXPECT_TRUE(join->residual != nullptr);  // the > 10 conjunct
+}
+
+TEST_F(BinderTest, GroupByAllBinds) {
+  auto bound = Bind(
+      "SELECT customer, count(*) n, sum(amount) total FROM orders "
+      "GROUP BY ALL").value();
+  const PlanNode* agg = nullptr;
+  VisitPlan(bound.plan, [&](const PlanNode& n) {
+    if (n.kind == PlanKind::kAggregate) agg = &n;
+  });
+  ASSERT_NE(agg, nullptr);
+  EXPECT_EQ(agg->group_by.size(), 1u);
+  EXPECT_EQ(agg->aggregates.size(), 2u);
+}
+
+TEST_F(BinderTest, PositionalGroupByAndOrderBy) {
+  EXPECT_TRUE(Bind("SELECT customer, count(*) FROM orders GROUP BY 1 "
+                   "ORDER BY 2 DESC").ok());
+  EXPECT_FALSE(Bind("SELECT customer FROM orders GROUP BY 5").ok());
+}
+
+TEST_F(BinderTest, NonGroupedColumnRejected) {
+  auto bound = Bind("SELECT customer, amount FROM orders GROUP BY customer");
+  ASSERT_FALSE(bound.ok());
+  EXPECT_NE(bound.status().message().find("GROUP BY"), std::string::npos);
+}
+
+TEST_F(BinderTest, HavingWithoutAggregationFails) {
+  EXPECT_FALSE(Bind("SELECT customer FROM orders HAVING amount > 1").ok());
+}
+
+TEST_F(BinderTest, WindowCallsBind) {
+  auto bound = Bind(
+      "SELECT customer, row_number() OVER (PARTITION BY customer "
+      "ORDER BY amount) rn FROM orders").value();
+  const PlanNode* win = nullptr;
+  VisitPlan(bound.plan, [&](const PlanNode& n) {
+    if (n.kind == PlanKind::kWindow) win = &n;
+  });
+  ASSERT_NE(win, nullptr);
+  EXPECT_EQ(win->partition_by.size(), 1u);
+  EXPECT_EQ(win->window_calls.size(), 1u);
+}
+
+TEST_F(BinderTest, MixedWindowAndAggregateUnsupported) {
+  auto bound = Bind(
+      "SELECT customer, count(*), row_number() OVER (PARTITION BY customer) "
+      "FROM orders GROUP BY customer");
+  ASSERT_FALSE(bound.ok());
+  EXPECT_EQ(bound.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(BinderTest, DependenciesTracked) {
+  auto bound = Bind(
+      "SELECT o.id FROM orders o JOIN customers c ON o.customer = c.name")
+                   .value();
+  EXPECT_EQ(bound.dependencies.size(), 2u);
+}
+
+TEST_F(BinderTest, SelectWithoutFrom) {
+  auto bound = Bind("SELECT 1 + 1 AS two").value();
+  EXPECT_EQ(bound.plan->output_schema.column(0).name, "two");
+}
+
+TEST_F(BinderTest, UnknownFunctionFails) {
+  EXPECT_EQ(Bind("SELECT frobnicate(id) FROM orders").status().code(),
+            StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, CountStarOnlyInCount) {
+  EXPECT_FALSE(Bind("SELECT sum(*) FROM orders").ok());
+}
+
+}  // namespace
+}  // namespace dvs

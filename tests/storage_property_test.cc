@@ -1,0 +1,151 @@
+// Property-based storage tests (TEST_P sweeps): for random operation
+// sequences across partition-size configurations, the versioned table must
+// (a) reproduce exactly the model's contents at every historical version,
+// and (b) produce change scans equal to the brute-force diff of the two
+// model states — for every version pair, not just adjacent ones.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "storage/versioned_table.h"
+
+namespace dvs {
+namespace {
+
+struct StorageParams {
+  uint64_t seed;
+  size_t max_partition_rows;
+};
+
+class StoragePropertyTest : public ::testing::TestWithParam<StorageParams> {};
+
+Row R(int64_t a, int64_t b) { return {Value::Int(a), Value::Int(b)}; }
+
+TEST_P(StoragePropertyTest, MatchesReferenceModel) {
+  const StorageParams params = GetParam();
+  Rng rng(params.seed);
+  VersionedTable table(Schema({{"a", DataType::kInt64}, {"b", DataType::kInt64}}),
+                       params.max_partition_rows);
+
+  // Reference model: version -> (row id -> row).
+  using Model = std::map<RowId, Row>;
+  std::vector<Model> history = {{}};  // version 1 = empty
+  Model model;
+  Micros ts = 10;
+
+  for (int step = 0; step < 40; ++step) {
+    ChangeSet changes;
+    double p = rng.NextDouble();
+    if (p < 0.45 || model.empty()) {
+      // Insert batch.
+      int n = static_cast<int>(rng.Uniform(1, 6));
+      std::vector<Row> rows;
+      for (int i = 0; i < n; ++i) {
+        rows.push_back(R(rng.Uniform(0, 50), rng.Uniform(0, 1000)));
+      }
+      changes = table.MakeInsertChanges(std::move(rows));
+    } else if (p < 0.65) {
+      // Delete a few random existing rows.
+      int n = static_cast<int>(rng.Uniform(1, 3));
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(0, static_cast<int64_t>(model.size()) - 1));
+      for (int i = 0; i < n && it != model.end(); ++i, ++it) {
+        changes.push_back({ChangeAction::kDelete, it->first, it->second});
+      }
+    } else if (p < 0.85) {
+      // Update one row (delete + insert, same id).
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(0, static_cast<int64_t>(model.size()) - 1));
+      changes.push_back({ChangeAction::kDelete, it->first, it->second});
+      changes.push_back({ChangeAction::kInsert, it->first,
+                         R(it->second[0].int_value(), rng.Uniform(0, 1000))});
+    } else if (p < 0.95) {
+      // Maintenance: recluster (data-equivalent).
+      table.Recluster({ts += 10, 0});
+      history.push_back(model);
+      continue;
+    } else {
+      table.CommitNoOp({ts += 10, 0});
+      history.push_back(model);
+      continue;
+    }
+
+    ASSERT_TRUE(table.ApplyChanges(changes, {ts += 10, 0}).ok());
+    for (const ChangeRow& c : changes) {
+      if (c.action == ChangeAction::kDelete) {
+        model.erase(c.row_id);
+      } else {
+        model[c.row_id] = c.values;
+      }
+    }
+    history.push_back(model);
+  }
+
+  // (a) Every historical version matches the model.
+  ASSERT_EQ(table.version_count(), history.size());
+  for (VersionId v = 1; v <= history.size(); ++v) {
+    const Model& expected = history[v - 1];
+    Model actual;
+    for (const IdRow& r : table.ScanAt(v)) actual[r.id] = r.values;
+    ASSERT_EQ(actual.size(), expected.size()) << "version " << v;
+    for (const auto& [rid, row] : expected) {
+      auto it = actual.find(rid);
+      ASSERT_NE(it, actual.end()) << "version " << v << " row " << rid;
+      EXPECT_TRUE(RowsEqual(it->second, row));
+    }
+    EXPECT_EQ(table.RowCountAt(v), expected.size());
+  }
+
+  // (b) Change scans between sampled version pairs equal the model diff.
+  for (int trial = 0; trial < 30; ++trial) {
+    VersionId from = static_cast<VersionId>(
+        rng.Uniform(1, static_cast<int64_t>(history.size())));
+    VersionId to = static_cast<VersionId>(
+        rng.Uniform(static_cast<int64_t>(from),
+                    static_cast<int64_t>(history.size())));
+    auto scan = table.ScanChanges(from, to);
+    ASSERT_TRUE(scan.ok());
+    // Apply the scan to the `from` model; must yield the `to` model.
+    Model state = history[from - 1];
+    for (const ChangeRow& c : scan.value()) {
+      if (c.action == ChangeAction::kDelete) {
+        auto it = state.find(c.row_id);
+        ASSERT_NE(it, state.end());
+        ASSERT_TRUE(RowsEqual(it->second, c.values));
+        state.erase(it);
+      } else {
+        ASSERT_EQ(state.count(c.row_id), 0u);
+        state[c.row_id] = c.values;
+      }
+    }
+    const Model& expected = history[to - 1];
+    ASSERT_EQ(state.size(), expected.size())
+        << "scan " << from << " -> " << to;
+    for (const auto& [rid, row] : expected) {
+      ASSERT_TRUE(state.count(rid));
+      EXPECT_TRUE(RowsEqual(state[rid], row));
+    }
+  }
+}
+
+std::vector<StorageParams> StorageSweep() {
+  std::vector<StorageParams> out;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    for (size_t part : {1u, 3u, 64u}) {
+      out.push_back({seed, part});
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StoragePropertyTest, ::testing::ValuesIn(StorageSweep()),
+    [](const ::testing::TestParamInfo<StorageParams>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_part" +
+             std::to_string(info.param.max_partition_rows);
+    });
+
+}  // namespace
+}  // namespace dvs

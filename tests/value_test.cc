@@ -1,0 +1,129 @@
+// Tests for types/: Value semantics, Schema, rows, change sets.
+
+#include <gtest/gtest.h>
+
+#include "types/row.h"
+#include "types/schema.h"
+#include "types/value.h"
+
+namespace dvs {
+namespace {
+
+TEST(ValueTest, NullByDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), DataType::kNull);
+}
+
+TEST(ValueTest, ConstructorsAndAccessors) {
+  EXPECT_EQ(Value::Int(7).int_value(), 7);
+  EXPECT_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::Bool(true).bool_value(), true);
+  EXPECT_EQ(Value::String("hi").string_value(), "hi");
+  EXPECT_EQ(Value::Timestamp(123).timestamp_value(), 123);
+}
+
+TEST(ValueTest, CompareWithinTypes) {
+  EXPECT_LT(Value::Int(1).Compare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Int(2).Compare(Value::Int(2)), 0);
+  EXPECT_GT(Value::String("b").Compare(Value::String("a")), 0);
+  EXPECT_LT(Value::Timestamp(5).Compare(Value::Timestamp(9)), 0);
+}
+
+TEST(ValueTest, CrossNumericComparison) {
+  EXPECT_EQ(Value::Int(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_LT(Value::Int(2).Compare(Value::Double(2.5)), 0);
+  EXPECT_GT(Value::Double(3.5).Compare(Value::Int(3)), 0);
+}
+
+TEST(ValueTest, NullSortsFirst) {
+  EXPECT_LT(Value::Null().Compare(Value::Int(-100)), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(5).Hash(), Value::Int(5).Hash());
+  // Cross-numeric equal values must hash equal (used as join/group keys).
+  EXPECT_EQ(Value::Int(5) == Value::Double(5.0), true);
+  EXPECT_EQ(Value::Int(5).Hash(), Value::Double(5.0).Hash());
+  EXPECT_NE(Value::Int(5).Hash(), Value::Int(6).Hash());
+}
+
+TEST(ValueTest, ArrayValue) {
+  Value arr = Value::MakeArray({Value::Int(1), Value::String("x")});
+  EXPECT_EQ(arr.type(), DataType::kArray);
+  ASSERT_EQ(arr.array_value().size(), 2u);
+  EXPECT_EQ(arr.array_value()[0].int_value(), 1);
+  EXPECT_EQ(arr.ToString(), "[1, 'x']");
+}
+
+TEST(ValueTest, ArrayComparesLexicographically) {
+  Value a = Value::MakeArray({Value::Int(1)});
+  Value b = Value::MakeArray({Value::Int(1), Value::Int(2)});
+  EXPECT_LT(a.Compare(b), 0);
+  EXPECT_EQ(a.Compare(Value::MakeArray({Value::Int(1)})), 0);
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::String("s").ToString(), "'s'");
+}
+
+TEST(SchemaTest, FindColumnCaseInsensitive) {
+  Schema s({{"train_id", DataType::kInt64}, {"Arrival", DataType::kTimestamp}});
+  EXPECT_EQ(s.FindColumn("TRAIN_ID").value(), 0u);
+  EXPECT_EQ(s.FindColumn("arrival").value(), 1u);
+  EXPECT_FALSE(s.FindColumn("nope").has_value());
+}
+
+TEST(SchemaTest, AmbiguityDetection) {
+  Schema s({{"id", DataType::kInt64}, {"id", DataType::kInt64}});
+  EXPECT_TRUE(s.IsAmbiguous("id"));
+  EXPECT_FALSE(s.IsAmbiguous("other"));
+}
+
+TEST(SchemaTest, ConcatPreservesOrder) {
+  Schema l({{"a", DataType::kInt64}});
+  Schema r({{"b", DataType::kString}});
+  Schema j = Schema::Concat(l, r);
+  ASSERT_EQ(j.size(), 2u);
+  EXPECT_EQ(j.column(0).name, "a");
+  EXPECT_EQ(j.column(1).name, "b");
+}
+
+TEST(RowTest, HashRowAndEquality) {
+  Row a = {Value::Int(1), Value::String("x")};
+  Row b = {Value::Int(1), Value::String("x")};
+  Row c = {Value::Int(2), Value::String("x")};
+  EXPECT_EQ(HashRow(a), HashRow(b));
+  EXPECT_TRUE(RowsEqual(a, b));
+  EXPECT_FALSE(RowsEqual(a, c));
+  EXPECT_FALSE(RowsEqual(a, Row{Value::Int(1)}));
+}
+
+TEST(ChangeSetTest, StatsAndInsertOnly) {
+  ChangeSet cs = {
+      {ChangeAction::kInsert, 1, {Value::Int(1)}},
+      {ChangeAction::kInsert, 2, {Value::Int(2)}},
+      {ChangeAction::kDelete, 1, {Value::Int(1)}},
+  };
+  ChangeStats stats = CountChanges(cs);
+  EXPECT_EQ(stats.inserts, 2u);
+  EXPECT_EQ(stats.deletes, 1u);
+  EXPECT_EQ(stats.total(), 3u);
+  EXPECT_FALSE(IsInsertOnly(cs));
+  cs.pop_back();
+  EXPECT_TRUE(IsInsertOnly(cs));
+}
+
+TEST(ChangeSetTest, SignConvention) {
+  ChangeRow ins{ChangeAction::kInsert, 1, {}};
+  ChangeRow del{ChangeAction::kDelete, 1, {}};
+  EXPECT_EQ(ins.sign(), 1);
+  EXPECT_EQ(del.sign(), -1);
+}
+
+}  // namespace
+}  // namespace dvs

@@ -1,0 +1,164 @@
+// Tests for workload/: the generators that drive property tests and the
+// experiment harness must themselves be trustworthy — every generated query
+// binds, fleets match their calibration, pumps actually insert.
+
+#include <gtest/gtest.h>
+
+#include "ivm/incrementality.h"
+#include "sched/scheduler.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+#include "workload/fleet.h"
+#include "workload/query_generator.h"
+#include "workload/star_schema.h"
+
+namespace dvs {
+namespace {
+
+TEST(QueryGeneratorTest, EveryGeneratedQueryParsesAndBinds) {
+  VirtualClock clock(0);
+  DvsEngine engine(clock);
+  Rng rng(555);
+  ASSERT_TRUE(workload::QueryGenerator::SetupSources(&engine, &rng, 5).ok());
+  workload::QueryGenerator generator(&rng);
+  for (int i = 0; i < 500; ++i) {
+    std::string q = generator.Generate();
+    auto select = sql::ParseSelect(q);
+    ASSERT_TRUE(select.ok()) << q;
+    sql::Binder binder(engine.catalog());
+    auto bound = binder.BindSelect(*select.value());
+    ASSERT_TRUE(bound.ok()) << q << "\n" << bound.status().ToString();
+  }
+}
+
+TEST(QueryGeneratorTest, MixProducesVariedOperators) {
+  VirtualClock clock(0);
+  DvsEngine engine(clock);
+  Rng rng(556);
+  ASSERT_TRUE(workload::QueryGenerator::SetupSources(&engine, &rng, 3).ok());
+  workload::QueryGenerator generator(&rng);
+  OperatorCounts totals;
+  for (int i = 0; i < 800; ++i) {
+    auto select = sql::ParseSelect(generator.Generate()).value();
+    sql::Binder binder(engine.catalog());
+    auto bound = binder.BindSelect(*select).value();
+    OperatorCounts c = CountOperators(bound.plan);
+    totals.filter += c.filter;
+    totals.inner_join += c.inner_join;
+    totals.outer_join += c.outer_join;
+    totals.aggregate += c.aggregate;
+    totals.window += c.window;
+    totals.union_all += c.union_all;
+    totals.flatten += c.flatten;
+    totals.distinct += c.distinct;
+  }
+  EXPECT_GT(totals.filter, 0);
+  EXPECT_GT(totals.inner_join, 0);
+  EXPECT_GT(totals.outer_join, 0);
+  EXPECT_GT(totals.aggregate, 0);
+  EXPECT_GT(totals.window, 0);
+  EXPECT_GT(totals.union_all, 0);
+  EXPECT_GT(totals.flatten, 0);
+  EXPECT_GT(totals.distinct, 0);
+}
+
+TEST(QueryGeneratorTest, DmlKeepsEngineConsistent) {
+  VirtualClock clock(kMicrosPerHour);
+  DvsEngine engine(clock);
+  Rng rng(557);
+  ASSERT_TRUE(workload::QueryGenerator::SetupSources(&engine, &rng, 10).ok());
+  for (int round = 0; round < 10; ++round) {
+    ASSERT_TRUE(
+        workload::QueryGenerator::ApplyRandomDml(&engine, &rng, 5).ok());
+  }
+  EXPECT_TRUE(engine.Query("SELECT count(*) AS n FROM t1").ok());
+  EXPECT_TRUE(engine.Query("SELECT count(*) AS n FROM t2").ok());
+}
+
+TEST(FleetTest, SampleMatchesCalibration) {
+  Rng rng(7);
+  int below_5m = 0, above_16h = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    Micros lag = workload::Fleet::SampleTargetLag(&rng);
+    EXPECT_GE(lag, kMicrosPerMinute);  // paper: 1 minute minimum
+    if (lag < 5 * kMicrosPerMinute) ++below_5m;
+    if (lag >= 16 * kMicrosPerHour) ++above_16h;
+  }
+  EXPECT_NEAR(static_cast<double>(below_5m) / kN, 0.20, 0.03);
+  EXPECT_NEAR(static_cast<double>(above_16h) / kN, 0.25, 0.03);
+}
+
+TEST(FleetTest, BuildCreatesPipelinesAndChains) {
+  VirtualClock clock(0);
+  DvsEngine engine(clock);
+  Rng rng(8);
+  workload::FleetOptions opts;
+  opts.pipelines = 20;
+  opts.chain_probability = 1.0;  // force chains
+  auto fleet = workload::Fleet::Build(&engine, &rng, opts);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  EXPECT_EQ(fleet.value().pipelines().size(), 20u);
+  for (const auto& p : fleet.value().pipelines()) {
+    EXPECT_EQ(p.dts.size(), 2u);  // chained
+    EXPECT_TRUE(engine.catalog().Find(p.table).ok());
+  }
+  EXPECT_EQ(engine.catalog().AllDynamicTables().size(), 40u);
+}
+
+TEST(FleetTest, PumpArrivalsInsertsOnSchedule) {
+  VirtualClock clock(0);
+  DvsEngine engine(clock);
+  Rng rng(9);
+  workload::FleetOptions opts;
+  opts.pipelines = 3;
+  opts.chain_probability = 0;
+  auto fleet = workload::Fleet::Build(&engine, &rng, opts);
+  ASSERT_TRUE(fleet.ok());
+  // Pump across 3x the largest arrival period: every pipeline must receive
+  // at least one batch.
+  Micros horizon = 0;
+  for (const auto& p : fleet.value().pipelines()) {
+    horizon = std::max(horizon, 3 * p.arrival_period);
+  }
+  ASSERT_TRUE(fleet.value().PumpArrivals(&engine, &rng, 0, horizon).ok());
+  for (const auto& p : fleet.value().pipelines()) {
+    auto r = engine.Query("SELECT count(*) AS n FROM " + p.table);
+    ASSERT_TRUE(r.ok());
+    EXPECT_GT(r.value().rows[0][0].int_value(), 0) << p.table;
+  }
+  // Pumping the same window again is a no-op (idempotent bookkeeping).
+  auto before = engine.Query("SELECT count(*) AS n FROM " +
+                             fleet.value().pipelines()[0].table);
+  ASSERT_TRUE(fleet.value().PumpArrivals(&engine, &rng, 0, horizon).ok());
+  auto after = engine.Query("SELECT count(*) AS n FROM " +
+                            fleet.value().pipelines()[0].table);
+  EXPECT_EQ(before.value().rows[0][0].int_value(),
+            after.value().rows[0][0].int_value());
+}
+
+TEST(StarSchemaTest, BuildAppendsAndUpdates) {
+  VirtualClock clock(kMicrosPerHour);
+  DvsEngine engine(clock);
+  Rng rng(10);
+  workload::StarOptions opts;
+  opts.products = 10;
+  opts.customers = 20;
+  opts.initial_facts = 100;
+  ASSERT_TRUE(workload::BuildStarSchema(&engine, &rng, opts).ok());
+  auto n = engine.Query("SELECT count(*) AS n FROM sales_enriched");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value().rows[0][0].int_value(), 100);
+
+  ASSERT_TRUE(workload::AppendSales(&engine, &rng, 10).ok());
+  ASSERT_TRUE(workload::UpdateProductFraction(&engine, &rng, 0.5).ok());
+  clock.Advance(kMicrosPerMinute);
+  ObjectId id = engine.ObjectIdOf("sales_enriched").value();
+  auto outcome = engine.refresh_engine().Refresh(id, clock.Now());
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  auto n2 = engine.Query("SELECT count(*) AS n FROM sales_enriched");
+  EXPECT_EQ(n2.value().rows[0][0].int_value(), 110);
+}
+
+}  // namespace
+}  // namespace dvs
