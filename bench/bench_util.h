@@ -6,9 +6,12 @@
 #ifndef DVS_BENCH_BENCH_UTIL_H_
 #define DVS_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "dt/engine.h"
 
@@ -46,6 +49,127 @@ inline std::string Bar(double fraction, int width = 40) {
   if (n > width) n = width;
   return std::string(static_cast<size_t>(n), '#');
 }
+
+/// Wall-clock stopwatch for timing refresh loops.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Machine-readable experiment reporter. Every perf experiment writes a
+/// BENCH_E*.json file so successive PRs can compare numbers (schema is
+/// documented in ROADMAP.md, "Performance architecture"):
+///
+///   {
+///     "experiment": "E15",
+///     "description": "...",
+///     "meta": { "<key>": <value>, ... },
+///     "points": [ { "<key>": <value>, ... }, ... ]
+///   }
+///
+/// Values are JSON numbers, strings, or booleans; each point is one
+/// measured configuration.
+class BenchJson {
+ public:
+  /// One flat JSON object (a metadata block or a data point).
+  class Obj {
+   public:
+    Obj& Int(const std::string& key, int64_t v) {
+      fields_.emplace_back(key, std::to_string(v));
+      return *this;
+    }
+    Obj& Num(const std::string& key, double v) {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+      fields_.emplace_back(key, buf);
+      return *this;
+    }
+    Obj& Bool(const std::string& key, bool v) {
+      fields_.emplace_back(key, v ? "true" : "false");
+      return *this;
+    }
+    Obj& Str(const std::string& key, const std::string& v) {
+      fields_.emplace_back(key, Quote(v));
+      return *this;
+    }
+
+    std::string ToJson() const {
+      std::string out = "{";
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        if (i) out += ", ";
+        out += Quote(fields_[i].first) + ": " + fields_[i].second;
+      }
+      out += "}";
+      return out;
+    }
+
+   private:
+    static std::string Quote(const std::string& s) {
+      std::string out = "\"";
+      for (char c : s) {
+        if (c == '"' || c == '\\') out += '\\';
+        if (c == '\n') {
+          out += "\\n";
+        } else {
+          out += c;
+        }
+      }
+      out += "\"";
+      return out;
+    }
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  BenchJson(std::string experiment, std::string description)
+      : experiment_(std::move(experiment)),
+        description_(std::move(description)) {}
+
+  Obj& meta() { return meta_; }
+
+  Obj& AddPoint() {
+    points_.emplace_back();
+    return points_.back();
+  }
+
+  /// Writes BENCH_<experiment>.json into the working directory; returns the
+  /// file name (empty on failure).
+  std::string WriteFile() const {
+    std::string path = "BENCH_" + experiment_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("WARN: cannot write %s\n", path.c_str());
+      return "";
+    }
+    Obj header;
+    header.Str("experiment", experiment_).Str("description", description_);
+    std::string head = header.ToJson();
+    head.pop_back();  // strip '}' to splice meta/points in
+    std::fprintf(f, "%s, \"meta\": %s, \"points\": [", head.c_str(),
+                 meta_.ToJson().c_str());
+    for (size_t i = 0; i < points_.size(); ++i) {
+      std::fprintf(f, "%s\n  %s", i ? "," : "", points_[i].ToJson().c_str());
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu points)\n", path.c_str(), points_.size());
+    return path;
+  }
+
+ private:
+  std::string experiment_;
+  std::string description_;
+  Obj meta_;
+  std::vector<Obj> points_;
+};
 
 }  // namespace bench
 }  // namespace dvs

@@ -1,0 +1,81 @@
+// Precomputed-hash composite keys.
+//
+// Join, group, window-partition, DISTINCT, and merge keys are all composite
+// Rows. Hashing a Row re-hashes every Value; doing that on every hash-table
+// probe (and again on every rehash) dominated the refresh hot path. The
+// convention here: hash the key Row exactly once into a 64-bit digest
+// (HashRow — type-tag aware, see types/row.cc) and carry the digest
+// alongside the key. Probes compare digests first and fall back to full
+// RowsEqual only on digest equality, so collisions stay correct.
+//
+// KeyedIndex/KeyedSet are standard unordered containers whose hash is the
+// stored digest (identity — HashRow output is already well mixed) and whose
+// equality short-circuits on digests. HashedKeyRef enables heterogeneous
+// (zero-allocation, zero-copy) probes from a caller-owned scratch Row; pair
+// it with exec::KeyExtractor, which reuses one scratch buffer across rows.
+
+#ifndef DVS_COMMON_KEY_HASH_H_
+#define DVS_COMMON_KEY_HASH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "types/row.h"
+
+namespace dvs {
+
+/// A composite key whose digest was computed exactly once.
+struct HashedKey {
+  Row values;
+  uint64_t digest = 0;
+
+  HashedKey() = default;
+  explicit HashedKey(Row v) : values(std::move(v)), digest(HashRow(values)) {}
+  /// Explicit digest, for forced-collision tests and callers that already
+  /// hold the digest (e.g. KeyExtractor).
+  HashedKey(Row v, uint64_t d) : values(std::move(v)), digest(d) {}
+};
+
+/// Non-owning probe: lets lookups run against a reused scratch Row without
+/// materializing a HashedKey.
+struct HashedKeyRef {
+  const Row* values = nullptr;
+  uint64_t digest = 0;
+};
+
+struct HashedKeyHash {
+  using is_transparent = void;
+  size_t operator()(const HashedKey& k) const {
+    return static_cast<size_t>(k.digest);
+  }
+  size_t operator()(const HashedKeyRef& k) const {
+    return static_cast<size_t>(k.digest);
+  }
+};
+
+struct HashedKeyEq {
+  using is_transparent = void;
+  bool operator()(const HashedKey& a, const HashedKey& b) const {
+    return a.digest == b.digest && RowsEqual(a.values, b.values);
+  }
+  bool operator()(const HashedKeyRef& a, const HashedKey& b) const {
+    return a.digest == b.digest && RowsEqual(*a.values, b.values);
+  }
+  bool operator()(const HashedKey& a, const HashedKeyRef& b) const {
+    return a.digest == b.digest && RowsEqual(a.values, *b.values);
+  }
+};
+
+/// digest-keyed map: key Row hashed once, probes digest-first.
+template <typename V>
+using KeyedIndex =
+    std::unordered_map<HashedKey, V, HashedKeyHash, HashedKeyEq>;
+
+/// digest-keyed set.
+using KeyedSet = std::unordered_set<HashedKey, HashedKeyHash, HashedKeyEq>;
+
+}  // namespace dvs
+
+#endif  // DVS_COMMON_KEY_HASH_H_

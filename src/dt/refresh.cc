@@ -262,6 +262,7 @@ Result<RefreshOutcome> RefreshEngine::Refresh(ObjectId dt_id,
       DVS_ASSIGN_OR_RETURN(std::vector<IdRow> rows,
                            ComputeFull(*obj, source_versions, refresh_ts, &out.rows_processed));
       out.changes_applied = rows.size();
+      out.change_stats.inserts = rows.size();
       DVS_ASSIGN_OR_RETURN(VersionId vid,
                            obj->storage->Overwrite(std::move(rows),
                                                    txn_->NextCommitTimestamp()));
@@ -280,6 +281,7 @@ Result<RefreshOutcome> RefreshEngine::Refresh(ObjectId dt_id,
       DVS_ASSIGN_OR_RETURN(std::vector<IdRow> rows,
                            ComputeFull(*obj, source_versions, refresh_ts, &out.rows_processed));
       out.changes_applied = rows.size();
+      out.change_stats.inserts = rows.size();
       DVS_ASSIGN_OR_RETURN(VersionId vid,
                            obj->storage->Overwrite(std::move(rows),
                                                    txn_->NextCommitTimestamp()));
@@ -323,6 +325,7 @@ Result<RefreshOutcome> RefreshEngine::Refresh(ObjectId dt_id,
       DVS_ASSIGN_OR_RETURN(std::vector<IdRow> rows,
                            ComputeFull(*obj, source_versions, refresh_ts, &out.rows_processed));
       out.changes_applied = rows.size();
+      out.change_stats.inserts = rows.size();
       DVS_ASSIGN_OR_RETURN(VersionId vid,
                            obj->storage->Overwrite(std::move(rows),
                                                    txn_->NextCommitTimestamp()));
@@ -386,6 +389,7 @@ Result<RefreshOutcome> RefreshEngine::Refresh(ObjectId dt_id,
           changes = std::move(sr.changes);
           out.used_state_reuse = true;
           out.rows_processed = sr.rows_processed;
+          out.change_stats = sr.stats;
         }
       }
     }
@@ -398,6 +402,7 @@ Result<RefreshOutcome> RefreshEngine::Refresh(ObjectId dt_id,
       changes = std::move(dr.changes);
       out.consolidation_skipped = dr.consolidation_skipped;
       out.rows_processed = dctx.rows_processed;
+      out.change_stats = dr.stats;
     }
 
     out.changes_applied = changes.size();

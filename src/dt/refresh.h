@@ -45,6 +45,9 @@ struct RefreshOutcome {
   uint64_t rows_processed = 0;
   /// Rows inserted+deleted in the DT by this refresh.
   size_t changes_applied = 0;
+  /// Insert/delete breakdown of the applied changes, threaded through from
+  /// the differentiator (computed once, never rescanned).
+  ChangeStats change_stats;
   size_t dt_row_count = 0;
   bool consolidation_skipped = false;
   bool used_state_reuse = false;

@@ -2,10 +2,38 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <vector>
 
 namespace dvs {
 
 namespace {
+
+// Function-call argument buffers, reused across rows. Eval is called once
+// per row per expression on the hot path; allocating a fresh argument
+// vector each time dominated scalar-function evaluation. A lease moves a
+// spare buffer out of a thread-local pool (cleared, capacity retained) and
+// returns it on destruction, so nested calls like f(g(x)) each hold their
+// own stack-owned buffer — no references into a resizable pool.
+thread_local std::vector<std::vector<Value>> tl_spare_arg_buffers;
+
+class ArgBufferLease {
+ public:
+  ArgBufferLease() {
+    if (!tl_spare_arg_buffers.empty()) {
+      buf_ = std::move(tl_spare_arg_buffers.back());
+      tl_spare_arg_buffers.pop_back();
+      buf_.clear();
+    }
+  }
+  ~ArgBufferLease() { tl_spare_arg_buffers.push_back(std::move(buf_)); }
+  ArgBufferLease(const ArgBufferLease&) = delete;
+  ArgBufferLease& operator=(const ArgBufferLease&) = delete;
+
+  std::vector<Value>& args() { return buf_; }
+
+ private:
+  std::vector<Value> buf_;
+};
 
 Result<Value> EvalBinary(const Expr& e, const Row& row, const EvalContext& ctx) {
   // AND / OR need three-valued logic with short-circuiting, so they handle
@@ -147,7 +175,8 @@ Result<Value> Eval(const Expr& e, const Row& row, const EvalContext& ctx) {
       if (fn == nullptr) {
         return BindError("unknown function '" + e.function_name + "'");
       }
-      std::vector<Value> args;
+      ArgBufferLease lease;
+      std::vector<Value>& args = lease.args();
       args.reserve(e.children.size());
       for (const ExprPtr& c : e.children) {
         DVS_ASSIGN_OR_RETURN(Value v, Eval(*c, row, ctx));

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <map>
 #include <set>
 #include <unordered_map>
 
@@ -18,6 +17,7 @@ Result<std::vector<IdRow>> ExecFilter(const PlanNode& n,
                                       const ExecContext& ctx) {
   DVS_ASSIGN_OR_RETURN(std::vector<IdRow> in, Exec(*n.children[0], ctx));
   std::vector<IdRow> out;
+  out.reserve(in.size());
   for (IdRow& r : in) {
     DVS_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*n.predicate, r.values, ctx.eval));
     if (pass) out.push_back(std::move(r));
@@ -43,7 +43,9 @@ Result<std::vector<IdRow>> ExecProject(const PlanNode& n,
 }
 
 Row ConcatRows(const Row& l, const Row& r) {
-  Row out = l;
+  Row out;
+  out.reserve(l.size() + r.size());
+  out.insert(out.end(), l.begin(), l.end());
   out.insert(out.end(), r.begin(), r.end());
   return out;
 }
@@ -62,6 +64,7 @@ Result<std::vector<IdRow>> ExecUnionAll(const PlanNode& n,
   std::vector<IdRow> out;
   for (size_t b = 0; b < n.children.size(); ++b) {
     DVS_ASSIGN_OR_RETURN(std::vector<IdRow> in, Exec(*n.children[b], ctx));
+    out.reserve(out.size() + in.size());
     for (IdRow& r : in) {
       out.push_back({rowid::Union(n.node_tag, b, r.id), std::move(r.values)});
     }
@@ -98,7 +101,9 @@ Result<std::vector<IdRow>> ExecFlatten(const PlanNode& n,
     }
     const Array& elements = arr.array_value();
     for (size_t i = 0; i < elements.size(); ++i) {
-      Row vals = r.values;
+      Row vals;
+      vals.reserve(r.values.size() + 2);
+      vals.insert(vals.end(), r.values.begin(), r.values.end());
       vals.push_back(Value::Int(static_cast<int64_t>(i)));
       vals.push_back(elements[i]);
       out.push_back({rowid::Flatten(n.node_tag, r.id, i), std::move(vals)});
@@ -205,6 +210,36 @@ Result<Row> EvalKey(const std::vector<ExprPtr>& key_exprs, const Row& row,
   return key;
 }
 
+KeyExtractor::KeyExtractor(const std::vector<ExprPtr>& key_exprs,
+                           const EvalContext& ctx)
+    : exprs_(key_exprs), ctx_(ctx), scratch_(key_exprs.size()) {
+  fast_cols_.reserve(key_exprs.size());
+  for (const ExprPtr& e : key_exprs) {
+    fast_cols_.push_back(e->kind == ExprKind::kColumnRef
+                             ? static_cast<int>(e->column_index)
+                             : -1);
+  }
+}
+
+Status KeyExtractor::Extract(const Row& row) {
+  has_null_ = false;
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    const int col = fast_cols_[i];
+    if (col >= 0) {
+      if (static_cast<size_t>(col) >= row.size()) {
+        return Internal("key column index out of range");
+      }
+      scratch_[i] = row[static_cast<size_t>(col)];
+    } else {
+      DVS_ASSIGN_OR_RETURN(Value v, Eval(*exprs_[i], row, ctx_));
+      scratch_[i] = std::move(v);
+    }
+    if (scratch_[i].is_null()) has_null_ = true;
+  }
+  digest_ = HashRow(scratch_);
+  return OkStatus();
+}
+
 Result<std::vector<IdRow>> ComputeJoin(const PlanNode& n,
                                        const std::vector<IdRow>& left,
                                        const std::vector<IdRow>& right,
@@ -212,22 +247,29 @@ Result<std::vector<IdRow>> ComputeJoin(const PlanNode& n,
   const size_t lw = n.children[0]->output_schema.size();
   const size_t rw = n.children[1]->output_schema.size();
 
-  // Hash the right side.
-  std::unordered_map<Row, std::vector<size_t>, KeyHash, KeyEq> table;
+  // Hash the right side: key digests computed once and reused for probes.
+  KeyedIndex<std::vector<size_t>> table;
   table.reserve(right.size());
+  KeyExtractor right_key(n.right_keys, ctx);
   for (size_t i = 0; i < right.size(); ++i) {
-    DVS_ASSIGN_OR_RETURN(Row key, EvalKey(n.right_keys, right[i].values, ctx));
-    if (KeyHasNull(key)) continue;  // NULL keys never match.
-    table[std::move(key)].push_back(i);
+    DVS_RETURN_IF_ERROR(right_key.Extract(right[i].values));
+    if (right_key.has_null()) continue;  // NULL keys never match.
+    auto it = table.find(right_key.ref());
+    if (it == table.end()) {
+      it = table.emplace(right_key.hashed_key(), std::vector<size_t>{}).first;
+    }
+    it->second.push_back(i);
   }
 
   std::vector<bool> right_matched(right.size(), false);
   std::vector<IdRow> out;
+  out.reserve(left.size());
+  KeyExtractor left_key(n.left_keys, ctx);
   for (const IdRow& l : left) {
-    DVS_ASSIGN_OR_RETURN(Row key, EvalKey(n.left_keys, l.values, ctx));
+    DVS_RETURN_IF_ERROR(left_key.Extract(l.values));
     bool matched = false;
-    if (!KeyHasNull(key)) {
-      auto it = table.find(key);
+    if (!left_key.has_null()) {
+      auto it = table.find(left_key.ref());
       if (it != table.end()) {
         for (size_t ri : it->second) {
           Row combined = ConcatRows(l.values, right[ri].values);
@@ -264,25 +306,44 @@ Result<std::vector<IdRow>> ComputeAggregateRows(const PlanNode& n,
                                                 const std::vector<IdRow>& input,
                                                 const EvalContext& ctx,
                                                 bool force_global_group) {
-  // Group membership. std::map keeps output order deterministic.
-  std::map<Row, std::vector<const Row*>> groups;
+  // Group membership, keyed by precomputed digest; sorted at emit time so
+  // output order stays deterministic (the std::map order this replaced).
+  KeyedIndex<std::vector<const Row*>> groups;
+  KeyExtractor group_key(n.group_by, ctx);
   for (const IdRow& r : input) {
-    DVS_ASSIGN_OR_RETURN(Row key, EvalKey(n.group_by, r.values, ctx));
-    groups[std::move(key)].push_back(&r.values);
+    DVS_RETURN_IF_ERROR(group_key.Extract(r.values));
+    auto it = groups.find(group_key.ref());
+    if (it == groups.end()) {
+      it = groups.emplace(group_key.hashed_key(), std::vector<const Row*>{})
+               .first;
+    }
+    it->second.push_back(&r.values);
   }
   // Scalar aggregation (no GROUP BY) over empty input yields one row.
   if (n.group_by.empty() && groups.empty() && force_global_group) {
-    groups[Row{}] = {};
+    groups.emplace(HashedKey(Row{}), std::vector<const Row*>{});
   }
+
+  std::vector<const KeyedIndex<std::vector<const Row*>>::value_type*> ordered;
+  ordered.reserve(groups.size());
+  for (const auto& entry : groups) ordered.push_back(&entry);
+  std::sort(ordered.begin(), ordered.end(), [](const auto* a, const auto* b) {
+    return RowLess(a->first.values, b->first.values);
+  });
 
   std::vector<IdRow> out;
   out.reserve(groups.size());
-  for (const auto& [key, members] : groups) {
-    DVS_ASSIGN_OR_RETURN(Row aggs, ComputeAggregates(n.aggregates, members, ctx));
-    Row vals = key;
+  for (const auto* entry : ordered) {
+    const Row& key = entry->first.values;
+    DVS_ASSIGN_OR_RETURN(Row aggs,
+                         ComputeAggregates(n.aggregates, entry->second, ctx));
+    Row vals;
+    vals.reserve(key.size() + aggs.size());
+    vals.insert(vals.end(), key.begin(), key.end());
     vals.insert(vals.end(), std::make_move_iterator(aggs.begin()),
                 std::make_move_iterator(aggs.end()));
-    out.push_back({rowid::Group(n.node_tag, key), std::move(vals)});
+    out.push_back({rowid::GroupFromDigest(n.node_tag, entry->first.digest),
+                   std::move(vals)});
   }
   return out;
 }
@@ -291,12 +352,24 @@ Result<std::vector<IdRow>> ComputeDistinctRows(const PlanNode& n,
                                                const std::vector<IdRow>& input,
                                                const EvalContext& ctx) {
   (void)ctx;
-  std::set<Row> seen;
+  // Membership tracked as digest -> indices of emitted rows; the row is
+  // copied once (into the output) instead of into a key set as well.
+  std::unordered_map<uint64_t, std::vector<size_t>> seen;
+  seen.reserve(input.size());
   std::vector<IdRow> out;
   for (const IdRow& r : input) {
-    if (seen.insert(r.values).second) {
-      out.push_back({rowid::Distinct(n.node_tag, r.values), r.values});
+    const uint64_t digest = HashRow(r.values);
+    std::vector<size_t>& bucket = seen[digest];
+    bool duplicate = false;
+    for (size_t idx : bucket) {
+      if (RowsEqual(out[idx].values, r.values)) {
+        duplicate = true;
+        break;
+      }
     }
+    if (duplicate) continue;
+    bucket.push_back(out.size());
+    out.push_back({rowid::DistinctFromDigest(n.node_tag, digest), r.values});
   }
   return out;
 }
@@ -304,16 +377,32 @@ Result<std::vector<IdRow>> ComputeDistinctRows(const PlanNode& n,
 Result<std::vector<IdRow>> ComputeWindowRows(const PlanNode& n,
                                              const std::vector<IdRow>& in,
                                              const EvalContext& ctx) {
-  std::map<Row, std::vector<size_t>> partitions;
+  KeyedIndex<std::vector<size_t>> partitions;
+  KeyExtractor part_key(n.partition_by, ctx);
   for (size_t i = 0; i < in.size(); ++i) {
-    DVS_ASSIGN_OR_RETURN(Row key, EvalKey(n.partition_by, in[i].values, ctx));
-    partitions[std::move(key)].push_back(i);
+    DVS_RETURN_IF_ERROR(part_key.Extract(in[i].values));
+    auto it = partitions.find(part_key.ref());
+    if (it == partitions.end()) {
+      it = partitions.emplace(part_key.hashed_key(), std::vector<size_t>{})
+               .first;
+    }
+    it->second.push_back(i);
   }
+
+  // Deterministic partition order (the std::map order this replaced).
+  std::vector<KeyedIndex<std::vector<size_t>>::value_type*> ordered_parts;
+  ordered_parts.reserve(partitions.size());
+  for (auto& entry : partitions) ordered_parts.push_back(&entry);
+  std::sort(ordered_parts.begin(), ordered_parts.end(),
+            [](const auto* a, const auto* b) {
+              return RowLess(a->first.values, b->first.values);
+            });
 
   std::vector<IdRow> out;
   out.reserve(in.size());
-  for (auto& [pkey, indices] : partitions) {
-    (void)pkey;
+  std::vector<Value> args;  // scratch reused across partitions and calls
+  for (auto* entry : ordered_parts) {
+    std::vector<size_t>& indices = entry->second;
     // Sort partition members by the window ORDER BY (row id tie-break).
     std::vector<SortEntry> entries;
     entries.reserve(indices.size());
@@ -334,10 +423,12 @@ Result<std::vector<IdRow>> ComputeWindowRows(const PlanNode& n,
     const size_t m = entries.size();
     // Evaluate each window call for each position.
     std::vector<Row> call_results(m);
+    for (Row& cr : call_results) cr.reserve(n.window_calls.size());
     for (const ExprPtr& call : n.window_calls) {
       assert(call->kind == ExprKind::kWindow);
-      // Argument values in sorted order.
-      std::vector<Value> args(m);
+      // Argument values in sorted order (scratch buffer reused — the seed
+      // reallocated this vector for every call).
+      args.assign(m, Value());
       if (!call->children.empty()) {
         for (size_t i = 0; i < m; ++i) {
           DVS_ASSIGN_OR_RETURN(
@@ -428,7 +519,9 @@ Result<std::vector<IdRow>> ComputeWindowRows(const PlanNode& n,
     }
     for (size_t i = 0; i < m; ++i) {
       const IdRow& src = in[entries[i].index];
-      Row vals = src.values;
+      Row vals;
+      vals.reserve(src.values.size() + call_results[i].size());
+      vals.insert(vals.end(), src.values.begin(), src.values.end());
       for (Value& v : call_results[i]) vals.push_back(std::move(v));
       out.push_back({src.id, std::move(vals)});
     }

@@ -15,6 +15,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/key_hash.h"
 #include "exec/evaluator.h"
 #include "plan/logical_plan.h"
 #include "types/row.h"
@@ -44,18 +45,38 @@ Result<std::vector<Row>> ExecutePlanRows(const PlanNode& plan,
 
 // ---- Helpers shared with the differentiator ----
 
-/// Computes the values of `key_exprs` for a row.
+/// Computes the values of `key_exprs` for a row. Allocates a fresh Row per
+/// call — hot loops should use KeyExtractor instead.
 Result<Row> EvalKey(const std::vector<ExprPtr>& key_exprs, const Row& row,
                     const EvalContext& ctx);
 
-/// Hashable wrapper for composite keys.
-struct KeyHash {
-  size_t operator()(const Row& key) const {
-    return static_cast<size_t>(HashRow(key));
-  }
-};
-struct KeyEq {
-  bool operator()(const Row& a, const Row& b) const { return RowsEqual(a, b); }
+/// Evaluates a fixed set of key expressions row after row into one reused
+/// scratch buffer, computing the HashRow digest once per row. Bare
+/// ColumnRef keys (the overwhelmingly common case) skip the expression
+/// interpreter entirely. The scratch is invalidated by the next Extract();
+/// callers that store the key materialize it with hashed_key().
+class KeyExtractor {
+ public:
+  KeyExtractor(const std::vector<ExprPtr>& key_exprs, const EvalContext& ctx);
+
+  /// Evaluates the key for `row` into the scratch buffer.
+  Status Extract(const Row& row);
+
+  const Row& key() const { return scratch_; }
+  uint64_t digest() const { return digest_; }
+  bool has_null() const { return has_null_; }
+  /// Zero-copy probe handle into KeyedIndex / KeyedSet.
+  HashedKeyRef ref() const { return {&scratch_, digest_}; }
+  /// Owning copy of the current key, digest carried along (not re-hashed).
+  HashedKey hashed_key() const { return {scratch_, digest_}; }
+
+ private:
+  const std::vector<ExprPtr>& exprs_;
+  const EvalContext& ctx_;
+  std::vector<int> fast_cols_;  ///< Column index per key expr, -1 = interpret.
+  Row scratch_;
+  uint64_t digest_ = 0;
+  bool has_null_ = false;
 };
 
 /// Evaluates the aggregate calls in an Aggregate node over the member rows

@@ -47,14 +47,25 @@ inline RowId Union(uint64_t node_tag, size_t branch, RowId in) {
   return HashCombine(HashCombine(HashCombine(kUnionTag, node_tag), branch), in);
 }
 
+/// Aggregate output row for a group key whose HashRow digest is already
+/// known (the KeyedIndex paths never hash a key twice).
+inline RowId GroupFromDigest(uint64_t node_tag, uint64_t key_digest) {
+  return HashCombine(HashCombine(kGroupTag, node_tag), key_digest);
+}
+
 /// Aggregate output row for a group key.
 inline RowId Group(uint64_t node_tag, const Row& group_key) {
-  return HashCombine(HashCombine(kGroupTag, node_tag), HashRow(group_key));
+  return GroupFromDigest(node_tag, HashRow(group_key));
+}
+
+/// DISTINCT output row identified by its values' precomputed digest.
+inline RowId DistinctFromDigest(uint64_t node_tag, uint64_t values_digest) {
+  return HashCombine(HashCombine(kDistinctTag, node_tag), values_digest);
 }
 
 /// DISTINCT output row identified by its values.
 inline RowId Distinct(uint64_t node_tag, const Row& values) {
-  return HashCombine(HashCombine(kDistinctTag, node_tag), HashRow(values));
+  return DistinctFromDigest(node_tag, HashRow(values));
 }
 
 /// FLATTEN output: element `index` of input row `in`'s array.

@@ -1,8 +1,9 @@
 #include "ivm/differentiator.h"
 
-#include <set>
+#include <algorithm>
 #include <unordered_set>
 
+#include "common/key_hash.h"
 #include "exec/row_id.h"
 
 namespace dvs {
@@ -111,9 +112,30 @@ bool KeyHasNull(const Row& key) {
 }
 
 Row ConcatRows(const Row& l, const Row& r) {
-  Row out = l;
+  Row out;
+  out.reserve(l.size() + r.size());
+  out.insert(out.end(), l.begin(), l.end());
   out.insert(out.end(), r.begin(), r.end());
   return out;
+}
+
+// Builds a digest-keyed hash table over `rows` using `key_exprs`.
+Result<KeyedIndex<std::vector<size_t>>> BuildKeyedTable(
+    const std::vector<ExprPtr>& key_exprs, const std::vector<IdRow>& rows,
+    const EvalContext& ec) {
+  KeyedIndex<std::vector<size_t>> table;
+  table.reserve(rows.size());
+  KeyExtractor key(key_exprs, ec);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    DVS_RETURN_IF_ERROR(key.Extract(rows[i].values));
+    if (key.has_null()) continue;
+    auto it = table.find(key.ref());
+    if (it == table.end()) {
+      it = table.emplace(key.hashed_key(), std::vector<size_t>{}).first;
+    }
+    it->second.push_back(i);
+  }
+  return table;
 }
 
 // Δ(Q ⋈inner R) = ΔQ ⋈ R@I1 + Q@I0 ⋈ ΔR, with the change action taken from
@@ -127,19 +149,16 @@ Result<ChangeSet> DeltaInnerJoin(const PlanNode& n, const DeltaContext& ctx) {
   if (!dq.empty()) {
     DVS_ASSIGN_OR_RETURN(const std::vector<IdRow>* r1,
                          Snapshot(*n.children[1], ctx, /*at_end=*/true));
-    std::unordered_map<Row, std::vector<size_t>, KeyHash, KeyEq> table;
-    table.reserve(r1->size());
-    for (size_t i = 0; i < r1->size(); ++i) {
-      DVS_ASSIGN_OR_RETURN(Row key,
-                           EvalKey(n.right_keys, (*r1)[i].values, ctx.eval_end));
-      if (KeyHasNull(key)) continue;
-      table[std::move(key)].push_back(i);
-    }
+    DVS_ASSIGN_OR_RETURN(KeyedIndex<std::vector<size_t>> table,
+                         BuildKeyedTable(n.right_keys, *r1, ctx.eval_end));
+    KeyExtractor left_del(n.left_keys, ctx.eval_start);
+    KeyExtractor left_ins(n.left_keys, ctx.eval_end);
     for (const ChangeRow& c : dq) {
-      DVS_ASSIGN_OR_RETURN(
-          Row key, EvalKey(n.left_keys, c.values, CtxFor(ctx, c.action)));
-      if (KeyHasNull(key)) continue;
-      auto it = table.find(key);
+      KeyExtractor& key =
+          c.action == ChangeAction::kDelete ? left_del : left_ins;
+      DVS_RETURN_IF_ERROR(key.Extract(c.values));
+      if (key.has_null()) continue;
+      auto it = table.find(key.ref());
       if (it == table.end()) continue;
       for (size_t ri : it->second) {
         Row combined = ConcatRows(c.values, (*r1)[ri].values);
@@ -159,19 +178,16 @@ Result<ChangeSet> DeltaInnerJoin(const PlanNode& n, const DeltaContext& ctx) {
   if (!dr.empty()) {
     DVS_ASSIGN_OR_RETURN(const std::vector<IdRow>* q0,
                          Snapshot(*n.children[0], ctx, /*at_end=*/false));
-    std::unordered_map<Row, std::vector<size_t>, KeyHash, KeyEq> table;
-    table.reserve(q0->size());
-    for (size_t i = 0; i < q0->size(); ++i) {
-      DVS_ASSIGN_OR_RETURN(
-          Row key, EvalKey(n.left_keys, (*q0)[i].values, ctx.eval_start));
-      if (KeyHasNull(key)) continue;
-      table[std::move(key)].push_back(i);
-    }
+    DVS_ASSIGN_OR_RETURN(KeyedIndex<std::vector<size_t>> table,
+                         BuildKeyedTable(n.left_keys, *q0, ctx.eval_start));
+    KeyExtractor right_del(n.right_keys, ctx.eval_start);
+    KeyExtractor right_ins(n.right_keys, ctx.eval_end);
     for (const ChangeRow& c : dr) {
-      DVS_ASSIGN_OR_RETURN(
-          Row key, EvalKey(n.right_keys, c.values, CtxFor(ctx, c.action)));
-      if (KeyHasNull(key)) continue;
-      auto it = table.find(key);
+      KeyExtractor& key =
+          c.action == ChangeAction::kDelete ? right_del : right_ins;
+      DVS_RETURN_IF_ERROR(key.Extract(c.values));
+      if (key.has_null()) continue;
+      auto it = table.find(key.ref());
       if (it == table.end()) continue;
       for (size_t li : it->second) {
         Row combined = ConcatRows((*q0)[li].values, c.values);
@@ -195,12 +211,12 @@ Result<ChangeSet> DeltaInnerJoin(const PlanNode& n, const DeltaContext& ctx) {
 // keys (emit as deletes) and over the I1 snapshot restricted the same way
 // (emit as inserts); consolidation cancels the unchanged remainder.
 struct KeySet {
-  std::set<Row> keys;
+  KeyedSet keys;                      ///< Digest-keyed affected keys.
   std::unordered_set<RowId> row_ids;  ///< Rows in the delta itself (null-key
                                       ///< rows are matched by id instead).
-  bool Contains(const Row& key, RowId id) const {
+  bool Contains(const HashedKeyRef& key, RowId id) const {
     if (row_ids.count(id)) return true;
-    return keys.count(key) > 0;
+    return keys.find(key) != keys.end();
   }
 };
 
@@ -209,13 +225,14 @@ std::vector<IdRow> Restrict(const std::vector<IdRow>& rows,
                             const EvalContext& ec, const KeySet& ks,
                             Status* status) {
   std::vector<IdRow> out;
+  KeyExtractor key(key_exprs, ec);
   for (const IdRow& r : rows) {
-    auto key = EvalKey(key_exprs, r.values, ec);
-    if (!key.ok()) {
-      *status = key.status();
+    Status s = key.Extract(r.values);
+    if (!s.ok()) {
+      *status = s;
       return out;
     }
-    if (ks.Contains(key.value(), r.id)) out.push_back(r);
+    if (ks.Contains(key.ref(), r.id)) out.push_back(r);
   }
   return out;
 }
@@ -227,22 +244,28 @@ Result<ChangeSet> DeltaOuterJoin(const PlanNode& n, const DeltaContext& ctx) {
   if (dq.empty() && dr.empty()) return ChangeSet{};
 
   KeySet left_ks, right_ks;
-  for (const ChangeRow& c : dq) {
-    DVS_ASSIGN_OR_RETURN(Row key,
-                         EvalKey(n.left_keys, c.values, CtxFor(ctx, c.action)));
-    left_ks.row_ids.insert(c.row_id);
-    if (!KeyHasNull(key)) {
-      left_ks.keys.insert(key);
-      right_ks.keys.insert(std::move(key));
+  {
+    KeyExtractor ldel(n.left_keys, ctx.eval_start);
+    KeyExtractor lins(n.left_keys, ctx.eval_end);
+    for (const ChangeRow& c : dq) {
+      KeyExtractor& key = c.action == ChangeAction::kDelete ? ldel : lins;
+      DVS_RETURN_IF_ERROR(key.Extract(c.values));
+      left_ks.row_ids.insert(c.row_id);
+      if (!key.has_null()) {
+        left_ks.keys.insert(key.hashed_key());
+        right_ks.keys.insert(key.hashed_key());
+      }
     }
-  }
-  for (const ChangeRow& c : dr) {
-    DVS_ASSIGN_OR_RETURN(Row key,
-                         EvalKey(n.right_keys, c.values, CtxFor(ctx, c.action)));
-    right_ks.row_ids.insert(c.row_id);
-    if (!KeyHasNull(key)) {
-      right_ks.keys.insert(key);
-      left_ks.keys.insert(std::move(key));
+    KeyExtractor rdel(n.right_keys, ctx.eval_start);
+    KeyExtractor rins(n.right_keys, ctx.eval_end);
+    for (const ChangeRow& c : dr) {
+      KeyExtractor& key = c.action == ChangeAction::kDelete ? rdel : rins;
+      DVS_RETURN_IF_ERROR(key.Extract(c.values));
+      right_ks.row_ids.insert(c.row_id);
+      if (!key.has_null()) {
+        right_ks.keys.insert(key.hashed_key());
+        left_ks.keys.insert(key.hashed_key());
+      }
     }
   }
 
@@ -299,10 +322,12 @@ Result<ChangeSet> DeltaAggregate(const PlanNode& n, const DeltaContext& ctx) {
     new_members = *in1;
   } else {
     KeySet ks;
+    KeyExtractor kdel(n.group_by, ctx.eval_start);
+    KeyExtractor kins(n.group_by, ctx.eval_end);
     for (const ChangeRow& c : din) {
-      DVS_ASSIGN_OR_RETURN(Row key,
-                           EvalKey(n.group_by, c.values, CtxFor(ctx, c.action)));
-      ks.keys.insert(std::move(key));
+      KeyExtractor& key = c.action == ChangeAction::kDelete ? kdel : kins;
+      DVS_RETURN_IF_ERROR(key.Extract(c.values));
+      ks.keys.insert(key.hashed_key());
     }
     Status st = OkStatus();
     old_members = Restrict(*in0, n.group_by, ctx.eval_start, ks, &st);
@@ -334,29 +359,51 @@ Result<ChangeSet> DeltaDistinct(const PlanNode& n, const DeltaContext& ctx) {
   DVS_ASSIGN_OR_RETURN(ChangeSet din, Delta(*n.children[0], ctx));
   if (din.empty()) return ChangeSet{};
 
-  std::set<Row> affected;
-  for (const ChangeRow& c : din) affected.insert(c.values);
+  KeyedSet affected;
+  affected.reserve(din.size());
+  for (const ChangeRow& c : din) affected.insert(HashedKey(c.values));
 
   DVS_ASSIGN_OR_RETURN(const std::vector<IdRow>* in0,
                        Snapshot(*n.children[0], ctx, false));
   DVS_ASSIGN_OR_RETURN(const std::vector<IdRow>* in1,
                        Snapshot(*n.children[0], ctx, true));
 
-  std::set<Row> old_present, new_present;
+  // Presence checks are digest probes; emit sorted by value so the change
+  // order stays deterministic (the std::set order this replaced).
+  KeyedSet old_present, new_present;
   for (const IdRow& r : *in0) {
-    if (affected.count(r.values)) old_present.insert(r.values);
+    HashedKeyRef probe{&r.values, HashRow(r.values)};
+    if (affected.find(probe) != affected.end()) {
+      old_present.insert(HashedKey(r.values, probe.digest));
+    }
   }
   for (const IdRow& r : *in1) {
-    if (affected.count(r.values)) new_present.insert(r.values);
+    HashedKeyRef probe{&r.values, HashRow(r.values)};
+    if (affected.find(probe) != affected.end()) {
+      new_present.insert(HashedKey(r.values, probe.digest));
+    }
   }
+  auto sorted = [](const KeyedSet& s) {
+    std::vector<const HashedKey*> v;
+    v.reserve(s.size());
+    for (const HashedKey& k : s) v.push_back(&k);
+    std::sort(v.begin(), v.end(), [](const HashedKey* a, const HashedKey* b) {
+      return RowLess(a->values, b->values);
+    });
+    return v;
+  };
   ChangeSet out;
-  for (const Row& v : old_present) {
-    out.push_back({ChangeAction::kDelete, rowid::Distinct(n.node_tag, v), v});
+  out.reserve(old_present.size() + new_present.size());
+  for (const HashedKey* k : sorted(old_present)) {
+    out.push_back({ChangeAction::kDelete,
+                   rowid::DistinctFromDigest(n.node_tag, k->digest),
+                   k->values});
   }
-  for (const Row& v : new_present) {
-    out.push_back({ChangeAction::kInsert, rowid::Distinct(n.node_tag, v), v});
+  for (const HashedKey* k : sorted(new_present)) {
+    out.push_back({ChangeAction::kInsert,
+                   rowid::DistinctFromDigest(n.node_tag, k->digest),
+                   k->values});
   }
-  
   return out;
 }
 
@@ -366,10 +413,14 @@ Result<ChangeSet> DeltaWindow(const PlanNode& n, const DeltaContext& ctx) {
   if (din.empty()) return ChangeSet{};
 
   KeySet ks;
-  for (const ChangeRow& c : din) {
-    DVS_ASSIGN_OR_RETURN(
-        Row key, EvalKey(n.partition_by, c.values, CtxFor(ctx, c.action)));
-    ks.keys.insert(std::move(key));
+  {
+    KeyExtractor kdel(n.partition_by, ctx.eval_start);
+    KeyExtractor kins(n.partition_by, ctx.eval_end);
+    for (const ChangeRow& c : din) {
+      KeyExtractor& key = c.action == ChangeAction::kDelete ? kdel : kins;
+      DVS_RETURN_IF_ERROR(key.Extract(c.values));
+      ks.keys.insert(key.hashed_key());
+    }
   }
 
   DVS_ASSIGN_OR_RETURN(const std::vector<IdRow>* in0,
@@ -500,6 +551,9 @@ Result<DeltaResult> Differentiate(const PlanNode& plan, const DeltaContext& ctx,
   } else {
     out.changes = Consolidate(std::move(raw));
   }
+  // Count once here; consumers (refresh reporting, merge accounting) thread
+  // these stats through instead of rescanning the change set.
+  out.stats = CountChanges(out.changes);
   return out;
 }
 

@@ -59,6 +59,10 @@ struct DeltaContext {
 
 struct DeltaResult {
   ChangeSet changes;
+  /// Insert/delete counts of `changes`, computed exactly once — downstream
+  /// consumers must use this instead of re-scanning with CountChanges /
+  /// IsInsertOnly.
+  ChangeStats stats;
   /// Raw change count before consolidation (reporting / E11).
   size_t pre_consolidation_size = 0;
   bool consolidation_skipped = false;

@@ -1,7 +1,8 @@
 #include "ivm/state_reuse.h"
 
-#include <map>
+#include <algorithm>
 
+#include "common/key_hash.h"
 #include "exec/row_id.h"
 
 namespace dvs {
@@ -102,11 +103,13 @@ Result<StateReuseResult> DifferentiateAggregateWithState(
   const size_t n_groups_cols = plan.group_by.size();
   const size_t n_aggs = plan.aggregates.size();
 
-  // Index stored rows by group key (the leading columns of the output).
-  std::map<Row, const IdRow*> stored_by_key;
+  // Index stored rows by group key (the leading columns of the output),
+  // hashed once into a digest.
+  KeyedIndex<const IdRow*> stored_by_key;
+  stored_by_key.reserve(stored.size());
   for (const IdRow& r : stored) {
     Row key(r.values.begin(), r.values.begin() + n_groups_cols);
-    stored_by_key[std::move(key)] = &r;
+    stored_by_key.emplace(HashedKey(std::move(key)), &r);
   }
 
   // Accumulate per-group adjustments.
@@ -117,12 +120,20 @@ Result<StateReuseResult> DifferentiateAggregateWithState(
     std::vector<int64_t> count;  // signed member/true/non-null count deltas
     int64_t star = 0;
   };
-  std::map<Row, Adjust> adjustments;
+  KeyedIndex<Adjust> adjustments;
+  KeyExtractor key_del(plan.group_by, ctx.eval_start);
+  KeyExtractor key_ins(plan.group_by, ctx.eval_end);
   for (const ChangeRow& c : din) {
     const EvalContext& ec =
         c.action == ChangeAction::kDelete ? ctx.eval_start : ctx.eval_end;
-    DVS_ASSIGN_OR_RETURN(Row key, EvalKey(plan.group_by, c.values, ec));
-    Adjust& adj = adjustments[std::move(key)];
+    KeyExtractor& key =
+        c.action == ChangeAction::kDelete ? key_del : key_ins;
+    DVS_RETURN_IF_ERROR(key.Extract(c.values));
+    auto adj_it = adjustments.find(key.ref());
+    if (adj_it == adjustments.end()) {
+      adj_it = adjustments.emplace(key.hashed_key(), Adjust{}).first;
+    }
+    Adjust& adj = adj_it->second;
     if (adj.dsum.empty()) {
       adj.dsum.assign(n_aggs, 0.0);
       adj.isum.assign(n_aggs, 0);
@@ -167,9 +178,19 @@ Result<StateReuseResult> DifferentiateAggregateWithState(
     }
   }
 
-  // Emit changes per affected group.
-  for (const auto& [key, adj] : adjustments) {
-    auto it = stored_by_key.find(key);
+  // Emit changes per affected group, sorted by key for deterministic
+  // output order (the std::map order this replaced).
+  std::vector<const KeyedIndex<Adjust>::value_type*> ordered;
+  ordered.reserve(adjustments.size());
+  for (const auto& entry : adjustments) ordered.push_back(&entry);
+  std::sort(ordered.begin(), ordered.end(), [](const auto* a, const auto* b) {
+    return RowLess(a->first.values, b->first.values);
+  });
+  for (const auto* entry : ordered) {
+    const Row& key = entry->first.values;
+    const Adjust& adj = entry->second;
+    auto it = stored_by_key.find(
+        HashedKeyRef{&key, entry->first.digest});
     const IdRow* old_row = it == stored_by_key.end() ? nullptr : it->second;
 
     // Old counts, to compose new values.
@@ -187,7 +208,9 @@ Result<StateReuseResult> DifferentiateAggregateWithState(
       return Corruption("state-reuse derivative drove COUNT(*) negative");
     }
 
-    Row new_vals(key);
+    Row new_vals;
+    new_vals.reserve(key.size() + n_aggs);
+    new_vals.insert(new_vals.end(), key.begin(), key.end());
     bool bail = false;
     for (size_t i = 0; i < n_aggs && !bail; ++i) {
       const Expr& agg = *plan.aggregates[i];
@@ -243,7 +266,7 @@ Result<StateReuseResult> DifferentiateAggregateWithState(
       }
     }
 
-    RowId rid = rowid::Group(plan.node_tag, key);
+    RowId rid = rowid::GroupFromDigest(plan.node_tag, entry->first.digest);
     if (old_row != nullptr) {
       out.changes.push_back({ChangeAction::kDelete, rid, old_row->values});
     }
@@ -255,6 +278,7 @@ Result<StateReuseResult> DifferentiateAggregateWithState(
   out.applicable = true;
   out.rows_processed = din.size() + adjustments.size();
   out.changes = Consolidate(std::move(out.changes));
+  out.stats = CountChanges(out.changes);
   return out;
 }
 

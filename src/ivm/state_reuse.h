@@ -29,6 +29,7 @@ struct StateReuseResult {
   bool applicable = false;
   std::string reason;  ///< Why not, when !applicable.
   ChangeSet changes;
+  ChangeStats stats;   ///< Counts of `changes`, computed once.
   uint64_t rows_processed = 0;  ///< Work actually done (cf. ctx accounting).
 };
 

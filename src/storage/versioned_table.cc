@@ -46,7 +46,10 @@ void VersionedTable::AddRowsAsPartitions(std::vector<IdRow> rows,
     part->id = next_partition_id_++;
     part->rows.assign(std::make_move_iterator(rows.begin() + i),
                       std::make_move_iterator(rows.begin() + i + n));
-    for (const IdRow& r : part->rows) row_index_[r.id] = part->id;
+    for (size_t j = 0; j < part->rows.size(); ++j) {
+      row_index_[part->rows[j].id] = {part->id, static_cast<uint32_t>(j)};
+    }
+    stats_.index_entries_added += part->rows.size();
     version->added.push_back(part->id);
     version->live.push_back(part->id);
     stats_.partitions_created += 1;
@@ -93,14 +96,27 @@ Result<VersionId> VersionedTable::ApplyChanges(const ChangeSet& changes,
   }
   DVS_RETURN_IF_ERROR(ValidateChanges(changes));
 
-  std::unordered_map<RowId, const ChangeRow*> deletes;
+  // Locate every delete through the row-id index: exactly one point lookup
+  // per delete change (counted in stats_.index_lookups), grouping deleted
+  // offsets by partition. No partition's rows are scanned to *find* deletes;
+  // only touched partitions are read, to rewrite their survivors.
+  std::unordered_map<PartitionId, std::vector<char>> touched;
   std::vector<IdRow> inserts;
+  size_t delete_count = 0;
   for (const ChangeRow& c : changes) {
-    if (c.action == ChangeAction::kDelete) {
-      deletes.emplace(c.row_id, &c);
-    } else {
+    if (c.action == ChangeAction::kInsert) {
       inserts.push_back({c.row_id, c.values});
+      continue;
     }
+    ++delete_count;
+    auto it = row_index_.find(c.row_id);
+    stats_.index_lookups += 1;
+    const RowLocation loc = it->second;  // existence validated above
+    std::vector<char>& dead = touched[loc.partition];
+    if (dead.empty()) dead.resize(partition(loc.partition).rows.size(), 0);
+    dead[loc.offset] = 1;
+    row_index_.erase(it);
+    stats_.index_entries_removed += 1;
   }
 
   TableVersion next;
@@ -109,34 +125,30 @@ Result<VersionId> VersionedTable::ApplyChanges(const ChangeSet& changes,
 
   // Copy-on-write: partitions untouched by deletes stay live; touched ones
   // are removed and their surviving rows rewritten into new partitions.
-  std::unordered_set<PartitionId> touched;
-  for (const auto& [rid, unused] : deletes) {
-    (void)unused;
-    touched.insert(row_index_.at(rid));
-  }
   std::vector<IdRow> survivors;
   const TableVersion& prev = versions_.back();
   for (PartitionId pid : prev.live) {
-    if (!touched.count(pid)) {
+    auto t = touched.find(pid);
+    if (t == touched.end()) {
       next.live.push_back(pid);
       continue;
     }
     next.removed.push_back(pid);
-    for (const IdRow& r : partition(pid).rows) {
-      if (deletes.count(r.id)) {
-        row_index_.erase(r.id);
-      } else {
-        survivors.push_back(r);
+    const std::vector<char>& dead = t->second;
+    const MicroPartition& p = partition(pid);
+    for (size_t j = 0; j < p.rows.size(); ++j) {
+      if (!dead[j]) {
+        survivors.push_back(p.rows[j]);
         stats_.rows_rewritten_copy += 1;
       }
     }
   }
   AddRowsAsPartitions(std::move(survivors), &next);
+  const size_t insert_count = inserts.size();
   AddRowsAsPartitions(std::move(inserts), &next);
 
   std::sort(next.live.begin(), next.live.end());
-  next.row_count = prev.row_count + CountChanges(changes).inserts -
-                   CountChanges(changes).deletes;
+  next.row_count = prev.row_count + insert_count - delete_count;
   versions_.push_back(std::move(next));
   return versions_.back().id;
 }
@@ -162,6 +174,7 @@ Result<VersionId> VersionedTable::Overwrite(std::vector<IdRow> rows,
   next.removed = versions_.back().live;
   next.row_count = rows.size();
   row_index_.clear();
+  stats_.index_rebuilds += 1;
   AddRowsAsPartitions(std::move(rows), &next);
   std::sort(next.live.begin(), next.live.end());
   versions_.push_back(std::move(next));
@@ -189,6 +202,7 @@ VersionId VersionedTable::Recluster(HlcTimestamp commit_ts) {
   next.row_count = all.size();
   next.data_equivalent = true;
   row_index_.clear();
+  stats_.index_rebuilds += 1;
   AddRowsAsPartitions(std::move(all), &next);
   std::sort(next.live.begin(), next.live.end());
   versions_.push_back(std::move(next));

@@ -49,6 +49,13 @@ struct TableVersion {
   bool data_equivalent = false;
 };
 
+/// Latest-version location of a row: which partition holds it and at which
+/// offset. Maintained incrementally by the row-id index.
+struct RowLocation {
+  PartitionId partition = 0;
+  uint32_t offset = 0;
+};
+
 /// Counters for storage-level effects; used by the read-amplification
 /// ablation (E11) and general reporting.
 struct StorageStats {
@@ -61,6 +68,14 @@ struct StorageStats {
                                       ///< before equivalence cancellation
                                       ///< (read amplification, §5.5.2).
   uint64_t change_scan_net_rows = 0;  ///< Rows after cancellation.
+
+  // Row-id index maintenance cost. The index makes the ApplyChanges delete
+  // path O(changes): exactly one point lookup per delete change
+  // (`index_lookups`), never a scan of live partitions.
+  uint64_t index_lookups = 0;          ///< Delete-locate point lookups.
+  uint64_t index_entries_added = 0;    ///< Entries written (insert/rewrite).
+  uint64_t index_entries_removed = 0;  ///< Entries erased by deletes.
+  uint64_t index_rebuilds = 0;         ///< Full rebuilds (overwrite/recluster).
 };
 
 class VersionedTable {
@@ -143,6 +158,13 @@ class VersionedTable {
 
   const StorageStats& stats() const { return stats_; }
 
+  /// Latest-version location of a row id through the row-id index, or
+  /// nullptr if not stored. Diagnostic/test hook; does not bump counters.
+  const RowLocation* FindRow(RowId id) const {
+    auto it = row_index_.find(id);
+    return it == row_index_.end() ? nullptr : &it->second;
+  }
+
  private:
   const MicroPartition& partition(PartitionId id) const;
 
@@ -153,8 +175,11 @@ class VersionedTable {
   size_t max_partition_rows_;
   std::unordered_map<PartitionId, std::shared_ptr<const MicroPartition>> partitions_;
   std::vector<TableVersion> versions_;
-  /// row id -> live partition, maintained for the latest version only.
-  std::unordered_map<RowId, PartitionId> row_index_;
+  /// row id -> (partition, offset), maintained incrementally for the latest
+  /// version across ApplyChanges commits; rebuilt wholesale only by
+  /// Overwrite/Recluster. Turns delete location and validation into
+  /// O(changes) point lookups instead of partition scans.
+  std::unordered_map<RowId, RowLocation> row_index_;
   PartitionId next_partition_id_ = 1;
   RowId next_row_id_ = 1;
   mutable StorageStats stats_;

@@ -5,8 +5,19 @@
 namespace dvs {
 
 uint64_t HashRow(const Row& row) {
+  // Value::Hash seeds with the value's equality-class type tag (INT and
+  // TIMESTAMP differ; integral DOUBLEs fold onto INT because they compare
+  // equal), so structurally distinct rows like (Int 1) and (Timestamp 1)
+  // get distinct digests. A SplitMix64 finisher avalanches the combined
+  // bits: this digest is stored and reused as-is by the KeyedIndex hash
+  // (common/key_hash.h), so its low bits must already be well mixed.
   uint64_t h = HashUint64(row.size());
   for (const Value& v : row) h = HashCombine(h, v.Hash());
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
   return h;
 }
 
@@ -26,6 +37,15 @@ bool RowsEqual(const Row& a, const Row& b) {
     if (!(a[i] == b[i])) return false;
   }
   return true;
+}
+
+bool RowLess(const Row& a, const Row& b) {
+  const size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c < 0;
+  }
+  return a.size() < b.size();
 }
 
 ChangeStats CountChanges(const ChangeSet& changes) {

@@ -19,9 +19,16 @@ namespace dvs {
 
 using Row = std::vector<Value>;
 
+/// Deterministic, type-tag-aware 64-bit digest of a row, consistent with
+/// RowsEqual. This is THE key digest function: row ids (exec/row_id.h) and
+/// the precomputed-hash key infrastructure (common/key_hash.h) both use it.
 uint64_t HashRow(const Row& row);
 std::string RowToString(const Row& row);
 bool RowsEqual(const Row& a, const Row& b);
+/// Lexicographic order by Value::Compare — the ordering std::map<Row> used;
+/// kept as an explicit comparator now that hot paths use hashed containers
+/// and sort only when emitting deterministic output.
+bool RowLess(const Row& a, const Row& b);
 
 /// A row with its stable identity. Query results are vectors of IdRow so
 /// incremental merges know which stored rows they correspond to.
