@@ -36,7 +36,9 @@ struct HlcTimestamp {
 
 /// Issues monotonically increasing HlcTimestamps driven by a Clock.
 ///
-/// Not thread-safe by itself; the TransactionManager serializes access.
+/// Not thread-safe by itself; the TransactionManager serializes access
+/// behind its mutex (the only path concurrent refresh workers stamp
+/// commits through). Embed under a lock if used elsewhere with threads.
 class HybridLogicalClock {
  public:
   explicit HybridLogicalClock(const Clock& clock) : clock_(clock) {}

@@ -427,7 +427,9 @@ Result<RefreshOutcome> RefreshEngine::Refresh(ObjectId dt_id,
     meta->consecutive_failures = 0;
     if (commit_observer_) {
       // The frontier now holds the exact source versions this refresh
-      // consumed: precisely the derivation inputs of §4.
+      // consumed: precisely the derivation inputs of §4. Serialized:
+      // concurrent refreshes feed one shared recorder.
+      std::lock_guard<std::mutex> observer_lock(observer_mu_);
       commit_observer_(*obj, meta->refresh_versions.at(refresh_ts),
                        meta->frontier);
     }

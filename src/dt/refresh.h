@@ -16,9 +16,19 @@
 //
 // The engine is synchronous and virtual-time-agnostic; the scheduler layers
 // timing (durations, skips, warehouse slots) on top.
+//
+// Thread safety: Refresh may be called concurrently for *different* DTs
+// (the runtime/ thread pool does). Each refresh mutates only its own DT's
+// metadata and storage; reads of upstream objects must be ordered against
+// the upstream's refresh by the caller (the scheduler's DAG barriers).
+// Commit stamping and table locks are serialized by the TransactionManager;
+// the commit observer is serialized here. Concurrent Refresh of the *same*
+// DT is rejected by the §5.3 table lock.
 
 #ifndef DVS_DT_REFRESH_H_
 #define DVS_DT_REFRESH_H_
+
+#include <mutex>
 
 #include "catalog/catalog.h"
 #include "exec/executor.h"
@@ -140,6 +150,9 @@ class RefreshEngine {
   TransactionManager* txn_;
   RefreshEngineOptions options_;
   CommitObserver commit_observer_;
+  /// Serializes commit_observer_ invocations across refresh workers (the
+  /// isolation recorder appends to one shared history).
+  std::mutex observer_mu_;
 };
 
 }  // namespace dvs

@@ -14,7 +14,17 @@ namespace {
 // spare buffer out of a thread-local pool (cleared, capacity retained) and
 // returns it on destruction, so nested calls like f(g(x)) each hold their
 // own stack-owned buffer — no references into a resizable pool.
+//
+// The pool is bounded so the concurrent refresh runtime's N worker threads
+// don't each retain unbounded scratch: at most kMaxSpareArgBuffers buffers
+// are kept per thread (pool depth only ever reaches the deepest nesting of
+// scalar function calls, so 8 is generous), and a buffer whose capacity grew
+// past kMaxSpareArgCapacity (a pathological variadic call) is dropped
+// instead of cached. Worst case per thread: 8 × 64 Values.
 thread_local std::vector<std::vector<Value>> tl_spare_arg_buffers;
+
+constexpr size_t kMaxSpareArgBuffers = 8;
+constexpr size_t kMaxSpareArgCapacity = 64;
 
 class ArgBufferLease {
  public:
@@ -25,7 +35,13 @@ class ArgBufferLease {
       buf_.clear();
     }
   }
-  ~ArgBufferLease() { tl_spare_arg_buffers.push_back(std::move(buf_)); }
+  ~ArgBufferLease() {
+    if (tl_spare_arg_buffers.size() >= kMaxSpareArgBuffers ||
+        buf_.capacity() > kMaxSpareArgCapacity) {
+      return;  // let it free rather than grow the cache
+    }
+    tl_spare_arg_buffers.push_back(std::move(buf_));
+  }
   ArgBufferLease(const ArgBufferLease&) = delete;
   ArgBufferLease& operator=(const ArgBufferLease&) = delete;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <mutex>
 
 namespace dvs {
 
@@ -273,12 +274,15 @@ FunctionRegistry& FunctionRegistry::Global() {
 }
 
 const ScalarFunction* FunctionRegistry::Find(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = fns_.find(Lower(name));
+  // Safe to return: node-based map, so the element never moves.
   return it == fns_.end() ? nullptr : &it->second;
 }
 
 void FunctionRegistry::Register(ScalarFunction fn) {
   std::string key = Lower(fn.name);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   fns_[key] = std::move(fn);
 }
 

@@ -15,6 +15,7 @@
 #define DVS_EXEC_FUNCTIONS_H_
 
 #include <functional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -47,8 +48,15 @@ struct ScalarFunction {
 };
 
 /// Process-wide registry of built-in scalar functions. Users may register
-/// additional (UDF-style) functions; registration is not thread-safe and is
-/// expected at startup.
+/// additional (UDF-style) functions at any time.
+///
+/// Thread-safe: lookups take a shared lock and registration an exclusive
+/// one, so concurrent refresh workers can evaluate scalar functions while a
+/// *new* UDF is being registered. Returned ScalarFunction pointers stay
+/// valid — the map is node-based, so rehashing never moves elements. The one
+/// remaining caveat: *replacing* a function that a concurrent query is
+/// mid-evaluating mutates the entry it holds a pointer to; replacement is
+/// expected at startup only.
 class FunctionRegistry {
  public:
   static FunctionRegistry& Global();
@@ -61,6 +69,8 @@ class FunctionRegistry {
 
  private:
   FunctionRegistry();
+  /// Guards fns_ (shared for Find, exclusive for Register).
+  mutable std::shared_mutex mu_;
   std::unordered_map<std::string, ScalarFunction> fns_;
 };
 

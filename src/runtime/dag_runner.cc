@@ -1,0 +1,149 @@
+#include "runtime/dag_runner.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dvs {
+namespace runtime {
+
+namespace {
+
+/// Shared state of one Run(). Lives on Run's stack: Run blocks until every
+/// dispatched task finished, so worker references cannot dangle.
+struct RunState {
+  std::mutex mu;
+  std::condition_variable done_cv;
+  const std::vector<DagTask>* tasks = nullptr;
+  std::vector<int> pending_upstream;  ///< Unfinished upstream edges per task.
+  std::vector<std::vector<size_t>> downstream;
+  struct Gate {
+    int limit = std::numeric_limits<int>::max();
+    int in_flight = 0;
+    int max_in_flight = 0;
+    std::deque<size_t> waiting;  ///< Unblocked tasks awaiting admission.
+  };
+  std::map<std::string, Gate> gates;
+  size_t remaining = 0;   ///< Tasks not yet finished (or abandoned).
+  size_t executing = 0;   ///< Tasks submitted to the pool, not yet done.
+  Status error;
+};
+
+void DispatchLocked(RunState* st, ThreadPool* pool, size_t i);
+
+/// Completion bookkeeping: releases the gate slot (admitting waiters),
+/// unblocks downstream tasks, and detects stuck cycles. Caller must NOT hold
+/// st->mu.
+void OnTaskDone(RunState* st, ThreadPool* pool, size_t i) {
+  std::lock_guard<std::mutex> lock(st->mu);
+  const DagTask& task = (*st->tasks)[i];
+  st->executing -= 1;
+  if (!task.gate.empty()) {
+    RunState::Gate& g = st->gates[task.gate];
+    g.in_flight -= 1;
+    while (!g.waiting.empty() && g.in_flight < g.limit) {
+      size_t next = g.waiting.front();
+      g.waiting.pop_front();
+      DispatchLocked(st, pool, next);
+    }
+  }
+  for (size_t down : st->downstream[i]) {
+    if (--st->pending_upstream[down] == 0) DispatchLocked(st, pool, down);
+  }
+  st->remaining -= 1;
+  if (st->remaining > 0 && st->executing == 0) {
+    // Nothing runs and nothing can start: the leftover tasks form a cycle.
+    // (A gated waiter would have been admitted above — gates cannot be the
+    // blocker once in_flight is zero.)
+    if (st->error.ok()) {
+      st->error = Internal("cycle in refresh DAG: " +
+                           std::to_string(st->remaining) +
+                           " task(s) permanently blocked");
+    }
+    st->remaining = 0;
+  }
+  if (st->remaining == 0) st->done_cv.notify_all();
+}
+
+/// Admits task `i` if its gate has capacity (submitting it to the pool),
+/// else parks it on the gate's wait queue. Caller holds st->mu. Lock order
+/// is st->mu then the pool's queue mutex, everywhere.
+void DispatchLocked(RunState* st, ThreadPool* pool, size_t i) {
+  const DagTask& task = (*st->tasks)[i];
+  if (!task.gate.empty()) {
+    RunState::Gate& g = st->gates[task.gate];
+    if (g.in_flight >= g.limit) {
+      g.waiting.push_back(i);
+      return;
+    }
+    g.in_flight += 1;
+    g.max_in_flight = std::max(g.max_in_flight, g.in_flight);
+  }
+  st->executing += 1;
+  pool->Submit([st, pool, i] {
+    const DagTask& task = (*st->tasks)[i];
+    try {
+      if (task.work) task.work();
+    } catch (const std::exception& e) {
+      std::lock_guard<std::mutex> lock(st->mu);
+      if (st->error.ok()) {
+        st->error = Internal(std::string("refresh task threw: ") + e.what());
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(st->mu);
+      if (st->error.ok()) st->error = Internal("refresh task threw");
+    }
+    OnTaskDone(st, pool, i);
+  });
+}
+
+}  // namespace
+
+Status DagRefreshRunner::Run(const std::vector<DagTask>& tasks,
+                             const std::map<std::string, int>& gate_limits) {
+  gate_stats_.clear();
+  if (tasks.empty()) return OkStatus();
+
+  RunState st;
+  st.tasks = &tasks;
+  st.remaining = tasks.size();
+  st.pending_upstream.assign(tasks.size(), 0);
+  st.downstream.assign(tasks.size(), {});
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    for (size_t up : tasks[i].upstream) {
+      if (up >= tasks.size() || up == i) {
+        return InvalidArgument("bad upstream edge in refresh DAG");
+      }
+      st.pending_upstream[i] += 1;
+      st.downstream[up].push_back(i);
+    }
+    if (!tasks[i].gate.empty()) {
+      RunState::Gate& g = st.gates[tasks[i].gate];
+      auto limit = gate_limits.find(tasks[i].gate);
+      if (limit != gate_limits.end()) g.limit = std::max(1, limit->second);
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      if (st.pending_upstream[i] == 0) DispatchLocked(&st, pool_, i);
+    }
+    if (st.executing == 0) {
+      st.error = Internal("cycle in refresh DAG: no task is unblocked");
+      st.remaining = 0;
+    }
+  }
+
+  std::unique_lock<std::mutex> lock(st.mu);
+  st.done_cv.wait(lock, [&st] { return st.remaining == 0; });
+  for (const auto& [key, gate] : st.gates) {
+    gate_stats_[key] = {gate.limit == std::numeric_limits<int>::max()
+                           ? 0
+                           : gate.limit,
+                       gate.max_in_flight};
+  }
+  return st.error;
+}
+
+}  // namespace runtime
+}  // namespace dvs

@@ -1,0 +1,82 @@
+// DAG-parallel task execution with admission gates — the coordination layer
+// of the concurrent refresh runtime.
+//
+// The scheduler topologically levels the dynamic-table dependency graph for
+// one tick and hands the runner a task per due refresh. The runner dispatches
+// tasks onto a ThreadPool such that:
+//  - a task starts only after every task it lists as upstream has finished
+//    (the per-edge upstream barrier of §5.2: a DT refresh may not begin
+//    before all upstream refreshes for the same data timestamp committed);
+//  - at most `limit` tasks sharing an admission gate execute concurrently
+//    (per-warehouse gates: a warehouse admits at most its configured
+//    concurrency, so co-located DTs queue in real time just as their virtual
+//    slots queue in Warehouse::Schedule).
+//
+// Tasks waiting on a barrier or a gate never occupy a worker thread: a task
+// is submitted to the pool only when it is both unblocked and admitted, so
+// the runner cannot deadlock a small pool however wide the tick is.
+//
+// The runner makes no ordering promises beyond the edges — the scheduler's
+// deterministic-merge phase rebuilds the serial log order afterwards.
+
+#ifndef DVS_RUNTIME_DAG_RUNNER_H_
+#define DVS_RUNTIME_DAG_RUNNER_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/thread_pool.h"
+
+namespace dvs {
+namespace runtime {
+
+/// One schedulable unit (a single DT refresh for one data timestamp).
+struct DagTask {
+  /// Executed on a worker thread. Must capture its own outcome; anything it
+  /// throws is recorded as the run's error and the task counts as finished.
+  std::function<void()> work;
+  /// Indices (into the task vector) of tasks that must finish first.
+  std::vector<size_t> upstream;
+  /// Admission gate key (warehouse name). Empty = ungated.
+  std::string gate;
+};
+
+/// Per-gate occupancy accounting from the last Run().
+struct GateStats {
+  int limit = 0;
+  int max_in_flight = 0;  ///< Peak concurrent tasks observed on this gate.
+};
+
+class DagRefreshRunner {
+ public:
+  /// `pool` must outlive the runner; Run uses it for every task.
+  explicit DagRefreshRunner(ThreadPool* pool) : pool_(pool) {}
+
+  /// Executes all tasks respecting upstream edges and gate limits; blocks
+  /// until every task finished. `gate_limits` maps gate key -> max concurrent
+  /// admissions (missing keys and empty keys are unlimited; limits < 1 clamp
+  /// to 1). Returns the first error: a cycle in the edges (remaining tasks
+  /// are abandoned) or an exception escaping a task.
+  Status Run(const std::vector<DagTask>& tasks,
+             const std::map<std::string, int>& gate_limits);
+
+  /// Gate occupancy of the last Run (peaks are what admission tests check).
+  const std::map<std::string, GateStats>& gate_stats() const {
+    return gate_stats_;
+  }
+
+ private:
+  ThreadPool* pool_;
+  std::map<std::string, GateStats> gate_stats_;
+};
+
+}  // namespace runtime
+}  // namespace dvs
+
+#endif  // DVS_RUNTIME_DAG_RUNNER_H_

@@ -1,0 +1,71 @@
+#include "runtime/thread_pool.h"
+
+namespace dvs {
+namespace runtime {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+Status ThreadPool::TakeError() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Status out = error_;
+  error_ = OkStatus();
+  return out;
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    // Graceful shutdown: drain the queue even when stopping.
+    if (queue_.empty()) return;
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+    lock.unlock();
+    try {
+      task();
+    } catch (const std::exception& e) {
+      std::lock_guard<std::mutex> g(mu_);
+      if (error_.ok()) {
+        error_ = Internal(std::string("worker task threw: ") + e.what());
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> g(mu_);
+      if (error_.ok()) error_ = Internal("worker task threw a non-exception");
+    }
+    lock.lock();
+    --active_;
+    if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace runtime
+}  // namespace dvs

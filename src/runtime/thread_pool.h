@@ -1,0 +1,70 @@
+// Fixed-size work-queue thread pool — the execution substrate of the
+// concurrent refresh runtime.
+//
+// Design constraints (DAG-parallel refresh, sched/scheduler.cc):
+//  - Submit must be callable from worker threads: a finishing refresh task
+//    schedules its newly unblocked downstream tasks without handing control
+//    back to the coordinator.
+//  - Tasks never throw across the pool boundary: the library is Status-based,
+//    so an escaping exception is a bug. The pool captures the first one into
+//    a Status (instead of std::terminate) so the scheduler can surface it as
+//    a failed refresh rather than killing the process.
+//  - Shutdown is graceful: the destructor finishes everything already queued,
+//    then joins. Drain() gives the same barrier mid-lifetime.
+
+#ifndef DVS_RUNTIME_THREAD_POOL_H_
+#define DVS_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dvs {
+namespace runtime {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Finishes all queued work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `fn` for execution on some worker. Safe to call from worker
+  /// threads (a task may submit follow-up tasks).
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until the queue is empty and no task is executing.
+  void Drain();
+
+  /// First exception captured from a task since the last call, as a Status;
+  /// OK if none. Clears the stored error.
+  Status TakeError();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< Signals workers: work or shutdown.
+  std::condition_variable idle_cv_;   ///< Signals Drain(): pool went idle.
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;                 ///< Tasks currently executing.
+  bool stopping_ = false;
+  Status error_;                      ///< First captured task exception.
+  std::vector<std::thread> workers_;  ///< Last: joined before members die.
+};
+
+}  // namespace runtime
+}  // namespace dvs
+
+#endif  // DVS_RUNTIME_THREAD_POOL_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 #include <set>
+#include <unordered_map>
 
 namespace dvs {
 
@@ -12,6 +13,17 @@ Micros LargestCanonicalPeriodAtMost(Micros limit) {
   while (p * 2 <= limit) p *= 2;
   return p;
 }
+
+Scheduler::Scheduler(DvsEngine* engine, VirtualClock* clock,
+                     SchedulerOptions options)
+    : engine_(engine), clock_(clock), options_(options) {
+  if (options_.worker_threads > 0) {
+    pool_ = std::make_unique<runtime::ThreadPool>(options_.worker_threads);
+    runner_ = std::make_unique<runtime::DagRefreshRunner>(pool_.get());
+  }
+}
+
+Scheduler::~Scheduler() = default;
 
 std::optional<Micros> Scheduler::EffectiveTargetLag(ObjectId dt_id) {
   auto obj = engine_->catalog().FindById(dt_id);
@@ -53,6 +65,90 @@ Micros Scheduler::RefreshPeriod(ObjectId dt_id) {
   return p;
 }
 
+void Scheduler::ExecuteNode(TickNode* node, Micros t) {
+  // Snapshot isolation requires every upstream DT to have a version at this
+  // data timestamp; if an upstream skipped or failed, skip too. Runs after
+  // the upstream barrier, so reading upstream metadata here is ordered
+  // against the upstream refreshes that wrote it.
+  Catalog& catalog = engine_->catalog();
+  for (ObjectId up : node->upstream) {
+    auto uobj = catalog.FindById(up);
+    if (!uobj.ok() || !uobj.value()->dt->refresh_versions.count(t)) {
+      node->upstream_missing = true;
+      return;
+    }
+  }
+  node->result = engine_->refresh_engine().Refresh(node->dt, t);
+}
+
+void Scheduler::FinalizeNode(TickNode* node, Micros t) {
+  RefreshRecord rec;
+  rec.dt = node->dt;
+  rec.dt_name = node->obj->name;
+  rec.data_timestamp = t;
+
+  // Skipped because the previous refresh is still executing (§3.3.3).
+  if (node->busy_skip) {
+    rec.skipped = true;
+    rec.start_time = rec.end_time = t;
+    log_.push_back(std::move(rec));
+    return;
+  }
+  if (node->upstream_missing) {
+    rec.skipped = true;
+    rec.error = "upstream refresh unavailable at this data timestamp";
+    rec.start_time = rec.end_time = t;
+    log_.push_back(std::move(rec));
+    return;
+  }
+  const Result<RefreshOutcome>& result = *node->result;
+  if (!result.ok()) {
+    rec.failed = true;
+    rec.error = result.status().ToString();
+    rec.start_time = rec.end_time = t;
+    log_.push_back(std::move(rec));
+    return;
+  }
+  const RefreshOutcome& outcome = result.value();
+  rec.action = outcome.action;
+  rec.rows_processed = outcome.rows_processed;
+  rec.changes_applied = outcome.changes_applied;
+  rec.dt_row_count = outcome.dt_row_count;
+
+  Micros upstream_end = t;
+  for (ObjectId up : node->upstream) {
+    auto ue = last_end_.find(up);
+    if (ue != last_end_.end()) {
+      upstream_end = std::max(upstream_end, ue->second);
+    }
+  }
+
+  // Timing: a refresh waits for upstream completions (w_i >= max(w_j+d_j))
+  // and queues on its warehouse; NO_DATA refreshes use no warehouse
+  // compute (§5.4) and complete in cloud-services time.
+  if (outcome.action == RefreshAction::kNoData) {
+    rec.start_time = upstream_end;
+    rec.end_time = upstream_end + 100 * kMicrosPerMilli;
+  } else {
+    Warehouse* wh =
+        engine_->warehouses().GetOrCreate(node->obj->dt->def.warehouse);
+    Micros duration = options_.cost_model.RefreshDuration(
+        outcome.rows_processed, wh->size());
+    Warehouse::Slot slot = wh->Schedule(upstream_end, duration);
+    rec.start_time = slot.start;
+    rec.end_time = slot.end;
+  }
+  busy_until_[node->dt] = rec.end_time;
+  last_end_[node->dt] = rec.end_time;
+
+  auto prev = prev_data_ts_.find(node->dt);
+  rec.peak_lag = prev == prev_data_ts_.end() ? rec.end_time - t
+                                             : rec.end_time - prev->second;
+  rec.trough_lag = rec.end_time - t;
+  prev_data_ts_[node->dt] = t;
+  log_.push_back(std::move(rec));
+}
+
 void Scheduler::Tick(Micros t) {
   clock_->AdvanceTo(t);
   Catalog& catalog = engine_->catalog();
@@ -68,6 +164,11 @@ void Scheduler::Tick(Micros t) {
   };
   for (CatalogObject* obj : dts) dfs(obj->id);
 
+  // Phase 1 — plan (serial): decide which DTs are due, which are skipped as
+  // still-busy, and keep them in topological order. All decisions here read
+  // only pre-tick state, so they are identical in serial and parallel mode.
+  std::vector<TickNode> nodes;
+  nodes.reserve(order.size());
   for (ObjectId dt_id : order) {
     auto found = catalog.FindById(dt_id);
     if (!found.ok()) continue;
@@ -79,82 +180,71 @@ void Scheduler::Tick(Micros t) {
     if (period == 0 || t % period != 0) continue;
     if (meta->refresh_versions.count(t)) continue;  // e.g. manual refresh
 
-    RefreshRecord rec;
-    rec.dt = dt_id;
-    rec.dt_name = obj->name;
-    rec.data_timestamp = t;
-
-    // Skip if the previous refresh is still executing (§3.3.3).
+    TickNode node;
+    node.dt = dt_id;
+    node.obj = obj;
+    node.upstream = catalog.UpstreamDynamicTables(dt_id);
     auto busy = busy_until_.find(dt_id);
-    if (busy != busy_until_.end() && busy->second > t) {
-      rec.skipped = true;
-      rec.start_time = rec.end_time = t;
-      log_.push_back(std::move(rec));
-      continue;
-    }
+    node.busy_skip = busy != busy_until_.end() && busy->second > t;
+    nodes.push_back(std::move(node));
+  }
 
-    // Snapshot isolation requires every upstream DT to have a version at
-    // this data timestamp; if an upstream skipped or failed, skip too.
-    bool upstream_missing = false;
-    Micros upstream_end = t;
-    for (ObjectId up : catalog.UpstreamDynamicTables(dt_id)) {
-      auto uobj = catalog.FindById(up);
-      if (!uobj.ok() || !uobj.value()->dt->refresh_versions.count(t)) {
-        upstream_missing = true;
-        break;
+  // Phase 2 — execute. Runnable nodes refresh concurrently on the pool with
+  // per-edge upstream barriers and per-warehouse admission gates; in serial
+  // mode the same bodies run inline in topological order.
+  if (runner_ != nullptr) {
+    std::unordered_map<ObjectId, size_t> task_of_node;
+    std::vector<size_t> node_of_task;
+    std::vector<runtime::DagTask> tasks;
+    std::map<std::string, int> gate_limits;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i].busy_skip) continue;
+      runtime::DagTask task;
+      task.gate = nodes[i].obj->dt->def.warehouse;
+      if (!task.gate.empty() && !gate_limits.count(task.gate)) {
+        // Warehouse creation must stay on this thread: the pool map is not
+        // synchronized, and phase 3 creates warehouses in the same order
+        // serial mode would.
+        gate_limits[task.gate] =
+            engine_->warehouses().GetOrCreate(task.gate)->concurrency();
       }
-      auto ue = last_end_.find(up);
-      if (ue != last_end_.end()) {
-        upstream_end = std::max(upstream_end, ue->second);
+      TickNode* node = &nodes[i];
+      task.work = [this, node, t] { ExecuteNode(node, t); };
+      for (ObjectId up : nodes[i].upstream) {
+        auto it = task_of_node.find(up);
+        if (it != task_of_node.end()) task.upstream.push_back(it->second);
+      }
+      task_of_node[nodes[i].dt] = tasks.size();
+      node_of_task.push_back(i);
+      tasks.push_back(std::move(task));
+    }
+    Status run = runner_->Run(tasks, gate_limits);
+    for (const auto& [gate, stats] : runner_->gate_stats()) {
+      int& peak = max_gate_occupancy_[gate];
+      peak = std::max(peak, stats.max_in_flight);
+    }
+    if (!run.ok()) {
+      // A task that never executed (cycle) or threw surfaces as a failed
+      // refresh record rather than a crash.
+      for (size_t ti : node_of_task) {
+        TickNode& node = nodes[ti];
+        if (!node.busy_skip && !node.upstream_missing &&
+            !node.result.has_value()) {
+          node.result = Result<RefreshOutcome>(run);
+        }
       }
     }
-    if (upstream_missing) {
-      rec.skipped = true;
-      rec.error = "upstream refresh unavailable at this data timestamp";
-      rec.start_time = rec.end_time = t;
-      log_.push_back(std::move(rec));
-      continue;
+  } else {
+    for (TickNode& node : nodes) {
+      if (!node.busy_skip) ExecuteNode(&node, t);
     }
+  }
 
-    Result<RefreshOutcome> result =
-        engine_->refresh_engine().Refresh(dt_id, t);
-    if (!result.ok()) {
-      rec.failed = true;
-      rec.error = result.status().ToString();
-      rec.start_time = rec.end_time = t;
-      log_.push_back(std::move(rec));
-      continue;
-    }
-    const RefreshOutcome& outcome = result.value();
-    rec.action = outcome.action;
-    rec.rows_processed = outcome.rows_processed;
-    rec.changes_applied = outcome.changes_applied;
-    rec.dt_row_count = outcome.dt_row_count;
-
-    // Timing: a refresh waits for upstream completions (w_i >= max(w_j+d_j))
-    // and queues on its warehouse; NO_DATA refreshes use no warehouse
-    // compute (§5.4) and complete in cloud-services time.
-    if (outcome.action == RefreshAction::kNoData) {
-      rec.start_time = upstream_end;
-      rec.end_time = upstream_end + 100 * kMicrosPerMilli;
-    } else {
-      Warehouse* wh = engine_->warehouses().GetOrCreate(meta->def.warehouse);
-      Micros duration = options_.cost_model.RefreshDuration(
-          outcome.rows_processed, wh->size());
-      Warehouse::Slot slot = wh->Schedule(upstream_end, duration);
-      rec.start_time = slot.start;
-      rec.end_time = slot.end;
-    }
-    busy_until_[dt_id] = rec.end_time;
-    last_end_[dt_id] = rec.end_time;
-
-    auto prev = prev_data_ts_.find(dt_id);
-    rec.peak_lag =
-        prev == prev_data_ts_.end() ? rec.end_time - t
-                                    : rec.end_time - prev->second;
-    rec.trough_lag = rec.end_time - t;
-    prev_data_ts_[dt_id] = t;
-    log_.push_back(std::move(rec));
+  // Phase 3 — finalize (serial, deterministic merge): warehouse slots,
+  // billing, busy/lag state, and log records in phase-1 topological order,
+  // byte-identical to serial execution.
+  for (TickNode& node : nodes) {
+    FinalizeNode(&node, t);
   }
 }
 

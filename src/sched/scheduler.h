@@ -17,15 +17,32 @@
 //    on their shared warehouse.
 //  - Lag accounting reproduces Figure 4's sawtooth: peak lag of refresh i is
 //    e_i − v_{i−1}, trough lag is e_i − v_i.
+//
+// Concurrent execution (the runtime/ subsystem). With
+// SchedulerOptions::worker_threads > 0, every tick runs in three phases:
+//   1. Plan (serial): topologically order the due DTs, decide busy-skips
+//      from previous-tick state, and build the same-tick dependency edges.
+//   2. Execute (parallel): refreshes of independent DTs run concurrently on
+//      the thread pool; a DT starts only after all its same-tick upstream
+//      refreshes finished (barrier), and per-warehouse admission gates cap
+//      co-located concurrency at the warehouse's configured limit.
+//   3. Finalize (serial, deterministic merge): warehouse slots, billing,
+//      busy/skip state, lag accounting, and log records are computed in the
+//      phase-1 topological order — so the refresh log, billing, and lag
+//      numbers are byte-identical to serial mode (worker_threads = 0, the
+//      default, which runs the same three phases inline).
 
 #ifndef DVS_SCHED_SCHEDULER_H_
 #define DVS_SCHED_SCHEDULER_H_
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "dt/engine.h"
+#include "runtime/dag_runner.h"
+#include "runtime/thread_pool.h"
 
 namespace dvs {
 
@@ -59,13 +76,17 @@ struct SchedulerOptions {
   /// When false, disables the canonical-period heuristic and uses each DT's
   /// exact target lag as its period (the E9 ablation baseline).
   bool canonical_periods = true;
+  /// Worker threads for DAG-parallel refresh execution; 0 (default) executes
+  /// every refresh serially on the caller's thread. Any value produces the
+  /// same refresh log, billing, and DT contents — only wall time differs.
+  int worker_threads = 0;
 };
 
 class Scheduler {
  public:
   Scheduler(DvsEngine* engine, VirtualClock* clock,
-            SchedulerOptions options = {})
-      : engine_(engine), clock_(clock), options_(options) {}
+            SchedulerOptions options = {});
+  ~Scheduler();
 
   /// Advances virtual time to `t`, firing all scheduled refreshes due in
   /// (now, t]. Ticks are aligned to the canonical base period.
@@ -85,8 +106,34 @@ class Scheduler {
   /// of the last refresh that had *committed* by t).
   std::optional<Micros> LagAt(ObjectId dt_id, Micros t) const;
 
+  /// Peak concurrent refreshes observed per warehouse admission gate across
+  /// all ticks (parallel mode only; empty in serial mode). Admission tests
+  /// assert these never exceed the warehouse's configured concurrency.
+  const std::map<std::string, int>& max_gate_occupancy() const {
+    return max_gate_occupancy_;
+  }
+
  private:
+  /// One due refresh inside a tick (phases share it).
+  struct TickNode {
+    ObjectId dt = kInvalidObjectId;
+    CatalogObject* obj = nullptr;
+    /// Direct upstream DTs, resolved once in the plan phase (the list a
+    /// refresh-triggered rebind would change mid-tick must not be re-read).
+    std::vector<ObjectId> upstream;
+    /// Phase 1: previous refresh still running — never executed.
+    bool busy_skip = false;
+    /// Phase 2: an upstream has no version at this timestamp — not executed.
+    bool upstream_missing = false;
+    std::optional<Result<RefreshOutcome>> result;
+  };
+
   void Tick(Micros t);
+  /// Phase 2 body for one node: post-barrier upstream check, then the
+  /// engine refresh. Thread-safe w.r.t. other nodes' ExecuteNode calls.
+  void ExecuteNode(TickNode* node, Micros t);
+  /// Phase 3 body for one node: timing, billing, lag, log append. Serial.
+  void FinalizeNode(TickNode* node, Micros t);
 
   DvsEngine* engine_;
   VirtualClock* clock_;
@@ -100,6 +147,10 @@ class Scheduler {
   /// Per-DT data timestamp of the previous committed refresh (for peak lag).
   std::map<ObjectId, Micros> prev_data_ts_;
   Micros last_run_ = 0;
+  /// Present iff worker_threads > 0.
+  std::unique_ptr<runtime::ThreadPool> pool_;
+  std::unique_ptr<runtime::DagRefreshRunner> runner_;
+  std::map<std::string, int> max_gate_occupancy_;
 };
 
 }  // namespace dvs

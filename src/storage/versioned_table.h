@@ -16,6 +16,7 @@
 #ifndef DVS_STORAGE_VERSIONED_TABLE_H_
 #define DVS_STORAGE_VERSIONED_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -58,26 +59,50 @@ struct RowLocation {
 
 /// Counters for storage-level effects; used by the read-amplification
 /// ablation (E11) and general reporting.
+///
+/// The counters are atomics because read-side operations bump them too
+/// (ScanChanges is const yet counts scan amplification), and concurrent
+/// refreshes legitimately change-scan the same shared base table from
+/// several worker threads. Write-side counters have a single writer (the
+/// refresh that owns the table) but stay atomic for uniformity; all updates
+/// are statistical, so relaxed ordering would suffice — plain atomic ops
+/// keep the call sites readable.
 struct StorageStats {
-  uint64_t partitions_created = 0;
-  uint64_t rows_written = 0;          ///< Rows copied into new partitions.
-  uint64_t rows_rewritten_copy = 0;   ///< Rows copied only because a sibling
+  std::atomic<uint64_t> partitions_created = 0;
+  std::atomic<uint64_t> rows_written = 0;  ///< Rows copied into new partitions.
+  std::atomic<uint64_t> rows_rewritten_copy = 0;
+                                      ///< Rows copied only because a sibling
                                       ///< in their partition was deleted
                                       ///< (copy-on-write write amplification).
-  uint64_t change_scan_raw_rows = 0;  ///< Rows surfaced by change scans
+  std::atomic<uint64_t> change_scan_raw_rows = 0;
+                                      ///< Rows surfaced by change scans
                                       ///< before equivalence cancellation
                                       ///< (read amplification, §5.5.2).
-  uint64_t change_scan_net_rows = 0;  ///< Rows after cancellation.
+  std::atomic<uint64_t> change_scan_net_rows = 0;  ///< Rows after cancellation.
 
   // Row-id index maintenance cost. The index makes the ApplyChanges delete
   // path O(changes): exactly one point lookup per delete change
   // (`index_lookups`), never a scan of live partitions.
-  uint64_t index_lookups = 0;          ///< Delete-locate point lookups.
-  uint64_t index_entries_added = 0;    ///< Entries written (insert/rewrite).
-  uint64_t index_entries_removed = 0;  ///< Entries erased by deletes.
-  uint64_t index_rebuilds = 0;         ///< Full rebuilds (overwrite/recluster).
+  std::atomic<uint64_t> index_lookups = 0;  ///< Delete-locate point lookups.
+  std::atomic<uint64_t> index_entries_added = 0;
+                                       ///< Entries written (insert/rewrite).
+  std::atomic<uint64_t> index_entries_removed = 0;
+                                       ///< Entries erased by deletes.
+  std::atomic<uint64_t> index_rebuilds = 0;
+                                       ///< Full rebuilds (overwrite/recluster).
 };
 
+/// Thread-safety contract (concurrent refresh runtime): single-writer,
+/// multi-reader. At most one thread mutates a table at a time — the refresh
+/// that owns it (DT storage) or the DML driver (base tables); concurrent
+/// *reads* of committed versions (ScanAt / ScanChanges / ResolveVersionAt /
+/// HasDataChanges) are safe from any number of threads because committed
+/// partitions and versions are immutable and readers never block. Readers of
+/// a table that is being written must be ordered against the writer
+/// externally — the scheduler's DAG barriers do exactly that (a downstream
+/// DT scans its upstream only after the upstream's refresh finished), and
+/// version publication is a vector append that readers of older versions
+/// never traverse concurrently under that discipline.
 class VersionedTable {
  public:
   /// `max_partition_rows` bounds partition size; small values increase

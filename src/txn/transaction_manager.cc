@@ -23,6 +23,7 @@ Result<HlcTimestamp> TransactionManager::CommitWrites(
 }
 
 Status TransactionManager::TryLock(ObjectId object, uint64_t holder) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = locks_.try_emplace(object, holder);
   if (!inserted && it->second != holder) {
     return LockConflict("object " + std::to_string(object) +
@@ -32,11 +33,13 @@ Status TransactionManager::TryLock(ObjectId object, uint64_t holder) {
 }
 
 void TransactionManager::Unlock(ObjectId object, uint64_t holder) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = locks_.find(object);
   if (it != locks_.end() && it->second == holder) locks_.erase(it);
 }
 
 bool TransactionManager::IsLocked(ObjectId object) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return locks_.count(object) > 0;
 }
 

@@ -5,10 +5,18 @@
 // commit timestamp <= t" — exactly the visibility rule of the paper. The
 // refresh-timestamp -> version mapping for DT-on-DT reads lives with the DT
 // metadata (catalog); this class handles the base mechanism.
+//
+// Thread safety: commit-timestamp issuance (the HLC) and the lock table are
+// guarded by a mutex, so concurrent refreshes on the runtime/ thread pool
+// can stamp commits and take table locks safely. CommitWrites itself may run
+// concurrently for *disjoint* table sets (each VersionedTable has a single
+// writer — the refresh that owns it); committing the same table from two
+// threads concurrently is a caller bug.
 
 #ifndef DVS_TXN_TRANSACTION_MANAGER_H_
 #define DVS_TXN_TRANSACTION_MANAGER_H_
 
+#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -34,8 +42,11 @@ class TransactionManager {
 
   const Clock& clock() const { return clock_; }
 
-  /// Issues the next commit timestamp (strictly increasing).
-  HlcTimestamp NextCommitTimestamp() { return hlc_.Next(); }
+  /// Issues the next commit timestamp (strictly increasing). Thread-safe.
+  HlcTimestamp NextCommitTimestamp() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hlc_.Next();
+  }
 
   /// Snapshot timestamp covering everything committed up to wall time `t`.
   static HlcTimestamp SnapshotAt(Micros t) {
@@ -57,13 +68,15 @@ class TransactionManager {
 
   /// Attempts to take the lock for `object` on behalf of `holder`.
   /// Returns LockConflict if held by someone else; re-entrant for the same
-  /// holder.
+  /// holder. Thread-safe, as are Unlock and IsLocked.
   Status TryLock(ObjectId object, uint64_t holder);
   void Unlock(ObjectId object, uint64_t holder);
   bool IsLocked(ObjectId object) const;
 
  private:
   const Clock& clock_;
+  /// Guards hlc_ and locks_ against concurrent refresh workers.
+  mutable std::mutex mu_;
   HybridLogicalClock hlc_;
   std::unordered_map<ObjectId, uint64_t> locks_;
 };

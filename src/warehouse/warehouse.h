@@ -37,14 +37,36 @@ struct CostModel {
 /// A single-tenant compute cluster. Refreshes scheduled on one warehouse
 /// serialize (modeling resource contention among co-located DTs); billing
 /// covers busy time plus idle time shorter than the auto-suspend threshold.
+///
+/// `concurrency` is the warehouse's admission limit for the concurrent
+/// refresh runtime: at most that many co-located refreshes *execute* at
+/// once on the scheduler's thread pool (runtime/dag_runner.h). It defaults
+/// to the warehouse size and is independent of the virtual-time cost model —
+/// Schedule() always serializes slots, so billing is identical whether
+/// refreshes executed in parallel or not.
 class Warehouse {
  public:
   Warehouse(std::string name, int size, Micros auto_suspend)
-      : name_(std::move(name)), size_(size), auto_suspend_(auto_suspend) {}
+      : name_(std::move(name)),
+        size_(size),
+        concurrency_(size < 1 ? 1 : size),
+        auto_suspend_(auto_suspend) {}
 
   const std::string& name() const { return name_; }
   int size() const { return size_; }
-  void Resize(int size) { size_ = size; }
+  /// Re-derives concurrency from the new size unless set_concurrency()
+  /// pinned an explicit admission width.
+  void Resize(int size) {
+    size_ = size;
+    if (!concurrency_pinned_) concurrency_ = size < 1 ? 1 : size;
+  }
+
+  /// Admission gate width for parallel refresh execution (>= 1).
+  int concurrency() const { return concurrency_; }
+  void set_concurrency(int c) {
+    concurrency_ = c < 1 ? 1 : c;
+    concurrency_pinned_ = true;
+  }
 
   Micros busy_until() const { return busy_until_; }
 
@@ -65,6 +87,8 @@ class Warehouse {
  private:
   std::string name_;
   int size_;
+  int concurrency_;
+  bool concurrency_pinned_ = false;
   Micros auto_suspend_;
   Micros busy_until_ = -1;  ///< -1 = never started (suspended).
   Micros billed_ = 0;

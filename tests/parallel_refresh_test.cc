@@ -1,0 +1,264 @@
+// Tests for the concurrent refresh runtime end to end: running the same
+// workload with worker_threads = 0 (serial) and worker_threads = 4 must
+// produce identical refresh logs (timestamps, actions, rows_processed,
+// skip/failure flags, lag accounting), identical final DT contents, and
+// identical warehouse billing — parallel execution is an implementation
+// detail, not a semantics change. Plus admission-gate coverage: co-located
+// DTs never exceed their warehouse's configured concurrency.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.h"
+
+namespace dvs {
+namespace {
+
+/// Sorted, printable snapshot of a DT's rows (order-insensitive compare).
+std::vector<std::string> Contents(DvsEngine& engine, const std::string& dt) {
+  auto q = engine.Query("SELECT * FROM " + dt);
+  if (!q.ok()) return {"<error: " + q.status().ToString() + ">"};
+  std::vector<std::string> rows;
+  rows.reserve(q.value().rows.size());
+  for (const Row& r : q.value().rows) {
+    std::string line;
+    for (const Value& v : r) line += v.ToString() + "|";
+    rows.push_back(std::move(line));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+/// One full workload run: a diamond (a1, a2 -> b -> c), an independent
+/// sibling layer, and a DT that starts failing mid-run (exercising failed
+/// records, auto-suspend, and downstream upstream-missing skips).
+struct WorkloadResult {
+  std::vector<RefreshRecord> log;
+  std::map<std::string, std::vector<std::string>> contents;
+  std::map<std::string, Micros> billed;
+  std::map<std::string, int> gate_peaks;
+};
+
+WorkloadResult RunWorkload(int worker_threads) {
+  VirtualClock clock(0);
+  DvsEngine engine(clock);
+  // Shared warehouse with concurrency 2 for the sibling layer; the diamond
+  // gets its own warehouses.
+  engine.warehouses().GetOrCreate("whs", 2);
+
+  auto exec = [&engine](const std::string& sql) {
+    auto r = engine.Execute(sql);
+    ASSERT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+  };
+  exec("CREATE TABLE src1 (k INT, v INT)");
+  exec("CREATE TABLE src2 (k INT, v INT)");
+  exec("INSERT INTO src1 VALUES (1, 10), (2, 20), (3, 30)");
+  exec("INSERT INTO src2 VALUES (1, 5)");
+
+  exec("CREATE DYNAMIC TABLE a1 TARGET_LAG = '4 minutes' WAREHOUSE = whs "
+       "INITIALIZE = ON_SCHEDULE AS "
+       "SELECT k, sum(v) AS sv FROM src1 GROUP BY ALL");
+  exec("CREATE DYNAMIC TABLE a2 TARGET_LAG = '4 minutes' WAREHOUSE = whs "
+       "INITIALIZE = ON_SCHEDULE AS SELECT k, v FROM src1 WHERE v >= 20");
+  exec("CREATE DYNAMIC TABLE a3 TARGET_LAG = '4 minutes' WAREHOUSE = whs "
+       "INITIALIZE = ON_SCHEDULE AS SELECT k, v + 1 AS v1 FROM src1");
+  exec("CREATE DYNAMIC TABLE b TARGET_LAG = '8 minutes' WAREHOUSE = whb "
+       "INITIALIZE = ON_SCHEDULE AS "
+       "SELECT a1.k AS k, a1.sv AS sv, a2.v AS v "
+       "FROM a1 JOIN a2 ON a1.k = a2.k");
+  exec("CREATE DYNAMIC TABLE c TARGET_LAG = '8 minutes' WAREHOUSE = whc "
+       "INITIALIZE = ON_SCHEDULE AS SELECT k, sv + v AS total FROM b");
+  // Fails once src2 contains v = 0 (division by zero is a user error:
+  // failure accounting then auto-suspend, §3.3.3).
+  exec("CREATE DYNAMIC TABLE d TARGET_LAG = '4 minutes' WAREHOUSE = whd "
+       "INITIALIZE = ON_SCHEDULE AS SELECT k, 100 / v AS q FROM src2");
+  // Downstream of the failing DT: once d fails, e has no upstream version
+  // for its data timestamps and must log upstream-missing skips.
+  exec("CREATE DYNAMIC TABLE e TARGET_LAG = '8 minutes' WAREHOUSE = whe "
+       "INITIALIZE = ON_SCHEDULE AS SELECT k, q * 2 AS q2 FROM d");
+
+  SchedulerOptions opts;
+  opts.worker_threads = worker_threads;
+  Scheduler sched(&engine, &clock, opts);
+
+  for (int round = 0; round < 10; ++round) {
+    int base = 100 + round * 10;
+    exec("INSERT INTO src1 VALUES (" + std::to_string(base) + ", " +
+         std::to_string(base * 2) + ")");
+    if (round == 4) {
+      exec("INSERT INTO src2 VALUES (9, 0)");  // d fails from here on
+    } else {
+      exec("INSERT INTO src2 VALUES (" + std::to_string(base) + ", " +
+           std::to_string(round + 1) + ")");
+    }
+    sched.RunUntil((round + 1) * 2 * kMicrosPerMinute);
+  }
+
+  WorkloadResult out;
+  out.log = sched.log();
+  for (const char* dt : {"a1", "a2", "a3", "b", "c", "d", "e"}) {
+    out.contents[dt] = Contents(engine, dt);
+  }
+  for (const auto& [name, wh] : engine.warehouses().all()) {
+    out.billed[name] = wh->billed();
+  }
+  out.gate_peaks = sched.max_gate_occupancy();
+  return out;
+}
+
+void ExpectSameLogs(const std::vector<RefreshRecord>& serial,
+                    const std::vector<RefreshRecord>& parallel) {
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    const RefreshRecord& s = serial[i];
+    const RefreshRecord& p = parallel[i];
+    EXPECT_EQ(s.dt, p.dt) << "record " << i;
+    EXPECT_EQ(s.dt_name, p.dt_name) << "record " << i;
+    EXPECT_EQ(s.data_timestamp, p.data_timestamp) << "record " << i;
+    EXPECT_EQ(s.start_time, p.start_time) << "record " << i << " " << s.dt_name;
+    EXPECT_EQ(s.end_time, p.end_time) << "record " << i << " " << s.dt_name;
+    EXPECT_EQ(s.action, p.action) << "record " << i << " " << s.dt_name;
+    EXPECT_EQ(s.skipped, p.skipped) << "record " << i << " " << s.dt_name;
+    EXPECT_EQ(s.failed, p.failed) << "record " << i << " " << s.dt_name;
+    EXPECT_EQ(s.error, p.error) << "record " << i << " " << s.dt_name;
+    EXPECT_EQ(s.rows_processed, p.rows_processed)
+        << "record " << i << " " << s.dt_name;
+    EXPECT_EQ(s.changes_applied, p.changes_applied)
+        << "record " << i << " " << s.dt_name;
+    EXPECT_EQ(s.dt_row_count, p.dt_row_count)
+        << "record " << i << " " << s.dt_name;
+    EXPECT_EQ(s.peak_lag, p.peak_lag) << "record " << i << " " << s.dt_name;
+    EXPECT_EQ(s.trough_lag, p.trough_lag)
+        << "record " << i << " " << s.dt_name;
+  }
+}
+
+TEST(ParallelRefreshTest, ParallelAndSerialProduceIdenticalResults) {
+  WorkloadResult serial = RunWorkload(0);
+  WorkloadResult parallel = RunWorkload(4);
+
+  // The workload actually exercised the interesting paths.
+  bool saw_failure = false, saw_skip = false, saw_incremental = false;
+  for (const RefreshRecord& r : serial.log) {
+    saw_failure = saw_failure || r.failed;
+    saw_skip = saw_skip || r.skipped;
+    saw_incremental =
+        saw_incremental || r.action == RefreshAction::kIncremental;
+  }
+  EXPECT_TRUE(saw_failure);
+  EXPECT_TRUE(saw_skip);
+  EXPECT_TRUE(saw_incremental);
+  ASSERT_GT(serial.log.size(), 20u);
+
+  ExpectSameLogs(serial.log, parallel.log);
+  EXPECT_EQ(serial.contents, parallel.contents);
+  EXPECT_EQ(serial.billed, parallel.billed);
+
+  // Parallel mode ran through the gates; serial never touches them.
+  EXPECT_TRUE(serial.gate_peaks.empty());
+  for (const auto& [gate, peak] : parallel.gate_peaks) {
+    (void)gate;
+    EXPECT_GE(peak, 1);
+  }
+  // The shared warehouse (concurrency 2) was never over-admitted.
+  auto whs = parallel.gate_peaks.find("whs");
+  ASSERT_NE(whs, parallel.gate_peaks.end());
+  EXPECT_LE(whs->second, 2);
+}
+
+TEST(ParallelRefreshTest, SingleWorkerMatchesSerialToo) {
+  // worker_threads = 1 exercises the full runner machinery with zero
+  // parallelism — a good bisector when the equivalence test above fails.
+  WorkloadResult serial = RunWorkload(0);
+  WorkloadResult one = RunWorkload(1);
+  ExpectSameLogs(serial.log, one.log);
+  EXPECT_EQ(serial.contents, one.contents);
+  EXPECT_EQ(serial.billed, one.billed);
+}
+
+class AdmissionGateTest : public ::testing::Test {
+ protected:
+  /// Runs `n_dts` co-located sibling DTs over one shared source for a few
+  /// ticks and returns the scheduler + engine state for inspection.
+  struct GateRun {
+    std::map<std::string, int> gate_peaks;
+    Micros billed = 0;
+    std::vector<RefreshRecord> log;
+  };
+
+  GateRun Run(int worker_threads, int concurrency, int n_dts = 8) {
+    VirtualClock clock(0);
+    DvsEngine engine(clock);
+    Warehouse* wh = engine.warehouses().GetOrCreate("whgate", 1);
+    wh->set_concurrency(concurrency);
+
+    auto exec = [&engine](const std::string& sql) {
+      auto r = engine.Execute(sql);
+      ASSERT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    };
+    exec("CREATE TABLE src (k INT, v INT)");
+    for (int i = 0; i < 40; ++i) {
+      exec("INSERT INTO src VALUES (" + std::to_string(i) + ", " +
+           std::to_string(i * 7) + ")");
+    }
+    for (int i = 0; i < n_dts; ++i) {
+      exec("CREATE DYNAMIC TABLE g" + std::to_string(i) +
+           " TARGET_LAG = '2 minutes' WAREHOUSE = whgate "
+           "INITIALIZE = ON_SCHEDULE AS "
+           "SELECT k % " + std::to_string(i + 2) +
+           " AS grp, sum(v) AS sv, count(*) AS n FROM src GROUP BY ALL");
+    }
+
+    SchedulerOptions opts;
+    opts.worker_threads = worker_threads;
+    Scheduler sched(&engine, &clock, opts);
+    for (int round = 0; round < 4; ++round) {
+      exec("INSERT INTO src VALUES (" + std::to_string(1000 + round) + ", " +
+           std::to_string(round) + ")");
+      sched.RunUntil((round + 1) * 2 * kMicrosPerMinute);
+    }
+
+    GateRun out;
+    out.gate_peaks = sched.max_gate_occupancy();
+    out.billed = wh->billed();
+    out.log = sched.log();
+    return out;
+  }
+};
+
+TEST_F(AdmissionGateTest, CoLocatedDtsNeverExceedWarehouseConcurrency) {
+  GateRun run = Run(/*worker_threads=*/4, /*concurrency=*/2);
+  auto peak = run.gate_peaks.find("whgate");
+  ASSERT_NE(peak, run.gate_peaks.end());
+  EXPECT_GE(peak->second, 1);
+  EXPECT_LE(peak->second, 2);
+}
+
+TEST_F(AdmissionGateTest, ConcurrencyOneFullySerializesCoLocatedDts) {
+  GateRun run = Run(/*worker_threads=*/4, /*concurrency=*/1);
+  auto peak = run.gate_peaks.find("whgate");
+  ASSERT_NE(peak, run.gate_peaks.end());
+  EXPECT_EQ(peak->second, 1);
+}
+
+TEST_F(AdmissionGateTest, BilledTimeMatchesSerialCostModel) {
+  // Virtual-time billing is computed in the deterministic merge phase, so
+  // the parallel gates must not change what the warehouse bills — the same
+  // serialized slots and sub-threshold idle as scheduler_test.cc expects.
+  GateRun serial = Run(/*worker_threads=*/0, /*concurrency=*/2);
+  GateRun parallel = Run(/*worker_threads=*/4, /*concurrency=*/2);
+  EXPECT_GT(serial.billed, 0);
+  EXPECT_EQ(serial.billed, parallel.billed);
+  ASSERT_EQ(serial.log.size(), parallel.log.size());
+  for (size_t i = 0; i < serial.log.size(); ++i) {
+    EXPECT_EQ(serial.log[i].start_time, parallel.log[i].start_time);
+    EXPECT_EQ(serial.log[i].end_time, parallel.log[i].end_time);
+  }
+}
+
+}  // namespace
+}  // namespace dvs

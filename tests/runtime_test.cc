@@ -1,0 +1,231 @@
+// Tests for runtime/: ThreadPool basics (execution, graceful drain,
+// exception capture, worker-side submission) and DagRefreshRunner
+// coordination (upstream barriers, admission gates, cycle detection).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "runtime/dag_runner.h"
+#include "runtime/thread_pool.h"
+
+namespace dvs {
+namespace runtime {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Drain();
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_TRUE(pool.TakeError().ok());
+}
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; });
+  pool.Drain();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, CapturesTaskExceptionsAsStatus) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  pool.Drain();
+  Status err = pool.TakeError();
+  ASSERT_FALSE(err.ok());
+  EXPECT_NE(err.message().find("boom"), std::string::npos);
+  // The error is consumed; the pool keeps working.
+  EXPECT_TRUE(pool.TakeError().ok());
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; });
+  pool.Drain();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, WorkersCanSubmitFollowUpTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&pool, &count] {
+    count.fetch_add(1);
+    pool.Submit([&count] { count.fetch_add(1); });
+  });
+  pool.Drain();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, DestructorFinishesQueuedWork) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+  }  // graceful shutdown: everything queued still runs
+  EXPECT_EQ(count.load(), 50);
+}
+
+class DagRunnerTest : public ::testing::Test {
+ protected:
+  std::vector<size_t> FinishOrder() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return finished_;
+  }
+
+  DagTask Recorder(size_t id, std::string gate = "") {
+    DagTask t;
+    t.gate = std::move(gate);
+    t.work = [this, id] {
+      std::lock_guard<std::mutex> lock(mu_);
+      finished_.push_back(id);
+    };
+    return t;
+  }
+
+  std::mutex mu_;
+  std::vector<size_t> finished_;
+};
+
+TEST_F(DagRunnerTest, EmptyRunIsOk) {
+  ThreadPool pool(2);
+  DagRefreshRunner runner(&pool);
+  EXPECT_TRUE(runner.Run({}, {}).ok());
+}
+
+TEST_F(DagRunnerTest, UpstreamAlwaysFinishesFirst) {
+  ThreadPool pool(4);
+  DagRefreshRunner runner(&pool);
+  // Diamond: 0 -> {1, 2} -> 3, repeated a few times to shake out races.
+  for (int round = 0; round < 20; ++round) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      finished_.clear();
+    }
+    std::vector<DagTask> tasks;
+    tasks.push_back(Recorder(0));
+    tasks.push_back(Recorder(1));
+    tasks.back().upstream = {0};
+    tasks.push_back(Recorder(2));
+    tasks.back().upstream = {0};
+    tasks.push_back(Recorder(3));
+    tasks.back().upstream = {1, 2};
+    ASSERT_TRUE(runner.Run(tasks, {}).ok());
+
+    std::vector<size_t> order = FinishOrder();
+    ASSERT_EQ(order.size(), 4u);
+    auto pos = [&order](size_t id) {
+      return std::find(order.begin(), order.end(), id) - order.begin();
+    };
+    EXPECT_LT(pos(0), pos(1));
+    EXPECT_LT(pos(0), pos(2));
+    EXPECT_LT(pos(1), pos(3));
+    EXPECT_LT(pos(2), pos(3));
+  }
+}
+
+TEST_F(DagRunnerTest, GateNeverExceedsLimit) {
+  ThreadPool pool(8);
+  DagRefreshRunner runner(&pool);
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_seen{0};
+  std::vector<DagTask> tasks;
+  for (int i = 0; i < 24; ++i) {
+    DagTask t;
+    t.gate = "wh";
+    t.work = [&in_flight, &max_seen] {
+      int now = in_flight.fetch_add(1) + 1;
+      int prev = max_seen.load();
+      while (now > prev && !max_seen.compare_exchange_weak(prev, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      in_flight.fetch_sub(1);
+    };
+    tasks.push_back(std::move(t));
+  }
+  ASSERT_TRUE(runner.Run(tasks, {{"wh", 3}}).ok());
+  EXPECT_LE(max_seen.load(), 3);
+  ASSERT_TRUE(runner.gate_stats().count("wh"));
+  EXPECT_EQ(runner.gate_stats().at("wh").limit, 3);
+  EXPECT_LE(runner.gate_stats().at("wh").max_in_flight, 3);
+  EXPECT_GE(runner.gate_stats().at("wh").max_in_flight, 1);
+}
+
+TEST_F(DagRunnerTest, UngatedTasksRunWithoutLimits) {
+  ThreadPool pool(4);
+  DagRefreshRunner runner(&pool);
+  std::vector<DagTask> tasks;
+  for (size_t i = 0; i < 10; ++i) tasks.push_back(Recorder(i));
+  ASSERT_TRUE(runner.Run(tasks, {}).ok());
+  EXPECT_EQ(FinishOrder().size(), 10u);
+}
+
+TEST_F(DagRunnerTest, DetectsFullCycle) {
+  ThreadPool pool(2);
+  DagRefreshRunner runner(&pool);
+  std::vector<DagTask> tasks;
+  tasks.push_back(Recorder(0));
+  tasks.back().upstream = {1};
+  tasks.push_back(Recorder(1));
+  tasks.back().upstream = {0};
+  Status s = runner.Run(tasks, {});
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("cycle"), std::string::npos);
+  EXPECT_TRUE(FinishOrder().empty());
+}
+
+TEST_F(DagRunnerTest, PartialCycleRunsTheAcyclicPart) {
+  ThreadPool pool(2);
+  DagRefreshRunner runner(&pool);
+  std::vector<DagTask> tasks;
+  tasks.push_back(Recorder(0));  // free
+  tasks.push_back(Recorder(1));
+  tasks.back().upstream = {2};
+  tasks.push_back(Recorder(2));
+  tasks.back().upstream = {1};
+  Status s = runner.Run(tasks, {});
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("cycle"), std::string::npos);
+  std::vector<size_t> order = FinishOrder();
+  ASSERT_EQ(order.size(), 1u);
+  EXPECT_EQ(order[0], 0u);
+}
+
+TEST_F(DagRunnerTest, RejectsOutOfRangeEdges) {
+  ThreadPool pool(1);
+  DagRefreshRunner runner(&pool);
+  std::vector<DagTask> tasks;
+  tasks.push_back(Recorder(0));
+  tasks.back().upstream = {7};
+  EXPECT_FALSE(runner.Run(tasks, {}).ok());
+}
+
+TEST_F(DagRunnerTest, TaskExceptionBecomesRunError) {
+  ThreadPool pool(2);
+  DagRefreshRunner runner(&pool);
+  std::vector<DagTask> tasks;
+  DagTask t;
+  t.work = [] { throw std::runtime_error("task exploded"); };
+  tasks.push_back(std::move(t));
+  tasks.push_back(Recorder(1));
+  Status s = runner.Run(tasks, {});
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("task exploded"), std::string::npos);
+  // The healthy task still ran; the run finished instead of hanging.
+  EXPECT_EQ(FinishOrder().size(), 1u);
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace dvs
