@@ -1,11 +1,15 @@
 // Quickstart: create a table, a dynamic table over it, feed data, refresh,
-// and query — the whole DVS loop in ~60 lines.
+// and query — then save everything to disk, "restart", and time-travel
+// across the restart. The whole DVS loop plus durability in ~100 lines.
 //
 //   $ ./quickstart
 
 #include <cstdio>
+#include <filesystem>
 
 #include "dt/engine.h"
+#include "persist/manager.h"
+#include "persist/recover.h"
 
 using namespace dvs;
 
@@ -41,6 +45,21 @@ int main() {
   VirtualClock clock(0);
   DvsEngine engine(clock);
 
+  // Durability: attach a persist::Manager and every commit, refresh, and DDL
+  // statement below is journaled to ./quickstart_state (checkpoint + WAL).
+  const std::string state_dir = "quickstart_state";
+  std::filesystem::remove_all(state_dir);
+  auto opened = persist::Manager::Open({state_dir});
+  if (!opened.ok()) {
+    std::printf("ERROR: %s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  auto manager = opened.take();
+  if (Status s = manager->Attach(&engine); !s.ok()) {
+    std::printf("ERROR: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
   Run(engine, "CREATE TABLE orders (id INT, customer STRING, amount INT)");
   Run(engine, "INSERT INTO orders VALUES (1, 'alice', 120), (2, 'bob', 80), "
               "(3, 'alice', 40)");
@@ -72,5 +91,43 @@ int main() {
               engine.Query("SELECT * FROM spend_by_customer").value().rows.size(),
               static_cast<long long>(meta.data_timestamp),
               oracle.value().size());
+
+  // ---- Restart. Everything above was journaled; recover it from disk into
+  // a brand-new engine, as a crashed or rebooted process would.
+  const Micros before_restart = meta.data_timestamp;
+  std::printf("\n-- restarting from %s --\n", state_dir.c_str());
+  VirtualClock clock2(0);
+  auto recovered = persist::Recover(state_dir, &clock2);
+  if (!recovered.ok()) {
+    std::printf("ERROR: recover: %s\n",
+                recovered.status().ToString().c_str());
+    return 1;
+  }
+  DvsEngine& engine2 = *recovered.value().engine;
+  std::printf("-- recovered %llu WAL records; clock resumed at %lld --\n",
+              static_cast<unsigned long long>(
+                  recovered.value().wal_records_replayed),
+              static_cast<long long>(clock2.Now()));
+
+  // The reopened DT picks up right where the old process stopped...
+  Show(engine2, "SELECT * FROM spend_by_customer ORDER BY customer");
+
+  // ...new data keeps flowing...
+  clock2.Advance(kMicrosPerMinute);
+  Run(engine2, "INSERT INTO orders VALUES (6, 'alice', 75)");
+  Run(engine2, "ALTER DYNAMIC TABLE spend_by_customer REFRESH");
+  Show(engine2, "SELECT * FROM spend_by_customer ORDER BY customer");
+
+  // ...and time travel still reaches data timestamps from BEFORE the
+  // restart: HLC-indexed versions are durable state, not process state.
+  auto back_then = engine2.QueryAsOf(
+      "SELECT customer, sum(amount) AS total FROM orders GROUP BY ALL",
+      before_restart);
+  std::printf("\nTime travel across the restart: %zu customer(s) as of ts "
+              "%lld (pre-restart), vs %zu now.\n",
+              back_then.value().size(),
+              static_cast<long long>(before_restart),
+              engine2.Query("SELECT * FROM spend_by_customer").value()
+                  .rows.size());
   return 0;
 }

@@ -57,6 +57,47 @@ void Catalog::Log(const std::string& op, const std::string& name, ObjectId id,
   ddl_log_.push_back({ddl_log_.size() + 1, ts, op, name, id});
 }
 
+void Catalog::FireDdlHook(DdlOp op, const CatalogObject* obj,
+                          const std::string& name, std::string detail,
+                          HlcTimestamp ts) {
+  if (!ddl_hook_) return;
+  DdlHookInfo info;
+  info.op = op;
+  info.object = obj;
+  info.name = name;
+  info.detail = std::move(detail);
+  info.ts = ts;
+  ddl_hook_(info);
+}
+
+void Catalog::NotifyAlter(DdlOp op, const CatalogObject* obj,
+                          std::string detail, HlcTimestamp ts) {
+  const char* name = op == DdlOp::kAlterTargetLag ? "ALTER SET TARGET_LAG"
+                     : op == DdlOp::kAlterSuspend ? "ALTER SUSPEND"
+                                                  : "ALTER RESUME";
+  Log(name, obj->name, obj->id, ts);
+  FireDdlHook(op, obj, obj->name, std::move(detail), ts);
+}
+
+Status Catalog::RestoreObject(std::unique_ptr<CatalogObject> obj) {
+  if (obj->id != next_id_) {
+    return Internal("catalog restore out of order: expected id " +
+                    std::to_string(next_id_) + ", got " +
+                    std::to_string(obj->id));
+  }
+  if (!obj->dropped) {
+    std::string key = LowerName(obj->name);
+    if (by_name_.count(key)) {
+      return Corruption("catalog restore: duplicate live name '" + obj->name +
+                        "'");
+    }
+    by_name_[key] = obj->id;
+  }
+  ++next_id_;
+  objects_.push_back(std::move(obj));
+  return OkStatus();
+}
+
 Result<ObjectId> Catalog::Register(std::unique_ptr<CatalogObject> obj,
                                    const std::string& op, HlcTimestamp ts) {
   std::string key = LowerName(obj->name);
@@ -72,12 +113,16 @@ Result<ObjectId> Catalog::Register(std::unique_ptr<CatalogObject> obj,
 }
 
 Result<ObjectId> Catalog::CreateBaseTable(const std::string& name,
-                                          Schema schema, HlcTimestamp ts) {
+                                          Schema schema, HlcTimestamp ts,
+                                          Micros min_data_retention) {
   auto obj = std::make_unique<CatalogObject>();
   obj->name = name;
   obj->kind = ObjectKind::kBaseTable;
   obj->storage = std::make_unique<VersionedTable>(std::move(schema));
-  return Register(std::move(obj), "CREATE TABLE", ts);
+  obj->min_data_retention = min_data_retention;
+  DVS_ASSIGN_OR_RETURN(ObjectId id, Register(std::move(obj), "CREATE TABLE", ts));
+  FireDdlHook(DdlOp::kCreateTable, objects_.back().get(), name, "", ts);
+  return id;
 }
 
 Result<ObjectId> Catalog::CreateView(const std::string& name, std::string sql,
@@ -87,7 +132,9 @@ Result<ObjectId> Catalog::CreateView(const std::string& name, std::string sql,
   obj->kind = ObjectKind::kView;
   obj->view_sql = std::move(sql);
   obj->view_plan = std::move(plan);
-  return Register(std::move(obj), "CREATE VIEW", ts);
+  DVS_ASSIGN_OR_RETURN(ObjectId id, Register(std::move(obj), "CREATE VIEW", ts));
+  FireDdlHook(DdlOp::kCreateView, objects_.back().get(), name, "", ts);
+  return id;
 }
 
 Result<ObjectId> Catalog::CreateDynamicTable(
@@ -103,7 +150,11 @@ Result<ObjectId> Catalog::CreateDynamicTable(
   obj->dt->plan = std::move(plan);
   obj->dt->incremental = incremental;
   obj->dt->dependencies = std::move(deps);
-  return Register(std::move(obj), "CREATE DYNAMIC TABLE", ts);
+  obj->min_data_retention = obj->dt->def.min_data_retention;
+  DVS_ASSIGN_OR_RETURN(ObjectId id,
+                       Register(std::move(obj), "CREATE DYNAMIC TABLE", ts));
+  FireDdlHook(DdlOp::kCreateDynamicTable, objects_.back().get(), name, "", ts);
+  return id;
 }
 
 Status Catalog::DropObject(const std::string& name, HlcTimestamp ts) {
@@ -116,6 +167,7 @@ Status Catalog::DropObject(const std::string& name, HlcTimestamp ts) {
   obj->dropped = true;
   Log("DROP", name, obj->id, ts);
   by_name_.erase(it);
+  FireDdlHook(DdlOp::kDrop, nullptr, name, "", ts);
   return OkStatus();
 }
 
@@ -138,11 +190,13 @@ Status Catalog::UndropObject(const std::string& name, HlcTimestamp ts) {
   found->dropped = false;
   by_name_[key] = found->id;
   Log("UNDROP", name, found->id, ts);
+  FireDdlHook(DdlOp::kUndrop, found, name, "", ts);
   return OkStatus();
 }
 
 Result<ObjectId> Catalog::ReplaceBaseTable(const std::string& name,
-                                           Schema schema, HlcTimestamp ts) {
+                                           Schema schema, HlcTimestamp ts,
+                                           Micros min_data_retention) {
   std::string key = LowerName(name);
   auto it = by_name_.find(key);
   if (it != by_name_.end()) {
@@ -158,7 +212,11 @@ Result<ObjectId> Catalog::ReplaceBaseTable(const std::string& name,
   obj->name = name;
   obj->kind = ObjectKind::kBaseTable;
   obj->storage = std::make_unique<VersionedTable>(std::move(schema));
-  return Register(std::move(obj), "CREATE OR REPLACE TABLE", ts);
+  obj->min_data_retention = min_data_retention;
+  DVS_ASSIGN_OR_RETURN(
+      ObjectId id, Register(std::move(obj), "CREATE OR REPLACE TABLE", ts));
+  FireDdlHook(DdlOp::kReplaceTable, objects_.back().get(), name, "", ts);
+  return id;
 }
 
 Result<ObjectId> Catalog::CloneObject(const std::string& new_name,
@@ -179,7 +237,10 @@ Result<ObjectId> Catalog::CloneObject(const std::string& new_name,
     obj->dt->consecutive_failures = 0;
     obj->dt->state = DtState::kActive;
   }
-  return Register(std::move(obj), "CLONE", ts);
+  obj->min_data_retention = src->min_data_retention;
+  DVS_ASSIGN_OR_RETURN(ObjectId id, Register(std::move(obj), "CLONE", ts));
+  FireDdlHook(DdlOp::kClone, objects_.back().get(), new_name, source_name, ts);
+  return id;
 }
 
 Result<CatalogObject*> Catalog::Find(const std::string& name) {

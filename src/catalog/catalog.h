@@ -5,6 +5,7 @@
 #ifndef DVS_CATALOG_CATALOG_H_
 #define DVS_CATALOG_CATALOG_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -52,7 +53,8 @@ struct TrackedDependency {
   Schema schema_at_bind;
 };
 
-/// Immutable definition of a dynamic table.
+/// Definition of a dynamic table. Immutable except `target_lag` (ALTER
+/// DYNAMIC TABLE ... SET TARGET_LAG) and the retention window.
 struct DynamicTableDef {
   std::string sql;  ///< Defining SELECT text.
   TargetLag target_lag;
@@ -61,6 +63,10 @@ struct DynamicTableDef {
   /// If true, CREATE initializes synchronously (§3.1); otherwise the first
   /// scheduled refresh initializes.
   bool initialize_on_create = true;
+  /// MIN_DATA_RETENTION window for retention GC: table versions older than
+  /// this (and unreachable by any downstream incremental refresh) are pruned.
+  /// Negative = retain everything (the pre-durability behavior).
+  Micros min_data_retention = -1;
 };
 
 /// Mutable runtime state of a dynamic table.
@@ -103,6 +109,10 @@ struct CatalogObject {
   // Dynamic tables:
   std::unique_ptr<DynamicTableMeta> dt;
   bool dropped = false;
+  /// Retention-GC window for this object's storage (see
+  /// DynamicTableDef::min_data_retention; mirrored there for DTs so the
+  /// definition serializes whole). Negative = retain everything.
+  Micros min_data_retention = -1;
 };
 
 enum class Privilege { kSelect, kOwnership, kMonitor, kOperate };
@@ -119,6 +129,34 @@ struct DdlEvent {
   ObjectId object_id = kInvalidObjectId;
 };
 
+/// Catalog operations surfaced to the durability hook, one per *logical*
+/// DDL statement (REPLACE is one op even though the DDL log records two
+/// events). The persist WAL replays these structurally at recovery.
+enum class DdlOp : uint8_t {
+  kCreateTable = 0,
+  kCreateView = 1,
+  kCreateDynamicTable = 2,
+  kDrop = 3,
+  kUndrop = 4,
+  kReplaceTable = 5,
+  kClone = 6,
+  kAlterTargetLag = 7,
+  kAlterSuspend = 8,
+  kAlterResume = 9,
+};
+
+/// Payload handed to the DDL hook. `object` points at the affected catalog
+/// entry (nullptr for DROP — the entry is looked up by name at replay);
+/// `detail` carries op-specific extra state (clone source name, serialized
+/// target lag).
+struct DdlHookInfo {
+  DdlOp op = DdlOp::kCreateTable;
+  const CatalogObject* object = nullptr;
+  std::string name;
+  std::string detail;
+  HlcTimestamp ts;
+};
+
 class Catalog {
  public:
   Catalog() = default;
@@ -128,7 +166,8 @@ class Catalog {
   // ---- DDL ----
 
   Result<ObjectId> CreateBaseTable(const std::string& name, Schema schema,
-                                   HlcTimestamp ts);
+                                   HlcTimestamp ts,
+                                   Micros min_data_retention = -1);
   Result<ObjectId> CreateView(const std::string& name, std::string sql,
                               PlanPtr plan, HlcTimestamp ts);
   /// `incremental` is the effective mode decided by incrementality analysis.
@@ -149,7 +188,8 @@ class Catalog {
   /// CREATE OR REPLACE TABLE: a *new object id* appears under the same name;
   /// DTs downstream detect the replacement and REINITIALIZE (§3.3.2, §5.4).
   Result<ObjectId> ReplaceBaseTable(const std::string& name, Schema schema,
-                                    HlcTimestamp ts);
+                                    HlcTimestamp ts,
+                                    Micros min_data_retention = -1);
 
   /// Zero-copy clone (§3.4): `new_name` becomes an independent object whose
   /// storage shares the source's immutable micro-partitions. Cloning a DT
@@ -170,6 +210,14 @@ class Catalog {
   /// All non-dropped dynamic tables, in creation order.
   std::vector<CatalogObject*> AllDynamicTables();
 
+  /// Raw object access including dropped objects, in id order (persist/
+  /// snapshot capture; UNDROP means dropped objects are persistent state).
+  size_t object_count() const { return objects_.size(); }
+  const CatalogObject* ObjectAt(size_t index) const {
+    return objects_[index].get();
+  }
+  CatalogObject* MutableObjectAt(size_t index) { return objects_[index].get(); }
+
   /// Object ids of non-dropped DTs that directly read `id`.
   std::vector<ObjectId> DownstreamDynamicTables(ObjectId id) const;
 
@@ -187,17 +235,46 @@ class Catalog {
 
   const std::vector<DdlEvent>& ddl_log() const { return ddl_log_; }
 
+  // ---- Durability (persist/) ----
+
+  /// Installed by persist::Manager::Attach; invoked once per logical DDL
+  /// operation after it committed, so the WAL can journal it. Catalog DDL is
+  /// single-threaded (no DDL during a scheduler tick), so the hook needs no
+  /// internal ordering.
+  using DdlHook = std::function<void(const DdlHookInfo&)>;
+  void set_ddl_hook(DdlHook hook) { ddl_hook_ = std::move(hook); }
+
+  /// Journals an ALTER DYNAMIC TABLE state change (SET TARGET_LAG / SUSPEND /
+  /// RESUME) into the DDL log and the durability hook. The engine mutates
+  /// the DT metadata itself; this records that it happened.
+  void NotifyAlter(DdlOp op, const CatalogObject* obj, std::string detail,
+                   HlcTimestamp ts);
+
+  /// Recovery: appends `obj` as the next object id — must be called in id
+  /// order with ids dense from 1 — and registers its name when not dropped.
+  /// Does not touch the DDL log (restored separately) or fire the hook.
+  Status RestoreObject(std::unique_ptr<CatalogObject> obj);
+  void RestoreDdlLog(std::vector<DdlEvent> log) { ddl_log_ = std::move(log); }
+
+  const std::map<std::pair<ObjectId, std::string>, std::set<Privilege>>&
+  grants() const {
+    return grants_;
+  }
+
  private:
   Result<ObjectId> Register(std::unique_ptr<CatalogObject> obj,
                             const std::string& op, HlcTimestamp ts);
   void Log(const std::string& op, const std::string& name, ObjectId id,
            HlcTimestamp ts);
+  void FireDdlHook(DdlOp op, const CatalogObject* obj, const std::string& name,
+                   std::string detail, HlcTimestamp ts);
 
   std::vector<std::unique_ptr<CatalogObject>> objects_;  // by id-1
   std::unordered_map<std::string, ObjectId> by_name_;    // live objects
   std::vector<DdlEvent> ddl_log_;
   std::map<std::pair<ObjectId, std::string>, std::set<Privilege>> grants_;
   ObjectId next_id_ = 1;
+  DdlHook ddl_hook_;
 };
 
 }  // namespace dvs

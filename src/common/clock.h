@@ -24,6 +24,7 @@ constexpr Micros kMicrosPerSecond = 1000 * kMicrosPerMilli;
 constexpr Micros kMicrosPerMinute = 60 * kMicrosPerSecond;
 constexpr Micros kMicrosPerHour = 60 * kMicrosPerMinute;
 constexpr Micros kMicrosPerDay = 24 * kMicrosPerHour;
+constexpr Micros kMicrosPerWeek = 7 * kMicrosPerDay;
 
 /// Renders a duration like "1h 4m 12s" / "250ms"; for logs and reports.
 std::string FormatDuration(Micros micros);

@@ -49,6 +49,8 @@ Result<Micros> ParseDuration(const std::string& text) {
     per = kMicrosPerHour;
   } else if (unit == "d" || unit == "day" || unit == "days") {
     per = kMicrosPerDay;
+  } else if (unit == "w" || unit == "week" || unit == "weeks") {
+    per = kMicrosPerWeek;
   } else {
     return InvalidArgument("unknown duration unit '" + unit + "' in '" +
                            text + "'");

@@ -12,7 +12,9 @@
 namespace dvs {
 
 /// Parses "<n> <unit>" where unit in {second(s), minute(s), hour(s), day(s),
-/// ms, millisecond(s)}; also accepts compact forms like "90s", "5m", "2h".
+/// week(s), ms, millisecond(s)}; also accepts compact forms like "90s",
+/// "5m", "2h", "7d", "1w". Days and weeks make retention windows
+/// (MIN_DATA_RETENTION) expressible.
 Result<Micros> ParseDuration(const std::string& text);
 
 }  // namespace dvs

@@ -155,6 +155,11 @@ Result<QueryResult> DvsEngine::QueryChanges(const std::string& table,
     }
     VersionId v = obj->storage->ResolveVersionAt(HlcTimestamp::AtWallTime(ts));
     if (v == kInvalidVersionId) {
+      if (obj->storage->first_version() > 1) {
+        return FailedPrecondition("'" + table + "' change scan at " +
+                                  std::to_string(ts) +
+                                  " is below the retention window");
+      }
       return FailedPrecondition("'" + table + "' did not exist at " +
                                 std::to_string(ts));
     }
@@ -197,15 +202,17 @@ Result<QueryResult> DvsEngine::ExecuteCreateTable(
                   stmt.name + " cloned from " + stmt.clone_source;
     return out;
   }
+  ObjectId id;
   if (stmt.or_replace) {
-    DVS_ASSIGN_OR_RETURN(ObjectId id,
-                         catalog_.ReplaceBaseTable(stmt.name, stmt.schema, ts));
-    (void)id;
+    DVS_ASSIGN_OR_RETURN(id, catalog_.ReplaceBaseTable(stmt.name, stmt.schema,
+                                                       ts,
+                                                       stmt.min_data_retention));
   } else {
-    DVS_ASSIGN_OR_RETURN(ObjectId id,
-                         catalog_.CreateBaseTable(stmt.name, stmt.schema, ts));
-    (void)id;
+    DVS_ASSIGN_OR_RETURN(id, catalog_.CreateBaseTable(stmt.name, stmt.schema,
+                                                      ts,
+                                                      stmt.min_data_retention));
   }
+  (void)id;
   QueryResult out;
   out.message = "Table " + stmt.name + " created";
   return out;
@@ -263,6 +270,7 @@ Result<QueryResult> DvsEngine::ExecuteCreateDt(
   def.warehouse = stmt.warehouse;
   def.requested_mode = stmt.refresh_mode;
   def.initialize_on_create = stmt.initialize_on_create;
+  def.min_data_retention = stmt.min_data_retention;
 
   DVS_ASSIGN_OR_RETURN(
       ObjectId id,
@@ -330,7 +338,7 @@ Result<QueryResult> DvsEngine::ExecuteInsert(const sql::InsertStmt& stmt) {
   }
   ChangeSet changes = obj->storage->MakeInsertChanges(std::move(rows));
   int64_t n = static_cast<int64_t>(changes.size());
-  auto commit = txn_.CommitWrites({{obj->storage.get(), std::move(changes)}});
+  auto commit = txn_.CommitWrites({{obj->storage.get(), std::move(changes), obj->id}});
   if (!commit.ok()) return commit.status();
   if (recorder_ != nullptr) {
     recorder_->RecordWrite(obj->name, obj->storage->latest_version());
@@ -369,7 +377,7 @@ Result<QueryResult> DvsEngine::ExecuteDelete(const sql::DeleteStmt& stmt) {
   }
   int64_t n = static_cast<int64_t>(changes.size());
   if (n > 0) {
-    auto commit = txn_.CommitWrites({{obj->storage.get(), std::move(changes)}});
+    auto commit = txn_.CommitWrites({{obj->storage.get(), std::move(changes), obj->id}});
     if (!commit.ok()) return commit.status();
     if (recorder_ != nullptr) {
       recorder_->RecordWrite(obj->name, obj->storage->latest_version());
@@ -427,7 +435,7 @@ Result<QueryResult> DvsEngine::ExecuteUpdate(const sql::UpdateStmt& stmt) {
     ++n;
   }
   if (n > 0) {
-    auto commit = txn_.CommitWrites({{obj->storage.get(), std::move(changes)}});
+    auto commit = txn_.CommitWrites({{obj->storage.get(), std::move(changes), obj->id}});
     if (!commit.ok()) return commit.status();
     if (recorder_ != nullptr) {
       recorder_->RecordWrite(obj->name, obj->storage->latest_version());
@@ -458,12 +466,27 @@ Result<QueryResult> DvsEngine::ExecuteAlterDt(const sql::AlterDtStmt& stmt) {
     }
     case sql::AlterDtStmt::Action::kSuspend:
       obj->dt->state = DtState::kSuspended;
+      catalog_.NotifyAlter(DdlOp::kAlterSuspend, obj, "",
+                           txn_.NextCommitTimestamp());
       out.message = stmt.name + " suspended";
       break;
     case sql::AlterDtStmt::Action::kResume:
       obj->dt->state = DtState::kActive;
       obj->dt->consecutive_failures = 0;
+      catalog_.NotifyAlter(DdlOp::kAlterResume, obj, "",
+                           txn_.NextCommitTimestamp());
       out.message = stmt.name + " resumed";
+      break;
+    case sql::AlterDtStmt::Action::kSetTargetLag:
+      // The scheduler reads the definition on every tick, so the new lag
+      // (and the refresh period derived from it) takes effect at the next
+      // tick without restarting anything.
+      obj->dt->def.target_lag = stmt.target_lag;
+      catalog_.NotifyAlter(DdlOp::kAlterTargetLag, obj,
+                           stmt.target_lag.ToString(),
+                           txn_.NextCommitTimestamp());
+      out.message = stmt.name + " target lag set to " +
+                    stmt.target_lag.ToString();
       break;
   }
   return out;

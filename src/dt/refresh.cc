@@ -70,7 +70,19 @@ Result<std::vector<IdRow>> RefreshEngine::ScanAsOf(ObjectId id, Micros ts,
   switch (obj->kind) {
     case ObjectKind::kBaseTable: {
       VersionId v = obj->storage->ResolveVersionAt(HlcTimestamp::AtWallTime(ts));
-      if (v == kInvalidVersionId) return std::vector<IdRow>{};
+      if (v == kInvalidVersionId) {
+        // No resolvable version: either the table did not exist yet (empty
+        // result, the pre-durability behavior) or retention GC trimmed the
+        // version that t would resolve to — which must fail loudly, never
+        // silently read the wrong snapshot.
+        if (obj->storage->first_version() > 1) {
+          return FailedPrecondition(
+              "time travel on '" + obj->name + "' at " + std::to_string(ts) +
+              " is below the retention window (oldest retained version is " +
+              std::to_string(obj->storage->first_version()) + ")");
+        }
+        return std::vector<IdRow>{};
+      }
       return obj->storage->ScanAt(v);
     }
     case ObjectKind::kView: {
@@ -248,6 +260,10 @@ Result<RefreshOutcome> RefreshEngine::Refresh(ObjectId dt_id,
   LockGuard lock(txn_, dt_id, dt_id);
   DVS_RETURN_IF_ERROR(lock.Acquire());
 
+  // Durability journal entry, filled at the commit site and emitted after
+  // the refresh succeeds (persist hook installed only).
+  RefreshCommitInfo pinfo;
+
   auto run = [&]() -> Result<RefreshOutcome> {
     RefreshOutcome out;
     out.data_timestamp = refresh_ts;
@@ -256,6 +272,23 @@ Result<RefreshOutcome> RefreshEngine::Refresh(ObjectId dt_id,
     DVS_ASSIGN_OR_RETURN(auto source_versions,
                          ResolveSourceVersions(*obj, refresh_ts));
 
+    // Shared INSERT OVERWRITE commit for INITIALIZE / REINITIALIZE / FULL:
+    // stamps the commit and journals the payload for WAL replay (the rows
+    // are copied only when a persist hook is installed).
+    auto commit_overwrite = [&](std::vector<IdRow> rows) -> Result<VersionId> {
+      HlcTimestamp commit_ts = txn_->NextCommitTimestamp();
+      if (persist_hook_) pinfo.rows = rows;
+      pinfo.commit = RefreshCommitInfo::StorageCommit::kOverwrite;
+      pinfo.commit_ts = commit_ts;
+      return obj->storage->Overwrite(std::move(rows), commit_ts);
+    };
+    auto commit_noop = [&]() -> VersionId {
+      HlcTimestamp commit_ts = txn_->NextCommitTimestamp();
+      pinfo.commit = RefreshCommitInfo::StorageCommit::kNoOp;
+      pinfo.commit_ts = commit_ts;
+      return obj->storage->CommitNoOp(commit_ts);
+    };
+
     // INITIALIZE: first materialization.
     if (!meta->initialized) {
       out.action = RefreshAction::kInitialize;
@@ -263,9 +296,7 @@ Result<RefreshOutcome> RefreshEngine::Refresh(ObjectId dt_id,
                            ComputeFull(*obj, source_versions, refresh_ts, &out.rows_processed));
       out.changes_applied = rows.size();
       out.change_stats.inserts = rows.size();
-      DVS_ASSIGN_OR_RETURN(VersionId vid,
-                           obj->storage->Overwrite(std::move(rows),
-                                                   txn_->NextCommitTimestamp()));
+      DVS_ASSIGN_OR_RETURN(VersionId vid, commit_overwrite(std::move(rows)));
       meta->initialized = true;
       meta->needs_reinit = false;
       meta->refresh_versions[refresh_ts] = vid;
@@ -282,9 +313,7 @@ Result<RefreshOutcome> RefreshEngine::Refresh(ObjectId dt_id,
                            ComputeFull(*obj, source_versions, refresh_ts, &out.rows_processed));
       out.changes_applied = rows.size();
       out.change_stats.inserts = rows.size();
-      DVS_ASSIGN_OR_RETURN(VersionId vid,
-                           obj->storage->Overwrite(std::move(rows),
-                                                   txn_->NextCommitTimestamp()));
+      DVS_ASSIGN_OR_RETURN(VersionId vid, commit_overwrite(std::move(rows)));
       meta->needs_reinit = false;
       meta->refresh_versions[refresh_ts] = vid;
       meta->frontier = std::move(source_versions);
@@ -311,7 +340,7 @@ Result<RefreshOutcome> RefreshEngine::Refresh(ObjectId dt_id,
     }
     if (!changed) {
       out.action = RefreshAction::kNoData;
-      VersionId vid = obj->storage->CommitNoOp(txn_->NextCommitTimestamp());
+      VersionId vid = commit_noop();
       meta->refresh_versions[refresh_ts] = vid;
       meta->frontier = std::move(source_versions);
       meta->data_timestamp = refresh_ts;
@@ -326,9 +355,7 @@ Result<RefreshOutcome> RefreshEngine::Refresh(ObjectId dt_id,
                            ComputeFull(*obj, source_versions, refresh_ts, &out.rows_processed));
       out.changes_applied = rows.size();
       out.change_stats.inserts = rows.size();
-      DVS_ASSIGN_OR_RETURN(VersionId vid,
-                           obj->storage->Overwrite(std::move(rows),
-                                                   txn_->NextCommitTimestamp()));
+      DVS_ASSIGN_OR_RETURN(VersionId vid, commit_overwrite(std::move(rows)));
       meta->refresh_versions[refresh_ts] = vid;
       meta->frontier = std::move(source_versions);
       meta->data_timestamp = refresh_ts;
@@ -407,13 +434,18 @@ Result<RefreshOutcome> RefreshEngine::Refresh(ObjectId dt_id,
 
     out.changes_applied = changes.size();
     if (changes.empty()) {
-      VersionId vid = obj->storage->CommitNoOp(txn_->NextCommitTimestamp());
+      VersionId vid = commit_noop();
       meta->refresh_versions[refresh_ts] = vid;
     } else {
-      // Merge with §6.1 validations enforced by the storage layer.
+      // Merge with §6.1 validations enforced by the storage layer. The
+      // StagedWrite carries the DT's object id so the transaction manager's
+      // commit hook journals this merge; the refresh record then only
+      // asserts the resulting version (StorageCommit::kApplied).
       auto commit =
-          txn_->CommitWrites({{obj->storage.get(), std::move(changes)}});
+          txn_->CommitWrites({{obj->storage.get(), std::move(changes), dt_id}});
       if (!commit.ok()) return commit.status();
+      pinfo.commit = RefreshCommitInfo::StorageCommit::kApplied;
+      pinfo.commit_ts = commit.value();
       meta->refresh_versions[refresh_ts] = obj->storage->latest_version();
     }
     meta->frontier = std::move(source_versions);
@@ -425,6 +457,17 @@ Result<RefreshOutcome> RefreshEngine::Refresh(ObjectId dt_id,
   Result<RefreshOutcome> result = run();
   if (result.ok()) {
     meta->consecutive_failures = 0;
+    if (persist_hook_) {
+      // Journal the committed refresh for WAL replay. The WAL writer
+      // serializes appends internally; ordering against this refresh's own
+      // txn commit record is preserved because both happen on this thread.
+      pinfo.dt = dt_id;
+      pinfo.refresh_ts = refresh_ts;
+      pinfo.action = result.value().action;
+      pinfo.new_version = meta->refresh_versions.at(refresh_ts);
+      pinfo.frontier = meta->frontier;
+      persist_hook_(pinfo);
+    }
     if (commit_observer_) {
       // The frontier now holds the exact source versions this refresh
       // consumed: precisely the derivation inputs of §4. Serialized:
@@ -435,6 +478,7 @@ Result<RefreshOutcome> RefreshEngine::Refresh(ObjectId dt_id,
     }
   } else if (CountsAsFailure(result.status())) {
     RecordFailure(obj);
+    if (failure_hook_) failure_hook_(dt_id);
   }
   return result;
 }

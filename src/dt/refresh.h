@@ -119,6 +119,38 @@ class RefreshEngine {
     commit_observer_ = std::move(observer);
   }
 
+  // ---- Durability hooks (persist/) ----
+
+  /// Everything WAL replay needs to reproduce one committed refresh: the
+  /// metadata transition (refresh_versions entry, frontier, data timestamp)
+  /// plus the storage commit when it did not go through the transaction
+  /// manager (Overwrite / CommitNoOp are direct storage calls; incremental
+  /// ApplyChanges is journaled by the TransactionManager commit hook).
+  struct RefreshCommitInfo {
+    ObjectId dt = kInvalidObjectId;
+    Micros refresh_ts = 0;
+    RefreshAction action = RefreshAction::kNoData;
+    enum class StorageCommit : uint8_t {
+      kOverwrite = 0,  ///< Replay Overwrite(rows, commit_ts).
+      kNoOp = 1,       ///< Replay CommitNoOp(commit_ts).
+      kApplied = 2,    ///< Changes already replayed via the txn commit WAL.
+    };
+    StorageCommit commit = StorageCommit::kNoOp;
+    HlcTimestamp commit_ts;   ///< kOverwrite / kNoOp payload.
+    std::vector<IdRow> rows;  ///< kOverwrite payload (copied only when a
+                              ///< persist hook is installed).
+    VersionId new_version = kInvalidVersionId;
+    std::unordered_map<ObjectId, VersionId> frontier;
+  };
+  using PersistHook = std::function<void(const RefreshCommitInfo&)>;
+  void set_persist_hook(PersistHook hook) { persist_hook_ = std::move(hook); }
+  bool has_persist_hook() const { return persist_hook_ != nullptr; }
+
+  /// Invoked when a refresh fails in a way that counts toward auto-suspend
+  /// (§3.3.3), so recovery reproduces failure accounting and suspension.
+  using FailureHook = std::function<void(ObjectId dt)>;
+  void set_failure_hook(FailureHook hook) { failure_hook_ = std::move(hook); }
+
  private:
   /// §5.4 dependency re-validation; may rebind the plan and set
   /// needs_reinit. Fails if a dependency is missing.
@@ -150,6 +182,8 @@ class RefreshEngine {
   TransactionManager* txn_;
   RefreshEngineOptions options_;
   CommitObserver commit_observer_;
+  PersistHook persist_hook_;
+  FailureHook failure_hook_;
   /// Serializes commit_observer_ invocations across refresh workers (the
   /// isolation recorder appends to one shared history).
   std::mutex observer_mu_;

@@ -1,0 +1,429 @@
+#include "persist/format.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace dvs {
+namespace persist {
+
+// The on-disk format is documented (and fingerprint-compared) as
+// little-endian fixed-width; Encoder/Decoder memcpy native byte order, so
+// enforce the equivalence at compile time rather than silently writing a
+// byte-swapped file on an exotic host.
+#if defined(__BYTE_ORDER__) && defined(__ORDER_LITTLE_ENDIAN__)
+static_assert(__BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__,
+              "persist file format requires a little-endian host");
+#endif
+
+namespace {
+
+/// IEEE CRC32 table, generated at first use.
+const uint32_t* CrcTable() {
+  static uint32_t table[256];
+  static bool init = [] {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return true;
+  }();
+  (void)init;
+  return table;
+}
+
+constexpr size_t kHeaderSize = 4 + 4 + 8;  // magic, version, seq
+constexpr size_t kFrameOverhead = 4 + 4 + 1;  // len, crc, type
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n) {
+  const uint32_t* table = CrcTable();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void Encoder::U32(uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  buf_.append(b, 4);
+}
+
+void Encoder::U64(uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  buf_.append(b, 8);
+}
+
+void Encoder::F64(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  U64(bits);
+}
+
+void Encoder::Str(std::string_view s) {
+  U32(static_cast<uint32_t>(s.size()));
+  buf_.append(s.data(), s.size());
+}
+
+void Encoder::Hlc(const HlcTimestamp& ts) {
+  I64(ts.physical);
+  U32(ts.logical);
+}
+
+void Encoder::Val(const Value& v) {
+  U8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case DataType::kNull:
+      break;
+    case DataType::kBool:
+      Bool(v.bool_value());
+      break;
+    case DataType::kInt64:
+      I64(v.int_value());
+      break;
+    case DataType::kDouble:
+      F64(v.double_value());
+      break;
+    case DataType::kString:
+      Str(v.string_value());
+      break;
+    case DataType::kTimestamp:
+      I64(v.timestamp_value());
+      break;
+    case DataType::kArray: {
+      const Array& a = v.array_value();
+      U32(static_cast<uint32_t>(a.size()));
+      for (const Value& item : a) Val(item);
+      break;
+    }
+  }
+}
+
+void Encoder::EncodeRow(const Row& r) {
+  U32(static_cast<uint32_t>(r.size()));
+  for (const Value& v : r) Val(v);
+}
+
+void Encoder::EncodeIdRow(const IdRow& r) {
+  U64(r.id);
+  EncodeRow(r.values);
+}
+
+void Encoder::EncodeIdRows(const std::vector<IdRow>& rows) {
+  U32(static_cast<uint32_t>(rows.size()));
+  for (const IdRow& r : rows) EncodeIdRow(r);
+}
+
+void Encoder::EncodeChangeRow(const ChangeRow& c) {
+  U8(c.action == ChangeAction::kInsert ? 0 : 1);
+  U64(c.row_id);
+  EncodeRow(c.values);
+}
+
+void Encoder::EncodeChangeSet(const ChangeSet& cs) {
+  U32(static_cast<uint32_t>(cs.size()));
+  for (const ChangeRow& c : cs) EncodeChangeRow(c);
+}
+
+void Encoder::EncodeSchema(const Schema& s) {
+  U32(static_cast<uint32_t>(s.size()));
+  for (const Column& c : s.columns()) {
+    Str(c.name);
+    U8(static_cast<uint8_t>(c.type));
+  }
+}
+
+void Encoder::EncodeTableVersion(const TableVersion& v) {
+  U64(v.id);
+  Hlc(v.commit_ts);
+  auto ids = [this](const std::vector<PartitionId>& pids) {
+    U32(static_cast<uint32_t>(pids.size()));
+    for (PartitionId p : pids) U64(p);
+  };
+  ids(v.live);
+  ids(v.added);
+  ids(v.removed);
+  U64(v.row_count);
+  Bool(v.data_equivalent);
+}
+
+bool Decoder::Need(size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+uint8_t Decoder::U8() {
+  if (!Need(1)) return 0;
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+uint32_t Decoder::U32() {
+  if (!Need(4)) return 0;
+  uint32_t v;
+  std::memcpy(&v, data_.data() + pos_, 4);
+  pos_ += 4;
+  return v;
+}
+
+uint64_t Decoder::U64() {
+  if (!Need(8)) return 0;
+  uint64_t v;
+  std::memcpy(&v, data_.data() + pos_, 8);
+  pos_ += 8;
+  return v;
+}
+
+double Decoder::F64() {
+  uint64_t bits = U64();
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+std::string Decoder::Str() {
+  uint32_t n = U32();
+  if (!Need(n)) return "";
+  std::string s(data_.substr(pos_, n));
+  pos_ += n;
+  return s;
+}
+
+HlcTimestamp Decoder::Hlc() {
+  HlcTimestamp ts;
+  ts.physical = I64();
+  ts.logical = U32();
+  return ts;
+}
+
+Value Decoder::Val() {
+  uint8_t tag = U8();
+  if (!ok_) return Value::Null();
+  switch (static_cast<DataType>(tag)) {
+    case DataType::kNull:
+      return Value::Null();
+    case DataType::kBool:
+      return Value::Bool(Bool());
+    case DataType::kInt64:
+      return Value::Int(I64());
+    case DataType::kDouble:
+      return Value::Double(F64());
+    case DataType::kString:
+      return Value::String(Str());
+    case DataType::kTimestamp:
+      return Value::Timestamp(I64());
+    case DataType::kArray: {
+      uint32_t n = U32();
+      Array items;
+      for (uint32_t i = 0; i < n && ok_; ++i) items.push_back(Val());
+      return Value::MakeArray(std::move(items));
+    }
+  }
+  ok_ = false;
+  return Value::Null();
+}
+
+Row Decoder::DecodeRow() {
+  uint32_t n = U32();
+  Row r;
+  if (ok_) r.reserve(n);
+  for (uint32_t i = 0; i < n && ok_; ++i) r.push_back(Val());
+  return r;
+}
+
+IdRow Decoder::DecodeIdRow() {
+  IdRow r;
+  r.id = U64();
+  r.values = DecodeRow();
+  return r;
+}
+
+std::vector<IdRow> Decoder::DecodeIdRows() {
+  uint32_t n = U32();
+  std::vector<IdRow> rows;
+  if (ok_) rows.reserve(n);
+  for (uint32_t i = 0; i < n && ok_; ++i) rows.push_back(DecodeIdRow());
+  return rows;
+}
+
+ChangeRow Decoder::DecodeChangeRow() {
+  ChangeRow c;
+  c.action = U8() == 0 ? ChangeAction::kInsert : ChangeAction::kDelete;
+  c.row_id = U64();
+  c.values = DecodeRow();
+  return c;
+}
+
+ChangeSet Decoder::DecodeChangeSet() {
+  uint32_t n = U32();
+  ChangeSet cs;
+  if (ok_) cs.reserve(n);
+  for (uint32_t i = 0; i < n && ok_; ++i) cs.push_back(DecodeChangeRow());
+  return cs;
+}
+
+Schema Decoder::DecodeSchema() {
+  uint32_t n = U32();
+  Schema s;
+  for (uint32_t i = 0; i < n && ok_; ++i) {
+    std::string name = Str();
+    DataType type = static_cast<DataType>(U8());
+    s.AddColumn(std::move(name), type);
+  }
+  return s;
+}
+
+TableVersion Decoder::DecodeTableVersion() {
+  TableVersion v;
+  v.id = U64();
+  v.commit_ts = Hlc();
+  auto ids = [this](std::vector<PartitionId>* out) {
+    uint32_t n = U32();
+    for (uint32_t i = 0; i < n && ok_; ++i) out->push_back(U64());
+  };
+  ids(&v.live);
+  ids(&v.added);
+  ids(&v.removed);
+  v.row_count = U64();
+  v.data_equivalent = Bool();
+  return v;
+}
+
+Status RecordFileWriter::Open(const std::string& path, uint32_t magic,
+                              uint64_t seq) {
+  Close();
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Internal("cannot open '" + path + "' for writing");
+  }
+  Encoder header;
+  header.U32(magic);
+  header.U32(kFormatVersion);
+  header.U64(seq);
+  const std::string& h = header.buf();
+  if (std::fwrite(h.data(), 1, h.size(), file_) != h.size()) {
+    Close();
+    return Internal("short write of header to '" + path + "'");
+  }
+  std::fflush(file_);
+  bytes_ = h.size();
+  return OkStatus();
+}
+
+Status RecordFileWriter::Append(uint8_t type, std::string_view payload) {
+  if (file_ == nullptr) return Internal("record file not open");
+  if (poisoned_) {
+    return Internal("record file has a torn frame after a failed write; "
+                    "appends disabled");
+  }
+  Encoder frame;
+  frame.U32(static_cast<uint32_t>(payload.size() + 1));
+  std::string body;
+  body.reserve(payload.size() + 1);
+  body.push_back(static_cast<char>(type));
+  body.append(payload.data(), payload.size());
+  frame.U32(Crc32(body.data(), body.size()));
+  const std::string& head = frame.buf();
+  if (std::fwrite(head.data(), 1, head.size(), file_) != head.size() ||
+      std::fwrite(body.data(), 1, body.size(), file_) != body.size()) {
+    // A short write leaves a torn frame. Rewind to the last intact record so
+    // later appends stay inside the replayable prefix; if the rewind itself
+    // fails, poison the writer — appending past the corruption would be
+    // unreachable by recovery, which stops at the first bad frame.
+    std::fflush(file_);
+    if (::ftruncate(::fileno(file_), static_cast<off_t>(bytes_)) != 0 ||
+        std::fseek(file_, static_cast<long>(bytes_), SEEK_SET) != 0) {
+      poisoned_ = true;
+    }
+    return Internal("short write appending persist record");
+  }
+  std::fflush(file_);
+  bytes_ += head.size() + body.size();
+  return OkStatus();
+}
+
+void RecordFileWriter::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Result<RecordFile> ReadRecordFile(const std::string& path, uint32_t magic,
+                                  bool tolerate_torn_tail) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return NotFound("cannot open '" + path + "'");
+  std::string data;
+  char chunk[1 << 16];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    data.append(chunk, n);
+  }
+  std::fclose(f);
+
+  if (data.size() < kHeaderSize) {
+    return Corruption("'" + path + "' is shorter than a file header");
+  }
+  Decoder header(std::string_view(data).substr(0, kHeaderSize));
+  uint32_t got_magic = header.U32();
+  uint32_t version = header.U32();
+  RecordFile out;
+  out.seq = header.U64();
+  if (got_magic != magic) {
+    return Corruption("'" + path + "' has wrong magic");
+  }
+  if (version != kFormatVersion) {
+    return Unsupported("'" + path + "' uses format version " +
+                       std::to_string(version));
+  }
+
+  size_t pos = kHeaderSize;
+  while (pos < data.size()) {
+    bool bad = false;
+    FramedRecord rec;
+    if (data.size() - pos < 8) {
+      bad = true;
+    } else {
+      Decoder frame(std::string_view(data).substr(pos, 8));
+      uint32_t len = frame.U32();
+      uint32_t crc = frame.U32();
+      if (len < 1 || data.size() - pos - 8 < len) {
+        bad = true;
+      } else {
+        std::string_view body = std::string_view(data).substr(pos + 8, len);
+        if (Crc32(body.data(), body.size()) != crc) {
+          bad = true;
+        } else {
+          rec.type = static_cast<uint8_t>(body[0]);
+          rec.payload = std::string(body.substr(1));
+          pos += 8 + len;
+          rec.end_offset = pos;
+        }
+      }
+    }
+    if (bad) {
+      if (!tolerate_torn_tail) {
+        return Corruption("corrupt record frame in '" + path + "' at offset " +
+                          std::to_string(pos));
+      }
+      out.torn_tail = true;
+      break;
+    }
+    out.records.push_back(std::move(rec));
+  }
+  return out;
+}
+
+}  // namespace persist
+}  // namespace dvs

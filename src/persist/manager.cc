@@ -1,0 +1,343 @@
+#include "persist/manager.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+
+#include "dt/refresh.h"
+
+namespace dvs {
+namespace persist {
+
+namespace fs = std::filesystem;
+
+std::string CheckpointPath(const std::string& dir, uint64_t seq) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "checkpoint-%08" PRIu64 ".ckpt", seq);
+  return (fs::path(dir) / name).string();
+}
+
+std::string WalPath(const std::string& dir, uint64_t seq) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "wal-%08" PRIu64 ".log", seq);
+  return (fs::path(dir) / name).string();
+}
+
+Status ScanGenerations(const std::string& dir,
+                       std::vector<uint64_t>* checkpoint_seqs,
+                       std::vector<uint64_t>* wal_seqs) {
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    uint64_t seq = 0;
+    if (checkpoint_seqs != nullptr &&
+        std::sscanf(name.c_str(), "checkpoint-%" SCNu64, &seq) == 1) {
+      checkpoint_seqs->push_back(seq);
+    } else if (wal_seqs != nullptr &&
+               std::sscanf(name.c_str(), "wal-%" SCNu64, &seq) == 1) {
+      wal_seqs->push_back(seq);
+    }
+  }
+  if (ec) return NotFound("cannot read persist dir '" + dir + "'");
+  return OkStatus();
+}
+
+Result<std::unique_ptr<Manager>> Manager::Open(ManagerOptions options) {
+  if (options.dir.empty()) {
+    return InvalidArgument("persist::Manager requires a directory");
+  }
+  std::error_code ec;
+  fs::create_directories(options.dir, ec);
+  if (ec) {
+    return Internal("cannot create persist dir '" + options.dir +
+                    "': " + ec.message());
+  }
+  std::unique_ptr<Manager> m(new Manager(std::move(options)));
+  // Next free generation: one past the largest existing checkpoint/WAL seq.
+  std::vector<uint64_t> checkpoints, wals;
+  DVS_RETURN_IF_ERROR(ScanGenerations(m->options_.dir, &checkpoints, &wals));
+  uint64_t next = 0;
+  for (uint64_t seq : checkpoints) next = std::max(next, seq + 1);
+  for (uint64_t seq : wals) next = std::max(next, seq + 1);
+  m->seq_ = next;
+  return m;
+}
+
+Manager::~Manager() { Detach(); }
+
+void Manager::Detach() {
+  if (engine_ == nullptr) return;
+  Catalog& catalog = engine_->catalog();
+  for (size_t i = 0; i < catalog.object_count(); ++i) {
+    CatalogObject* obj = catalog.MutableObjectAt(i);
+    if (obj->storage != nullptr) obj->storage->set_maintenance_hook(nullptr);
+  }
+  engine_->txn().set_commit_hook(nullptr);
+  catalog.set_ddl_hook(nullptr);
+  engine_->refresh_engine().set_persist_hook(nullptr);
+  engine_->refresh_engine().set_failure_hook(nullptr);
+  engine_ = nullptr;
+  // Close the WAL too: a scheduler still holding options_.persistence would
+  // otherwise keep journaling kSchedRecord/kTickEnd/kPrune for refreshes
+  // whose kCommit/kRefresh records no longer get written — a WAL that
+  // replays to an inconsistent scheduler view. The null-wal_ guards turn
+  // those appends into no-ops, so the segment on disk ends at the last
+  // fully-journaled record.
+  wal_.reset();
+}
+
+Status Manager::wal_status() const {
+  std::lock_guard<std::mutex> lock(status_mu_);
+  return wal_status_;
+}
+
+void Manager::NoteAppend(Status s, uint64_t appended_bytes) {
+  if (!s.ok()) {
+    std::lock_guard<std::mutex> lock(status_mu_);
+    if (wal_status_.ok()) wal_status_ = s;
+    return;
+  }
+  stats_.wal_bytes += appended_bytes;
+}
+
+Status Manager::RotateWal(uint64_t seq) {
+  DVS_ASSIGN_OR_RETURN(std::unique_ptr<WalWriter> next,
+                       WalWriter::Open(WalPath(options_.dir, seq), seq));
+  wal_ = std::move(next);
+  return OkStatus();
+}
+
+Status Manager::Attach(DvsEngine* engine,
+                       const SchedulerPersistState* sched) {
+  if (engine_ != nullptr) return FailedPrecondition("manager already attached");
+  engine_ = engine;
+  DVS_RETURN_IF_ERROR(Checkpoint(sched));
+  InstallHooks();
+  return OkStatus();
+}
+
+Status Manager::Checkpoint(const SchedulerPersistState* sched) {
+  Status s = DoCheckpoint(sched);
+  if (!s.ok()) {
+    std::lock_guard<std::mutex> lock(status_mu_);
+    if (wal_status_.ok()) wal_status_ = s;
+  }
+  return s;
+}
+
+Status Manager::DoCheckpoint(const SchedulerPersistState* sched) {
+  if (engine_ == nullptr) return FailedPrecondition("manager not attached");
+  const uint64_t gen = wal_ == nullptr ? seq_ : seq_ + 1;
+  SystemImage image = CaptureSystemImage(*engine_, sched);
+  uint64_t bytes = 0;
+  DVS_RETURN_IF_ERROR(WriteCheckpointFile(CheckpointPath(options_.dir, gen),
+                                          gen, image, &bytes));
+  Status rotated = RotateWal(gen);
+  if (!rotated.ok()) {
+    // The checkpoint and its WAL segment advance generations together:
+    // recovery loads checkpoint N and replays only wal-N. If rotation fails,
+    // keep the *previous* generation authoritative by removing the new
+    // checkpoint — otherwise recovery would pick checkpoint `gen`, find no
+    // wal-`gen`, and silently drop every record still being appended to the
+    // old segment.
+    std::error_code ec;
+    fs::remove(CheckpointPath(options_.dir, gen), ec);
+    return rotated;
+  }
+  seq_ = gen;
+  stats_.checkpoint_bytes += bytes;
+  ++checkpoints_taken_;
+  ticks_since_checkpoint_ = 0;
+
+  // Drop generations older than the retention horizon.
+  const uint64_t retain = static_cast<uint64_t>(
+      options_.retain_checkpoints < 0 ? 0 : options_.retain_checkpoints);
+  if (seq_ > retain) {
+    std::error_code ec;
+    for (uint64_t g = oldest_kept_; g + retain < seq_; ++g) {
+      fs::remove(CheckpointPath(options_.dir, g), ec);
+      fs::remove(WalPath(options_.dir, g), ec);
+      oldest_kept_ = g + 1;
+    }
+  }
+  return OkStatus();
+}
+
+void Manager::InstallMaintenanceHook(ObjectId object, VersionedTable* table) {
+  table->set_maintenance_hook([this, object](const TableVersion& v) {
+    if (!v.data_equivalent) return;  // Recluster is the only producer today.
+    Encoder e;
+    e.U64(object);
+    e.Hlc(v.commit_ts);
+    e.U64(v.id);
+    uint64_t appended = 0;
+    Status s = wal_->Append(WalRecordType::kRecluster, e.buf(), &appended);
+    NoteAppend(s, appended);
+  });
+}
+
+void Manager::InstallHooks() {
+  // Maintenance commits (Recluster) bypass the transaction manager and the
+  // refresh engine; hook every stored table, present and future (the DDL
+  // hook below covers tables created after Attach).
+  Catalog& catalog = engine_->catalog();
+  for (size_t i = 0; i < catalog.object_count(); ++i) {
+    CatalogObject* obj = catalog.MutableObjectAt(i);
+    if (obj->storage != nullptr) {
+      InstallMaintenanceHook(obj->id, obj->storage.get());
+    }
+  }
+
+  engine_->txn().set_commit_hook(
+      [this](const std::vector<StagedWrite>& writes, HlcTimestamp ts) {
+        bool journalable = false;
+        for (const StagedWrite& w : writes) {
+          journalable |= w.object != kInvalidObjectId;
+        }
+        if (!journalable) return;
+        uint64_t appended = 0;
+        Status s = wal_->Append(WalRecordType::kCommit,
+                                EncodeCommitFromWrites(writes, ts), &appended);
+        NoteAppend(s, appended);
+      });
+
+  engine_->catalog().set_ddl_hook([this](const DdlHookInfo& info) {
+    if (info.object != nullptr && info.object->storage != nullptr) {
+      // Newly created/cloned/replaced storage gets the maintenance hook too.
+      InstallMaintenanceHook(
+          info.object->id,
+          const_cast<CatalogObject*>(info.object)->storage.get());
+    }
+    DdlImage img;
+    img.op = info.op;
+    img.name = info.name;
+    img.ts = info.ts;
+    img.detail = info.detail;
+    const CatalogObject* obj = info.object;
+    switch (info.op) {
+      case DdlOp::kCreateTable:
+      case DdlOp::kReplaceTable:
+        img.schema = obj->storage->schema();
+        img.min_data_retention = obj->min_data_retention;
+        break;
+      case DdlOp::kCreateView:
+        img.sql = obj->view_sql;
+        break;
+      case DdlOp::kCreateDynamicTable:
+        img.def = obj->dt->def;
+        img.incremental = obj->dt->incremental;
+        img.output_schema = obj->storage->schema();
+        img.deps = obj->dt->dependencies;
+        break;
+      case DdlOp::kAlterTargetLag:
+        img.lag = obj->dt->def.target_lag;
+        break;
+      case DdlOp::kDrop:
+      case DdlOp::kUndrop:
+      case DdlOp::kClone:
+      case DdlOp::kAlterSuspend:
+      case DdlOp::kAlterResume:
+        break;
+    }
+    uint64_t appended = 0;
+    Status s = wal_->Append(WalRecordType::kDdl, EncodeDdl(img), &appended);
+    NoteAppend(s, appended);
+  });
+
+  engine_->refresh_engine().set_persist_hook(
+      [this](const RefreshEngine::RefreshCommitInfo& info) {
+        RefreshImage img;
+        img.dt = info.dt;
+        img.refresh_ts = info.refresh_ts;
+        img.action = static_cast<uint8_t>(info.action);
+        img.commit = static_cast<uint8_t>(info.commit);
+        img.commit_ts = info.commit_ts;
+        img.rows = info.rows;
+        img.new_version = info.new_version;
+        img.frontier.assign(info.frontier.begin(), info.frontier.end());
+        std::sort(img.frontier.begin(), img.frontier.end());
+        // Post-refresh dependencies and schema, read from the DT we just
+        // refreshed (this thread is its single writer).
+        auto obj = engine_->catalog().FindById(info.dt);
+        if (obj.ok()) {
+          img.deps = obj.value()->dt->dependencies;
+          img.schema = obj.value()->storage->schema();
+        }
+        uint64_t appended = 0;
+        Status s = wal_->Append(WalRecordType::kRefresh,
+                                EncodeRefresh(img), &appended);
+        NoteAppend(s, appended);
+      });
+
+  engine_->refresh_engine().set_failure_hook([this](ObjectId dt) {
+    Encoder e;
+    e.U64(dt);
+    uint64_t appended = 0;
+    Status s = wal_->Append(WalRecordType::kRefreshFailure, e.buf(), &appended);
+    NoteAppend(s, appended);
+  });
+}
+
+void Manager::AppendSchedRecord(const RefreshRecord& record,
+                                const Warehouse* wh) {
+  // Scheduler-driven entry points tolerate a manager whose Attach failed
+  // (wal_ never opened): journaling is off, wal_status holds the cause.
+  if (wal_ == nullptr) return;
+  SchedRecordImage img;
+  img.record = record;
+  if (wh != nullptr) {
+    img.has_warehouse = true;
+    img.warehouse = wh->name();
+    img.wh_size = wh->size();
+    img.wh_auto_suspend = wh->auto_suspend();
+    img.wh_concurrency = wh->concurrency();
+    img.wh_pinned = wh->concurrency_pinned();
+    img.wh_busy_until = wh->busy_until();
+    img.wh_billed = wh->billed();
+    img.wh_resumes = wh->resumes();
+  }
+  uint64_t appended = 0;
+  Status s = wal_->Append(WalRecordType::kSchedRecord,
+                          EncodeSchedRecord(img), &appended);
+  NoteAppend(s, appended);
+}
+
+void Manager::OnTickFinalized(Micros t) {
+  AppendRunBoundary(t);
+  ++ticks_since_checkpoint_;
+}
+
+void Manager::AppendRunBoundary(Micros t) {
+  if (wal_ == nullptr) return;
+  Encoder e;
+  e.I64(t);
+  uint64_t appended = 0;
+  Status s = wal_->Append(WalRecordType::kTickEnd, e.buf(), &appended);
+  NoteAppend(s, appended);
+}
+
+bool Manager::ShouldCheckpoint() const {
+  if (options_.checkpoint_every_n_ticks > 0 &&
+      ticks_since_checkpoint_ >= options_.checkpoint_every_n_ticks) {
+    return true;
+  }
+  if (options_.checkpoint_wal_bytes > 0 && wal_ != nullptr &&
+      wal_->bytes() >= options_.checkpoint_wal_bytes) {
+    return true;
+  }
+  return false;
+}
+
+void Manager::AppendPrune(ObjectId object, VersionId keep_from) {
+  if (wal_ == nullptr) return;
+  Encoder e;
+  e.U64(object);
+  e.U64(keep_from);
+  uint64_t appended = 0;
+  Status s = wal_->Append(WalRecordType::kPrune, e.buf(), &appended);
+  NoteAppend(s, appended);
+}
+
+}  // namespace persist
+}  // namespace dvs

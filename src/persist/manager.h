@@ -1,0 +1,155 @@
+// persist::Manager — the durability controller for one engine.
+//
+// Lifecycle:
+//   auto manager = persist::Manager::Open({.dir = "..."});   // scans files
+//   manager->Attach(&engine);   // checkpoint of current state + fresh WAL,
+//                               // installs the txn / catalog / refresh hooks
+//   SchedulerOptions opts; opts.persistence = manager.get(); // journaling
+//
+// From then on every committed transaction, DDL statement, refresh, and
+// scheduler finalize step appends a WAL record, and the scheduler's finalize
+// phase takes a checkpoint whenever the policy fires (every N ticks or M
+// WAL bytes) — never racing the execute phase. A restart runs
+// persist::Recover(dir, ...) (recover.h) and attaches a new manager to the
+// recovered engine, which starts the next checkpoint generation.
+//
+// Thread-safety: hook callbacks arrive concurrently from refresh workers
+// during the execute phase; encoding happens on the caller's thread and the
+// WAL writer serializes appends. Checkpoint/rotation happen on the serial
+// finalize path only.
+//
+// Recluster — the one storage mutation with no engine entry point — is
+// journaled through a per-table maintenance hook installed at Attach (and,
+// for tables created later, by the DDL hook). Calling VersionedTable::
+// Overwrite or ApplyChanges directly outside a refresh or the transaction
+// manager remains unjournaled; with a manager attached, mutate through the
+// engine.
+
+#ifndef DVS_PERSIST_MANAGER_H_
+#define DVS_PERSIST_MANAGER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "persist/snapshot.h"
+#include "persist/wal.h"
+
+namespace dvs {
+namespace persist {
+
+struct ManagerOptions {
+  std::string dir;
+  /// Checkpoint after this many finalized scheduler ticks (0 = disabled).
+  int checkpoint_every_n_ticks = 0;
+  /// Checkpoint once the live WAL segment exceeds this many bytes
+  /// (0 = disabled).
+  uint64_t checkpoint_wal_bytes = 0;
+  /// Checkpoint generations kept on disk beyond the live one.
+  int retain_checkpoints = 1;
+};
+
+std::string CheckpointPath(const std::string& dir, uint64_t seq);
+std::string WalPath(const std::string& dir, uint64_t seq);
+
+/// Scans `dir` for persist files, appending each checkpoint / WAL file's
+/// generation seq to the respective vector (either may be null; order is
+/// unspecified). The single place that knows the on-disk filename scheme —
+/// Manager::Open, Recover, and tools/wal_dump all resolve generations here.
+/// Returns NotFound when the directory cannot be read.
+Status ScanGenerations(const std::string& dir,
+                       std::vector<uint64_t>* checkpoint_seqs,
+                       std::vector<uint64_t>* wal_seqs);
+
+class Manager {
+ public:
+  /// Creates `options.dir` if needed and scans it for the next generation
+  /// sequence number. Does not write anything until Attach.
+  static Result<std::unique_ptr<Manager>> Open(ManagerOptions options);
+
+  /// Detaches first: destroying an attached manager uninstalls its hooks so
+  /// the engine never holds callbacks into a freed manager. The engine must
+  /// therefore still be alive — destroy the manager before the engine, or
+  /// call Detach explicitly while both live.
+  ~Manager();
+
+  /// Binds the manager to `engine`: writes a checkpoint of its current
+  /// state (generation seq), opens the paired WAL segment, and installs the
+  /// commit / DDL / refresh hooks. Call once. When re-attaching after
+  /// Recover, pass the recovered scheduler state so the Attach checkpoint
+  /// carries it — otherwise a crash before the first policy checkpoint
+  /// recovers an empty refresh log and last_run.
+  Status Attach(DvsEngine* engine,
+                const SchedulerPersistState* sched = nullptr);
+
+  /// Uninstalls every hook Attach (and the DDL hook since) placed on the
+  /// engine, closes the WAL, and forgets the engine. All journaling stops —
+  /// including the scheduler-driven entry points, which become no-ops, so a
+  /// scheduler still pointing at this manager cannot extend the WAL past
+  /// the last fully-journaled record. The segment on disk stays a
+  /// consistent, recoverable prefix. Safe to call repeatedly or unattached.
+  void Detach();
+
+  /// Writes a checkpoint (with scheduler state when given) and rotates the
+  /// WAL to a new generation. Old generations beyond retain_checkpoints are
+  /// deleted. Call from the serial finalize phase or between ticks.
+  Status Checkpoint(const SchedulerPersistState* sched);
+
+  // ---- Scheduler-driven journaling (serial finalize phase) ----
+
+  /// Journals one finalized refresh-log record with the warehouse billing
+  /// state after it (`wh` null for skipped/failed/NO_DATA entries).
+  void AppendSchedRecord(const RefreshRecord& record, const Warehouse* wh);
+  /// Journals a tick boundary and advances the checkpoint-policy counter.
+  void OnTickFinalized(Micros t);
+  /// Journals a RunUntil progress boundary (same record as a tick end, but
+  /// does not advance the checkpoint policy).
+  void AppendRunBoundary(Micros t);
+  /// True when the checkpoint policy says the finalize phase should
+  /// checkpoint now.
+  bool ShouldCheckpoint() const;
+  /// Journals a retention-GC pruning watermark.
+  void AppendPrune(ObjectId object, VersionId keep_from);
+
+  // ---- Introspection ----
+
+  const ManagerOptions& options() const { return options_; }
+  uint64_t generation() const { return seq_; }
+  uint64_t wal_records() const {
+    return wal_ == nullptr ? 0 : wal_->records();
+  }
+  uint64_t wal_segment_bytes() const {
+    return wal_ == nullptr ? 0 : wal_->bytes();
+  }
+  uint64_t checkpoints_taken() const { return checkpoints_taken_; }
+  /// Durability counters (wal_bytes / checkpoint_bytes are the live ones).
+  const StorageStats& stats() const { return stats_; }
+  /// First error from a hook-path append, if any (hooks cannot propagate
+  /// Status; a persistent sink failure surfaces here).
+  Status wal_status() const;
+
+ private:
+  explicit Manager(ManagerOptions options) : options_(std::move(options)) {}
+
+  void InstallHooks();
+  void InstallMaintenanceHook(ObjectId object, VersionedTable* table);
+  void NoteAppend(Status s, uint64_t appended_bytes);
+  Status RotateWal(uint64_t seq);
+  Status DoCheckpoint(const SchedulerPersistState* sched);
+
+  ManagerOptions options_;
+  DvsEngine* engine_ = nullptr;
+  uint64_t seq_ = 0;
+  std::unique_ptr<WalWriter> wal_;
+  int ticks_since_checkpoint_ = 0;
+  uint64_t checkpoints_taken_ = 0;
+  uint64_t oldest_kept_ = 0;
+  mutable StorageStats stats_;
+  mutable std::mutex status_mu_;
+  Status wal_status_;
+};
+
+}  // namespace persist
+}  // namespace dvs
+
+#endif  // DVS_PERSIST_MANAGER_H_

@@ -1,0 +1,62 @@
+// Crash recovery: load the newest valid checkpoint, then replay the paired
+// WAL segment. The recovered system is byte-identical (snapshot.h encoding)
+// to the pre-crash one at the last intact WAL record — refresh log,
+// billing, DT contents, and row-id index included.
+//
+// ApplyWalRecord is exposed so the crash-point property test can verify
+// prefix-consistency compositionally: recover from a truncated WAL, apply
+// the remaining records by hand, and land on the full-recovery state.
+
+#ifndef DVS_PERSIST_RECOVER_H_
+#define DVS_PERSIST_RECOVER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "persist/manager.h"
+#include "persist/snapshot.h"
+
+namespace dvs {
+namespace persist {
+
+struct RecoveredSystem {
+  std::unique_ptr<DvsEngine> engine;
+  /// Import into a fresh Scheduler via Scheduler::ImportState.
+  SchedulerPersistState sched;
+  /// Largest wall-clock time the journal proves had been reached; Recover
+  /// advances the caller's VirtualClock to it.
+  Micros recovered_time = 0;
+  uint64_t generation = 0;
+  uint64_t wal_records_replayed = 0;
+  bool wal_torn_tail = false;
+  /// An incremental refresh journals two records: its storage merge
+  /// (kCommit, via the transaction manager) and its metadata transition
+  /// (kRefresh). The pair is atomic for recovery — a DT merge is held here,
+  /// unapplied, until its kRefresh arrives, so a WAL torn between the two
+  /// never resurrects the merge with a stale frontier (which would poison
+  /// every subsequent refresh of that DT with duplicate-row-id validation
+  /// failures). Entries still pending when replay ends are discarded with
+  /// the torn tail; the engine image never contains them.
+  std::unordered_map<ObjectId, CommitImage> pending_dt_commits;
+};
+
+/// Recovers the system persisted in `dir`. `clock` drives the new engine
+/// and is advanced to the recovered time; `refresh_options` must match the
+/// pre-crash engine's (failure thresholds affect auto-suspend replay).
+Result<RecoveredSystem> Recover(const std::string& dir, VirtualClock* clock,
+                                RefreshEngineOptions refresh_options = {});
+
+/// Applies one decoded WAL record to a recovered system (replay step;
+/// exposed for the crash-point property test).
+Status ApplyWalRecord(RecoveredSystem* sys, uint8_t type,
+                      std::string_view payload);
+
+/// Reads a WAL segment tolerating a torn tail (record end offsets are the
+/// valid truncation points).
+Result<RecordFile> ReadWalSegment(const std::string& path);
+
+}  // namespace persist
+}  // namespace dvs
+
+#endif  // DVS_PERSIST_RECOVER_H_

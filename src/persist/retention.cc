@@ -1,0 +1,77 @@
+#include "persist/retention.h"
+
+#include <algorithm>
+
+#include "persist/manager.h"
+
+namespace dvs {
+namespace persist {
+
+VersionId RetentionKeepFrom(const Catalog& catalog, const CatalogObject& obj,
+                            Micros now) {
+  if (obj.min_data_retention < 0 || obj.storage == nullptr || obj.dropped) {
+    return kInvalidVersionId;
+  }
+  const VersionedTable& table = *obj.storage;
+
+  // (a) Time travel: keep the version visible at the window's left edge —
+  // reads at any t >= now - window resolve to it or something newer.
+  const Micros horizon = now - obj.min_data_retention;
+  VersionId keep_from =
+      table.ResolveVersionAt(HlcTimestamp::AtWallTime(horizon));
+  if (keep_from == kInvalidVersionId) {
+    // Every retained version is newer than the horizon; nothing expires.
+    return kInvalidVersionId;
+  }
+
+  // (b) Downstream incremental refreshes: never prune at or above a
+  // consumer's frontier — its next change scan starts there. Suspended and
+  // failing DTs count too (they may resume).
+  for (ObjectId down : catalog.DownstreamDynamicTables(obj.id)) {
+    auto found = catalog.FindById(down);
+    if (!found.ok()) continue;
+    const DynamicTableMeta* meta = found.value()->dt.get();
+    auto it = meta->frontier.find(obj.id);
+    if (it != meta->frontier.end()) {
+      keep_from = std::min(keep_from, it->second);
+    }
+  }
+
+  // (c) The latest version is always kept (PruneVersionsBefore clamps too).
+  keep_from = std::min(keep_from, table.latest_version());
+  if (keep_from <= table.first_version()) return kInvalidVersionId;
+  return keep_from;
+}
+
+PruneOutcome ApplyPruneToObject(CatalogObject* obj, VersionId keep_from) {
+  PruneOutcome out = obj->storage->PruneVersionsBefore(keep_from);
+  if (obj->dt != nullptr) {
+    // Trim refresh-timestamp entries whose version was pruned; exact-version
+    // reads of those timestamps now fail like any out-of-retention read.
+    auto& rv = obj->dt->refresh_versions;
+    for (auto it = rv.begin(); it != rv.end();) {
+      if (it->second < obj->storage->first_version()) {
+        it = rv.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return out;
+}
+
+RetentionOutcome RunRetentionGc(Catalog& catalog, Micros now,
+                                Manager* manager) {
+  RetentionOutcome out;
+  for (size_t i = 0; i < catalog.object_count(); ++i) {
+    CatalogObject* obj = catalog.MutableObjectAt(i);
+    VersionId keep_from = RetentionKeepFrom(catalog, *obj, now);
+    if (keep_from == kInvalidVersionId) continue;
+    out.Add(ApplyPruneToObject(obj, keep_from));
+    if (manager != nullptr) manager->AppendPrune(obj->id, keep_from);
+  }
+  return out;
+}
+
+}  // namespace persist
+}  // namespace dvs

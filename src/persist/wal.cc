@@ -1,0 +1,304 @@
+#include "persist/wal.h"
+
+#include <algorithm>
+
+namespace dvs {
+namespace persist {
+
+std::string EncodeCommit(const CommitImage& c) {
+  Encoder e;
+  e.U32(static_cast<uint32_t>(c.tables.size()));
+  for (const CommitImage::TableCommit& t : c.tables) {
+    e.U64(t.object);
+    e.U64(t.next_row_id);
+    e.EncodeChangeSet(t.changes);
+  }
+  e.Hlc(c.ts);
+  return e.Take();
+}
+
+std::string EncodeCommitFromWrites(const std::vector<StagedWrite>& writes,
+                                   HlcTimestamp ts) {
+  // Byte-identical to EncodeCommit over the equivalent CommitImage, but
+  // encodes straight from the staged writes — the commit hook sits on the
+  // DML/refresh hot path and must not deep-copy every ChangeSet first.
+  uint32_t n = 0;
+  for (const StagedWrite& w : writes) n += w.object != kInvalidObjectId;
+  Encoder e;
+  e.U32(n);
+  for (const StagedWrite& w : writes) {
+    if (w.object == kInvalidObjectId) continue;
+    e.U64(w.object);
+    e.U64(w.table->next_row_id());
+    e.EncodeChangeSet(w.changes);
+  }
+  e.Hlc(ts);
+  return e.Take();
+}
+
+Result<CommitImage> DecodeCommit(std::string_view payload) {
+  Decoder d(payload);
+  CommitImage c;
+  uint32_t n = d.U32();
+  for (uint32_t i = 0; i < n && d.ok(); ++i) {
+    CommitImage::TableCommit t;
+    t.object = d.U64();
+    t.next_row_id = d.U64();
+    t.changes = d.DecodeChangeSet();
+    c.tables.push_back(std::move(t));
+  }
+  c.ts = d.Hlc();
+  if (!d.done()) return Corruption("malformed commit WAL record");
+  return c;
+}
+
+void EncodeDepsInto(Encoder* e, const std::vector<TrackedDependency>& deps) {
+  e->U32(static_cast<uint32_t>(deps.size()));
+  for (const TrackedDependency& dep : deps) {
+    e->Str(dep.name);
+    e->U64(dep.object_id);
+    e->EncodeSchema(dep.schema_at_bind);
+  }
+}
+
+std::vector<TrackedDependency> DecodeDepsFrom(Decoder* d) {
+  uint32_t n = d->U32();
+  std::vector<TrackedDependency> deps;
+  for (uint32_t i = 0; i < n && d->ok(); ++i) {
+    TrackedDependency dep;
+    dep.name = d->Str();
+    dep.object_id = d->U64();
+    dep.schema_at_bind = d->DecodeSchema();
+    deps.push_back(std::move(dep));
+  }
+  return deps;
+}
+
+void EncodeDtDefInto(Encoder* e, const DynamicTableDef& def) {
+  e->Str(def.sql);
+  e->Bool(def.target_lag.downstream);
+  e->I64(def.target_lag.duration);
+  e->Str(def.warehouse);
+  e->U8(static_cast<uint8_t>(def.requested_mode));
+  e->Bool(def.initialize_on_create);
+  e->I64(def.min_data_retention);
+}
+
+DynamicTableDef DecodeDtDefFrom(Decoder* d) {
+  DynamicTableDef def;
+  def.sql = d->Str();
+  def.target_lag.downstream = d->Bool();
+  def.target_lag.duration = d->I64();
+  def.warehouse = d->Str();
+  def.requested_mode = static_cast<RefreshMode>(d->U8());
+  def.initialize_on_create = d->Bool();
+  def.min_data_retention = d->I64();
+  return def;
+}
+
+std::string EncodeDdl(const DdlImage& ddl) {
+  Encoder e;
+  e.U8(static_cast<uint8_t>(ddl.op));
+  e.Str(ddl.name);
+  e.Hlc(ddl.ts);
+  e.Str(ddl.detail);
+  switch (ddl.op) {
+    case DdlOp::kCreateTable:
+    case DdlOp::kReplaceTable:
+      e.EncodeSchema(ddl.schema);
+      e.I64(ddl.min_data_retention);
+      break;
+    case DdlOp::kCreateView:
+      e.Str(ddl.sql);
+      break;
+    case DdlOp::kCreateDynamicTable:
+      EncodeDtDefInto(&e, ddl.def);
+      e.Bool(ddl.incremental);
+      e.EncodeSchema(ddl.output_schema);
+      EncodeDepsInto(&e, ddl.deps);
+      break;
+    case DdlOp::kAlterTargetLag:
+      e.Bool(ddl.lag.downstream);
+      e.I64(ddl.lag.duration);
+      break;
+    case DdlOp::kDrop:
+    case DdlOp::kUndrop:
+    case DdlOp::kClone:
+    case DdlOp::kAlterSuspend:
+    case DdlOp::kAlterResume:
+      break;
+  }
+  return e.Take();
+}
+
+Result<DdlImage> DecodeDdl(std::string_view payload) {
+  Decoder d(payload);
+  DdlImage ddl;
+  ddl.op = static_cast<DdlOp>(d.U8());
+  ddl.name = d.Str();
+  ddl.ts = d.Hlc();
+  ddl.detail = d.Str();
+  switch (ddl.op) {
+    case DdlOp::kCreateTable:
+    case DdlOp::kReplaceTable:
+      ddl.schema = d.DecodeSchema();
+      ddl.min_data_retention = d.I64();
+      break;
+    case DdlOp::kCreateView:
+      ddl.sql = d.Str();
+      break;
+    case DdlOp::kCreateDynamicTable:
+      ddl.def = DecodeDtDefFrom(&d);
+      ddl.incremental = d.Bool();
+      ddl.output_schema = d.DecodeSchema();
+      ddl.deps = DecodeDepsFrom(&d);
+      break;
+    case DdlOp::kAlterTargetLag:
+      ddl.lag.downstream = d.Bool();
+      ddl.lag.duration = d.I64();
+      break;
+    case DdlOp::kDrop:
+    case DdlOp::kUndrop:
+    case DdlOp::kClone:
+    case DdlOp::kAlterSuspend:
+    case DdlOp::kAlterResume:
+      break;
+  }
+  if (!d.done()) return Corruption("malformed DDL WAL record");
+  return ddl;
+}
+
+std::string EncodeRefresh(const RefreshImage& r) {
+  Encoder e;
+  e.U64(r.dt);
+  e.I64(r.refresh_ts);
+  e.U8(r.action);
+  e.U8(r.commit);
+  e.Hlc(r.commit_ts);
+  e.EncodeIdRows(r.rows);
+  e.U64(r.new_version);
+  e.U32(static_cast<uint32_t>(r.frontier.size()));
+  for (const auto& [src, v] : r.frontier) {
+    e.U64(src);
+    e.U64(v);
+  }
+  EncodeDepsInto(&e, r.deps);
+  e.EncodeSchema(r.schema);
+  return e.Take();
+}
+
+Result<RefreshImage> DecodeRefresh(std::string_view payload) {
+  Decoder d(payload);
+  RefreshImage r;
+  r.dt = d.U64();
+  r.refresh_ts = d.I64();
+  r.action = d.U8();
+  r.commit = d.U8();
+  r.commit_ts = d.Hlc();
+  r.rows = d.DecodeIdRows();
+  r.new_version = d.U64();
+  uint32_t n = d.U32();
+  for (uint32_t i = 0; i < n && d.ok(); ++i) {
+    ObjectId src = d.U64();
+    VersionId v = d.U64();
+    r.frontier.emplace_back(src, v);
+  }
+  r.deps = DecodeDepsFrom(&d);
+  r.schema = d.DecodeSchema();
+  if (!d.done()) return Corruption("malformed refresh WAL record");
+  return r;
+}
+
+void EncodeRefreshRecordInto(Encoder* e, const RefreshRecord& r) {
+  e->U64(r.dt);
+  e->Str(r.dt_name);
+  e->I64(r.data_timestamp);
+  e->I64(r.start_time);
+  e->I64(r.end_time);
+  e->U8(static_cast<uint8_t>(r.action));
+  e->Bool(r.skipped);
+  e->Bool(r.failed);
+  e->Str(r.error);
+  e->U64(r.rows_processed);
+  e->U64(r.changes_applied);
+  e->U64(r.dt_row_count);
+  e->I64(r.peak_lag);
+  e->I64(r.trough_lag);
+}
+
+RefreshRecord DecodeRefreshRecordFrom(Decoder* d) {
+  RefreshRecord r;
+  r.dt = d->U64();
+  r.dt_name = d->Str();
+  r.data_timestamp = d->I64();
+  r.start_time = d->I64();
+  r.end_time = d->I64();
+  r.action = static_cast<RefreshAction>(d->U8());
+  r.skipped = d->Bool();
+  r.failed = d->Bool();
+  r.error = d->Str();
+  r.rows_processed = d->U64();
+  r.changes_applied = d->U64();
+  r.dt_row_count = d->U64();
+  r.peak_lag = d->I64();
+  r.trough_lag = d->I64();
+  return r;
+}
+
+std::string EncodeSchedRecord(const SchedRecordImage& s) {
+  Encoder e;
+  EncodeRefreshRecordInto(&e, s.record);
+  e.Bool(s.has_warehouse);
+  if (s.has_warehouse) {
+    e.Str(s.warehouse);
+    e.I32(s.wh_size);
+    e.I64(s.wh_auto_suspend);
+    e.I32(s.wh_concurrency);
+    e.Bool(s.wh_pinned);
+    e.I64(s.wh_busy_until);
+    e.I64(s.wh_billed);
+    e.I32(s.wh_resumes);
+  }
+  return e.Take();
+}
+
+Result<SchedRecordImage> DecodeSchedRecord(std::string_view payload) {
+  Decoder d(payload);
+  SchedRecordImage s;
+  s.record = DecodeRefreshRecordFrom(&d);
+  s.has_warehouse = d.Bool();
+  if (s.has_warehouse) {
+    s.warehouse = d.Str();
+    s.wh_size = d.I32();
+    s.wh_auto_suspend = d.I64();
+    s.wh_concurrency = d.I32();
+    s.wh_pinned = d.Bool();
+    s.wh_busy_until = d.I64();
+    s.wh_billed = d.I64();
+    s.wh_resumes = d.I32();
+  }
+  if (!d.done()) return Corruption("malformed scheduler WAL record");
+  return s;
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
+                                                   uint64_t seq) {
+  std::unique_ptr<WalWriter> w(new WalWriter());
+  DVS_RETURN_IF_ERROR(w->file_.Open(path, kWalMagic, seq));
+  return w;
+}
+
+Status WalWriter::Append(WalRecordType type, std::string_view payload,
+                         uint64_t* appended_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t before = file_.bytes_written();
+  DVS_RETURN_IF_ERROR(file_.Append(static_cast<uint8_t>(type), payload));
+  ++records_;
+  if (appended_bytes != nullptr) {
+    *appended_bytes = file_.bytes_written() - before;
+  }
+  return OkStatus();
+}
+
+}  // namespace persist
+}  // namespace dvs

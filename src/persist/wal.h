@@ -1,0 +1,184 @@
+// Write-ahead log for the durability subsystem.
+//
+// Every state transition the recovered system must reproduce gets one WAL
+// record, appended *after* the in-memory commit it describes (the in-memory
+// engine is the system of record; the WAL is its replayable journal — a
+// *process* crash between commit and append loses exactly that suffix,
+// which is the contract the crash-point property test pins down; appends
+// fflush but do not fsync, so power-loss durability is weaker — see
+// ROADMAP "Durability architecture"):
+//
+//   kCommit         TransactionManager::CommitWrites (base DML and
+//                   incremental refresh merges), with per-table change sets,
+//                   the shared commit timestamp, and the row-id allocator.
+//   kDdl            One record per logical catalog operation (create/drop/
+//                   undrop/replace/clone/alter), replayed structurally.
+//   kRefresh        One record per committed refresh: the DT metadata
+//                   transition plus the storage commit when it bypassed the
+//                   transaction manager (Overwrite / CommitNoOp).
+//   kRefreshFailure Failure accounting (consecutive_failures, auto-suspend).
+//   kSchedRecord    One record per finalized scheduler log entry, with the
+//                   warehouse billing state after it (absolute values).
+//   kTickEnd        Scheduler tick boundary; advances recovered last_run.
+//   kPrune          Retention-GC pruning watermark for one table.
+//   kRecluster      Maintenance rewrite (VersionedTable::Recluster) — the
+//                   only version transition that bypasses both the
+//                   transaction manager and the refresh engine; journaled
+//                   through the table's maintenance hook and replayed by
+//                   re-running the (deterministic) repack.
+//
+// Appends are serialized by an internal mutex: refresh workers commit
+// concurrently during the execute phase. Records of different DTs commute
+// under replay; records of one DT are appended in program order because
+// they are written by the thread that performed the transition.
+
+#ifndef DVS_PERSIST_WAL_H_
+#define DVS_PERSIST_WAL_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "persist/format.h"
+#include "sched/scheduler.h"
+
+namespace dvs {
+namespace persist {
+
+enum class WalRecordType : uint8_t {
+  kCommit = 1,
+  kDdl = 2,
+  kRefresh = 3,
+  kRefreshFailure = 4,
+  kSchedRecord = 5,
+  kTickEnd = 6,
+  kPrune = 7,
+  kRecluster = 8,
+};
+
+// ---- Decoded record payloads ----
+
+struct CommitImage {
+  struct TableCommit {
+    ObjectId object = kInvalidObjectId;
+    RowId next_row_id = 1;  ///< Row-id allocator after this commit.
+    ChangeSet changes;
+  };
+  std::vector<TableCommit> tables;
+  HlcTimestamp ts;
+};
+
+struct DdlImage {
+  DdlOp op = DdlOp::kCreateTable;
+  std::string name;
+  HlcTimestamp ts;
+  std::string detail;  ///< Clone source name.
+  // kCreateTable / kReplaceTable:
+  Schema schema;
+  Micros min_data_retention = -1;
+  // kCreateView:
+  std::string sql;
+  // kCreateDynamicTable:
+  DynamicTableDef def;
+  bool incremental = false;
+  Schema output_schema;
+  std::vector<TrackedDependency> deps;
+  // kAlterTargetLag:
+  TargetLag lag;
+};
+
+struct RefreshImage {
+  ObjectId dt = kInvalidObjectId;
+  Micros refresh_ts = 0;
+  uint8_t action = 0;  ///< RefreshAction.
+  uint8_t commit = 0;  ///< RefreshEngine::RefreshCommitInfo::StorageCommit.
+  HlcTimestamp commit_ts;
+  std::vector<IdRow> rows;  ///< Overwrite payload.
+  VersionId new_version = kInvalidVersionId;
+  std::vector<std::pair<ObjectId, VersionId>> frontier;  ///< Sorted by id.
+  /// Post-refresh dependency list and output schema: replay detects a
+  /// mid-refresh rebind (§5.4 query evolution) by comparing against the
+  /// recovered DT and rebinding the plan the same way the live system did.
+  std::vector<TrackedDependency> deps;
+  Schema schema;
+};
+
+struct SchedRecordImage {
+  RefreshRecord record;
+  bool has_warehouse = false;
+  std::string warehouse;
+  int wh_size = 1;
+  Micros wh_auto_suspend = 0;
+  int wh_concurrency = 1;
+  bool wh_pinned = false;
+  Micros wh_busy_until = -1;
+  Micros wh_billed = 0;
+  int wh_resumes = 0;
+};
+
+struct PruneImage {
+  ObjectId object = kInvalidObjectId;
+  VersionId keep_from = kInvalidVersionId;
+};
+
+// ---- Payload codecs ----
+
+std::string EncodeCommit(const CommitImage& c);
+/// Hot-path form: encodes the same bytes directly from the staged writes
+/// (journalable entries only), skipping the CommitImage deep copy.
+std::string EncodeCommitFromWrites(const std::vector<StagedWrite>& writes,
+                                   HlcTimestamp ts);
+Result<CommitImage> DecodeCommit(std::string_view payload);
+
+std::string EncodeDdl(const DdlImage& d);
+Result<DdlImage> DecodeDdl(std::string_view payload);
+
+std::string EncodeRefresh(const RefreshImage& r);
+Result<RefreshImage> DecodeRefresh(std::string_view payload);
+
+std::string EncodeSchedRecord(const SchedRecordImage& s);
+Result<SchedRecordImage> DecodeSchedRecord(std::string_view payload);
+
+void EncodeRefreshRecordInto(Encoder* e, const RefreshRecord& r);
+RefreshRecord DecodeRefreshRecordFrom(Decoder* d);
+
+void EncodeDepsInto(Encoder* e, const std::vector<TrackedDependency>& deps);
+std::vector<TrackedDependency> DecodeDepsFrom(Decoder* d);
+
+void EncodeDtDefInto(Encoder* e, const DynamicTableDef& def);
+DynamicTableDef DecodeDtDefFrom(Decoder* d);
+
+/// Thread-safe append-only WAL segment writer.
+class WalWriter {
+ public:
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                 uint64_t seq);
+
+  /// Appends one framed record. On success `*appended_bytes` (when given)
+  /// receives the byte count this append added, measured under the writer's
+  /// mutex — concurrent hook appends each see exactly their own delta.
+  Status Append(WalRecordType type, std::string_view payload,
+                uint64_t* appended_bytes = nullptr);
+
+  uint64_t bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return file_.bytes_written();
+  }
+  uint64_t records() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_;
+  }
+
+ private:
+  WalWriter() = default;
+
+  mutable std::mutex mu_;
+  RecordFileWriter file_;
+  uint64_t records_ = 0;
+};
+
+}  // namespace persist
+}  // namespace dvs
+
+#endif  // DVS_PERSIST_WAL_H_

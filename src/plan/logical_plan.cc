@@ -38,13 +38,27 @@ const char* JoinTypeName(JoinType t) {
 namespace {
 
 std::shared_ptr<PlanNode> NewNode(PlanKind kind) {
-  // Node tags must be stable *within* a process run but need no cross-run
-  // meaning; a counter hashed through FNV gives well-spread seeds.
+  // Provisional tag from a process counter; the binder canonicalizes every
+  // finished plan with CanonicalizePlanTags so tags are a pure function of
+  // plan structure — required since row ids derived from tags are durable
+  // (persist/ recovery rebinds plans from SQL and must regenerate the ids
+  // already stored in DT partitions).
   static std::atomic<uint64_t> counter{1};
   auto n = std::make_shared<PlanNode>();
   n->kind = kind;
   n->node_tag = HashUint64(counter.fetch_add(1));
   return n;
+}
+
+std::shared_ptr<PlanNode> CopyWithSequentialTags(const PlanNode& n,
+                                                 uint64_t* next) {
+  auto copy = std::make_shared<PlanNode>(n);
+  copy->node_tag = HashUint64((*next)++);
+  copy->children.clear();
+  for (const PlanPtr& c : n.children) {
+    copy->children.push_back(CopyWithSequentialTags(*c, next));
+  }
+  return copy;
 }
 
 }  // namespace
@@ -243,6 +257,12 @@ void VisitPlan(const PlanPtr& p,
   if (!p) return;
   fn(*p);
   for (const PlanPtr& c : p->children) VisitPlan(c, fn);
+}
+
+PlanPtr CanonicalizePlanTags(const PlanPtr& root) {
+  if (!root) return root;
+  uint64_t next = 1;
+  return CopyWithSequentialTags(*root, &next);
 }
 
 std::vector<ObjectId> CollectScanIds(const PlanPtr& p) {

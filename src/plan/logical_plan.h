@@ -128,6 +128,16 @@ void VisitPlan(const PlanPtr& p, const std::function<void(const PlanNode&)>& fn)
 /// Collects the object ids of all scanned tables (with duplicates removed).
 std::vector<ObjectId> CollectScanIds(const PlanPtr& p);
 
+/// Deep-copies the tree and reassigns node tags by DFS position, making
+/// tags (and therefore the row ids derived from them, exec/row_id.h) a pure
+/// function of plan structure. The binder canonicalizes every plan it
+/// returns: rebinding the same SQL against an equivalent catalog — notably
+/// crash recovery rebinding a DT's defining query — regenerates exactly the
+/// row ids already durable in the DT's stored partitions. Copying also
+/// detaches shared view subtrees, so canonicalization never mutates a plan
+/// another object references.
+PlanPtr CanonicalizePlanTags(const PlanPtr& root);
+
 /// Counts nodes of each kind; powers the Figure 6 experiment.
 struct OperatorCounts {
   int scan = 0, filter = 0, project = 0, inner_join = 0, outer_join = 0,

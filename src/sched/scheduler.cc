@@ -5,6 +5,9 @@
 #include <set>
 #include <unordered_map>
 
+#include "persist/manager.h"
+#include "persist/retention.h"
+
 namespace dvs {
 
 Micros LargestCanonicalPeriodAtMost(Micros limit) {
@@ -87,11 +90,20 @@ void Scheduler::FinalizeNode(TickNode* node, Micros t) {
   rec.dt_name = node->obj->name;
   rec.data_timestamp = t;
 
+  // Journals the record just appended to the log, with the warehouse whose
+  // billing it advanced (serial phase — appends stay in log order).
+  auto journal = [this](const Warehouse* wh) {
+    if (options_.persistence != nullptr) {
+      options_.persistence->AppendSchedRecord(log_.back(), wh);
+    }
+  };
+
   // Skipped because the previous refresh is still executing (§3.3.3).
   if (node->busy_skip) {
     rec.skipped = true;
     rec.start_time = rec.end_time = t;
     log_.push_back(std::move(rec));
+    journal(nullptr);
     return;
   }
   if (node->upstream_missing) {
@@ -99,6 +111,7 @@ void Scheduler::FinalizeNode(TickNode* node, Micros t) {
     rec.error = "upstream refresh unavailable at this data timestamp";
     rec.start_time = rec.end_time = t;
     log_.push_back(std::move(rec));
+    journal(nullptr);
     return;
   }
   const Result<RefreshOutcome>& result = *node->result;
@@ -107,6 +120,7 @@ void Scheduler::FinalizeNode(TickNode* node, Micros t) {
     rec.error = result.status().ToString();
     rec.start_time = rec.end_time = t;
     log_.push_back(std::move(rec));
+    journal(nullptr);
     return;
   }
   const RefreshOutcome& outcome = result.value();
@@ -126,6 +140,7 @@ void Scheduler::FinalizeNode(TickNode* node, Micros t) {
   // Timing: a refresh waits for upstream completions (w_i >= max(w_j+d_j))
   // and queues on its warehouse; NO_DATA refreshes use no warehouse
   // compute (§5.4) and complete in cloud-services time.
+  Warehouse* billed_wh = nullptr;
   if (outcome.action == RefreshAction::kNoData) {
     rec.start_time = upstream_end;
     rec.end_time = upstream_end + 100 * kMicrosPerMilli;
@@ -137,6 +152,7 @@ void Scheduler::FinalizeNode(TickNode* node, Micros t) {
     Warehouse::Slot slot = wh->Schedule(upstream_end, duration);
     rec.start_time = slot.start;
     rec.end_time = slot.end;
+    billed_wh = wh;
   }
   busy_until_[node->dt] = rec.end_time;
   last_end_[node->dt] = rec.end_time;
@@ -147,6 +163,7 @@ void Scheduler::FinalizeNode(TickNode* node, Micros t) {
   rec.trough_lag = rec.end_time - t;
   prev_data_ts_[node->dt] = t;
   log_.push_back(std::move(rec));
+  journal(billed_wh);
 }
 
 void Scheduler::Tick(Micros t) {
@@ -246,6 +263,26 @@ void Scheduler::Tick(Micros t) {
   for (TickNode& node : nodes) {
     FinalizeNode(&node, t);
   }
+
+  // Retention GC and checkpointing also live in the serial finalize phase:
+  // no refresh is executing, so capturing or pruning storage cannot race a
+  // writer (the durability contract in ROADMAP.md).
+  if (options_.retention_gc) {
+    persist::RunRetentionGc(catalog, t, options_.persistence);
+  }
+  // Progress marker must cover this tick *before* a checkpoint captures the
+  // scheduler state, or a recovered scheduler would re-run the tick.
+  if (t > last_run_) last_run_ = t;
+  if (options_.persistence != nullptr) {
+    options_.persistence->OnTickFinalized(t);
+    if (options_.persistence->ShouldCheckpoint()) {
+      SchedulerPersistState state = ExportState();
+      // A checkpoint failure leaves the previous generation authoritative;
+      // the WAL keeps growing, so durability degrades to longer recovery
+      // rather than data loss. Surfaced via Manager::wal_status.
+      (void)options_.persistence->Checkpoint(&state);
+    }
+  }
 }
 
 void Scheduler::RunUntil(Micros t) {
@@ -253,8 +290,29 @@ void Scheduler::RunUntil(Micros t) {
   for (; tick <= t; tick += kCanonicalBasePeriod) {
     Tick(tick);
   }
-  last_run_ = t;
+  if (t > last_run_) last_run_ = t;
   clock_->AdvanceTo(t);
+  // Journal the final (possibly off-grid) progress boundary so a recovered
+  // scheduler resumes from the same last_run.
+  if (options_.persistence != nullptr) {
+    options_.persistence->AppendRunBoundary(t);
+  }
+}
+
+void Scheduler::ImportState(SchedulerPersistState state) {
+  log_ = std::move(state.log);
+  last_run_ = state.last_run;
+  busy_until_.clear();
+  last_end_.clear();
+  prev_data_ts_.clear();
+  // Re-derive the bookkeeping maps exactly as FinalizeNode maintained them:
+  // only committed refreshes advance them, in log order.
+  for (const RefreshRecord& rec : log_) {
+    if (rec.skipped || rec.failed) continue;
+    busy_until_[rec.dt] = rec.end_time;
+    last_end_[rec.dt] = rec.end_time;
+    prev_data_ts_[rec.dt] = rec.data_timestamp;
+  }
 }
 
 std::optional<Micros> Scheduler::LagAt(ObjectId dt_id, Micros t) const {

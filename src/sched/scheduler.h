@@ -46,6 +46,10 @@
 
 namespace dvs {
 
+namespace persist {
+class Manager;
+}  // namespace persist
+
 /// The canonical period base: 48 seconds (§5.2).
 constexpr Micros kCanonicalBasePeriod = 48 * kMicrosPerSecond;
 
@@ -71,6 +75,15 @@ struct RefreshRecord {
   Micros trough_lag = 0;
 };
 
+/// Scheduler state captured into checkpoints and rebuilt by recovery. The
+/// busy-until / last-end / previous-data-timestamp maps are not serialized:
+/// ImportState re-derives them from the log the same way FinalizeNode
+/// maintains them, so recovered scheduling decisions match the live run.
+struct SchedulerPersistState {
+  std::vector<RefreshRecord> log;
+  Micros last_run = 0;
+};
+
 struct SchedulerOptions {
   CostModel cost_model;
   /// When false, disables the canonical-period heuristic and uses each DT's
@@ -80,6 +93,14 @@ struct SchedulerOptions {
   /// every refresh serially on the caller's thread. Any value produces the
   /// same refresh log, billing, and DT contents — only wall time differs.
   int worker_threads = 0;
+  /// Durability manager (persist/). When set, every finalized log entry,
+  /// tick boundary, and retention pruning decision is journaled to the WAL,
+  /// and checkpoints are taken in the finalize phase per the manager's
+  /// policy (never racing the execute phase). Must outlive the scheduler.
+  persist::Manager* persistence = nullptr;
+  /// Runs retention GC (persist/retention.h) at the end of every tick's
+  /// finalize phase. A no-op for tables without a retention window.
+  bool retention_gc = true;
 };
 
 class Scheduler {
@@ -112,6 +133,16 @@ class Scheduler {
   const std::map<std::string, int>& max_gate_occupancy() const {
     return max_gate_occupancy_;
   }
+
+  // ---- Durability support (persist/) ----
+
+  /// Snapshot of the scheduler's persistent state for a checkpoint.
+  SchedulerPersistState ExportState() const {
+    return {log_, last_run_};
+  }
+  /// Recovery: adopts state produced by persist::Recover. Re-derives the
+  /// busy/last-end/prev-data-ts maps from the log.
+  void ImportState(SchedulerPersistState state);
 
  private:
   /// One due refresh inside a tick (phases share it).

@@ -119,6 +119,9 @@ struct CreateTableStmt {
   /// CREATE [DYNAMIC] TABLE <name> CLONE <source> (§3.4 zero-copy cloning).
   std::string clone_source;
   bool expect_dynamic = false;  ///< The CLONE statement said DYNAMIC TABLE.
+  /// MIN_DATA_RETENTION = '<duration>' — retention-GC window; negative =
+  /// retain everything.
+  Micros min_data_retention = -1;
 };
 
 struct CreateViewStmt {
@@ -134,6 +137,8 @@ struct CreateDynamicTableStmt {
   std::string warehouse;
   RefreshMode refresh_mode = RefreshMode::kAuto;
   bool initialize_on_create = true;
+  /// MIN_DATA_RETENTION = '<duration>' (retention GC; negative = keep all).
+  Micros min_data_retention = -1;
   std::shared_ptr<SelectStmt> select;
   std::string select_sql;  ///< Text of the defining query (for evolution).
 };
@@ -159,10 +164,17 @@ struct UpdateStmt {
   AstExprPtr where;
 };
 
-/// ALTER DYNAMIC TABLE <name> REFRESH | SUSPEND | RESUME
+/// ALTER DYNAMIC TABLE <name>
+///   REFRESH | SUSPEND | RESUME | SET TARGET_LAG = '<dur>' | DOWNSTREAM
 struct AlterDtStmt {
   std::string name;
-  enum class Action { kRefresh, kSuspend, kResume } action = Action::kRefresh;
+  enum class Action {
+    kRefresh,
+    kSuspend,
+    kResume,
+    kSetTargetLag,
+  } action = Action::kRefresh;
+  TargetLag target_lag;  ///< kSetTargetLag payload.
 };
 
 enum class StatementKind {

@@ -472,6 +472,15 @@ bool ContainsWindowPlaceholder(const ExprPtr& e) { return ContainsWindow(e); }
 }  // namespace
 
 Result<BindResult> Binder::BindSelect(const SelectStmt& stmt) {
+  DVS_ASSIGN_OR_RETURN(BindResult out, BindSelectImpl(stmt));
+  // Canonical tags make derived row ids a pure function of the plan: any
+  // rebind of the same SQL (recovery, query evolution) reproduces the ids
+  // already stored durably. The copy also detaches shared view subtrees.
+  out.plan = CanonicalizePlanTags(out.plan);
+  return out;
+}
+
+Result<BindResult> Binder::BindSelectImpl(const SelectStmt& stmt) {
   // UNION ALL chains: bind each member, fold, then apply the trailing
   // ORDER BY / LIMIT (which the grammar attaches to the last member) to the
   // whole union.

@@ -36,7 +36,10 @@ class Binder {
  public:
   explicit Binder(const Catalog& catalog) : catalog_(catalog) {}
 
-  /// Binds a full SELECT statement to a plan.
+  /// Binds a full SELECT statement to a plan. The returned plan's node tags
+  /// are canonicalized (CanonicalizePlanTags): a pure function of the plan
+  /// structure, so rebinding the same SQL — query evolution, crash recovery
+  /// — regenerates the exact row ids stored in DT partitions.
   Result<BindResult> BindSelect(const SelectStmt& stmt);
 
   /// Binds an expression with no input columns (INSERT ... VALUES lists).
@@ -70,6 +73,7 @@ class Binder {
     std::string spec_key;                // groups calls with equal specs
   };
 
+  Result<BindResult> BindSelectImpl(const SelectStmt& stmt);
   Result<BoundFrom> BindTableRef(const TableRef& ref);
   Result<BoundFrom> BindNamed(const TableRef& ref);
 

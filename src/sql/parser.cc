@@ -205,6 +205,14 @@ Result<Statement> Parser::ParseCreate() {
       DVS_ASSIGN_OR_RETURN(ct->clone_source, ExpectIdent("source name"));
     } else {
       DVS_ASSIGN_OR_RETURN(ct->schema, ParseColumnDefs());
+      if (MatchKeyword("min_data_retention")) {
+        DVS_RETURN_IF_ERROR(ExpectSymbol("="));
+        if (Peek().type != TokenType::kString) {
+          return ParseError("MIN_DATA_RETENTION must be a duration string");
+        }
+        DVS_ASSIGN_OR_RETURN(ct->min_data_retention,
+                             ParseDuration(Advance().text));
+      }
     }
     MatchSymbol(";");
     stmt.kind = StatementKind::kCreateTable;
@@ -268,6 +276,15 @@ Result<std::shared_ptr<CreateDynamicTableStmt>> Parser::ParseCreateDt(
       if (init == "on_create") dt->initialize_on_create = true;
       else if (init == "on_schedule") dt->initialize_on_create = false;
       else return ParseError("INITIALIZE must be ON_CREATE or ON_SCHEDULE");
+      continue;
+    }
+    if (MatchKeyword("min_data_retention")) {
+      DVS_RETURN_IF_ERROR(ExpectSymbol("="));
+      if (Peek().type != TokenType::kString) {
+        return ParseError("MIN_DATA_RETENTION must be a duration string");
+      }
+      DVS_ASSIGN_OR_RETURN(dt->min_data_retention,
+                           ParseDuration(Advance().text));
       continue;
     }
     break;
@@ -396,8 +413,20 @@ Result<Statement> Parser::ParseAlter() {
     stmt.alter_dt->action = AlterDtStmt::Action::kSuspend;
   } else if (MatchKeyword("resume")) {
     stmt.alter_dt->action = AlterDtStmt::Action::kResume;
+  } else if (MatchKeyword("set")) {
+    DVS_RETURN_IF_ERROR(ExpectKeyword("target_lag"));
+    DVS_RETURN_IF_ERROR(ExpectSymbol("="));
+    stmt.alter_dt->action = AlterDtStmt::Action::kSetTargetLag;
+    if (MatchKeyword("downstream")) {
+      stmt.alter_dt->target_lag = TargetLag::Downstream();
+    } else if (Peek().type == TokenType::kString) {
+      DVS_ASSIGN_OR_RETURN(Micros d, ParseDuration(Advance().text));
+      stmt.alter_dt->target_lag = TargetLag::Of(d);
+    } else {
+      return ParseError("TARGET_LAG must be a duration string or DOWNSTREAM");
+    }
   } else {
-    return ParseError("expected REFRESH, SUSPEND, or RESUME");
+    return ParseError("expected REFRESH, SUSPEND, RESUME, or SET TARGET_LAG");
   }
   MatchSymbol(";");
   return stmt;

@@ -17,8 +17,8 @@ VersionedTable::VersionedTable(Schema schema, size_t max_partition_rows)
 }
 
 const TableVersion& VersionedTable::version(VersionId id) const {
-  assert(id >= 1 && id <= versions_.size());
-  return versions_[id - 1];
+  assert(has_version(id));
+  return versions_[id - first_version_];
 }
 
 const MicroPartition& VersionedTable::partition(PartitionId id) const {
@@ -206,6 +206,7 @@ VersionId VersionedTable::Recluster(HlcTimestamp commit_ts) {
   AddRowsAsPartitions(std::move(all), &next);
   std::sort(next.live.begin(), next.live.end());
   versions_.push_back(std::move(next));
+  if (maintenance_hook_) maintenance_hook_(versions_.back());
   return versions_.back().id;
 }
 
@@ -299,9 +300,69 @@ std::unique_ptr<VersionedTable> VersionedTable::Clone() const {
   clone->partitions_ = partitions_;  // shared immutable payloads
   clone->versions_ = versions_;
   clone->row_index_ = row_index_;
+  clone->first_version_ = first_version_;
   clone->next_partition_id_ = next_partition_id_;
   clone->next_row_id_ = next_row_id_;
   return clone;
+}
+
+PruneOutcome VersionedTable::PruneVersionsBefore(VersionId keep_from) {
+  PruneOutcome out;
+  if (keep_from > versions_.back().id) keep_from = versions_.back().id;
+  if (keep_from <= first_version_) return out;
+
+  const size_t drop = static_cast<size_t>(keep_from - first_version_);
+  versions_.erase(versions_.begin(), versions_.begin() + drop);
+  first_version_ = keep_from;
+  out.versions_pruned = drop;
+
+  // Free partitions no retained live set can reach. Change scans only ever
+  // dereference partitions from the live sets of their two endpoint versions,
+  // so added/removed lists of retained versions may reference freed ids.
+  std::unordered_set<PartitionId> reachable;
+  for (const TableVersion& v : versions_) {
+    reachable.insert(v.live.begin(), v.live.end());
+  }
+  for (auto it = partitions_.begin(); it != partitions_.end();) {
+    if (!reachable.count(it->first)) {
+      it = partitions_.erase(it);
+      ++out.partitions_freed;
+    } else {
+      ++it;
+    }
+  }
+  stats_.versions_pruned += out.versions_pruned;
+  stats_.partitions_freed += out.partitions_freed;
+  return out;
+}
+
+std::unique_ptr<VersionedTable> VersionedTable::Restore(
+    Schema schema, size_t max_partition_rows, VersionId first_version,
+    std::vector<TableVersion> versions, std::vector<MicroPartition> partitions,
+    PartitionId next_partition_id, RowId next_row_id) {
+  assert(!versions.empty() && versions.front().id == first_version);
+  auto table = std::make_unique<VersionedTable>(std::move(schema),
+                                                max_partition_rows);
+  table->versions_ = std::move(versions);
+  table->first_version_ = first_version;
+  table->partitions_.clear();
+  for (MicroPartition& p : partitions) {
+    PartitionId pid = p.id;
+    table->partitions_.emplace(
+        pid, std::make_shared<const MicroPartition>(std::move(p)));
+  }
+  table->next_partition_id_ = next_partition_id;
+  table->next_row_id_ = next_row_id;
+  // Rebuild the row-id index from the latest version's live partitions: the
+  // same (row id -> location) content the live index held at capture time.
+  table->row_index_.clear();
+  for (PartitionId pid : table->versions_.back().live) {
+    const MicroPartition& p = table->partition(pid);
+    for (size_t j = 0; j < p.rows.size(); ++j) {
+      table->row_index_[p.rows[j].id] = {pid, static_cast<uint32_t>(j)};
+    }
+  }
+  return table;
 }
 
 ChangeSet VersionedTable::MakeInsertChanges(std::vector<Row> rows) {

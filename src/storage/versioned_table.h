@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -90,6 +91,22 @@ struct StorageStats {
                                        ///< Entries erased by deletes.
   std::atomic<uint64_t> index_rebuilds = 0;
                                        ///< Full rebuilds (overwrite/recluster).
+
+  // Durability subsystem (persist/). versions_pruned / partitions_freed are
+  // bumped per table by retention GC (PruneVersionsBefore); wal_bytes /
+  // checkpoint_bytes are bumped by the persist::Manager that owns the
+  // durability files (they live here so every durability counter shares one
+  // reporting struct).
+  std::atomic<uint64_t> versions_pruned = 0;
+  std::atomic<uint64_t> partitions_freed = 0;
+  std::atomic<uint64_t> wal_bytes = 0;         ///< WAL bytes appended.
+  std::atomic<uint64_t> checkpoint_bytes = 0;  ///< Checkpoint bytes written.
+};
+
+/// Result of one retention-GC pruning pass over a table.
+struct PruneOutcome {
+  uint64_t versions_pruned = 0;
+  uint64_t partitions_freed = 0;
 };
 
 /// Thread-safety contract (concurrent refresh runtime): single-writer,
@@ -112,12 +129,15 @@ class VersionedTable {
   const Schema& schema() const { return schema_; }
   void set_schema(Schema schema) { schema_ = std::move(schema); }
 
-  /// Number of committed versions (>= 1: version 1 is the empty table).
+  /// Number of *retained* versions (>= 1; retention GC may have pruned older
+  /// ones). Before any pruning, version 1 is the empty table.
   size_t version_count() const { return versions_.size(); }
   VersionId latest_version() const { return versions_.back().id; }
+  /// Oldest retained version id (1 until retention GC prunes).
+  VersionId first_version() const { return first_version_; }
   const TableVersion& version(VersionId id) const;
   bool has_version(VersionId id) const {
-    return id >= 1 && id <= versions_.back().id;
+    return id >= first_version_ && id <= versions_.back().id;
   }
 
   /// Largest version with commit_ts <= ts, or kInvalidVersionId if the table
@@ -151,6 +171,17 @@ class VersionedTable {
   /// version sees every row twice; the cancellation in ScanChanges hides it.
   VersionId Recluster(HlcTimestamp commit_ts);
 
+  /// Observer for maintenance commits that bypass both the transaction
+  /// manager and the refresh engine — today that is exactly Recluster.
+  /// persist::Manager installs one per table so maintenance rewrites are
+  /// journaled like every other version transition (deterministic to
+  /// replay: repacking ScanLatest() is a pure function of the prior state).
+  /// Fired on the mutating thread after the version is published.
+  using MaintenanceHook = std::function<void(const TableVersion&)>;
+  void set_maintenance_hook(MaintenanceHook hook) {
+    maintenance_hook_ = std::move(hook);
+  }
+
   /// Materializes the full contents at a version.
   std::vector<IdRow> ScanAt(VersionId version) const;
 
@@ -181,7 +212,56 @@ class VersionedTable {
   /// diverges independently — the Snowflake cloning model.
   std::unique_ptr<VersionedTable> Clone() const;
 
+  /// Retention GC: drops every version with id < `keep_from` and frees
+  /// partitions no retained version's live set references. The latest version
+  /// is always kept (`keep_from` is clamped to it). Change scans whose `from`
+  /// endpoint was pruned fail has_version — the caller (persist/retention)
+  /// guarantees `keep_from` never exceeds any live snapshot or downstream
+  /// frontier. Single-writer, like every other mutation.
+  PruneOutcome PruneVersionsBefore(VersionId keep_from);
+
+  /// Timestamp form of the same trim: retains the newest version with
+  /// commit_ts <= min_ts (so "read as of t" stays exact for every
+  /// t >= min_ts) and everything after it; reads below that floor fail with
+  /// a retention error at the resolution layer. persist/retention computes
+  /// the watermark itself (it also honors downstream frontiers and journals
+  /// the decision); this entry point serves direct storage maintenance.
+  PruneOutcome TrimVersions(HlcTimestamp min_ts) {
+    VersionId keep_from = ResolveVersionAt(min_ts);
+    if (keep_from == kInvalidVersionId) return {};
+    return PruneVersionsBefore(keep_from);
+  }
+
   const StorageStats& stats() const { return stats_; }
+  StorageStats& mutable_stats() const { return stats_; }
+
+  // ---- Durability support (persist/) ----
+  // Read-side accessors used by snapshot serialization, plus restore entry
+  // points used by recovery. Restore rebuilds the row-id index from the
+  // latest version's live partitions (same content the live index had).
+
+  const std::vector<TableVersion>& all_versions() const { return versions_; }
+  const std::unordered_map<PartitionId, std::shared_ptr<const MicroPartition>>&
+  all_partitions() const {
+    return partitions_;
+  }
+  size_t max_partition_rows() const { return max_partition_rows_; }
+  PartitionId next_partition_id() const { return next_partition_id_; }
+  RowId next_row_id() const { return next_row_id_; }
+  /// WAL replay: restores the row-id allocator recorded at commit time.
+  /// Forward-only — never rewinds.
+  void RestoreNextRowId(RowId id) {
+    if (id > next_row_id_) next_row_id_ = id;
+  }
+
+  /// Recovery: rebuilds a table from checkpoint state. `versions` must be
+  /// non-empty and contiguous starting at `first_version`; `partitions` must
+  /// contain every partition referenced by a retained live set.
+  static std::unique_ptr<VersionedTable> Restore(
+      Schema schema, size_t max_partition_rows, VersionId first_version,
+      std::vector<TableVersion> versions,
+      std::vector<MicroPartition> partitions, PartitionId next_partition_id,
+      RowId next_row_id);
 
   /// Latest-version location of a row id through the row-id index, or
   /// nullptr if not stored. Diagnostic/test hook; does not bump counters.
@@ -205,8 +285,11 @@ class VersionedTable {
   /// Overwrite/Recluster. Turns delete location and validation into
   /// O(changes) point lookups instead of partition scans.
   std::unordered_map<RowId, RowLocation> row_index_;
+  /// Id of versions_.front(); grows past 1 once retention GC prunes.
+  VersionId first_version_ = 1;
   PartitionId next_partition_id_ = 1;
   RowId next_row_id_ = 1;
+  MaintenanceHook maintenance_hook_;
   mutable StorageStats stats_;
 };
 

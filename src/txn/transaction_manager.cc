@@ -19,6 +19,7 @@ Result<HlcTimestamp> TransactionManager::CommitWrites(
                       applied.status().ToString());
     }
   }
+  if (commit_hook_) commit_hook_(writes, ts);
   return ts;
 }
 

@@ -16,6 +16,7 @@
 #ifndef DVS_TXN_TRANSACTION_MANAGER_H_
 #define DVS_TXN_TRANSACTION_MANAGER_H_
 
+#include <functional>
 #include <mutex>
 #include <unordered_map>
 #include <utility>
@@ -29,10 +30,14 @@
 
 namespace dvs {
 
-/// One table's staged writes inside a transaction.
+/// One table's staged writes inside a transaction. `object` names the table
+/// in the catalog; the durability WAL needs it to replay the commit against
+/// the recovered catalog (kInvalidObjectId writes are applied but not
+/// journaled — only raw-storage tests stage those).
 struct StagedWrite {
   VersionedTable* table = nullptr;
   ChangeSet changes;
+  ObjectId object = kInvalidObjectId;
 };
 
 class TransactionManager {
@@ -63,6 +68,29 @@ class TransactionManager {
   /// On validation failure nothing is applied.
   Result<HlcTimestamp> CommitWrites(std::vector<StagedWrite> writes);
 
+  /// Folds an externally observed commit timestamp into the HLC (recovery
+  /// replay): subsequent NextCommitTimestamp() results exceed it.
+  /// Thread-safe.
+  void ObserveCommitTimestamp(const HlcTimestamp& ts) {
+    std::lock_guard<std::mutex> lock(mu_);
+    hlc_.Observe(ts);
+  }
+
+  /// Largest commit timestamp issued or observed so far. Thread-safe.
+  HlcTimestamp LastCommitTimestamp() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hlc_.last();
+  }
+
+  /// Durability hook: invoked after every successful CommitWrites with the
+  /// applied writes and their commit timestamp (the persist WAL appends a
+  /// commit record). May be called concurrently from refresh workers
+  /// committing disjoint tables — the sink must be thread-safe (the WAL
+  /// writer serializes internally).
+  using CommitHook =
+      std::function<void(const std::vector<StagedWrite>&, HlcTimestamp)>;
+  void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
+
   // ---- Table locks (§5.3: "Each Dynamic Table is locked when a refresh
   // operation begins, and unlocked after it commits.") ----
 
@@ -79,6 +107,7 @@ class TransactionManager {
   mutable std::mutex mu_;
   HybridLogicalClock hlc_;
   std::unordered_map<ObjectId, uint64_t> locks_;
+  CommitHook commit_hook_;
 };
 
 }  // namespace dvs

@@ -84,6 +84,17 @@ class Warehouse {
   /// Number of suspend/resume cycles observed.
   int resumes() const { return resumes_; }
 
+  // ---- Durability support (persist/) ----
+  Micros auto_suspend() const { return auto_suspend_; }
+  bool concurrency_pinned() const { return concurrency_pinned_; }
+  /// Recovery: reinstates billing state captured in a checkpoint or a WAL
+  /// scheduler record (absolute values, so replay is idempotent).
+  void RestoreBilling(Micros busy_until, Micros billed, int resumes) {
+    busy_until_ = busy_until;
+    billed_ = billed;
+    resumes_ = resumes;
+  }
+
  private:
   std::string name_;
   int size_;

@@ -129,6 +129,17 @@ TEST(DurationTest, ParsesCompactForms) {
   EXPECT_EQ(ParseDuration("1.5h").value(), kMicrosPerHour * 3 / 2);
 }
 
+// Retention windows (MIN_DATA_RETENTION) are expressed in days or weeks.
+TEST(DurationTest, ParsesRetentionWindows) {
+  EXPECT_EQ(ParseDuration("7d").value(), 7 * kMicrosPerDay);
+  EXPECT_EQ(ParseDuration("1 day").value(), kMicrosPerDay);
+  EXPECT_EQ(ParseDuration("14 days").value(), 14 * kMicrosPerDay);
+  EXPECT_EQ(ParseDuration("1w").value(), kMicrosPerWeek);
+  EXPECT_EQ(ParseDuration("2 weeks").value(), 2 * kMicrosPerWeek);
+  EXPECT_EQ(ParseDuration("1 week").value(), 7 * kMicrosPerDay);
+  EXPECT_EQ(ParseDuration("0.5 days").value(), 12 * kMicrosPerHour);
+}
+
 TEST(DurationTest, CaseAndWhitespaceInsensitive) {
   EXPECT_EQ(ParseDuration("  1 MINUTE  ").value(), kMicrosPerMinute);
 }

@@ -1,0 +1,341 @@
+// Crash-point property test: truncate the WAL after *every* record boundary
+// (and at arbitrary mid-record offsets), recover, and verify that
+//  (a) recovery always succeeds and replays exactly the intact prefix,
+//  (b) recovery is deterministic (two recoveries of the same prefix are
+//      byte-identical), and
+//  (c) prefix recovery is compositional: applying the remaining records to
+//      the truncated recovery reproduces the full recovery, which equals
+//      the live pre-crash system byte-for-byte.
+// Together these pin down the durability contract: a crash at any byte of
+// the WAL loses only the suffix after the last intact record.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "persist/manager.h"
+#include "persist/recover.h"
+#include "sched/scheduler.h"
+
+namespace dvs {
+namespace persist {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string UniqueDir(const std::string& tag) {
+  static int counter = 0;
+  std::string dir =
+      (fs::temp_directory_path() /
+       ("dvs_crashpoint_" + tag + "_" + std::to_string(::getpid()) + "_" +
+        std::to_string(counter++)))
+          .string();
+  fs::remove_all(dir);
+  return dir;
+}
+
+void Exec(DvsEngine& engine, const std::string& sql) {
+  auto r = engine.Execute(sql);
+  ASSERT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+}
+
+std::string Fingerprint(RecoveredSystem& sys) {
+  return EncodeSystemImage(CaptureSystemImage(*sys.engine, &sys.sched));
+}
+
+std::vector<Row> Rows(DvsEngine& engine, const std::string& sql) {
+  auto r = engine.Query(sql);
+  EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+  return r.ok() ? r.value().rows : std::vector<Row>{};
+}
+
+/// Copies the persistence dir with the WAL truncated to `wal_bytes`.
+std::string TruncatedCopy(const std::string& dir, uint64_t generation,
+                          uint64_t wal_bytes, int* counter) {
+  std::string copy = dir + "_cut" + std::to_string((*counter)++);
+  fs::remove_all(copy);
+  fs::copy(dir, copy);
+  fs::resize_file(WalPath(copy, generation), wal_bytes);
+  return copy;
+}
+
+TEST(CrashPointTest, EveryTruncationPointRecoversToAConsistentPrefix) {
+  const std::string dir = UniqueDir("prefix");
+
+  // A compact workload that still hits every WAL record type: DDL (create,
+  // alter, drop/undrop), DML commits, INITIALIZE / INCREMENTAL / NO_DATA
+  // refreshes, scheduler records, tick boundaries, and retention pruning.
+  VirtualClock clock(0);
+  DvsEngine engine(clock);
+  ManagerOptions mopts;
+  mopts.dir = dir;  // no checkpoint policy: one long WAL segment
+  auto manager = Manager::Open(mopts).take();
+  ASSERT_TRUE(manager->Attach(&engine).ok());
+
+  SchedulerOptions sopts;
+  sopts.persistence = manager.get();
+  Scheduler sched(&engine, &clock, sopts);
+
+  Exec(engine, "CREATE TABLE src (k INT, v INT) MIN_DATA_RETENTION = '3 minutes'");
+  Exec(engine, "INSERT INTO src VALUES (1, 10), (2, 20)");
+  Exec(engine,
+       "CREATE DYNAMIC TABLE agg TARGET_LAG = '2 minutes' WAREHOUSE = wh "
+       "MIN_DATA_RETENTION = '3 minutes' "
+       "AS SELECT k, COUNT(*) AS c, SUM(v) AS s FROM src GROUP BY k");
+  Exec(engine,
+       "CREATE DYNAMIC TABLE wide TARGET_LAG = '4 minutes' WAREHOUSE = wh "
+       "AS SELECT k, s FROM agg WHERE s > 0");
+  for (int i = 1; i <= 5; ++i) {
+    Exec(engine, "INSERT INTO src VALUES (" + std::to_string(i % 3) + ", " +
+                     std::to_string(i * 7) + ")");
+    if (i == 2) Exec(engine, "DELETE FROM src WHERE v = 10");
+    if (i == 3) {
+      Exec(engine, "ALTER DYNAMIC TABLE wide SET TARGET_LAG = '8 minutes'");
+    }
+    sched.RunUntil(2 * kCanonicalBasePeriod * i);
+  }
+  Exec(engine, "DROP TABLE src");
+  Exec(engine, "UNDROP TABLE src");
+  ASSERT_TRUE(manager->wal_status().ok()) << manager->wal_status().ToString();
+
+  SchedulerPersistState live_state = sched.ExportState();
+  std::string live_fp =
+      EncodeSystemImage(CaptureSystemImage(engine, &live_state));
+  const uint64_t generation = manager->generation();
+  const Micros live_now = clock.Now();
+
+  // Enumerate the record boundaries of the live WAL.
+  auto wal = ReadWalSegment(WalPath(dir, generation));
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  ASSERT_FALSE(wal.value().torn_tail);
+  const std::vector<FramedRecord>& records = wal.value().records;
+  ASSERT_GT(records.size(), 30u) << "workload too small to be interesting";
+
+  // Full recovery reproduces the live system byte-for-byte.
+  {
+    VirtualClock rclock(0);
+    auto full = Recover(dir, &rclock);
+    ASSERT_TRUE(full.ok()) << full.status().ToString();
+    rclock.AdvanceTo(live_now);
+    EXPECT_EQ(Fingerprint(full.value()), live_fp);
+    EXPECT_EQ(full.value().wal_records_replayed, records.size());
+  }
+
+  int copies = 0;
+  uint64_t header_end = 16;  // magic + version + seq
+  for (size_t k = 0; k <= records.size(); ++k) {
+    uint64_t cut = k == 0 ? header_end : records[k - 1].end_offset;
+    std::string cdir = TruncatedCopy(dir, generation, cut, &copies);
+
+    // (a) Recovery succeeds and replays exactly k records.
+    VirtualClock c1(0);
+    auto r1 = Recover(cdir, &c1);
+    ASSERT_TRUE(r1.ok()) << "cut after record " << k << ": "
+                         << r1.status().ToString();
+    EXPECT_EQ(r1.value().wal_records_replayed, k);
+
+    // (b) Determinism: a second recovery of the same prefix is identical.
+    VirtualClock c2(0);
+    auto r2 = Recover(cdir, &c2);
+    ASSERT_TRUE(r2.ok());
+    c2.AdvanceTo(c1.Now());
+    EXPECT_EQ(Fingerprint(r1.value()), Fingerprint(r2.value()))
+        << "nondeterministic recovery at prefix " << k;
+
+    // (c) Compositionality: replaying the lost suffix onto the truncated
+    // recovery lands exactly on the live state.
+    RecoveredSystem sys = r1.take();
+    for (size_t j = k; j < records.size(); ++j) {
+      Status s = ApplyWalRecord(&sys, records[j].type, records[j].payload);
+      ASSERT_TRUE(s.ok()) << "record " << j << " after prefix " << k << ": "
+                          << s.ToString();
+    }
+    c1.AdvanceTo(live_now);
+    EXPECT_EQ(Fingerprint(sys), live_fp) << "prefix " << k;
+
+    fs::remove_all(cdir);
+  }
+
+  // Mid-record cuts behave like the previous boundary (torn tail dropped).
+  for (size_t k : {size_t{1}, records.size() / 2, records.size() - 1}) {
+    uint64_t cut = records[k].end_offset - 3;  // inside record k
+    std::string cdir = TruncatedCopy(dir, generation, cut, &copies);
+    VirtualClock c1(0);
+    auto r1 = Recover(cdir, &c1);
+    ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+    EXPECT_EQ(r1.value().wal_records_replayed, k);
+    EXPECT_TRUE(r1.value().wal_torn_tail);
+    fs::remove_all(cdir);
+  }
+
+  fs::remove_all(dir);
+}
+
+// An incremental refresh journals a kCommit (storage merge) and a kRefresh
+// (metadata transition) as two records. A WAL torn between them must not
+// resurrect the merge alone: the recovered DT would hold the merged rows
+// behind a stale frontier, and every subsequent refresh would re-derive the
+// same delta and die on duplicate-row-id validation. Recovery defers DT
+// commits until their kRefresh arrives, so the torn record is simply part
+// of the lost suffix — and the recovered system keeps refreshing.
+TEST(CrashPointTest, TornRefreshPairNeverResurrectsTheMerge) {
+  const std::string dir = UniqueDir("tornpair");
+
+  VirtualClock clock(0);
+  DvsEngine engine(clock);
+  auto manager = Manager::Open({dir}).take();
+  ASSERT_TRUE(manager->Attach(&engine).ok());
+  SchedulerOptions sopts;
+  sopts.persistence = manager.get();
+  Scheduler sched(&engine, &clock, sopts);
+
+  Exec(engine, "CREATE TABLE src (k INT, v INT)");
+  Exec(engine, "INSERT INTO src VALUES (1, 10), (2, 20)");
+  Exec(engine,
+       "CREATE DYNAMIC TABLE agg TARGET_LAG = '2 minutes' WAREHOUSE = wh "
+       "AS SELECT k, COUNT(*) AS c, SUM(v) AS s FROM src GROUP BY k");
+  for (int i = 1; i <= 4; ++i) {
+    Exec(engine, "INSERT INTO src VALUES (" + std::to_string(i % 3) + ", " +
+                     std::to_string(i * 7) + ")");
+    sched.RunUntil(2 * kCanonicalBasePeriod * i);
+  }
+  ASSERT_TRUE(manager->wal_status().ok()) << manager->wal_status().ToString();
+
+  const ObjectId agg_id = engine.catalog().Find("agg").value()->id;
+  const uint64_t generation = manager->generation();
+  auto wal = ReadWalSegment(WalPath(dir, generation));
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  const std::vector<FramedRecord>& records = wal.value().records;
+
+  int pairs_cut = 0, copies = 0;
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (records[i].type != static_cast<uint8_t>(WalRecordType::kCommit)) {
+      continue;
+    }
+    auto img = DecodeCommit(records[i].payload);
+    ASSERT_TRUE(img.ok());
+    if (img.value().tables.size() != 1 ||
+        img.value().tables[0].object != agg_id) {
+      continue;
+    }
+    ++pairs_cut;
+
+    // Cut right between the pair: the merge record is intact, its kRefresh
+    // is lost. The deferred merge must be invisible — byte-identical to
+    // cutting before the kCommit as well.
+    std::string cut_after =
+        TruncatedCopy(dir, generation, records[i].end_offset, &copies);
+    std::string cut_before =
+        TruncatedCopy(dir, generation, records[i - 1].end_offset, &copies);
+    VirtualClock ca(0), cb(0);
+    auto ra = Recover(cut_after, &ca);
+    auto rb = Recover(cut_before, &cb);
+    ASSERT_TRUE(ra.ok()) << ra.status().ToString();
+    ASSERT_TRUE(rb.ok()) << rb.status().ToString();
+    EXPECT_EQ(ra.value().pending_dt_commits.size(), 1u);
+    EXPECT_EQ(Fingerprint(ra.value()), Fingerprint(rb.value()))
+        << "orphaned merge leaked into the recovered image (record " << i
+        << ")";
+
+    // The recovered system must be able to keep refreshing: churn the base
+    // table and tick past the lost refresh — every refresh succeeds and the
+    // DT converges to its defining query.
+    RecoveredSystem sys = ra.take();
+    Scheduler rsched(sys.engine.get(), &ca, {});
+    rsched.ImportState(sys.sched);
+    const size_t log_before = rsched.log().size();
+    Exec(*sys.engine, "INSERT INTO src VALUES (1, 99)");
+    rsched.RunUntil(sys.sched.last_run + 6 * kCanonicalBasePeriod);
+    ASSERT_GT(rsched.log().size(), log_before);
+    for (size_t j = log_before; j < rsched.log().size(); ++j) {
+      EXPECT_FALSE(rsched.log()[j].failed)
+          << "refresh failed after torn-pair recovery: "
+          << rsched.log()[j].error;
+    }
+    std::vector<Row> dt = Rows(*sys.engine, "SELECT k, c, s FROM agg ORDER BY k");
+    std::vector<Row> expect = Rows(
+        *sys.engine,
+        "SELECT k, COUNT(*) AS c, SUM(v) AS s FROM src GROUP BY k ORDER BY k");
+    ASSERT_EQ(dt.size(), expect.size());
+    for (size_t j = 0; j < dt.size(); ++j) {
+      EXPECT_TRUE(RowsEqual(dt[j], expect[j])) << "row " << j;
+    }
+
+    fs::remove_all(cut_after);
+    fs::remove_all(cut_before);
+  }
+  EXPECT_GE(pairs_cut, 2) << "workload produced no incremental DT merges";
+  fs::remove_all(dir);
+}
+
+TEST(CrashPointTest, MissingWalFallsBackToCheckpointAlone) {
+  const std::string dir = UniqueDir("nowal");
+  VirtualClock clock(0);
+  DvsEngine engine(clock);
+  auto manager = Manager::Open({dir}).take();
+  Exec(engine, "CREATE TABLE t (a INT)");
+  Exec(engine, "INSERT INTO t VALUES (42)");
+  ASSERT_TRUE(manager->Attach(&engine).ok());  // checkpoint includes t
+  Exec(engine, "INSERT INTO t VALUES (43)");   // journaled in the WAL
+
+  std::string ckpt_fp = [&] {
+    // What the checkpoint alone should restore: the state at Attach.
+    VirtualClock c(0);
+    auto r = Recover(dir, &c);
+    EXPECT_TRUE(r.ok());
+    return r.ok() ? std::to_string(
+                        r.value().engine->catalog().Find("t").value()
+                            ->storage->ScanLatest().size())
+                  : std::string();
+  }();
+  EXPECT_EQ(ckpt_fp, "2");  // both rows: WAL replayed
+
+  // Deleting the WAL degrades to the checkpoint state instead of failing.
+  fs::remove(WalPath(dir, manager->generation()));
+  VirtualClock c(0);
+  auto r = Recover(dir, &c);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(
+      r.value().engine->catalog().Find("t").value()->storage->ScanLatest()
+          .size(),
+      1u);
+  fs::remove_all(dir);
+}
+
+TEST(CrashPointTest, CorruptNewestCheckpointFallsBackToPrevious) {
+  const std::string dir = UniqueDir("fallback");
+  VirtualClock clock(0);
+  DvsEngine engine(clock);
+  ManagerOptions mopts;
+  mopts.dir = dir;
+  mopts.retain_checkpoints = 2;
+  auto manager = Manager::Open(mopts).take();
+  ASSERT_TRUE(manager->Attach(&engine).ok());
+  Exec(engine, "CREATE TABLE t (a INT)");
+  Exec(engine, "INSERT INTO t VALUES (1)");
+  ASSERT_TRUE(manager->Checkpoint(nullptr).ok());
+  Exec(engine, "INSERT INTO t VALUES (2)");
+
+  // Corrupt the newest checkpoint: recovery falls back to the previous
+  // generation and replays its full WAL, reaching the same logical state
+  // minus the post-checkpoint suffix... which lives in the *old* WAL no
+  // longer — so it recovers to generation 0's checkpoint + its WAL.
+  uint64_t newest = manager->generation();
+  fs::resize_file(CheckpointPath(dir, newest), 20);
+  VirtualClock c(0);
+  auto r = Recover(dir, &c);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().generation, newest - 1);
+  // Generation 0's WAL contains the CREATE and first INSERT.
+  EXPECT_EQ(
+      r.value().engine->catalog().Find("t").value()->storage->ScanLatest()
+          .size(),
+      1u);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace persist
+}  // namespace dvs

@@ -9,6 +9,7 @@
 namespace dvs {
 namespace {
 
+using sql::AlterDtStmt;
 using sql::ParseSelect;
 using sql::ParseStatement;
 using sql::Statement;
@@ -145,6 +146,42 @@ TEST(ParserTest, CreateDtRequiresLagAndWarehouse) {
       "CREATE DYNAMIC TABLE dt WAREHOUSE = wh AS SELECT 1").ok());
   EXPECT_FALSE(ParseStatement(
       "CREATE DYNAMIC TABLE dt TARGET_LAG = '1 minute' AS SELECT 1").ok());
+}
+
+TEST(ParserTest, MinDataRetention) {
+  auto ct = ParseStatement(
+      "CREATE TABLE t (a INT) MIN_DATA_RETENTION = '7d'").value();
+  EXPECT_EQ(ct.create_table->min_data_retention, 7 * kMicrosPerDay);
+
+  auto dt = ParseStatement(
+      "CREATE DYNAMIC TABLE dt TARGET_LAG = '1 minute' WAREHOUSE = wh "
+      "MIN_DATA_RETENTION = '2 weeks' AS SELECT a FROM t").value();
+  EXPECT_EQ(dt.create_dt->min_data_retention, 2 * kMicrosPerWeek);
+
+  // Default: retain everything.
+  auto bare = ParseStatement("CREATE TABLE u (a INT)").value();
+  EXPECT_EQ(bare.create_table->min_data_retention, -1);
+  // Must be a duration string.
+  EXPECT_FALSE(ParseStatement(
+      "CREATE TABLE t (a INT) MIN_DATA_RETENTION = 7").ok());
+}
+
+TEST(ParserTest, AlterDtSetTargetLag) {
+  auto lag = ParseStatement(
+      "ALTER DYNAMIC TABLE dt SET TARGET_LAG = '15 minutes'").value();
+  ASSERT_EQ(lag.kind, StatementKind::kAlterDt);
+  EXPECT_EQ(lag.alter_dt->action, AlterDtStmt::Action::kSetTargetLag);
+  EXPECT_FALSE(lag.alter_dt->target_lag.downstream);
+  EXPECT_EQ(lag.alter_dt->target_lag.duration, 15 * kMicrosPerMinute);
+
+  auto down = ParseStatement(
+      "ALTER DYNAMIC TABLE dt SET TARGET_LAG = DOWNSTREAM").value();
+  EXPECT_TRUE(down.alter_dt->target_lag.downstream);
+
+  EXPECT_FALSE(ParseStatement("ALTER DYNAMIC TABLE dt SET TARGET_LAG").ok());
+  EXPECT_FALSE(
+      ParseStatement("ALTER DYNAMIC TABLE dt SET TARGET_LAG = 99").ok());
+  EXPECT_FALSE(ParseStatement("ALTER DYNAMIC TABLE dt SET WAREHOUSE = x").ok());
 }
 
 TEST(ParserTest, InsertDeleteUpdate) {

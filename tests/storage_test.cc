@@ -233,6 +233,89 @@ TEST(VersionedTableTest, PartitionChunking) {
   EXPECT_EQ(t.ScanLatest().size(), 5u);
 }
 
+TEST(VersionedTableTest, PruneVersionsBeforeDropsHistoryAndFreesPartitions) {
+  VersionedTable t(TwoCol(), /*max_partition_rows=*/1);
+  ASSERT_TRUE(
+      t.ApplyChanges(t.MakeInsertChanges({R(1, "a"), R(2, "b")}), {10, 0})
+          .ok());
+  // Delete row 1: its partition is rewritten, so the old one becomes
+  // unreachable once versions referencing it are pruned.
+  ASSERT_TRUE(t.ApplyChanges({{ChangeAction::kDelete, 1, R(1, "a")}}, {20, 0})
+                  .ok());
+  ASSERT_TRUE(
+      t.ApplyChanges(t.MakeInsertChanges({R(3, "c")}), {30, 0}).ok());
+  ASSERT_EQ(t.version_count(), 4u);
+  const size_t partitions_before = t.all_partitions().size();
+
+  PruneOutcome out = t.PruneVersionsBefore(3);
+  EXPECT_EQ(out.versions_pruned, 2u);
+  EXPECT_GT(out.partitions_freed, 0u);
+  EXPECT_EQ(t.first_version(), 3u);
+  EXPECT_EQ(t.version_count(), 2u);
+  EXPECT_LT(t.all_partitions().size(), partitions_before);
+  EXPECT_EQ(t.stats().versions_pruned, 2u);
+
+  // Pruned history is gone; retained history still scans and change-scans.
+  EXPECT_FALSE(t.has_version(2));
+  EXPECT_EQ(t.ResolveVersionAt({15, 0}), kInvalidVersionId);
+  EXPECT_EQ(t.ScanAt(3).size(), 1u);
+  EXPECT_EQ(t.ScanAt(4).size(), 2u);
+  auto changes = t.ScanChanges(3, 4);
+  ASSERT_TRUE(changes.ok());
+  EXPECT_EQ(changes.value().size(), 1u);
+  EXPECT_FALSE(t.ScanChanges(2, 4).ok());
+
+  // The latest version is always kept, and re-pruning is a no-op.
+  PruneOutcome again = t.PruneVersionsBefore(99);
+  EXPECT_EQ(again.versions_pruned, 1u);  // clamped to latest (version 4)
+  EXPECT_EQ(t.latest_version(), 4u);
+  EXPECT_EQ(t.PruneVersionsBefore(4).versions_pruned, 0u);
+
+  // Writes continue normally after pruning.
+  ASSERT_TRUE(
+      t.ApplyChanges(t.MakeInsertChanges({R(4, "d")}), {40, 0}).ok());
+  EXPECT_EQ(t.ScanLatest().size(), 3u);
+}
+
+TEST(VersionedTableTest, PruneKeepsRowIdIndexIntact) {
+  VersionedTable t(TwoCol(), /*max_partition_rows=*/2);
+  ASSERT_TRUE(
+      t.ApplyChanges(t.MakeInsertChanges({R(1, "a"), R(2, "b"), R(3, "c")}),
+                     {10, 0})
+          .ok());
+  ASSERT_TRUE(t.ApplyChanges({{ChangeAction::kDelete, 2, R(2, "b")}}, {20, 0})
+                  .ok());
+  t.PruneVersionsBefore(t.latest_version());
+  for (const IdRow& row : t.ScanLatest()) {
+    const RowLocation* loc = t.FindRow(row.id);
+    ASSERT_NE(loc, nullptr);
+    EXPECT_TRUE(t.has_version(t.latest_version()));
+  }
+  EXPECT_EQ(t.FindRow(2), nullptr);
+}
+
+TEST(VersionedTableTest, TrimVersionsKeepsWindowEdgeExact) {
+  // The timestamp form of the trim: reads at any t >= min_ts stay exact,
+  // reads below the floor stop resolving.
+  VersionedTable t(TwoCol(), /*max_partition_rows=*/1);
+  ASSERT_TRUE(t.ApplyChanges(t.MakeInsertChanges({R(1, "a")}), {10, 0}).ok());
+  ASSERT_TRUE(t.ApplyChanges(t.MakeInsertChanges({R(2, "b")}), {20, 0}).ok());
+  ASSERT_TRUE(t.ApplyChanges(t.MakeInsertChanges({R(3, "c")}), {30, 0}).ok());
+
+  // min_ts between commits: the newest version at or below it is retained,
+  // so "as of 25" still resolves exactly (to the {20,0} version).
+  PruneOutcome out = t.TrimVersions(HlcTimestamp::AtWallTime(25));
+  EXPECT_EQ(out.versions_pruned, 2u);  // empty v1 and the {10,0} version
+  EXPECT_EQ(t.ResolveVersionAt(HlcTimestamp::AtWallTime(25)),
+            t.first_version());
+  EXPECT_EQ(t.ScanAt(t.first_version()).size(), 2u);
+  EXPECT_EQ(t.ResolveVersionAt(HlcTimestamp::AtWallTime(15)),
+            kInvalidVersionId);
+
+  // A min_ts before every retained commit trims nothing.
+  EXPECT_EQ(t.TrimVersions(HlcTimestamp::AtWallTime(5)).versions_pruned, 0u);
+}
+
 TEST(VersionedTableTest, HistoryIsFullyTimeTravelable) {
   VersionedTable t(TwoCol());
   std::vector<size_t> expected_counts = {0};

@@ -1,0 +1,251 @@
+// wal_dump — human-readable listing of a durability WAL segment, for
+// debugging recovery failures without a debugger:
+//
+//   $ wal_dump <persist-dir>              # live generation (per MANIFEST-less
+//                                         # layout: the largest seq on disk)
+//   $ wal_dump <persist-dir> <seq>        # a specific generation
+//   $ wal_dump <path/to/wal-NNNNNNNN.log> # one file directly
+//
+// Prints one line per record — index, byte offset, type, affected table,
+// commit HLC, and row/change counts — then the tail status (clean or torn,
+// i.e. the first CRC/length check that failed ends the replayable prefix).
+// When the paired checkpoint of the same generation is readable, object ids
+// are annotated with their names.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "persist/manager.h"
+#include "persist/recover.h"
+#include "persist/snapshot.h"
+
+using namespace dvs;
+using namespace dvs::persist;
+namespace fs = std::filesystem;
+
+namespace {
+
+const char* TypeName(uint8_t type) {
+  switch (static_cast<WalRecordType>(type)) {
+    case WalRecordType::kCommit: return "COMMIT";
+    case WalRecordType::kDdl: return "DDL";
+    case WalRecordType::kRefresh: return "REFRESH";
+    case WalRecordType::kRefreshFailure: return "REFRESH_FAILURE";
+    case WalRecordType::kSchedRecord: return "SCHED_RECORD";
+    case WalRecordType::kTickEnd: return "TICK_END";
+    case WalRecordType::kPrune: return "PRUNE";
+    case WalRecordType::kRecluster: return "RECLUSTER";
+  }
+  return "UNKNOWN";
+}
+
+const char* DdlOpName(DdlOp op) {
+  switch (op) {
+    case DdlOp::kCreateTable: return "CREATE TABLE";
+    case DdlOp::kCreateView: return "CREATE VIEW";
+    case DdlOp::kCreateDynamicTable: return "CREATE DYNAMIC TABLE";
+    case DdlOp::kDrop: return "DROP";
+    case DdlOp::kUndrop: return "UNDROP";
+    case DdlOp::kReplaceTable: return "CREATE OR REPLACE TABLE";
+    case DdlOp::kClone: return "CLONE";
+    case DdlOp::kAlterTargetLag: return "ALTER SET TARGET_LAG";
+    case DdlOp::kAlterSuspend: return "ALTER SUSPEND";
+    case DdlOp::kAlterResume: return "ALTER RESUME";
+  }
+  return "?";
+}
+
+/// id -> name annotations from the paired checkpoint (best effort: WAL-only
+/// dumps still work, they just print bare ids).
+std::map<ObjectId, std::string> LoadNames(const std::string& dir,
+                                          uint64_t seq) {
+  std::map<ObjectId, std::string> names;
+  auto image = ReadCheckpointFile(CheckpointPath(dir, seq), nullptr);
+  if (image.ok()) {
+    for (const ObjectImage& o : image.value().objects) names[o.id] = o.name;
+  }
+  return names;
+}
+
+std::string ObjName(const std::map<ObjectId, std::string>& names,
+                    ObjectId id) {
+  char buf[64];
+  auto it = names.find(id);
+  if (it == names.end()) {
+    std::snprintf(buf, sizeof(buf), "#%" PRIu64, id);
+    return buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%s(#%" PRIu64 ")", it->second.c_str(), id);
+  return buf;
+}
+
+std::string HlcStr(const HlcTimestamp& ts) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%u", ts.physical, ts.logical);
+  return buf;
+}
+
+void PrintRecord(size_t index, const FramedRecord& rec,
+                 const std::map<ObjectId, std::string>& names) {
+  std::printf("%5zu %8" PRIu64 "  %-15s ", index, rec.end_offset,
+              TypeName(rec.type));
+  switch (static_cast<WalRecordType>(rec.type)) {
+    case WalRecordType::kCommit: {
+      auto img = DecodeCommit(rec.payload);
+      if (!img.ok()) break;
+      std::printf("ts=%s", HlcStr(img.value().ts).c_str());
+      for (const auto& t : img.value().tables) {
+        size_t ins = 0, del = 0;
+        for (const ChangeRow& c : t.changes) {
+          (c.action == ChangeAction::kInsert ? ins : del) += 1;
+        }
+        std::printf("  %s +%zu/-%zu", ObjName(names, t.object).c_str(), ins,
+                    del);
+      }
+      std::printf("\n");
+      return;
+    }
+    case WalRecordType::kDdl: {
+      auto img = DecodeDdl(rec.payload);
+      if (!img.ok()) break;
+      std::printf("%s '%s' ts=%s", DdlOpName(img.value().op),
+                  img.value().name.c_str(), HlcStr(img.value().ts).c_str());
+      if (!img.value().detail.empty()) {
+        std::printf(" (%s)", img.value().detail.c_str());
+      }
+      std::printf("\n");
+      return;
+    }
+    case WalRecordType::kRefresh: {
+      auto img = DecodeRefresh(rec.payload);
+      if (!img.ok()) break;
+      const RefreshImage& r = img.value();
+      const char* commit =
+          r.commit == 0 ? "overwrite" : r.commit == 1 ? "noop" : "applied";
+      std::printf("%s %s refresh_ts=%" PRId64 " commit_ts=%s -> v%" PRIu64
+                  " (%s, %zu rows, %zu sources)\n",
+                  ObjName(names, r.dt).c_str(),
+                  RefreshActionName(static_cast<RefreshAction>(r.action)),
+                  r.refresh_ts, HlcStr(r.commit_ts).c_str(), r.new_version,
+                  commit, r.rows.size(), r.frontier.size());
+      return;
+    }
+    case WalRecordType::kRefreshFailure: {
+      Decoder d(rec.payload);
+      ObjectId dt = d.U64();
+      if (!d.done()) break;
+      std::printf("%s\n", ObjName(names, dt).c_str());
+      return;
+    }
+    case WalRecordType::kSchedRecord: {
+      auto img = DecodeSchedRecord(rec.payload);
+      if (!img.ok()) break;
+      const RefreshRecord& r = img.value().record;
+      std::printf("%s data_ts=%" PRId64 " %s%s%s rows=%" PRIu64,
+                  r.dt_name.c_str(), r.data_timestamp,
+                  RefreshActionName(r.action), r.skipped ? " SKIPPED" : "",
+                  r.failed ? " FAILED" : "", r.rows_processed);
+      if (img.value().has_warehouse) {
+        std::printf("  wh=%s billed=%" PRId64, img.value().warehouse.c_str(),
+                    img.value().wh_billed);
+      }
+      std::printf("\n");
+      return;
+    }
+    case WalRecordType::kTickEnd: {
+      Decoder d(rec.payload);
+      Micros t = d.I64();
+      if (!d.done()) break;
+      std::printf("t=%" PRId64 "\n", t);
+      return;
+    }
+    case WalRecordType::kPrune: {
+      Decoder d(rec.payload);
+      ObjectId object = d.U64();
+      VersionId keep_from = d.U64();
+      if (!d.done()) break;
+      std::printf("%s keep_from=v%" PRIu64 "\n",
+                  ObjName(names, object).c_str(), keep_from);
+      return;
+    }
+    case WalRecordType::kRecluster: {
+      Decoder d(rec.payload);
+      ObjectId object = d.U64();
+      HlcTimestamp ts = d.Hlc();
+      VersionId v = d.U64();
+      if (!d.done()) break;
+      std::printf("%s commit_ts=%s -> v%" PRIu64 "\n",
+                  ObjName(names, object).c_str(), HlcStr(ts).c_str(), v);
+      return;
+    }
+  }
+  std::printf("<malformed payload, %zu bytes>\n", rec.payload.size());
+}
+
+int Dump(const std::string& path,
+         const std::map<ObjectId, std::string>& names) {
+  auto wal = ReadWalSegment(path);
+  if (!wal.ok()) {
+    std::fprintf(stderr, "wal_dump: %s\n", wal.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s  (generation %" PRIu64 ", %zu records)\n", path.c_str(),
+              wal.value().seq, wal.value().records.size());
+  std::printf("%5s %8s  %-15s detail\n", "#", "offset", "type");
+  for (size_t i = 0; i < wal.value().records.size(); ++i) {
+    PrintRecord(i, wal.value().records[i], names);
+  }
+  if (wal.value().torn_tail) {
+    uint64_t end = wal.value().records.empty()
+                       ? 16
+                       : wal.value().records.back().end_offset;
+    std::printf("TORN TAIL after offset %" PRIu64
+                " — recovery truncates here (CRC/length check failed)\n",
+                end);
+  } else {
+    std::printf("clean tail — every frame CRC-checked\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) {
+    std::fprintf(stderr,
+                 "usage: wal_dump <persist-dir> [generation] | <wal-file>\n");
+    return 2;
+  }
+  std::string arg = argv[1];
+
+  if (!fs::is_directory(arg)) {
+    // Direct WAL file; look for the sibling checkpoint for name annotation.
+    std::map<ObjectId, std::string> names;
+    uint64_t seq = 0;
+    std::string base = fs::path(arg).filename().string();
+    if (std::sscanf(base.c_str(), "wal-%" SCNu64, &seq) == 1) {
+      names = LoadNames(fs::path(arg).parent_path().string(), seq);
+    }
+    return Dump(arg, names);
+  }
+
+  uint64_t seq = 0;
+  if (argc == 3) {
+    seq = std::strtoull(argv[2], nullptr, 10);
+  } else {
+    // Largest generation on disk is the live one.
+    std::vector<uint64_t> wals;
+    if (!ScanGenerations(arg, nullptr, &wals).ok() || wals.empty()) {
+      std::fprintf(stderr, "wal_dump: no WAL segment in '%s'\n", arg.c_str());
+      return 1;
+    }
+    seq = *std::max_element(wals.begin(), wals.end());
+  }
+  return Dump(WalPath(arg, seq), LoadNames(arg, seq));
+}
