@@ -235,6 +235,7 @@ Result<ObjectId> Catalog::CloneObject(const std::string& new_name,
     // A fresh clone starts with a clean slate of failures but keeps its
     // initialization state, frontier, and refresh-version history.
     obj->dt->consecutive_failures = 0;
+    obj->dt->transient_failures = 0;
     obj->dt->state = DtState::kActive;
   }
   obj->min_data_retention = src->min_data_retention;

@@ -76,6 +76,11 @@ struct DynamicTableMeta {
   bool incremental = false;  ///< Effective mode after incrementality analysis.
   DtState state = DtState::kActive;
   int consecutive_failures = 0;
+  /// Consecutive *transient* (retryable) failures — tracked separately from
+  /// consecutive_failures because they never count toward auto-suspend
+  /// (§3.3.3 covers user errors; a warehouse outage is not the user's fault).
+  /// Reset to 0 alongside consecutive_failures on any successful refresh.
+  int transient_failures = 0;
   bool initialized = false;
   /// Data timestamp of the last committed refresh (§3.1.1); -1 before
   /// initialization.

@@ -16,6 +16,8 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kUserError: return "UserError";
     case StatusCode::kCorruption: return "Corruption";
     case StatusCode::kLockConflict: return "LockConflict";
+    case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
   }
   return "Unknown";
 }
@@ -60,6 +62,12 @@ Status Corruption(std::string msg) {
 }
 Status LockConflict(std::string msg) {
   return Status(StatusCode::kLockConflict, std::move(msg));
+}
+Status Unavailable(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+Status ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
 }
 
 }  // namespace dvs

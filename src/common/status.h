@@ -30,6 +30,10 @@ enum class StatusCode {
                       ///< paper's "fails and is not retried" class (§3.3.3).
   kCorruption,        ///< A production validation tripped (§6.1).
   kLockConflict,      ///< Table lock held by another refresh.
+  kUnavailable,       ///< Transient outage (warehouse down, I/O hiccup) —
+                      ///< safe to retry with backoff.
+  kResourceExhausted, ///< Transient capacity limit (pool/quota) — safe to
+                      ///< retry with backoff.
 };
 
 /// Returns the canonical name of a status code ("OK", "NotFound", ...).
@@ -47,6 +51,15 @@ class Status {
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  /// True for the transient-failure class (kUnavailable,
+  /// kResourceExhausted): the operation may succeed if simply retried.
+  /// Deliberately excludes kLockConflict — lock conflicts are handled by the
+  /// scheduler's busy-skip path, not by retry/backoff.
+  bool retryable() const {
+    return code_ == StatusCode::kUnavailable ||
+           code_ == StatusCode::kResourceExhausted;
+  }
 
   /// "NotFound: table 'foo' does not exist" or "OK".
   std::string ToString() const;
@@ -73,6 +86,8 @@ Status BindError(std::string msg);
 Status UserError(std::string msg);
 Status Corruption(std::string msg);
 Status LockConflict(std::string msg);
+Status Unavailable(std::string msg);
+Status ResourceExhausted(std::string msg);
 
 /// Result<T>: holds either a T or a non-OK Status.
 template <typename T>

@@ -473,6 +473,7 @@ Result<QueryResult> DvsEngine::ExecuteAlterDt(const sql::AlterDtStmt& stmt) {
     case sql::AlterDtStmt::Action::kResume:
       obj->dt->state = DtState::kActive;
       obj->dt->consecutive_failures = 0;
+      obj->dt->transient_failures = 0;
       catalog_.NotifyAlter(DdlOp::kAlterResume, obj, "",
                            txn_.NextCommitTimestamp());
       out.message = stmt.name + " resumed";

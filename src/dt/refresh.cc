@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "fault/injector.h"
 #include "ivm/state_reuse.h"
 #include "sql/binder.h"
 #include "sql/parser.h"
@@ -268,6 +269,14 @@ Result<RefreshOutcome> RefreshEngine::Refresh(ObjectId dt_id,
     RefreshOutcome out;
     out.data_timestamp = refresh_ts;
 
+    // Chaos site: lets tests/benches make this refresh fail transiently
+    // (retryable) or permanently, scoped by DT name. Evaluated in per-DT
+    // program order — attempt k of DT d sees decision k regardless of which
+    // worker thread runs it.
+    if (fault::FaultInjector* inj = fault::ActiveInjector()) {
+      DVS_RETURN_IF_ERROR(inj->Check(fault::kSiteRefreshExecute, obj->name));
+    }
+
     DVS_RETURN_IF_ERROR(CheckQueryEvolution(obj));
     DVS_ASSIGN_OR_RETURN(auto source_versions,
                          ResolveSourceVersions(*obj, refresh_ts));
@@ -457,6 +466,7 @@ Result<RefreshOutcome> RefreshEngine::Refresh(ObjectId dt_id,
   Result<RefreshOutcome> result = run();
   if (result.ok()) {
     meta->consecutive_failures = 0;
+    meta->transient_failures = 0;
     if (persist_hook_) {
       // Journal the committed refresh for WAL replay. The WAL writer
       // serializes appends internally; ordering against this refresh's own
@@ -476,11 +486,23 @@ Result<RefreshOutcome> RefreshEngine::Refresh(ObjectId dt_id,
       commit_observer_(*obj, meta->refresh_versions.at(refresh_ts),
                        meta->frontier);
     }
+  } else if (result.status().retryable()) {
+    // Transient class: the caller may retry with backoff; never counts
+    // toward auto-suspend.
+    meta->transient_failures += 1;
+    if (failure_hook_) failure_hook_(dt_id, result.status(), /*transient=*/true);
   } else if (CountsAsFailure(result.status())) {
     RecordFailure(obj);
-    if (failure_hook_) failure_hook_(dt_id);
+    if (failure_hook_) failure_hook_(dt_id, result.status(), /*transient=*/false);
   }
   return result;
+}
+
+void RefreshEngine::NoteTransientFailure(ObjectId dt_id, const Status& error) {
+  auto found = catalog_->FindById(dt_id);
+  if (!found.ok()) return;
+  found.value()->dt->transient_failures += 1;
+  if (failure_hook_) failure_hook_(dt_id, error, /*transient=*/true);
 }
 
 Result<std::vector<ObjectId>> RefreshEngine::UpstreamClosure(ObjectId dt_id) {

@@ -146,10 +146,18 @@ class RefreshEngine {
   void set_persist_hook(PersistHook hook) { persist_hook_ = std::move(hook); }
   bool has_persist_hook() const { return persist_hook_ != nullptr; }
 
-  /// Invoked when a refresh fails in a way that counts toward auto-suspend
-  /// (§3.3.3), so recovery reproduces failure accounting and suspension.
-  using FailureHook = std::function<void(ObjectId dt)>;
+  /// Invoked when a refresh fails, so recovery reproduces failure accounting
+  /// and suspension. `transient` distinguishes retryable failures (tracked in
+  /// transient_failures, never counted toward auto-suspend) from permanent
+  /// ones (consecutive_failures / §3.3.3 suspension).
+  using FailureHook =
+      std::function<void(ObjectId dt, const Status& error, bool transient)>;
   void set_failure_hook(FailureHook hook) { failure_hook_ = std::move(hook); }
+
+  /// Records a transient failure that happened *outside* Refresh (e.g. the
+  /// scheduler's warehouse-outage gate rejects the attempt before the engine
+  /// runs), keeping accounting and the failure hook on one code path.
+  void NoteTransientFailure(ObjectId dt_id, const Status& error);
 
  private:
   /// §5.4 dependency re-validation; may rebind the plan and set

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "fault/injector.h"
+
 namespace dvs {
 namespace persist {
 
@@ -303,6 +305,12 @@ TableVersion Decoder::DecodeTableVersion() {
 Status RecordFileWriter::Open(const std::string& path, uint32_t magic,
                               uint64_t seq) {
   Close();
+  // Chaos site: simulated open failure (disk full, permission flap). With a
+  // scope_filter on the path it targets one file kind — e.g. checkpoint
+  // rotation failure without touching the WAL.
+  if (fault::FaultInjector* inj = fault::ActiveInjector()) {
+    DVS_RETURN_IF_ERROR(inj->Check(fault::kSitePersistFileOpen, path));
+  }
   file_ = std::fopen(path.c_str(), "wb");
   if (file_ == nullptr) {
     return Internal("cannot open '" + path + "' for writing");
@@ -317,6 +325,7 @@ Status RecordFileWriter::Open(const std::string& path, uint32_t magic,
     return Internal("short write of header to '" + path + "'");
   }
   std::fflush(file_);
+  path_ = path;
   bytes_ = h.size();
   return OkStatus();
 }
@@ -327,6 +336,26 @@ Status RecordFileWriter::Append(uint8_t type, std::string_view payload) {
     return Internal("record file has a torn frame after a failed write; "
                     "appends disabled");
   }
+  // Chaos site: append-time faults, scoped by file path. kError fails before
+  // touching the file; kShortWrite leaves a torn frame (driving the rewind /
+  // poison path below); kCorruptByte flips a payload byte after the CRC is
+  // computed, so the frame reads back as a CRC mismatch.
+  bool simulate_short_write = false;
+  bool corrupt_byte = false;
+  if (fault::FaultInjector* inj = fault::ActiveInjector()) {
+    if (auto fault = inj->Evaluate(fault::kSitePersistFileAppend, path_)) {
+      switch (fault->kind) {
+        case fault::FaultKind::kError:
+          return fault->ToStatus();
+        case fault::FaultKind::kShortWrite:
+          simulate_short_write = true;
+          break;
+        case fault::FaultKind::kCorruptByte:
+          corrupt_byte = true;
+          break;
+      }
+    }
+  }
   Encoder frame;
   frame.U32(static_cast<uint32_t>(payload.size() + 1));
   std::string body;
@@ -334,9 +363,13 @@ Status RecordFileWriter::Append(uint8_t type, std::string_view payload) {
   body.push_back(static_cast<char>(type));
   body.append(payload.data(), payload.size());
   frame.U32(Crc32(body.data(), body.size()));
+  if (corrupt_byte && !body.empty()) {
+    body[body.size() / 2] = static_cast<char>(body[body.size() / 2] ^ 0x40);
+  }
   const std::string& head = frame.buf();
+  size_t body_to_write = simulate_short_write ? body.size() / 2 : body.size();
   if (std::fwrite(head.data(), 1, head.size(), file_) != head.size() ||
-      std::fwrite(body.data(), 1, body.size(), file_) != body.size()) {
+      std::fwrite(body.data(), 1, body_to_write, file_) != body.size()) {
     // A short write leaves a torn frame. Rewind to the last intact record so
     // later appends stay inside the replayable prefix; if the rewind itself
     // fails, poison the writer — appending past the corruption would be
@@ -358,6 +391,7 @@ void RecordFileWriter::Close() {
     std::fclose(file_);
     file_ = nullptr;
   }
+  path_.clear();
 }
 
 Result<RecordFile> ReadRecordFile(const std::string& path, uint32_t magic,
@@ -390,20 +424,27 @@ Result<RecordFile> ReadRecordFile(const std::string& path, uint32_t magic,
 
   size_t pos = kHeaderSize;
   while (pos < data.size()) {
-    bool bad = false;
+    std::string bad;
     FramedRecord rec;
     if (data.size() - pos < 8) {
-      bad = true;
+      bad = "incomplete frame header (" + std::to_string(data.size() - pos) +
+            " of 8 bytes)";
     } else {
       Decoder frame(std::string_view(data).substr(pos, 8));
       uint32_t len = frame.U32();
       uint32_t crc = frame.U32();
       if (len < 1 || data.size() - pos - 8 < len) {
-        bad = true;
+        bad = "frame body truncated (declares " + std::to_string(len) +
+              " bytes, " + std::to_string(data.size() - pos - 8) + " remain)";
       } else {
         std::string_view body = std::string_view(data).substr(pos + 8, len);
-        if (Crc32(body.data(), body.size()) != crc) {
-          bad = true;
+        uint32_t computed = Crc32(body.data(), body.size());
+        if (computed != crc) {
+          char why[64];
+          std::snprintf(why, sizeof(why),
+                        "CRC mismatch (stored %08x, computed %08x)", crc,
+                        computed);
+          bad = why;
         } else {
           rec.type = static_cast<uint8_t>(body[0]);
           rec.payload = std::string(body.substr(1));
@@ -412,12 +453,14 @@ Result<RecordFile> ReadRecordFile(const std::string& path, uint32_t magic,
         }
       }
     }
-    if (bad) {
+    if (!bad.empty()) {
       if (!tolerate_torn_tail) {
         return Corruption("corrupt record frame in '" + path + "' at offset " +
-                          std::to_string(pos));
+                          std::to_string(pos) + ": " + bad);
       }
       out.torn_tail = true;
+      out.torn_offset = pos;
+      out.torn_reason = std::move(bad);
       break;
     }
     out.records.push_back(std::move(rec));

@@ -33,7 +33,11 @@ namespace persist {
 
 constexpr uint32_t kWalMagic = 0x4C415744;         // "DWAL"
 constexpr uint32_t kCheckpointMagic = 0x504B4344;  // "DCKP"
-constexpr uint32_t kFormatVersion = 1;
+// v2: RefreshRecord payloads carry error_code/attempts/retry_backoff, the
+// kRefreshFailure WAL record carries status code+message+transient, and DT
+// images carry transient_failures. Readers reject other versions, so stale
+// v1 directories fail loudly instead of decoding garbage.
+constexpr uint32_t kFormatVersion = 2;
 
 /// CRC32 (IEEE, reflected) over `n` bytes.
 uint32_t Crc32(const void* data, size_t n);
@@ -136,6 +140,7 @@ class RecordFileWriter {
 
  private:
   std::FILE* file_ = nullptr;
+  std::string path_;  ///< Fault-injection scope (and error messages).
   uint64_t bytes_ = 0;
   /// Set when a failed write left a torn frame that could not be rewound:
   /// the file ends mid-frame, so any further append would land *after* the
@@ -151,6 +156,11 @@ struct RecordFile {
   std::vector<FramedRecord> records;
   /// True when parsing stopped at an incomplete/corrupt tail frame.
   bool torn_tail = false;
+  /// Torn-tail diagnostics (`wal_dump --verify`): byte offset of the first
+  /// bad frame and what check failed there ("CRC mismatch ...", "frame
+  /// truncated ...").
+  uint64_t torn_offset = 0;
+  std::string torn_reason;
 };
 
 /// Reads a framed record file. With `tolerate_torn_tail` (WAL semantics) a

@@ -270,13 +270,21 @@ void Manager::InstallHooks() {
         NoteAppend(s, appended);
       });
 
-  engine_->refresh_engine().set_failure_hook([this](ObjectId dt) {
-    Encoder e;
-    e.U64(dt);
-    uint64_t appended = 0;
-    Status s = wal_->Append(WalRecordType::kRefreshFailure, e.buf(), &appended);
-    NoteAppend(s, appended);
-  });
+  engine_->refresh_engine().set_failure_hook(
+      [this](ObjectId dt, const Status& error, bool transient) {
+        // Failure accounting replayed by recovery: transient failures bump
+        // transient_failures only; permanent ones advance the §3.3.3
+        // auto-suspend counter. Code + message ride along for post-mortems.
+        Encoder e;
+        e.U64(dt);
+        e.Bool(transient);
+        e.I32(static_cast<int32_t>(error.code()));
+        e.Str(error.message());
+        uint64_t appended = 0;
+        Status s =
+            wal_->Append(WalRecordType::kRefreshFailure, e.buf(), &appended);
+        NoteAppend(s, appended);
+      });
 }
 
 void Manager::AppendSchedRecord(const RefreshRecord& record,

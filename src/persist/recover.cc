@@ -145,6 +145,7 @@ Status ApplyDdl(RecoveredSystem* sys, std::string_view payload) {
       DVS_ASSIGN_OR_RETURN(CatalogObject * obj, catalog.Find(img.name));
       obj->dt->state = DtState::kActive;
       obj->dt->consecutive_failures = 0;
+      obj->dt->transient_failures = 0;
       catalog.NotifyAlter(DdlOp::kAlterResume, obj, "", img.ts);
       break;
     }
@@ -214,6 +215,7 @@ Status ApplyRefresh(RecoveredSystem* sys, std::string_view payload) {
   for (const auto& [src, v] : img.frontier) meta->frontier.emplace(src, v);
   meta->data_timestamp = img.refresh_ts;
   meta->consecutive_failures = 0;
+  meta->transient_failures = 0;
 
   sys->engine->txn().ObserveCommitTimestamp(img.commit_ts);
   NoteTime(sys, std::max(img.refresh_ts, img.commit_ts.physical));
@@ -223,10 +225,18 @@ Status ApplyRefresh(RecoveredSystem* sys, std::string_view payload) {
 Status ApplyRefreshFailure(RecoveredSystem* sys, std::string_view payload) {
   Decoder d(payload);
   ObjectId dt = d.U64();
+  bool transient = d.Bool();
+  d.I32();   // Status code — carried for post-mortems, not needed by replay.
+  d.Str();   // Status message — likewise.
   if (!d.done()) return Corruption("malformed refresh-failure WAL record");
   DVS_ASSIGN_OR_RETURN(CatalogObject * obj,
                        sys->engine->catalog().FindById(dt));
   DynamicTableMeta* meta = obj->dt.get();
+  if (transient) {
+    // Retryable class: never advances the auto-suspend counter.
+    meta->transient_failures += 1;
+    return OkStatus();
+  }
   meta->consecutive_failures += 1;
   if (meta->consecutive_failures >=
       sys->engine->refresh_engine().options().max_consecutive_failures) {

@@ -47,6 +47,7 @@ DtImage CaptureDt(const DynamicTableMeta& meta) {
   img.incremental = meta.incremental;
   img.state = static_cast<uint8_t>(meta.state);
   img.consecutive_failures = meta.consecutive_failures;
+  img.transient_failures = meta.transient_failures;
   img.initialized = meta.initialized;
   img.data_timestamp = meta.data_timestamp;
   img.refresh_versions.assign(meta.refresh_versions.begin(),
@@ -99,6 +100,7 @@ void EncodeDtImage(Encoder* e, const DtImage& dt) {
   e->Bool(dt.incremental);
   e->U8(dt.state);
   e->I32(dt.consecutive_failures);
+  e->I32(dt.transient_failures);
   e->Bool(dt.initialized);
   e->I64(dt.data_timestamp);
   e->U32(static_cast<uint32_t>(dt.refresh_versions.size()));
@@ -121,6 +123,7 @@ DtImage DecodeDtImage(Decoder* d) {
   dt.incremental = d->Bool();
   dt.state = d->U8();
   dt.consecutive_failures = d->I32();
+  dt.transient_failures = d->I32();
   dt.initialized = d->Bool();
   dt.data_timestamp = d->I64();
   uint32_t nr = d->U32();
@@ -362,6 +365,7 @@ Status InstallSystemImage(const SystemImage& image, DvsEngine* engine,
       meta->incremental = o.dt.incremental;
       meta->state = static_cast<DtState>(o.dt.state);
       meta->consecutive_failures = o.dt.consecutive_failures;
+      meta->transient_failures = o.dt.transient_failures;
       meta->initialized = o.dt.initialized;
       meta->data_timestamp = o.dt.data_timestamp;
       for (const auto& [ts, v] : o.dt.refresh_versions) {

@@ -45,6 +45,7 @@ struct DtImage {
   bool incremental = false;
   uint8_t state = 0;  ///< DtState.
   int consecutive_failures = 0;
+  int transient_failures = 0;
   bool initialized = false;
   Micros data_timestamp = -1;
   std::vector<std::pair<Micros, VersionId>> refresh_versions;  ///< Sorted.

@@ -219,6 +219,9 @@ void EncodeRefreshRecordInto(Encoder* e, const RefreshRecord& r) {
   e->Bool(r.skipped);
   e->Bool(r.failed);
   e->Str(r.error);
+  e->I32(static_cast<int32_t>(r.error_code));
+  e->I32(r.attempts);
+  e->I64(r.retry_backoff);
   e->U64(r.rows_processed);
   e->U64(r.changes_applied);
   e->U64(r.dt_row_count);
@@ -237,6 +240,9 @@ RefreshRecord DecodeRefreshRecordFrom(Decoder* d) {
   r.skipped = d->Bool();
   r.failed = d->Bool();
   r.error = d->Str();
+  r.error_code = static_cast<StatusCode>(d->I32());
+  r.attempts = d->I32();
+  r.retry_backoff = d->I64();
   r.rows_processed = d->U64();
   r.changes_applied = d->U64();
   r.dt_row_count = d->U64();

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <stdexcept>
+
+#include "fault/injector.h"
 
 namespace dvs {
 namespace runtime {
@@ -82,6 +85,16 @@ void DispatchLocked(RunState* st, ThreadPool* pool, size_t i) {
   pool->Submit([st, pool, i] {
     const DagTask& task = (*st->tasks)[i];
     try {
+      // Chaos site, scoped by gate (warehouse): a firing evaluation makes
+      // this task throw on its worker thread, exercising the exception
+      // capture below and the scheduler's failed-refresh fallback. It must
+      // live inside this wrapper — an exception thrown before it would skip
+      // OnTaskDone and hang the run.
+      if (fault::FaultInjector* inj = fault::ActiveInjector()) {
+        if (auto fault = inj->Evaluate(fault::kSiteRuntimeWorker, task.gate)) {
+          throw std::runtime_error(fault->message);
+        }
+      }
       if (task.work) task.work();
     } catch (const std::exception& e) {
       std::lock_guard<std::mutex> lock(st->mu);

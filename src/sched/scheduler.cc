@@ -5,6 +5,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "fault/injector.h"
 #include "persist/manager.h"
 #include "persist/retention.h"
 
@@ -81,7 +82,26 @@ void Scheduler::ExecuteNode(TickNode* node, Micros t) {
       return;
     }
   }
-  node->result = engine_->refresh_engine().Refresh(node->dt, t);
+  // Transient-retry loop: retryable failures (kUnavailable /
+  // kResourceExhausted) are retried with capped exponential backoff charged
+  // in *virtual time* (accumulated into node->backoff; FinalizeNode turns it
+  // into slot delay / end-time extension). Everything here is per-DT state,
+  // so retry sequences are identical at any worker count.
+  RefreshEngine& eng = engine_->refresh_engine();
+  const int max_attempts = std::max(1, options_.retry_max_attempts);
+  for (;;) {
+    node->attempts += 1;
+    node->result = eng.Refresh(node->dt, t);
+    if (node->result->ok() || !node->result->status().retryable() ||
+        node->attempts >= max_attempts) {
+      return;
+    }
+    Micros delay = options_.retry_base;
+    for (int k = 1; k < node->attempts && delay < options_.retry_cap; ++k) {
+      delay *= 2;
+    }
+    node->backoff += std::min(delay, options_.retry_cap);
+  }
 }
 
 void Scheduler::FinalizeNode(TickNode* node, Micros t) {
@@ -106,19 +126,44 @@ void Scheduler::FinalizeNode(TickNode* node, Micros t) {
     journal(nullptr);
     return;
   }
+  // Warehouse outage (injected, decided in the serial plan phase): the
+  // engine never ran. Finalized as a transient failure — downstream DTs
+  // degrade via the upstream-missing skip path, and accounting flows through
+  // the same transient hook recovery replays.
+  if (node->warehouse_out) {
+    rec.failed = true;
+    rec.error = node->warehouse_status.ToString();
+    rec.error_code = node->warehouse_status.code();
+    rec.start_time = rec.end_time = t;
+    busy_until_[node->dt] = rec.end_time;
+    engine_->refresh_engine().NoteTransientFailure(node->dt,
+                                                   node->warehouse_status);
+    log_.push_back(std::move(rec));
+    journal(nullptr);
+    return;
+  }
   if (node->upstream_missing) {
     rec.skipped = true;
     rec.error = "upstream refresh unavailable at this data timestamp";
+    rec.error_code = StatusCode::kUnavailable;
     rec.start_time = rec.end_time = t;
     log_.push_back(std::move(rec));
     journal(nullptr);
     return;
   }
   const Result<RefreshOutcome>& result = *node->result;
+  rec.attempts = node->attempts;
+  rec.retry_backoff = node->backoff;
   if (!result.ok()) {
     rec.failed = true;
     rec.error = result.status().ToString();
-    rec.start_time = rec.end_time = t;
+    rec.error_code = result.status().code();
+    rec.start_time = t;
+    // Exhausted transient retries charge their backoff to the record's end
+    // time: a backoff longer than the period spills into next-tick
+    // busy-skip, which is how retrying crosses tick boundaries.
+    rec.end_time = t + node->backoff;
+    busy_until_[node->dt] = rec.end_time;
     log_.push_back(std::move(rec));
     journal(nullptr);
     return;
@@ -129,7 +174,9 @@ void Scheduler::FinalizeNode(TickNode* node, Micros t) {
   rec.changes_applied = outcome.changes_applied;
   rec.dt_row_count = outcome.dt_row_count;
 
-  Micros upstream_end = t;
+  // Retry backoff delays the refresh's earliest start the same way upstream
+  // completions do.
+  Micros upstream_end = t + node->backoff;
   for (ObjectId up : node->upstream) {
     auto ue = last_end_.find(up);
     if (ue != last_end_.end()) {
@@ -186,6 +233,13 @@ void Scheduler::Tick(Micros t) {
   // only pre-tick state, so they are identical in serial and parallel mode.
   std::vector<TickNode> nodes;
   nodes.reserve(order.size());
+  // Injected warehouse outages are decided here, serially, once per tick per
+  // distinct warehouse (first due DT on it evaluates the site) — never in
+  // the parallel execute phase, where evaluation order would depend on
+  // thread interleaving. An outage spanning N ticks is the site armed with
+  // burst = N.
+  fault::FaultInjector* inj = fault::ActiveInjector();
+  std::map<std::string, Status> outages;
   for (ObjectId dt_id : order) {
     auto found = catalog.FindById(dt_id);
     if (!found.ok()) continue;
@@ -203,6 +257,19 @@ void Scheduler::Tick(Micros t) {
     node.upstream = catalog.UpstreamDynamicTables(dt_id);
     auto busy = busy_until_.find(dt_id);
     node.busy_skip = busy != busy_until_.end() && busy->second > t;
+    if (!node.busy_skip && inj != nullptr) {
+      const std::string& wh = obj->dt->def.warehouse;
+      auto it = outages.find(wh);
+      if (it == outages.end()) {
+        it = outages
+                 .emplace(wh, inj->Check(fault::kSiteWarehouseOutage, wh))
+                 .first;
+      }
+      if (!it->second.ok()) {
+        node.warehouse_out = true;
+        node.warehouse_status = it->second;
+      }
+    }
     nodes.push_back(std::move(node));
   }
 
@@ -215,7 +282,7 @@ void Scheduler::Tick(Micros t) {
     std::vector<runtime::DagTask> tasks;
     std::map<std::string, int> gate_limits;
     for (size_t i = 0; i < nodes.size(); ++i) {
-      if (nodes[i].busy_skip) continue;
+      if (nodes[i].busy_skip || nodes[i].warehouse_out) continue;
       runtime::DagTask task;
       task.gate = nodes[i].obj->dt->def.warehouse;
       if (!task.gate.empty() && !gate_limits.count(task.gate)) {
@@ -245,7 +312,7 @@ void Scheduler::Tick(Micros t) {
       // refresh record rather than a crash.
       for (size_t ti : node_of_task) {
         TickNode& node = nodes[ti];
-        if (!node.busy_skip && !node.upstream_missing &&
+        if (!node.busy_skip && !node.warehouse_out && !node.upstream_missing &&
             !node.result.has_value()) {
           node.result = Result<RefreshOutcome>(run);
         }
@@ -253,7 +320,7 @@ void Scheduler::Tick(Micros t) {
     }
   } else {
     for (TickNode& node : nodes) {
-      if (!node.busy_skip) ExecuteNode(&node, t);
+      if (!node.busy_skip && !node.warehouse_out) ExecuteNode(&node, t);
     }
   }
 
@@ -305,11 +372,14 @@ void Scheduler::ImportState(SchedulerPersistState state) {
   busy_until_.clear();
   last_end_.clear();
   prev_data_ts_.clear();
-  // Re-derive the bookkeeping maps exactly as FinalizeNode maintained them:
-  // only committed refreshes advance them, in log order.
+  // Re-derive the bookkeeping maps exactly as FinalizeNode maintained them,
+  // in log order. Failed records advance busy_until_ only: a transient
+  // failure's end_time carries its retry backoff, and a recovered scheduler
+  // must busy-skip the same follow-up ticks the live one did.
   for (const RefreshRecord& rec : log_) {
-    if (rec.skipped || rec.failed) continue;
+    if (rec.skipped) continue;
     busy_until_[rec.dt] = rec.end_time;
+    if (rec.failed) continue;
     last_end_[rec.dt] = rec.end_time;
     prev_data_ts_[rec.dt] = rec.data_timestamp;
   }

@@ -66,6 +66,16 @@ struct RefreshRecord {
   bool skipped = false;        ///< Previous refresh still running.
   bool failed = false;
   std::string error;
+  /// Status code of the failure (or of the upstream outage for
+  /// upstream-missing skips); kOk for clean records. Post-mortems need the
+  /// *class* of failure, not just its message text.
+  StatusCode error_code = StatusCode::kOk;
+  /// Engine refresh attempts behind this record (retries included). 0 for
+  /// records where the engine never ran (skips, warehouse outage).
+  int attempts = 0;
+  /// Total virtual-time retry backoff accumulated before this record's
+  /// outcome (capped exponential; see SchedulerOptions::retry_*).
+  Micros retry_backoff = 0;
   uint64_t rows_processed = 0;
   size_t changes_applied = 0;
   size_t dt_row_count = 0;
@@ -101,6 +111,19 @@ struct SchedulerOptions {
   /// Runs retention GC (persist/retention.h) at the end of every tick's
   /// finalize phase. A no-op for tables without a retention window.
   bool retention_gc = true;
+  /// Transient-failure retry policy. A refresh that fails with a retryable
+  /// status (Status::retryable(): kUnavailable / kResourceExhausted) is
+  /// retried up to `retry_max_attempts` total attempts within the tick, with
+  /// capped exponential backoff *in virtual time*: attempt k waits
+  /// min(retry_cap, retry_base·2^(k-1)) before running. The accumulated
+  /// backoff delays the refresh's warehouse slot on success, and on
+  /// exhaustion extends the failed record's end_time (so a long backoff
+  /// spills into next-tick busy-skip). Transient failures never count toward
+  /// consecutive_failures / auto-suspend. retry_max_attempts <= 1 disables
+  /// retrying (every failure is terminal for the tick, as before).
+  int retry_max_attempts = 3;
+  Micros retry_base = kMicrosPerSecond;
+  Micros retry_cap = 30 * kMicrosPerSecond;
 };
 
 class Scheduler {
@@ -154,8 +177,16 @@ class Scheduler {
     std::vector<ObjectId> upstream;
     /// Phase 1: previous refresh still running — never executed.
     bool busy_skip = false;
+    /// Phase 1: the DT's warehouse is out this tick (injected outage) — the
+    /// engine never runs; finalized as a transient failure.
+    bool warehouse_out = false;
+    Status warehouse_status;
     /// Phase 2: an upstream has no version at this timestamp — not executed.
     bool upstream_missing = false;
+    /// Phase 2: engine attempts made and virtual-time backoff accumulated by
+    /// the transient-retry loop.
+    int attempts = 0;
+    Micros backoff = 0;
     std::optional<Result<RefreshOutcome>> result;
   };
 

@@ -1,0 +1,548 @@
+// Chaos tests: deterministic fault injection driven through the scheduler,
+// refresh engine, runtime, and durability stack end to end.
+//
+// The contract under test (ROADMAP "Robustness architecture"):
+//  - transient faults (kUnavailable / kResourceExhausted) are retried with
+//    capped exponential backoff in virtual time and NEVER count toward
+//    consecutive_failures / auto-suspend;
+//  - exhausted retries degrade gracefully: a failed record carrying the
+//    status code, attempt count, and accumulated backoff; downstream DTs log
+//    upstream-missing skips; the pipeline converges once faults stop;
+//  - permanent faults keep the pre-existing semantics (RecordFailure,
+//    auto-suspend after max_consecutive_failures);
+//  - injected chaos is byte-deterministic per seed at any worker count;
+//  - persist-layer faults surface in Manager::wal_status while the WAL on
+//    disk stays a replayable prefix.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/injector.h"
+#include "persist/manager.h"
+#include "persist/recover.h"
+#include "sched/scheduler.h"
+
+namespace dvs {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Three-DT pipeline over one source: `flaky` (warehouse whf) is the fault
+/// target, `down` (whd) consumes it, `steady` (whs) is the control that must
+/// never be collaterally damaged by faults scoped to the others.
+struct Harness {
+  VirtualClock clock;
+  DvsEngine engine;
+  std::unique_ptr<Scheduler> sched;
+
+  explicit Harness(int workers, SchedulerOptions base = SchedulerOptions())
+      : clock(0), engine(clock) {
+    Exec("CREATE TABLE src (k INT, v INT)");
+    Exec("INSERT INTO src VALUES (1, 10), (2, 20), (3, 30)");
+    Exec("CREATE DYNAMIC TABLE flaky TARGET_LAG = '2 minutes' "
+         "WAREHOUSE = whf AS SELECT k, SUM(v) AS s FROM src GROUP BY k");
+    Exec("CREATE DYNAMIC TABLE down TARGET_LAG = '4 minutes' "
+         "WAREHOUSE = whd AS SELECT k, s * 2 AS s2 FROM flaky");
+    Exec("CREATE DYNAMIC TABLE steady TARGET_LAG = '2 minutes' "
+         "WAREHOUSE = whs AS SELECT k, v + 1 AS v1 FROM src");
+    base.worker_threads = workers;
+    sched = std::make_unique<Scheduler>(&engine, &clock, base);
+  }
+
+  void Exec(const std::string& sql) {
+    auto r = engine.Execute(sql);
+    ASSERT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+  }
+
+  /// `n` rounds of one insert + a 2-minute RunUntil each, starting at round
+  /// index `start` (so a paused run can continue on the same tick grid).
+  void Rounds(int start, int n) {
+    for (int i = start; i < start + n; ++i) {
+      Exec("INSERT INTO src VALUES (" + std::to_string(100 + i) + ", " +
+           std::to_string(i + 1) + ")");
+      sched->RunUntil((i + 1) * 2 * kMicrosPerMinute);
+    }
+  }
+
+  const DynamicTableMeta* Meta(const std::string& name) {
+    return engine.catalog().Find(name).value()->dt.get();
+  }
+
+  std::vector<RefreshRecord> RecordsFor(const std::string& name) {
+    std::vector<RefreshRecord> out;
+    for (const RefreshRecord& r : sched->log()) {
+      if (r.dt_name == name) out.push_back(r);
+    }
+    return out;
+  }
+
+  std::vector<std::string> Contents(const std::string& dt) {
+    auto q = engine.Query("SELECT * FROM " + dt);
+    if (!q.ok()) return {"<error: " + q.status().ToString() + ">"};
+    std::vector<std::string> rows;
+    for (const Row& r : q.value().rows) {
+      std::string line;
+      for (const Value& v : r) line += v.ToString() + "|";
+      rows.push_back(std::move(line));
+    }
+    std::sort(rows.begin(), rows.end());
+    return rows;
+  }
+};
+
+std::string LogBytes(const std::vector<RefreshRecord>& log) {
+  persist::Encoder e;
+  for (const RefreshRecord& r : log) persist::EncodeRefreshRecordInto(&e, r);
+  return e.Take();
+}
+
+class ChaosTest : public ::testing::TestWithParam<int> {};
+
+// A transient fault burns retry attempts inside the tick, then succeeds:
+// the refresh-log record is a *success* carrying the attempt count and the
+// virtual-time backoff it paid, and no failure counter moved.
+TEST_P(ChaosTest, TransientFaultRetriesInlineThenSucceeds) {
+  Harness h(GetParam());
+  fault::FaultInjector inj(7);
+  fault::SiteConfig cfg;
+  cfg.probability = 1.0;
+  cfg.max_fires = 2;  // < retry_max_attempts: the third attempt goes through
+  cfg.scope_filter = "flaky";
+  cfg.message = "replica flap";
+  inj.Arm(fault::kSiteRefreshExecute, cfg);
+  fault::ScopedInjector active(&inj);
+
+  h.Rounds(0, 3);
+
+  std::vector<RefreshRecord> flaky = h.RecordsFor("flaky");
+  ASSERT_GE(flaky.size(), 2u);
+  const RefreshRecord& first = flaky[0];
+  EXPECT_FALSE(first.failed);
+  EXPECT_FALSE(first.skipped);
+  EXPECT_EQ(first.attempts, 3);
+  // Capped exponential backoff: 1s + 2s with the default base of 1 second.
+  EXPECT_EQ(first.retry_backoff, 3 * kMicrosPerSecond);
+  // The backoff delays the refresh slot like an upstream completion would.
+  EXPECT_GE(first.start_time, first.data_timestamp + 3 * kMicrosPerSecond);
+  for (size_t i = 1; i < flaky.size(); ++i) {
+    EXPECT_EQ(flaky[i].attempts, 1) << "record " << i;
+    EXPECT_EQ(flaky[i].retry_backoff, 0) << "record " << i;
+  }
+
+  EXPECT_EQ(h.Meta("flaky")->consecutive_failures, 0);
+  EXPECT_EQ(h.Meta("flaky")->transient_failures, 0);  // reset on success
+  EXPECT_EQ(h.Meta("flaky")->state, DtState::kActive);
+}
+
+// Retries exhausted every tick: failed records carry code / attempts /
+// backoff, the DT never auto-suspends however long the outage lasts, the
+// downstream degrades to upstream-missing skips, and once the fault stops
+// the pipeline converges to a fault-free run's contents.
+TEST_P(ChaosTest, ExhaustedRetriesDegradeGracefullyAndConverge) {
+  Harness h(GetParam());
+  {
+    fault::FaultInjector inj(11);
+    fault::SiteConfig cfg;
+    cfg.probability = 1.0;
+    cfg.scope_filter = "flaky";
+    cfg.message = "storage unreachable";
+    inj.Arm(fault::kSiteRefreshExecute, cfg);
+    fault::ScopedInjector active(&inj);
+
+    h.Rounds(0, 6);
+
+    int failed = 0;
+    for (const RefreshRecord& r : h.RecordsFor("flaky")) {
+      ASSERT_TRUE(r.failed) << r.error;
+      EXPECT_EQ(r.error_code, StatusCode::kUnavailable);
+      EXPECT_EQ(r.attempts, 3);
+      EXPECT_EQ(r.retry_backoff, 3 * kMicrosPerSecond);
+      EXPECT_EQ(r.end_time, r.start_time + 3 * kMicrosPerSecond);
+      EXPECT_NE(r.error.find("storage unreachable"), std::string::npos);
+      ++failed;
+    }
+    EXPECT_GE(failed, 5);  // well past the auto-suspend threshold
+
+    // Transient failures never feed auto-suspend accounting.
+    EXPECT_EQ(h.Meta("flaky")->consecutive_failures, 0);
+    EXPECT_EQ(h.Meta("flaky")->state, DtState::kActive);
+    EXPECT_EQ(h.Meta("flaky")->transient_failures, 3 * failed);
+
+    // Downstream degradation: no upstream version at its data timestamps.
+    int down_skips = 0;
+    for (const RefreshRecord& r : h.RecordsFor("down")) {
+      if (!r.skipped) continue;
+      EXPECT_EQ(r.error_code, StatusCode::kUnavailable);
+      EXPECT_NE(r.error.find("upstream"), std::string::npos);
+      ++down_skips;
+    }
+    EXPECT_GT(down_skips, 0);
+
+    // The control DT on its own warehouse is untouched.
+    for (const RefreshRecord& r : h.RecordsFor("steady")) {
+      EXPECT_FALSE(r.failed) << r.error;
+    }
+  }  // injector uninstalled: faults stop
+
+  h.Rounds(6, 3);
+  EXPECT_EQ(h.Meta("flaky")->transient_failures, 0);
+  EXPECT_EQ(h.Meta("flaky")->consecutive_failures, 0);
+
+  // Convergence: identical contents to a run that never saw a fault.
+  Harness clean(GetParam());
+  clean.Rounds(0, 9);
+  for (const char* dt : {"flaky", "down", "steady"}) {
+    EXPECT_EQ(h.Contents(dt), clean.Contents(dt)) << dt;
+  }
+}
+
+// A backoff longer than the refresh period spills into the next tick as a
+// busy-skip — retrying crosses tick boundaries through the existing
+// busy_until_ machinery, not a separate queue.
+TEST_P(ChaosTest, LongBackoffSpillsIntoNextTickBusySkip) {
+  SchedulerOptions opts;
+  opts.retry_base = 30 * kMicrosPerSecond;
+  opts.retry_cap = 60 * kMicrosPerSecond;
+  Harness h(GetParam(), opts);
+  fault::FaultInjector inj(3);
+  fault::SiteConfig cfg;
+  cfg.probability = 1.0;
+  cfg.max_fires = 3;  // exactly one tick's worth of exhausted attempts
+  cfg.scope_filter = "flaky";
+  inj.Arm(fault::kSiteRefreshExecute, cfg);
+  fault::ScopedInjector active(&inj);
+
+  h.Rounds(0, 3);
+
+  std::vector<RefreshRecord> flaky = h.RecordsFor("flaky");
+  ASSERT_GE(flaky.size(), 3u);
+  // Tick 1: all three attempts fail; backoff = 30s + 60s (capped) = 90s,
+  // which reaches past the 48-second refresh period.
+  EXPECT_TRUE(flaky[0].failed);
+  EXPECT_EQ(flaky[0].retry_backoff, 90 * kMicrosPerSecond);
+  EXPECT_EQ(flaky[0].end_time, flaky[0].start_time + 90 * kMicrosPerSecond);
+  // Tick 2: still inside the backoff window -> busy-skip.
+  EXPECT_TRUE(flaky[1].skipped);
+  EXPECT_TRUE(flaky[1].error.empty());
+  // Tick 3: fault spent, refresh succeeds.
+  EXPECT_FALSE(flaky[2].failed);
+  EXPECT_FALSE(flaky[2].skipped);
+  EXPECT_EQ(flaky[2].attempts, 1);
+}
+
+// A warehouse outage is decided once per tick in the serial plan phase: the
+// DT's refresh never starts, the record is a transient failure scoped to
+// that warehouse, and DTs on other warehouses are untouched.
+TEST_P(ChaosTest, WarehouseOutageIsTransientAndScoped) {
+  Harness h(GetParam());
+  fault::FaultInjector inj(13);
+  fault::SiteConfig cfg;
+  cfg.probability = 1.0;
+  cfg.max_fires = 2;  // a two-tick outage
+  cfg.scope_filter = "whf";
+  cfg.message = "warehouse offline";
+  inj.Arm(fault::kSiteWarehouseOutage, cfg);
+  fault::ScopedInjector active(&inj);
+
+  h.Rounds(0, 4);
+
+  std::vector<RefreshRecord> flaky = h.RecordsFor("flaky");
+  ASSERT_GE(flaky.size(), 3u);
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_TRUE(flaky[i].failed) << "tick " << i;
+    EXPECT_EQ(flaky[i].error_code, StatusCode::kUnavailable);
+    EXPECT_NE(flaky[i].error.find("warehouse.outage"), std::string::npos);
+    EXPECT_NE(flaky[i].error.find("whf"), std::string::npos);
+    // The engine never ran: no attempts, no duration.
+    EXPECT_EQ(flaky[i].attempts, 0);
+    EXPECT_EQ(flaky[i].start_time, flaky[i].end_time);
+  }
+  EXPECT_FALSE(flaky[2].failed);  // back online
+
+  for (const RefreshRecord& r : h.RecordsFor("steady")) {
+    EXPECT_FALSE(r.failed) << r.error;
+  }
+  EXPECT_EQ(h.Meta("flaky")->consecutive_failures, 0);
+  EXPECT_EQ(h.Meta("flaky")->transient_failures, 0);  // reset by recovery
+  EXPECT_EQ(h.Meta("flaky")->state, DtState::kActive);
+}
+
+// Permanent faults keep the paper's semantics: each failure increments
+// consecutive_failures, the DT auto-suspends at the threshold, and ALTER
+// RESUME + fault removal fully recovers it.
+TEST_P(ChaosTest, PermanentFaultsStillAutoSuspend) {
+  Harness h(GetParam());
+  fault::FaultInjector inj(17);
+  fault::SiteConfig cfg;
+  cfg.probability = 1.0;
+  cfg.scope_filter = "flaky";
+  cfg.code = StatusCode::kInternal;  // not retryable
+  cfg.message = "disk melted";
+  inj.Arm(fault::kSiteRefreshExecute, cfg);
+  {
+    fault::ScopedInjector active(&inj);
+    h.Rounds(0, 6);
+  }
+
+  std::vector<RefreshRecord> flaky = h.RecordsFor("flaky");
+  int failed = 0;
+  for (const RefreshRecord& r : flaky) {
+    if (!r.failed) continue;
+    EXPECT_EQ(r.error_code, StatusCode::kInternal);
+    EXPECT_EQ(r.attempts, 1);  // permanent failures are not retried
+    EXPECT_EQ(r.retry_backoff, 0);
+    ++failed;
+  }
+  // Exactly max_consecutive_failures records, then silence: suspended DTs
+  // are not planned at all.
+  EXPECT_EQ(failed, 5);
+  EXPECT_EQ(static_cast<int>(flaky.size()), failed);
+  EXPECT_EQ(h.Meta("flaky")->state, DtState::kSuspended);
+  EXPECT_EQ(h.Meta("flaky")->consecutive_failures, 5);
+  EXPECT_EQ(h.Meta("flaky")->transient_failures, 0);
+
+  // Operator intervention: resume with the fault gone.
+  h.Exec("ALTER DYNAMIC TABLE flaky RESUME");
+  EXPECT_EQ(h.Meta("flaky")->consecutive_failures, 0);
+  h.Rounds(6, 2);
+  EXPECT_EQ(h.Meta("flaky")->state, DtState::kActive);
+  EXPECT_FALSE(h.RecordsFor("flaky").back().failed);
+}
+
+// An exception thrown on a pool worker thread (the runtime.worker site fires
+// inside the DAG runner's task wrapper) surfaces as a failed refresh record
+// via the scheduler's failed-run fallback — never a crash or a hang.
+TEST(ChaosRuntimeTest, WorkerExceptionBecomesFailedRecord) {
+  Harness h(/*workers=*/4);
+  fault::FaultInjector inj(19);
+  fault::SiteConfig cfg;
+  cfg.probability = 1.0;
+  cfg.max_fires = 1;
+  cfg.scope_filter = "whf";  // the task's gate is its warehouse
+  inj.Arm(fault::kSiteRuntimeWorker, cfg);
+  fault::ScopedInjector active(&inj);
+
+  h.Rounds(0, 3);
+
+  std::vector<RefreshRecord> flaky = h.RecordsFor("flaky");
+  ASSERT_GE(flaky.size(), 2u);
+  EXPECT_TRUE(flaky[0].failed);
+  EXPECT_EQ(flaky[0].error_code, StatusCode::kInternal);
+  EXPECT_NE(flaky[0].error.find("refresh task threw"), std::string::npos);
+  EXPECT_NE(flaky[0].error.find("runtime.worker"), std::string::npos);
+  EXPECT_FALSE(flaky[1].failed);  // the pool and runner survived
+
+  // Tasks that completed before the throw keep their results.
+  for (const RefreshRecord& r : h.RecordsFor("steady")) {
+    EXPECT_FALSE(r.failed) << r.error;
+  }
+}
+
+// The headline determinism gate: the same seed produces byte-identical
+// refresh logs and identical DT contents at worker_threads 0 and 4, and on
+// repeated runs.
+TEST(ChaosDeterminismTest, SameSeedIsByteIdenticalAcrossWorkerCounts) {
+  auto run = [](int workers) {
+    Harness h(workers);
+    fault::FaultInjector inj(20250807);
+    fault::SiteConfig refresh;
+    refresh.probability = 0.25;
+    refresh.message = "injected refresh flap";
+    inj.Arm(fault::kSiteRefreshExecute, refresh);
+    fault::SiteConfig outage;
+    outage.probability = 0.15;
+    outage.burst = 2;
+    outage.message = "injected outage";
+    inj.Arm(fault::kSiteWarehouseOutage, outage);
+    fault::ScopedInjector active(&inj);
+    h.Rounds(0, 8);
+    std::pair<std::string, std::map<std::string, std::vector<std::string>>>
+        out;
+    out.first = LogBytes(h.sched->log());
+    for (const char* dt : {"flaky", "down", "steady"}) {
+      out.second[dt] = h.Contents(dt);
+    }
+    return out;
+  };
+
+  auto serial = run(0);
+  auto parallel = run(4);
+  auto parallel_again = run(4);
+  EXPECT_EQ(serial.first, parallel.first)
+      << "chaos log diverges between worker counts";
+  EXPECT_EQ(parallel.first, parallel_again.first)
+      << "chaos log not reproducible at the same worker count";
+  EXPECT_EQ(serial.second, parallel.second);
+}
+
+// ---- Persist-layer faults ----
+
+std::string UniqueDir(const std::string& tag) {
+  static int counter = 0;
+  std::string dir =
+      (fs::temp_directory_path() /
+       ("dvs_chaos_" + tag + "_" + std::to_string(::getpid()) + "_" +
+        std::to_string(counter++)))
+          .string();
+  fs::remove_all(dir);
+  return dir;
+}
+
+TEST(ChaosPersistTest, AppendErrorSurfacesInWalStatusAndEngineKeepsRunning) {
+  const std::string dir = UniqueDir("append_error");
+  VirtualClock clock(0);
+  DvsEngine engine(clock);
+  auto manager = persist::Manager::Open({dir}).take();
+  ASSERT_TRUE(manager->Attach(&engine).ok());
+  ASSERT_TRUE(engine.Execute("CREATE TABLE t (a INT)").ok());
+
+  fault::FaultInjector inj(23);
+  fault::SiteConfig cfg;
+  cfg.probability = 1.0;
+  cfg.max_fires = 1;
+  cfg.kind = fault::FaultKind::kError;
+  cfg.scope_filter = "wal-";  // WAL appends only, not checkpoint writes
+  cfg.message = "sink rejected write";
+  inj.Arm(fault::kSitePersistFileAppend, cfg);
+  fault::ScopedInjector active(&inj);
+
+  // The hook path cannot propagate a Status; the first append error is
+  // latched in wal_status while the engine itself keeps accepting DML.
+  ASSERT_TRUE(engine.Execute("INSERT INTO t VALUES (1)").ok());
+  Status ws = manager->wal_status();
+  ASSERT_FALSE(ws.ok());
+  EXPECT_NE(ws.message().find("persist.file.append"), std::string::npos);
+  EXPECT_NE(ws.message().find("sink rejected write"), std::string::npos);
+
+  ASSERT_TRUE(engine.Execute("INSERT INTO t VALUES (2)").ok());
+  // Recovery still works from the surviving prefix + later appends.
+  VirtualClock rclock(0);
+  auto recovered = persist::Recover(dir, &rclock);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+}
+
+TEST(ChaosPersistTest, ShortWriteIsRewoundLeavingAReplayablePrefix) {
+  const std::string dir = UniqueDir("short_write");
+  VirtualClock clock(0);
+  DvsEngine engine(clock);
+  auto manager = persist::Manager::Open({dir}).take();
+  ASSERT_TRUE(manager->Attach(&engine).ok());
+  ASSERT_TRUE(engine.Execute("CREATE TABLE t (a INT)").ok());
+
+  fault::FaultInjector inj(29);
+  fault::SiteConfig cfg;
+  cfg.probability = 1.0;
+  cfg.max_fires = 1;
+  cfg.kind = fault::FaultKind::kShortWrite;
+  cfg.scope_filter = "wal-";
+  inj.Arm(fault::kSitePersistFileAppend, cfg);
+  fault::ScopedInjector active(&inj);
+
+  ASSERT_TRUE(engine.Execute("INSERT INTO t VALUES (1)").ok());
+  Status ws = manager->wal_status();
+  ASSERT_FALSE(ws.ok());
+  EXPECT_NE(ws.message().find("short write"), std::string::npos);
+  ASSERT_TRUE(engine.Execute("INSERT INTO t VALUES (2)").ok());
+
+  // The writer rewound the torn frame: the segment on disk has a clean tail
+  // and contains the appends made after the fault.
+  auto wal = persist::ReadWalSegment(
+      persist::WalPath(dir, manager->generation()));
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  EXPECT_FALSE(wal.value().torn_tail) << wal.value().torn_reason;
+  EXPECT_GT(wal.value().records.size(), 0u);
+
+  VirtualClock rclock(0);
+  auto recovered = persist::Recover(dir, &rclock);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+}
+
+TEST(ChaosPersistTest, CorruptByteReadsBackAsTornTailAtTheRightOffset) {
+  const std::string dir = UniqueDir("corrupt");
+  VirtualClock clock(0);
+  DvsEngine engine(clock);
+  auto manager = persist::Manager::Open({dir}).take();
+  ASSERT_TRUE(manager->Attach(&engine).ok());
+  ASSERT_TRUE(engine.Execute("CREATE TABLE t (a INT)").ok());
+  size_t intact = static_cast<size_t>(manager->wal_records());
+
+  fault::FaultInjector inj(31);
+  fault::SiteConfig cfg;
+  cfg.probability = 1.0;
+  cfg.max_fires = 1;
+  cfg.kind = fault::FaultKind::kCorruptByte;
+  cfg.scope_filter = "wal-";
+  inj.Arm(fault::kSitePersistFileAppend, cfg);
+  fault::ScopedInjector active(&inj);
+
+  // Bit rot is silent at write time: the append "succeeds".
+  ASSERT_TRUE(engine.Execute("INSERT INTO t VALUES (1)").ok());
+  EXPECT_TRUE(manager->wal_status().ok());
+  ASSERT_TRUE(engine.Execute("INSERT INTO t VALUES (2)").ok());
+
+  // Read-side CRC catches it: torn tail exactly at the corrupted frame, the
+  // prefix before it intact (what wal_dump --verify reports with exit 3).
+  auto wal = persist::ReadWalSegment(
+      persist::WalPath(dir, manager->generation()));
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  EXPECT_TRUE(wal.value().torn_tail);
+  EXPECT_NE(wal.value().torn_reason.find("CRC mismatch"), std::string::npos);
+  EXPECT_EQ(wal.value().records.size(), intact);
+
+  // Recovery degrades to the replayable prefix instead of failing.
+  VirtualClock rclock(0);
+  auto recovered = persist::Recover(dir, &rclock);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+}
+
+TEST(ChaosPersistTest, CheckpointRotationFailureLeavesOldGenerationLive) {
+  const std::string dir = UniqueDir("rotation");
+  VirtualClock clock(0);
+  DvsEngine engine(clock);
+  auto manager = persist::Manager::Open({dir}).take();
+  ASSERT_TRUE(manager->Attach(&engine).ok());
+  ASSERT_TRUE(engine.Execute("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(engine.Execute("INSERT INTO t VALUES (1)").ok());
+  const uint64_t gen = manager->generation();
+
+  fault::FaultInjector inj(37);
+  fault::SiteConfig cfg;
+  cfg.probability = 1.0;
+  cfg.max_fires = 1;
+  cfg.scope_filter = "checkpoint-";
+  cfg.message = "disk full";
+  inj.Arm(fault::kSitePersistFileOpen, cfg);
+  fault::ScopedInjector active(&inj);
+
+  // The failed checkpoint must not advance the generation...
+  Status s = manager->Checkpoint(nullptr);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("disk full"), std::string::npos);
+  EXPECT_EQ(manager->generation(), gen);
+
+  // ...and the previous generation stays authoritative and recoverable.
+  VirtualClock rclock(0);
+  auto recovered = persist::Recover(dir, &rclock);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  auto rows = recovered.value().engine->Query("SELECT a FROM t");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().rows.size(), 1u);
+
+  // Once the fault clears, checkpointing resumes.
+  Status again = manager->Checkpoint(nullptr);
+  EXPECT_TRUE(again.ok()) << again.ToString();
+  EXPECT_EQ(manager->generation(), gen + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorkerCounts, ChaosTest, ::testing::Values(0, 4));
+
+}  // namespace
+}  // namespace dvs

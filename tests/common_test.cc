@@ -38,6 +38,53 @@ TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
   EXPECT_EQ(UserError("x").code(), StatusCode::kUserError);
   EXPECT_EQ(Corruption("x").code(), StatusCode::kCorruption);
   EXPECT_EQ(LockConflict("x").code(), StatusCode::kLockConflict);
+  EXPECT_EQ(Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(ResourceExhausted("x").code(), StatusCode::kResourceExhausted);
+}
+
+// Pins every enum entry to its canonical name so the table cannot silently
+// desync from the enum (the names appear in error messages, wal_dump output,
+// and refresh-log post-mortems).
+TEST(StatusTest, StatusCodeNameCoversEveryCode) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kAlreadyExists), "AlreadyExists");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnsupported), "Unsupported");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "ParseError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kBindError), "BindError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUserError), "UserError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCorruption), "Corruption");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kLockConflict), "LockConflict");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+  // Every distinct code maps to a distinct, known name — no entry fell
+  // through to the "Unknown" fallback.
+  std::set<std::string> names;
+  for (int c = 0; c <= static_cast<int>(StatusCode::kResourceExhausted); ++c) {
+    names.insert(StatusCodeName(static_cast<StatusCode>(c)));
+  }
+  EXPECT_EQ(names.size(),
+            static_cast<size_t>(StatusCode::kResourceExhausted) + 1);
+  EXPECT_EQ(names.count("Unknown"), 0u);
+}
+
+TEST(StatusTest, RetryableCoversExactlyTheTransientClass) {
+  EXPECT_TRUE(Unavailable("x").retryable());
+  EXPECT_TRUE(ResourceExhausted("x").retryable());
+  // Everything else — including kLockConflict, which the scheduler handles
+  // via busy-skip, and kOk — is not retryable.
+  EXPECT_FALSE(OkStatus().retryable());
+  EXPECT_FALSE(LockConflict("x").retryable());
+  EXPECT_FALSE(UserError("x").retryable());
+  EXPECT_FALSE(Corruption("x").retryable());
+  EXPECT_FALSE(Internal("x").retryable());
+  EXPECT_FALSE(NotFound("x").retryable());
 }
 
 TEST(ResultTest, HoldsValue) {

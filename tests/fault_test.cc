@@ -1,0 +1,253 @@
+// Unit tests for the deterministic fault-injection registry (src/fault/).
+//
+// The properties that make the chaos suite trustworthy live here: decisions
+// are a pure function of (seed, site, scope, per-scope counter); scopes are
+// independent of each other's evaluation order; bursts, fire caps, and scope
+// filters behave as documented; and the global injector pointer install /
+// restore is exact.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "fault/injector.h"
+
+namespace dvs {
+namespace fault {
+namespace {
+
+std::vector<bool> DecisionStream(FaultInjector* inj, const char* site,
+                                 const char* scope, int n) {
+  std::vector<bool> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(inj->Evaluate(site, scope).has_value());
+  }
+  return out;
+}
+
+TEST(FaultInjectorTest, UnarmedSiteNeverFires) {
+  FaultInjector inj(1);
+  EXPECT_FALSE(inj.Evaluate(kSiteRefreshExecute, "dt1").has_value());
+  EXPECT_TRUE(inj.Check(kSiteRefreshExecute, "dt1").ok());
+  EXPECT_EQ(inj.total_fires(), 0u);
+}
+
+TEST(FaultInjectorTest, SameSeedSameDecisions) {
+  FaultInjector a(42), b(42);
+  SiteConfig cfg;
+  cfg.probability = 0.5;
+  a.Arm(kSiteRefreshExecute, cfg);
+  b.Arm(kSiteRefreshExecute, cfg);
+  EXPECT_EQ(DecisionStream(&a, kSiteRefreshExecute, "dt1", 200),
+            DecisionStream(&b, kSiteRefreshExecute, "dt1", 200));
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiverge) {
+  FaultInjector a(42), b(43);
+  SiteConfig cfg;
+  cfg.probability = 0.5;
+  a.Arm(kSiteRefreshExecute, cfg);
+  b.Arm(kSiteRefreshExecute, cfg);
+  EXPECT_NE(DecisionStream(&a, kSiteRefreshExecute, "dt1", 200),
+            DecisionStream(&b, kSiteRefreshExecute, "dt1", 200));
+}
+
+// The determinism anchor: a scope's decision stream depends only on how many
+// times that scope was evaluated, not on interleaved evaluations of other
+// scopes. This is what makes parallel execution (worker threads evaluating
+// different DTs in arbitrary order) byte-equivalent to serial execution.
+TEST(FaultInjectorTest, ScopesAreOrderIndependent) {
+  SiteConfig cfg;
+  cfg.probability = 0.5;
+
+  FaultInjector serial(7);
+  serial.Arm(kSiteRefreshExecute, cfg);
+  auto a_alone = DecisionStream(&serial, kSiteRefreshExecute, "a", 50);
+  auto b_alone = DecisionStream(&serial, kSiteRefreshExecute, "b", 50);
+
+  FaultInjector interleaved(7);
+  interleaved.Arm(kSiteRefreshExecute, cfg);
+  std::vector<bool> a_mixed, b_mixed;
+  for (int i = 0; i < 50; ++i) {
+    // Alternate order per round to prove it does not matter.
+    if (i % 2 == 0) {
+      b_mixed.push_back(
+          interleaved.Evaluate(kSiteRefreshExecute, "b").has_value());
+      a_mixed.push_back(
+          interleaved.Evaluate(kSiteRefreshExecute, "a").has_value());
+    } else {
+      a_mixed.push_back(
+          interleaved.Evaluate(kSiteRefreshExecute, "a").has_value());
+      b_mixed.push_back(
+          interleaved.Evaluate(kSiteRefreshExecute, "b").has_value());
+    }
+  }
+  EXPECT_EQ(a_alone, a_mixed);
+  EXPECT_EQ(b_alone, b_mixed);
+}
+
+TEST(FaultInjectorTest, FireRateTracksProbability) {
+  FaultInjector inj(99);
+  SiteConfig cfg;
+  cfg.probability = 0.2;
+  inj.Arm(kSiteRefreshExecute, cfg);
+  int fires = 0;
+  const int kTrials = 5000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (inj.Evaluate(kSiteRefreshExecute, "dt").has_value()) ++fires;
+  }
+  double rate = static_cast<double>(fires) / kTrials;
+  EXPECT_NEAR(rate, 0.2, 0.03);
+  auto stats = inj.site_stats(kSiteRefreshExecute);
+  EXPECT_EQ(stats.evaluations, static_cast<uint64_t>(kTrials));
+  EXPECT_EQ(stats.fires, static_cast<uint64_t>(fires));
+}
+
+TEST(FaultInjectorTest, ProbabilityBoundsAreExact) {
+  FaultInjector inj(5);
+  SiteConfig always;
+  always.probability = 1.0;
+  inj.Arm(kSiteRefreshExecute, always);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(inj.Evaluate(kSiteRefreshExecute, "dt").has_value());
+  }
+  SiteConfig never;
+  never.probability = 0.0;
+  inj.Arm(kSiteRefreshExecute, never);  // re-arm resets counters
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(inj.Evaluate(kSiteRefreshExecute, "dt").has_value());
+  }
+}
+
+TEST(FaultInjectorTest, ScopeFilterLimitsBlastRadius) {
+  FaultInjector inj(5);
+  SiteConfig cfg;
+  cfg.probability = 1.0;
+  cfg.scope_filter = "dt_b";
+  inj.Arm(kSiteRefreshExecute, cfg);
+  EXPECT_FALSE(inj.Evaluate(kSiteRefreshExecute, "dt_a").has_value());
+  EXPECT_TRUE(inj.Evaluate(kSiteRefreshExecute, "dt_b").has_value());
+  // Substring match: path scopes hit on a filename fragment.
+  EXPECT_TRUE(inj.Evaluate(kSiteRefreshExecute, "/tmp/x/dt_b.log").has_value());
+  // Filtered-out evaluations do not count as evaluations of the site.
+  EXPECT_EQ(inj.site_stats(kSiteRefreshExecute).evaluations, 2u);
+}
+
+TEST(FaultInjectorTest, MaxFiresCapsTotalFaults) {
+  FaultInjector inj(5);
+  SiteConfig cfg;
+  cfg.probability = 1.0;
+  cfg.max_fires = 3;
+  inj.Arm(kSiteRefreshExecute, cfg);
+  int fires = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (inj.Evaluate(kSiteRefreshExecute, "dt").has_value()) ++fires;
+  }
+  EXPECT_EQ(fires, 3);
+}
+
+// A burst of N makes one decided fire cover N consecutive evaluations of the
+// same scope — the N-tick warehouse outage.
+TEST(FaultInjectorTest, BurstExtendsAFireAcrossEvaluations) {
+  FaultInjector inj(5);
+  SiteConfig cfg;
+  cfg.probability = 1.0;
+  cfg.max_fires = 100;  // no cap interference
+  cfg.burst = 3;
+  inj.Arm(kSiteWarehouseOutage, cfg);
+  // First decision fires and opens a burst covering the next 2 evaluations.
+  EXPECT_TRUE(inj.Evaluate(kSiteWarehouseOutage, "wh").has_value());
+  EXPECT_TRUE(inj.Evaluate(kSiteWarehouseOutage, "wh").has_value());
+  EXPECT_TRUE(inj.Evaluate(kSiteWarehouseOutage, "wh").has_value());
+  // Burst state is per scope.
+  FaultInjector one_shot(5);
+  SiteConfig low;
+  low.probability = 0.0;
+  low.burst = 3;
+  one_shot.Arm(kSiteWarehouseOutage, low);
+  EXPECT_FALSE(one_shot.Evaluate(kSiteWarehouseOutage, "wh").has_value());
+}
+
+TEST(FaultInjectorTest, InjectedFaultCarriesCodeMessageAndSite) {
+  FaultInjector inj(5);
+  SiteConfig cfg;
+  cfg.probability = 1.0;
+  cfg.code = StatusCode::kResourceExhausted;
+  cfg.message = "pool exhausted";
+  inj.Arm(kSiteRefreshExecute, cfg);
+  Status s = inj.Check(kSiteRefreshExecute, "dt9");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(s.retryable());
+  EXPECT_NE(s.message().find("pool exhausted"), std::string::npos);
+  EXPECT_NE(s.message().find("refresh.execute"), std::string::npos);
+  EXPECT_NE(s.message().find("dt9"), std::string::npos);
+}
+
+TEST(FaultInjectorTest, DisarmStopsFaults) {
+  FaultInjector inj(5);
+  SiteConfig cfg;
+  cfg.probability = 1.0;
+  inj.Arm(kSiteRefreshExecute, cfg);
+  inj.Arm(kSitePersistFileOpen, cfg);
+  EXPECT_FALSE(inj.Check(kSiteRefreshExecute, "dt").ok());
+  inj.Disarm(kSiteRefreshExecute);
+  EXPECT_TRUE(inj.Check(kSiteRefreshExecute, "dt").ok());
+  EXPECT_FALSE(inj.Check(kSitePersistFileOpen, "p").ok());
+  inj.DisarmAll();
+  EXPECT_TRUE(inj.Check(kSitePersistFileOpen, "p").ok());
+}
+
+TEST(FaultInjectorTest, ScopedInjectorInstallsAndRestores) {
+  EXPECT_EQ(ActiveInjector(), nullptr);
+  FaultInjector outer(1), inner(2);
+  {
+    ScopedInjector install_outer(&outer);
+    EXPECT_EQ(ActiveInjector(), &outer);
+    {
+      ScopedInjector install_inner(&inner);
+      EXPECT_EQ(ActiveInjector(), &inner);
+    }
+    EXPECT_EQ(ActiveInjector(), &outer);
+  }
+  EXPECT_EQ(ActiveInjector(), nullptr);
+}
+
+// Concurrent evaluations of disjoint scopes must be safe (the execute phase
+// evaluates refresh.execute from worker threads) and keep per-scope streams
+// identical to serial evaluation.
+TEST(FaultInjectorTest, ThreadSafeAndPerScopeDeterministicUnderConcurrency) {
+  SiteConfig cfg;
+  cfg.probability = 0.5;
+
+  FaultInjector serial(11);
+  serial.Arm(kSiteRefreshExecute, cfg);
+  std::vector<std::vector<bool>> expected;
+  for (int s = 0; s < 4; ++s) {
+    expected.push_back(DecisionStream(&serial, kSiteRefreshExecute,
+                                      ("dt" + std::to_string(s)).c_str(), 100));
+  }
+
+  FaultInjector shared(11);
+  shared.Arm(kSiteRefreshExecute, cfg);
+  std::vector<std::vector<bool>> got(4);
+  std::vector<std::thread> threads;
+  for (int s = 0; s < 4; ++s) {
+    threads.emplace_back([&shared, &got, s] {
+      std::string scope = "dt" + std::to_string(s);
+      for (int i = 0; i < 100; ++i) {
+        got[s].push_back(
+            shared.Evaluate(kSiteRefreshExecute, scope).has_value());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int s = 0; s < 4; ++s) EXPECT_EQ(got[s], expected[s]);
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace dvs

@@ -125,6 +125,10 @@ void ExpectSameLogs(const std::vector<RefreshRecord>& serial,
     EXPECT_EQ(s.skipped, p.skipped) << "record " << i << " " << s.dt_name;
     EXPECT_EQ(s.failed, p.failed) << "record " << i << " " << s.dt_name;
     EXPECT_EQ(s.error, p.error) << "record " << i << " " << s.dt_name;
+    EXPECT_EQ(s.error_code, p.error_code) << "record " << i << " " << s.dt_name;
+    EXPECT_EQ(s.attempts, p.attempts) << "record " << i << " " << s.dt_name;
+    EXPECT_EQ(s.retry_backoff, p.retry_backoff)
+        << "record " << i << " " << s.dt_name;
     EXPECT_EQ(s.rows_processed, p.rows_processed)
         << "record " << i << " " << s.dt_name;
     EXPECT_EQ(s.changes_applied, p.changes_applied)

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <filesystem>
 
+#include "fault/injector.h"
 #include "persist/manager.h"
 #include "persist/recover.h"
 #include "persist/retention.h"
@@ -546,6 +547,178 @@ TEST(RecoveryFailureTest, AutoSuspendAccountingSurvivesRestart) {
       recovered.value().engine->catalog().Find("dt").value()->dt
           ->consecutive_failures,
       2);
+}
+
+// Satellite: the failing Status (code + message), retry attempts, and
+// accumulated backoff on every refresh-log record round-trip through the
+// WAL / checkpoint into recovery — and the kRefreshFailure journal replays
+// the transient-failure accounting exactly, so a restarted system keeps the
+// same "never counts toward auto-suspend" bookkeeping as the live one.
+TEST_P(RecoveryTest, TransientRetryAccountingRoundTripsThroughRecovery) {
+  const int workers = GetParam();
+  const std::string dir = UniqueDir("retry_w" + std::to_string(workers));
+
+  VirtualClock clock(0);
+  DvsEngine engine(clock);
+  auto manager = Manager::Open({dir, /*checkpoint_every_n_ticks=*/3}).take();
+  ASSERT_TRUE(manager->Attach(&engine).ok());
+
+  SchedulerOptions opts;
+  opts.worker_threads = workers;
+  opts.persistence = manager.get();
+  Scheduler sched(&engine, &clock, opts);
+  BuildPipeline(engine);
+
+  // Every agg refresh attempt fails transiently: each scheduled run
+  // exhausts its 3 attempts (1s + 2s backoff) and degrades gracefully.
+  fault::FaultInjector inj(/*seed=*/7);
+  fault::SiteConfig cfg;
+  cfg.code = StatusCode::kUnavailable;
+  cfg.message = "replica fetch timed out";
+  cfg.scope_filter = "agg";
+  inj.Arm(fault::kSiteRefreshExecute, cfg);
+
+  int next_key = 100;
+  {
+    fault::ScopedInjector active(&inj);
+    Churn(engine, sched, 0, 3, &next_key);
+  }
+  ASSERT_TRUE(manager->wal_status().ok()) << manager->wal_status().ToString();
+
+  int failed = 0;
+  for (const RefreshRecord& rec : sched.log()) {
+    if (rec.dt_name != "agg" || !rec.failed) continue;
+    failed += 1;
+    EXPECT_EQ(rec.error_code, StatusCode::kUnavailable);
+    EXPECT_EQ(rec.attempts, 3);
+    EXPECT_EQ(rec.retry_backoff, 3 * kMicrosPerSecond);
+    EXPECT_NE(rec.error.find("replica fetch timed out"), std::string::npos);
+    EXPECT_NE(rec.error.find(fault::kSiteRefreshExecute), std::string::npos);
+  }
+  ASSERT_GT(failed, 0);
+  const CatalogObject* agg = engine.catalog().Find("agg").value();
+  EXPECT_EQ(agg->dt->state, DtState::kActive) << "transients must not suspend";
+  EXPECT_EQ(agg->dt->consecutive_failures, 0);
+  EXPECT_EQ(agg->dt->transient_failures, 3 * failed);
+
+  // Restart mid-degradation: the retry accounting recovers field-for-field.
+  SchedulerPersistState live_state = sched.ExportState();
+  VirtualClock rclock(0);
+  auto recovered = Recover(dir, &rclock);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  RecoveredSystem sys = recovered.take();
+  rclock.AdvanceTo(clock.Now());
+  EXPECT_EQ(Fingerprint(*sys.engine, &sys.sched),
+            Fingerprint(engine, &live_state));
+  ASSERT_EQ(sys.sched.log.size(), sched.log().size());
+  for (size_t i = 0; i < sched.log().size(); ++i) {
+    const RefreshRecord& live = sched.log()[i];
+    const RefreshRecord& rec = sys.sched.log[i];
+    EXPECT_EQ(rec.error_code, live.error_code) << "record " << i;
+    EXPECT_EQ(rec.attempts, live.attempts) << "record " << i;
+    EXPECT_EQ(rec.retry_backoff, live.retry_backoff) << "record " << i;
+    EXPECT_EQ(rec.error, live.error) << "record " << i;
+  }
+  const CatalogObject* ragg = sys.engine->catalog().Find("agg").value();
+  EXPECT_EQ(ragg->dt->transient_failures, agg->dt->transient_failures);
+  EXPECT_EQ(ragg->dt->consecutive_failures, 0);
+  EXPECT_EQ(ragg->dt->state, DtState::kActive);
+
+  // Faults stop; live and recovered continue identically and converge.
+  SchedulerOptions ropts;
+  ropts.worker_threads = workers;
+  Scheduler rsched(sys.engine.get(), &rclock, ropts);
+  rsched.ImportState(sys.sched);
+  int live_key = next_key, rec_key = next_key;
+  Churn(engine, sched, 3, 3, &live_key);
+  Churn(*sys.engine, rsched, 3, 3, &rec_key);
+  EXPECT_EQ(LogBytes(rsched.log()), LogBytes(sched.log()));
+  ExpectSameRows(engine, *sys.engine, "SELECT k, c, s FROM agg ORDER BY k");
+  ExpectSameRows(engine, *sys.engine, "SELECT k, s FROM wide ORDER BY k");
+  EXPECT_EQ(agg->dt->transient_failures, 0) << "success resets the counter";
+  EXPECT_EQ(ragg->dt->transient_failures, 0);
+}
+
+// Satellite: injected *permanent* failures drive auto-suspend (§3.3.3)
+// exactly as a real bug would, the suspension survives a restart, and the
+// ALTER RESUME + post-resume successes recover byte-identically too.
+TEST_P(RecoveryTest, InjectedPermanentFailuresSuspendResumeAndRecover) {
+  const int workers = GetParam();
+  const std::string dir = UniqueDir("suspend_w" + std::to_string(workers));
+
+  VirtualClock clock(0);
+  DvsEngine engine(clock);
+  auto manager = Manager::Open({dir, /*checkpoint_every_n_ticks=*/4}).take();
+  ASSERT_TRUE(manager->Attach(&engine).ok());
+
+  SchedulerOptions opts;
+  opts.worker_threads = workers;
+  opts.persistence = manager.get();
+  Scheduler sched(&engine, &clock, opts);
+  BuildPipeline(engine);
+
+  fault::FaultInjector inj(/*seed=*/11);
+  fault::SiteConfig cfg;
+  cfg.code = StatusCode::kInternal;
+  cfg.message = "metadata corrupted";
+  cfg.scope_filter = "agg";
+  inj.Arm(fault::kSiteRefreshExecute, cfg);
+
+  int next_key = 100;
+  {
+    fault::ScopedInjector active(&inj);
+    Churn(engine, sched, 0, 4, &next_key);
+  }
+  const CatalogObject* agg = engine.catalog().Find("agg").value();
+  ASSERT_EQ(agg->dt->state, DtState::kSuspended);
+  EXPECT_EQ(agg->dt->consecutive_failures, 5);
+  EXPECT_EQ(agg->dt->transient_failures, 0);
+  int failed = 0;
+  for (const RefreshRecord& rec : sched.log()) {
+    if (rec.dt_name != "agg" || !rec.failed) continue;
+    failed += 1;
+    EXPECT_EQ(rec.error_code, StatusCode::kInternal);
+    EXPECT_EQ(rec.attempts, 1) << "permanent failures never retry";
+    EXPECT_EQ(rec.retry_backoff, 0);
+    EXPECT_NE(rec.error.find("metadata corrupted"), std::string::npos);
+  }
+  EXPECT_EQ(failed, 5) << "suspension after max_consecutive_failures";
+
+  // Restart while suspended: the suspension and its accounting persist.
+  {
+    VirtualClock rclock(0);
+    auto recovered = Recover(dir, &rclock);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    const CatalogObject* ragg =
+        recovered.value().engine->catalog().Find("agg").value();
+    EXPECT_EQ(ragg->dt->state, DtState::kSuspended);
+    EXPECT_EQ(ragg->dt->consecutive_failures, 5);
+  }
+
+  // Operator intervention: RESUME, then clean ticks.
+  Exec(engine, "ALTER DYNAMIC TABLE agg RESUME");
+  EXPECT_EQ(agg->dt->state, DtState::kActive);
+  EXPECT_EQ(agg->dt->consecutive_failures, 0);
+  Churn(engine, sched, 4, 2, &next_key);
+  for (auto it = sched.log().rbegin(); it != sched.log().rend(); ++it) {
+    if (it->dt_name != "agg") continue;
+    EXPECT_FALSE(it->failed) << it->error;
+    break;
+  }
+
+  SchedulerPersistState live_state = sched.ExportState();
+  VirtualClock rclock(0);
+  auto recovered = Recover(dir, &rclock);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  RecoveredSystem sys = recovered.take();
+  rclock.AdvanceTo(clock.Now());
+  EXPECT_EQ(Fingerprint(*sys.engine, &sys.sched),
+            Fingerprint(engine, &live_state));
+  EXPECT_EQ(LogBytes(sys.sched.log), LogBytes(sched.log()));
+  const CatalogObject* ragg = sys.engine->catalog().Find("agg").value();
+  EXPECT_EQ(ragg->dt->state, DtState::kActive);
+  EXPECT_EQ(ragg->dt->consecutive_failures, 0);
+  ExpectSameRows(engine, *sys.engine, "SELECT k, c, s FROM agg ORDER BY k");
 }
 
 }  // namespace

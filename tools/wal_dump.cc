@@ -5,12 +5,20 @@
 //                                         # layout: the largest seq on disk)
 //   $ wal_dump <persist-dir> <seq>        # a specific generation
 //   $ wal_dump <path/to/wal-NNNNNNNN.log> # one file directly
+//   $ wal_dump --verify <target>          # health check: report CRC
+//                                         # mismatches / torn-tail position,
+//                                         # exit 3 on corruption
 //
 // Prints one line per record — index, byte offset, type, affected table,
 // commit HLC, and row/change counts — then the tail status (clean or torn,
 // i.e. the first CRC/length check that failed ends the replayable prefix).
 // When the paired checkpoint of the same generation is readable, object ids
 // are annotated with their names.
+//
+// --verify is the scriptable form chaos runs assert on: exit 0 means every
+// frame CRC-checked clean, exit 3 means a torn tail (with its byte offset
+// and the failing check printed), other nonzero means the file could not be
+// read at all.
 
 #include <algorithm>
 #include <cinttypes>
@@ -139,8 +147,13 @@ void PrintRecord(size_t index, const FramedRecord& rec,
     case WalRecordType::kRefreshFailure: {
       Decoder d(rec.payload);
       ObjectId dt = d.U64();
+      bool transient = d.Bool();
+      StatusCode code = static_cast<StatusCode>(d.I32());
+      std::string message = d.Str();
       if (!d.done()) break;
-      std::printf("%s\n", ObjName(names, dt).c_str());
+      std::printf("%s %s %s: %s\n", ObjName(names, dt).c_str(),
+                  transient ? "transient" : "permanent", StatusCodeName(code),
+                  message.c_str());
       return;
     }
     case WalRecordType::kSchedRecord: {
@@ -151,6 +164,13 @@ void PrintRecord(size_t index, const FramedRecord& rec,
                   r.dt_name.c_str(), r.data_timestamp,
                   RefreshActionName(r.action), r.skipped ? " SKIPPED" : "",
                   r.failed ? " FAILED" : "", r.rows_processed);
+      if (r.error_code != StatusCode::kOk) {
+        std::printf(" code=%s attempts=%d", StatusCodeName(r.error_code),
+                    r.attempts);
+        if (r.retry_backoff > 0) {
+          std::printf(" backoff=%" PRId64, r.retry_backoff);
+        }
+      }
       if (img.value().has_warehouse) {
         std::printf("  wh=%s billed=%" PRId64, img.value().warehouse.c_str(),
                     img.value().wh_billed);
@@ -188,26 +208,41 @@ void PrintRecord(size_t index, const FramedRecord& rec,
   std::printf("<malformed payload, %zu bytes>\n", rec.payload.size());
 }
 
-int Dump(const std::string& path,
-         const std::map<ObjectId, std::string>& names) {
+int Dump(const std::string& path, const std::map<ObjectId, std::string>& names,
+         bool verify) {
   auto wal = ReadWalSegment(path);
   if (!wal.ok()) {
     std::fprintf(stderr, "wal_dump: %s\n", wal.status().ToString().c_str());
     return 1;
   }
-  std::printf("%s  (generation %" PRIu64 ", %zu records)\n", path.c_str(),
-              wal.value().seq, wal.value().records.size());
-  std::printf("%5s %8s  %-15s detail\n", "#", "offset", "type");
-  for (size_t i = 0; i < wal.value().records.size(); ++i) {
-    PrintRecord(i, wal.value().records[i], names);
+  const RecordFile& file = wal.value();
+  if (verify) {
+    // Script-friendly health report: no per-record listing, explicit
+    // corruption position, and a distinct exit code chaos runs assert on.
+    std::printf("%s  generation=%" PRIu64 " records=%zu\n", path.c_str(),
+                file.seq, file.records.size());
+    if (file.torn_tail) {
+      std::printf("CORRUPT: %s at offset %" PRIu64
+                  " (replayable prefix ends at offset %" PRIu64 ", %zu intact "
+                  "records)\n",
+                  file.torn_reason.c_str(), file.torn_offset,
+                  file.records.empty() ? 16 : file.records.back().end_offset,
+                  file.records.size());
+      return 3;
+    }
+    std::printf("OK: clean tail, every frame CRC-checked\n");
+    return 0;
   }
-  if (wal.value().torn_tail) {
-    uint64_t end = wal.value().records.empty()
-                       ? 16
-                       : wal.value().records.back().end_offset;
-    std::printf("TORN TAIL after offset %" PRIu64
-                " — recovery truncates here (CRC/length check failed)\n",
-                end);
+  std::printf("%s  (generation %" PRIu64 ", %zu records)\n", path.c_str(),
+              file.seq, file.records.size());
+  std::printf("%5s %8s  %-15s detail\n", "#", "offset", "type");
+  for (size_t i = 0; i < file.records.size(); ++i) {
+    PrintRecord(i, file.records[i], names);
+  }
+  if (file.torn_tail) {
+    std::printf("TORN TAIL at offset %" PRIu64
+                " (%s) — recovery truncates here\n",
+                file.torn_offset, file.torn_reason.c_str());
   } else {
     std::printf("clean tail — every frame CRC-checked\n");
   }
@@ -217,12 +252,22 @@ int Dump(const std::string& path,
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2 || argc > 3) {
-    std::fprintf(stderr,
-                 "usage: wal_dump <persist-dir> [generation] | <wal-file>\n");
+  bool verify = false;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verify") == 0) {
+      verify = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (args.empty() || args.size() > 2) {
+    std::fprintf(
+        stderr,
+        "usage: wal_dump [--verify] <persist-dir> [generation] | <wal-file>\n");
     return 2;
   }
-  std::string arg = argv[1];
+  std::string arg = args[0];
 
   if (!fs::is_directory(arg)) {
     // Direct WAL file; look for the sibling checkpoint for name annotation.
@@ -232,12 +277,12 @@ int main(int argc, char** argv) {
     if (std::sscanf(base.c_str(), "wal-%" SCNu64, &seq) == 1) {
       names = LoadNames(fs::path(arg).parent_path().string(), seq);
     }
-    return Dump(arg, names);
+    return Dump(arg, names, verify);
   }
 
   uint64_t seq = 0;
-  if (argc == 3) {
-    seq = std::strtoull(argv[2], nullptr, 10);
+  if (args.size() == 2) {
+    seq = std::strtoull(args[1].c_str(), nullptr, 10);
   } else {
     // Largest generation on disk is the live one.
     std::vector<uint64_t> wals;
@@ -247,5 +292,5 @@ int main(int argc, char** argv) {
     }
     seq = *std::max_element(wals.begin(), wals.end());
   }
-  return Dump(WalPath(arg, seq), LoadNames(arg, seq));
+  return Dump(WalPath(arg, seq), LoadNames(arg, seq), verify);
 }
