@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_skip_catchup.dir/bench/bench_e10_skip_catchup.cc.o"
+  "CMakeFiles/bench_e10_skip_catchup.dir/bench/bench_e10_skip_catchup.cc.o.d"
+  "bench_e10_skip_catchup"
+  "bench_e10_skip_catchup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_skip_catchup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

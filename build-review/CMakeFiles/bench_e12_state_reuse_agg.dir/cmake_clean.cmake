@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_state_reuse_agg.dir/bench/bench_e12_state_reuse_agg.cc.o"
+  "CMakeFiles/bench_e12_state_reuse_agg.dir/bench/bench_e12_state_reuse_agg.cc.o.d"
+  "bench_e12_state_reuse_agg"
+  "bench_e12_state_reuse_agg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_state_reuse_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

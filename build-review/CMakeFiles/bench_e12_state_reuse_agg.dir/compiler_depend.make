@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e12_state_reuse_agg.
+# This may be replaced when dependencies are built.

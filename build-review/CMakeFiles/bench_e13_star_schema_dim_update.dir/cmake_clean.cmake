@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_star_schema_dim_update.dir/bench/bench_e13_star_schema_dim_update.cc.o"
+  "CMakeFiles/bench_e13_star_schema_dim_update.dir/bench/bench_e13_star_schema_dim_update.cc.o.d"
+  "bench_e13_star_schema_dim_update"
+  "bench_e13_star_schema_dim_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_star_schema_dim_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

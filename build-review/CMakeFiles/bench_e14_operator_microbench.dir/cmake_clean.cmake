@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_operator_microbench.dir/bench/bench_e14_operator_microbench.cc.o"
+  "CMakeFiles/bench_e14_operator_microbench.dir/bench/bench_e14_operator_microbench.cc.o.d"
+  "bench_e14_operator_microbench"
+  "bench_e14_operator_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_operator_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_hot_path.dir/bench/bench_e15_hot_path.cc.o"
+  "CMakeFiles/bench_e15_hot_path.dir/bench/bench_e15_hot_path.cc.o.d"
+  "bench_e15_hot_path"
+  "bench_e15_hot_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_hot_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

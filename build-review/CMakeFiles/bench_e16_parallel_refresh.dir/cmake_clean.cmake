@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e16_parallel_refresh.dir/bench/bench_e16_parallel_refresh.cc.o"
+  "CMakeFiles/bench_e16_parallel_refresh.dir/bench/bench_e16_parallel_refresh.cc.o.d"
+  "bench_e16_parallel_refresh"
+  "bench_e16_parallel_refresh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e16_parallel_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e17_durability.dir/bench/bench_e17_durability.cc.o"
+  "CMakeFiles/bench_e17_durability.dir/bench/bench_e17_durability.cc.o.d"
+  "bench_e17_durability"
+  "bench_e17_durability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e17_durability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

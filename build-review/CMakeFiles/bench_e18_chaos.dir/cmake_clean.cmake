@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e18_chaos.dir/bench/bench_e18_chaos.cc.o"
+  "CMakeFiles/bench_e18_chaos.dir/bench/bench_e18_chaos.cc.o.d"
+  "bench_e18_chaos"
+  "bench_e18_chaos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e18_chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_fig1_persisted_semantics.dir/bench/bench_e1_fig1_persisted_semantics.cc.o"
+  "CMakeFiles/bench_e1_fig1_persisted_semantics.dir/bench/bench_e1_fig1_persisted_semantics.cc.o.d"
+  "bench_e1_fig1_persisted_semantics"
+  "bench_e1_fig1_persisted_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_fig1_persisted_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

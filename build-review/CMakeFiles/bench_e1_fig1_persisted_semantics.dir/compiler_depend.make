@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e1_fig1_persisted_semantics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_fig2_dvs_derivations.dir/bench/bench_e2_fig2_dvs_derivations.cc.o"
+  "CMakeFiles/bench_e2_fig2_dvs_derivations.dir/bench/bench_e2_fig2_dvs_derivations.cc.o.d"
+  "bench_e2_fig2_dvs_derivations"
+  "bench_e2_fig2_dvs_derivations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_fig2_dvs_derivations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_fig4_lag_sawtooth.dir/bench/bench_e3_fig4_lag_sawtooth.cc.o"
+  "CMakeFiles/bench_e3_fig4_lag_sawtooth.dir/bench/bench_e3_fig4_lag_sawtooth.cc.o.d"
+  "bench_e3_fig4_lag_sawtooth"
+  "bench_e3_fig4_lag_sawtooth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_fig4_lag_sawtooth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

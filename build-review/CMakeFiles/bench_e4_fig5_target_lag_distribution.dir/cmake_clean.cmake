@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_fig5_target_lag_distribution.dir/bench/bench_e4_fig5_target_lag_distribution.cc.o"
+  "CMakeFiles/bench_e4_fig5_target_lag_distribution.dir/bench/bench_e4_fig5_target_lag_distribution.cc.o.d"
+  "bench_e4_fig5_target_lag_distribution"
+  "bench_e4_fig5_target_lag_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_fig5_target_lag_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e4_fig5_target_lag_distribution.
+# This may be replaced when dependencies are built.

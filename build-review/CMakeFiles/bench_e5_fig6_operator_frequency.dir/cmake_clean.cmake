@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_fig6_operator_frequency.dir/bench/bench_e5_fig6_operator_frequency.cc.o"
+  "CMakeFiles/bench_e5_fig6_operator_frequency.dir/bench/bench_e5_fig6_operator_frequency.cc.o.d"
+  "bench_e5_fig6_operator_frequency"
+  "bench_e5_fig6_operator_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_fig6_operator_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e5_fig6_operator_frequency.
+# This may be replaced when dependencies are built.

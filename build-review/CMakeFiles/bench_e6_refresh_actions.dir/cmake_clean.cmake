@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_refresh_actions.dir/bench/bench_e6_refresh_actions.cc.o"
+  "CMakeFiles/bench_e6_refresh_actions.dir/bench/bench_e6_refresh_actions.cc.o.d"
+  "bench_e6_refresh_actions"
+  "bench_e6_refresh_actions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_refresh_actions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

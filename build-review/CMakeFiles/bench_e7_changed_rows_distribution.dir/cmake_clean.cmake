@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_changed_rows_distribution.dir/bench/bench_e7_changed_rows_distribution.cc.o"
+  "CMakeFiles/bench_e7_changed_rows_distribution.dir/bench/bench_e7_changed_rows_distribution.cc.o.d"
+  "bench_e7_changed_rows_distribution"
+  "bench_e7_changed_rows_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_changed_rows_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

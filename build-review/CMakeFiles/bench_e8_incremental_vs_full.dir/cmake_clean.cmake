@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_incremental_vs_full.dir/bench/bench_e8_incremental_vs_full.cc.o"
+  "CMakeFiles/bench_e8_incremental_vs_full.dir/bench/bench_e8_incremental_vs_full.cc.o.d"
+  "bench_e8_incremental_vs_full"
+  "bench_e8_incremental_vs_full.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_incremental_vs_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

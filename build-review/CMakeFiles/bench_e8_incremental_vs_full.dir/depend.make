@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e8_incremental_vs_full.
+# This may be replaced when dependencies are built.

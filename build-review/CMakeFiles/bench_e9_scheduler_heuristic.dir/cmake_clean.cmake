@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_scheduler_heuristic.dir/bench/bench_e9_scheduler_heuristic.cc.o"
+  "CMakeFiles/bench_e9_scheduler_heuristic.dir/bench/bench_e9_scheduler_heuristic.cc.o.d"
+  "bench_e9_scheduler_heuristic"
+  "bench_e9_scheduler_heuristic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_scheduler_heuristic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalog_txn_test.dir/tests/catalog_txn_test.cc.o"
+  "CMakeFiles/catalog_txn_test.dir/tests/catalog_txn_test.cc.o.d"
+  "catalog_txn_test"
+  "catalog_txn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalog_txn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/changes_test.dir/tests/changes_test.cc.o"
+  "CMakeFiles/changes_test.dir/tests/changes_test.cc.o.d"
+  "changes_test"
+  "changes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/changes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clone_test.dir/tests/clone_test.cc.o"
+  "CMakeFiles/clone_test.dir/tests/clone_test.cc.o.d"
+  "clone_test"
+  "clone_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dt_test.dir/tests/dt_test.cc.o"
+  "CMakeFiles/dt_test.dir/tests/dt_test.cc.o.d"
+  "dt_test"
+  "dt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/catalog.cc" "CMakeFiles/dvs.dir/src/catalog/catalog.cc.o" "gcc" "CMakeFiles/dvs.dir/src/catalog/catalog.cc.o.d"
+  "/root/repo/src/common/clock.cc" "CMakeFiles/dvs.dir/src/common/clock.cc.o" "gcc" "CMakeFiles/dvs.dir/src/common/clock.cc.o.d"
+  "/root/repo/src/common/duration.cc" "CMakeFiles/dvs.dir/src/common/duration.cc.o" "gcc" "CMakeFiles/dvs.dir/src/common/duration.cc.o.d"
+  "/root/repo/src/common/hlc.cc" "CMakeFiles/dvs.dir/src/common/hlc.cc.o" "gcc" "CMakeFiles/dvs.dir/src/common/hlc.cc.o.d"
+  "/root/repo/src/common/rng.cc" "CMakeFiles/dvs.dir/src/common/rng.cc.o" "gcc" "CMakeFiles/dvs.dir/src/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "CMakeFiles/dvs.dir/src/common/status.cc.o" "gcc" "CMakeFiles/dvs.dir/src/common/status.cc.o.d"
+  "/root/repo/src/dt/engine.cc" "CMakeFiles/dvs.dir/src/dt/engine.cc.o" "gcc" "CMakeFiles/dvs.dir/src/dt/engine.cc.o.d"
+  "/root/repo/src/dt/refresh.cc" "CMakeFiles/dvs.dir/src/dt/refresh.cc.o" "gcc" "CMakeFiles/dvs.dir/src/dt/refresh.cc.o.d"
+  "/root/repo/src/exec/evaluator.cc" "CMakeFiles/dvs.dir/src/exec/evaluator.cc.o" "gcc" "CMakeFiles/dvs.dir/src/exec/evaluator.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "CMakeFiles/dvs.dir/src/exec/executor.cc.o" "gcc" "CMakeFiles/dvs.dir/src/exec/executor.cc.o.d"
+  "/root/repo/src/exec/functions.cc" "CMakeFiles/dvs.dir/src/exec/functions.cc.o" "gcc" "CMakeFiles/dvs.dir/src/exec/functions.cc.o.d"
+  "/root/repo/src/fault/injector.cc" "CMakeFiles/dvs.dir/src/fault/injector.cc.o" "gcc" "CMakeFiles/dvs.dir/src/fault/injector.cc.o.d"
+  "/root/repo/src/isolation/dsg.cc" "CMakeFiles/dvs.dir/src/isolation/dsg.cc.o" "gcc" "CMakeFiles/dvs.dir/src/isolation/dsg.cc.o.d"
+  "/root/repo/src/isolation/history.cc" "CMakeFiles/dvs.dir/src/isolation/history.cc.o" "gcc" "CMakeFiles/dvs.dir/src/isolation/history.cc.o.d"
+  "/root/repo/src/ivm/differentiator.cc" "CMakeFiles/dvs.dir/src/ivm/differentiator.cc.o" "gcc" "CMakeFiles/dvs.dir/src/ivm/differentiator.cc.o.d"
+  "/root/repo/src/ivm/incrementality.cc" "CMakeFiles/dvs.dir/src/ivm/incrementality.cc.o" "gcc" "CMakeFiles/dvs.dir/src/ivm/incrementality.cc.o.d"
+  "/root/repo/src/ivm/state_reuse.cc" "CMakeFiles/dvs.dir/src/ivm/state_reuse.cc.o" "gcc" "CMakeFiles/dvs.dir/src/ivm/state_reuse.cc.o.d"
+  "/root/repo/src/persist/format.cc" "CMakeFiles/dvs.dir/src/persist/format.cc.o" "gcc" "CMakeFiles/dvs.dir/src/persist/format.cc.o.d"
+  "/root/repo/src/persist/manager.cc" "CMakeFiles/dvs.dir/src/persist/manager.cc.o" "gcc" "CMakeFiles/dvs.dir/src/persist/manager.cc.o.d"
+  "/root/repo/src/persist/recover.cc" "CMakeFiles/dvs.dir/src/persist/recover.cc.o" "gcc" "CMakeFiles/dvs.dir/src/persist/recover.cc.o.d"
+  "/root/repo/src/persist/retention.cc" "CMakeFiles/dvs.dir/src/persist/retention.cc.o" "gcc" "CMakeFiles/dvs.dir/src/persist/retention.cc.o.d"
+  "/root/repo/src/persist/snapshot.cc" "CMakeFiles/dvs.dir/src/persist/snapshot.cc.o" "gcc" "CMakeFiles/dvs.dir/src/persist/snapshot.cc.o.d"
+  "/root/repo/src/persist/wal.cc" "CMakeFiles/dvs.dir/src/persist/wal.cc.o" "gcc" "CMakeFiles/dvs.dir/src/persist/wal.cc.o.d"
+  "/root/repo/src/plan/expr.cc" "CMakeFiles/dvs.dir/src/plan/expr.cc.o" "gcc" "CMakeFiles/dvs.dir/src/plan/expr.cc.o.d"
+  "/root/repo/src/plan/logical_plan.cc" "CMakeFiles/dvs.dir/src/plan/logical_plan.cc.o" "gcc" "CMakeFiles/dvs.dir/src/plan/logical_plan.cc.o.d"
+  "/root/repo/src/runtime/dag_runner.cc" "CMakeFiles/dvs.dir/src/runtime/dag_runner.cc.o" "gcc" "CMakeFiles/dvs.dir/src/runtime/dag_runner.cc.o.d"
+  "/root/repo/src/runtime/thread_pool.cc" "CMakeFiles/dvs.dir/src/runtime/thread_pool.cc.o" "gcc" "CMakeFiles/dvs.dir/src/runtime/thread_pool.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "CMakeFiles/dvs.dir/src/sched/scheduler.cc.o" "gcc" "CMakeFiles/dvs.dir/src/sched/scheduler.cc.o.d"
+  "/root/repo/src/sql/binder.cc" "CMakeFiles/dvs.dir/src/sql/binder.cc.o" "gcc" "CMakeFiles/dvs.dir/src/sql/binder.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "CMakeFiles/dvs.dir/src/sql/parser.cc.o" "gcc" "CMakeFiles/dvs.dir/src/sql/parser.cc.o.d"
+  "/root/repo/src/sql/token.cc" "CMakeFiles/dvs.dir/src/sql/token.cc.o" "gcc" "CMakeFiles/dvs.dir/src/sql/token.cc.o.d"
+  "/root/repo/src/storage/versioned_table.cc" "CMakeFiles/dvs.dir/src/storage/versioned_table.cc.o" "gcc" "CMakeFiles/dvs.dir/src/storage/versioned_table.cc.o.d"
+  "/root/repo/src/txn/transaction_manager.cc" "CMakeFiles/dvs.dir/src/txn/transaction_manager.cc.o" "gcc" "CMakeFiles/dvs.dir/src/txn/transaction_manager.cc.o.d"
+  "/root/repo/src/types/row.cc" "CMakeFiles/dvs.dir/src/types/row.cc.o" "gcc" "CMakeFiles/dvs.dir/src/types/row.cc.o.d"
+  "/root/repo/src/types/schema.cc" "CMakeFiles/dvs.dir/src/types/schema.cc.o" "gcc" "CMakeFiles/dvs.dir/src/types/schema.cc.o.d"
+  "/root/repo/src/types/value.cc" "CMakeFiles/dvs.dir/src/types/value.cc.o" "gcc" "CMakeFiles/dvs.dir/src/types/value.cc.o.d"
+  "/root/repo/src/warehouse/warehouse.cc" "CMakeFiles/dvs.dir/src/warehouse/warehouse.cc.o" "gcc" "CMakeFiles/dvs.dir/src/warehouse/warehouse.cc.o.d"
+  "/root/repo/src/workload/fleet.cc" "CMakeFiles/dvs.dir/src/workload/fleet.cc.o" "gcc" "CMakeFiles/dvs.dir/src/workload/fleet.cc.o.d"
+  "/root/repo/src/workload/query_generator.cc" "CMakeFiles/dvs.dir/src/workload/query_generator.cc.o" "gcc" "CMakeFiles/dvs.dir/src/workload/query_generator.cc.o.d"
+  "/root/repo/src/workload/star_schema.cc" "CMakeFiles/dvs.dir/src/workload/star_schema.cc.o" "gcc" "CMakeFiles/dvs.dir/src/workload/star_schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isolation_audit.dir/examples/isolation_audit.cpp.o"
+  "CMakeFiles/isolation_audit.dir/examples/isolation_audit.cpp.o.d"
+  "isolation_audit"
+  "isolation_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isolation_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isolation_recorder_test.dir/tests/isolation_recorder_test.cc.o"
+  "CMakeFiles/isolation_recorder_test.dir/tests/isolation_recorder_test.cc.o.d"
+  "isolation_recorder_test"
+  "isolation_recorder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isolation_recorder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

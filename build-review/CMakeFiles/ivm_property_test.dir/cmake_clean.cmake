@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivm_property_test.dir/tests/ivm_property_test.cc.o"
+  "CMakeFiles/ivm_property_test.dir/tests/ivm_property_test.cc.o.d"
+  "ivm_property_test"
+  "ivm_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivm_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ivm_test.dir/tests/ivm_test.cc.o"
+  "CMakeFiles/ivm_test.dir/tests/ivm_test.cc.o.d"
+  "ivm_test"
+  "ivm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ivm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_hash_test.dir/tests/key_hash_test.cc.o"
+  "CMakeFiles/key_hash_test.dir/tests/key_hash_test.cc.o.d"
+  "key_hash_test"
+  "key_hash_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_hash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

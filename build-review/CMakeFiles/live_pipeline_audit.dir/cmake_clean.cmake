@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_pipeline_audit.dir/examples/live_pipeline_audit.cpp.o"
+  "CMakeFiles/live_pipeline_audit.dir/examples/live_pipeline_audit.cpp.o.d"
+  "live_pipeline_audit"
+  "live_pipeline_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_pipeline_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_refresh_test.dir/tests/parallel_refresh_test.cc.o"
+  "CMakeFiles/parallel_refresh_test.dir/tests/parallel_refresh_test.cc.o.d"
+  "parallel_refresh_test"
+  "parallel_refresh_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_refresh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

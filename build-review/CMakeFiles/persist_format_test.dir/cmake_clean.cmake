@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persist_format_test.dir/tests/persist_format_test.cc.o"
+  "CMakeFiles/persist_format_test.dir/tests/persist_format_test.cc.o.d"
+  "persist_format_test"
+  "persist_format_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persist_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

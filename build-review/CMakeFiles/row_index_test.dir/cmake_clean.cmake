@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/row_index_test.dir/tests/row_index_test.cc.o"
+  "CMakeFiles/row_index_test.dir/tests/row_index_test.cc.o.d"
+  "row_index_test"
+  "row_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/row_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/star_schema_pipeline.dir/examples/star_schema_pipeline.cpp.o"
+  "CMakeFiles/star_schema_pipeline.dir/examples/star_schema_pipeline.cpp.o.d"
+  "star_schema_pipeline"
+  "star_schema_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_schema_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

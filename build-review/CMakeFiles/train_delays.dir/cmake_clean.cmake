@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_delays.dir/examples/train_delays.cpp.o"
+  "CMakeFiles/train_delays.dir/examples/train_delays.cpp.o.d"
+  "train_delays"
+  "train_delays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_delays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

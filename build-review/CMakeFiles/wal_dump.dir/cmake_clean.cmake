@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wal_dump.dir/tools/wal_dump.cc.o"
+  "CMakeFiles/wal_dump.dir/tools/wal_dump.cc.o.d"
+  "wal_dump"
+  "wal_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wal_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
