@@ -14,8 +14,16 @@
 //
 // `--smoke` runs only the smallest size tier (the `bench-smoke` ctest
 // target); the default runs {10k, 100k, 1M} rows × {0.1%, 1%, 10%}.
+//
+// `--baseline=<file>` turns the run into a regression gate: every baseline
+// line (`rows fraction inc_work full_work`, '#' comments) must match the
+// measured rows_processed exactly. The work metric is deterministic, so any
+// deviation is a semantic change in the executor/differentiator — the gate
+// catches it in CI (bench-smoke) without gating on noisy wall time.
 
 #include <cstring>
+#include <fstream>
+#include <sstream>
 
 #include "bench_util.h"
 
@@ -100,7 +108,18 @@ RefreshOutcome MustRefresh(DvsEngine& engine, const char* dt, Micros ts) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bool smoke = false;
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--baseline=", 11) == 0) {
+      baseline_path = argv[i] + 11;
+    } else {
+      std::printf("FATAL: unknown argument '%s'\n", argv[i]);
+      return 1;
+    }
+  }
   const int64_t kSizes[] = {10'000, 100'000, 1'000'000};
   const double kFractions[] = {0.001, 0.01, 0.1};
   const size_t n_sizes = smoke ? 1 : 3;
@@ -235,6 +254,55 @@ int main(int argc, char** argv) {
   }
   bench::Check(decays, "incremental advantage decays toward the crossover as "
                        "the change fraction grows");
+
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    bench::Check(in.good(),
+                 ("baseline file readable: " + baseline_path).c_str());
+    std::string line;
+    size_t checked = 0;
+    bool all_match = in.good();
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      std::istringstream fields(line);
+      int64_t rows = 0;
+      double fraction = 0;
+      uint64_t inc_work = 0, full_work = 0;
+      if (!(fields >> rows >> fraction >> inc_work >> full_work)) {
+        std::printf("FATAL: malformed baseline line: %s\n", line.c_str());
+        return 1;
+      }
+      bool found = false;
+      for (const Point& p : points) {
+        if (p.table_rows != rows ||
+            std::abs(p.fraction - fraction) > 1e-9) {
+          continue;
+        }
+        found = true;
+        if (p.inc_work != inc_work || p.full_work != full_work) {
+          std::printf("BASELINE MISMATCH at rows=%lld fraction=%g: "
+                      "inc %llu (want %llu), full %llu (want %llu)\n",
+                      static_cast<long long>(rows), fraction,
+                      static_cast<unsigned long long>(p.inc_work),
+                      static_cast<unsigned long long>(inc_work),
+                      static_cast<unsigned long long>(p.full_work),
+                      static_cast<unsigned long long>(full_work));
+          all_match = false;
+        }
+        ++checked;
+      }
+      if (!found) {
+        std::printf("BASELINE MISMATCH: no measured point for rows=%lld "
+                    "fraction=%g\n",
+                    static_cast<long long>(rows), fraction);
+        all_match = false;
+      }
+    }
+    bench::Check(all_match && checked > 0,
+                 ("rows_processed matches the checked-in baseline (" +
+                  std::to_string(checked) + " points)")
+                     .c_str());
+  }
 
   bench::Check(!report.WriteFile().empty(), "BENCH_E15.json written");
   return bench::Finish();

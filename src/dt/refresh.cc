@@ -209,13 +209,35 @@ ScanResolver RefreshEngine::MakeVersionResolver(
   };
 }
 
+BatchScanResolver RefreshEngine::MakeBatchVersionResolver(
+    std::shared_ptr<const std::unordered_map<ObjectId, VersionId>> versions,
+    std::shared_ptr<PartitionBatchCache> cache) {
+  return [this, versions, cache](ObjectId id) -> Result<BatchVector> {
+    if (id == sql::kDualTableId) {
+      auto dual = std::make_shared<ColumnBatch>();
+      dual->rows = 1;
+      dual->ids = {1};
+      return BatchVector{std::move(dual)};
+    }
+    auto it = versions->find(id);
+    if (it == versions->end()) {
+      return Internal("no pinned version for source " + std::to_string(id));
+    }
+    DVS_ASSIGN_OR_RETURN(const CatalogObject* obj, catalog_->FindById(id));
+    return ScanBatchesAt(*obj->storage, it->second, cache.get());
+  };
+}
+
 Result<std::vector<IdRow>> RefreshEngine::ComputeFull(
     const CatalogObject& obj,
     const std::unordered_map<ObjectId, VersionId>& versions, Micros ts,
     uint64_t* rows_processed) {
   ExecContext ctx;
-  ctx.resolve_scan = MakeVersionResolver(
-      std::make_shared<const std::unordered_map<ObjectId, VersionId>>(versions));
+  auto pinned =
+      std::make_shared<const std::unordered_map<ObjectId, VersionId>>(versions);
+  ctx.resolve_scan = MakeVersionResolver(pinned);
+  ctx.resolve_scan_batches = MakeBatchVersionResolver(
+      pinned, std::make_shared<PartitionBatchCache>());
   ctx.eval.current_time = ts;
   auto rows = ExecutePlan(*obj.dt->plan, ctx);
   *rows_processed += ctx.rows_processed;
@@ -396,12 +418,20 @@ Result<RefreshOutcome> RefreshEngine::Refresh(ObjectId dt_id,
     // Interval endpoints are pinned to explicit versions (§5.3): the stored
     // frontier at the start, the freshly resolved versions at the end. Wall
     // time cannot disambiguate commits sharing a physical clock tick.
-    dctx.resolve_at_start = MakeVersionResolver(
+    auto pinned_start =
         std::make_shared<const std::unordered_map<ObjectId, VersionId>>(
-            meta->frontier));
-    dctx.resolve_at_end = MakeVersionResolver(
+            meta->frontier);
+    auto pinned_end =
         std::make_shared<const std::unordered_map<ObjectId, VersionId>>(
-            source_versions));
+            source_versions);
+    dctx.resolve_at_start = MakeVersionResolver(pinned_start);
+    dctx.resolve_at_end = MakeVersionResolver(pinned_end);
+    // One partition->batch cache for both endpoints: partitions unchanged
+    // over the interval become pointer-identical batches at both ends,
+    // which the batch engine's cross-endpoint caches key on.
+    auto pcache = std::make_shared<PartitionBatchCache>();
+    dctx.batch_resolve_at_start = MakeBatchVersionResolver(pinned_start, pcache);
+    dctx.batch_resolve_at_end = MakeBatchVersionResolver(pinned_end, pcache);
     dctx.resolve_delta = [&deltas](ObjectId id) -> Result<ChangeSet> {
       if (id == sql::kDualTableId) return ChangeSet{};
       auto it = deltas.find(id);

@@ -33,6 +33,7 @@
 #include "catalog/catalog.h"
 #include "exec/executor.h"
 #include "ivm/differentiator.h"
+#include "storage/batch_scan.h"
 #include "txn/transaction_manager.h"
 
 namespace dvs {
@@ -174,6 +175,15 @@ class RefreshEngine {
   /// versions recorded at interval endpoints.
   ScanResolver MakeVersionResolver(
       std::shared_ptr<const std::unordered_map<ObjectId, VersionId>> versions);
+
+  /// Columnar twin of MakeVersionResolver: resolves the same pinned versions
+  /// as column batches. `cache` memoizes per-partition conversions; an
+  /// incremental refresh passes ONE cache to both endpoint resolvers, so
+  /// partitions unchanged over the interval produce pointer-identical
+  /// batches at both ends (the batch engine's cross-endpoint cache key).
+  BatchScanResolver MakeBatchVersionResolver(
+      std::shared_ptr<const std::unordered_map<ObjectId, VersionId>> versions,
+      std::shared_ptr<PartitionBatchCache> cache);
 
   /// Full computation of the defining query against pinned source versions,
   /// with context functions evaluated at `ts` (INITIALIZE / FULL /

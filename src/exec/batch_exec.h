@@ -1,0 +1,111 @@
+// Batch-at-a-time plan execution.
+//
+// ExecutePlanBatches mirrors the row executor node for node, but moves data
+// as ColumnBatches: scans adapt partitions to batches, filters compact
+// selection vectors instead of copying rows, joins build/probe the HashedKey
+// digest infrastructure a batch of keys at a time, and aggregation
+// accumulates online over contiguous argument columns. Output rows, row
+// ids, emission order, error selection and the rows_processed work metric
+// are bit-identical to the row engine:
+//
+//  - all value semantics route through the shared scalar kernels
+//    (ApplyBinaryOp / ApplyUnaryOp / CastValue / function registry),
+//  - any vectorized evaluation error triggers a row-wise redo of the batch
+//    through the scalar code path, so the surfaced error (and which row
+//    "wins") always matches the row engine,
+//  - operators with no batch kernel (distinct, window, flatten, order-by,
+//    limit) materialize, run the shared row kernel, and re-batch,
+//  - per-node work accounting charges exactly the rows the row engine's
+//    Exec wrapper would.
+//
+// The engine bails out (sets BatchExecEnv::bail) instead of guessing when
+// inputs violate columnar assumptions (ragged row widths); the caller then
+// reruns the row path from scratch, charging fresh.
+//
+// Routing lives in ExecutePlan: batch execution is used when
+// PlanBatchSafe() holds (no volatile functions — vector evaluation reorders
+// rng draws) and the context does not force the row path.
+
+#ifndef DVS_EXEC_BATCH_EXEC_H_
+#define DVS_EXEC_BATCH_EXEC_H_
+
+#include <unordered_map>
+
+#include "exec/column_batch.h"
+#include "exec/executor.h"
+#include "exec/vector_eval.h"
+
+namespace dvs {
+
+/// Cached hash-join build + probe results, reused when the same join node
+/// re-executes against pointer-identical right input batches (the
+/// differentiator snapshots a plan at both refresh endpoints; unchanged
+/// micro-partitions resolve to shared batches, so most of the second
+/// execution is a cache hit). Only populated for kInner/kLeft joins whose
+/// keys and residual are immutable — kRight/kFull track right_matched state
+/// across the whole probe, and non-immutable expressions may evaluate
+/// differently per endpoint.
+struct BatchJoinCache {
+  /// Owning: pointer identity is the cache key, so the cached batches must
+  /// stay alive for the cache's lifetime (a freed batch's address could be
+  /// recycled by a later allocation and alias a different batch).
+  std::vector<BatchPtr> right_fingerprint;
+  /// digest -> (right batch index << 32 | row), in right scan order.
+  std::unordered_map<uint64_t, std::vector<uint64_t>> index;
+  std::vector<BatchKeys> right_keys;  // per right batch, for collision confirm
+  /// Per-left-batch join output (kInner/kLeft emission is independent of
+  /// other left batches). Keys own the left batches, as above.
+  std::unordered_map<BatchPtr, BatchPtr> outputs;
+};
+
+/// Per-refresh batch execution caches, owned by the differentiator's
+/// DeltaContext (one refresh = one memo; batches referenced here stay alive
+/// for the refresh via the snapshot caches / partition cache).
+struct BatchMemo {
+  /// Snapshot results per plan node, per interval endpoint (0 = start,
+  /// 1 = end). Mirrors the row-side start_cache/end_cache.
+  std::unordered_map<const PlanNode*, BatchVector> snapshots[2];
+  std::unordered_map<const PlanNode*, BatchJoinCache> join;
+  /// Memoized "all join/filter exprs immutable" verdicts per node.
+  std::unordered_map<const PlanNode*, bool> immutable;
+};
+
+struct BatchExecEnv {
+  ScanResolver resolve_scan;                // row fallback for scans
+  BatchScanResolver resolve_scan_batches;   // preferred scan source
+  EvalContext eval;
+  mutable uint64_t rows_processed = 0;
+  /// Set when the engine hit a columnar-assumption violation; the result is
+  /// meaningless and the caller must rerun the row path.
+  mutable bool bail = false;
+  /// Optional cross-execution caches (differentiator refreshes).
+  BatchMemo* memo = nullptr;
+};
+
+/// True if every expression in the plan tree is batch-evaluable: no
+/// volatile functions anywhere (unknown functions also route to the row
+/// path so binding errors surface from the scalar engine).
+bool PlanBatchSafe(const PlanNode& plan);
+
+/// Executes the plan over column batches. On success (and !env.bail) the
+/// concatenated batches equal the row engine's output exactly.
+Result<BatchVector> ExecutePlanBatches(const PlanNode& plan,
+                                       const BatchExecEnv& env);
+
+/// Gathers `sel` rows of `batch` into a fresh compacted batch (ids and all
+/// columns), preserving row order.
+BatchPtr GatherBatch(const BatchPtr& batch, const Sel& sel);
+
+/// Aggregation kernel over prepared input batches (`n` is a kAggregate
+/// node). Matches ComputeAggregateRows bit-for-bit — values, row ids,
+/// sorted-group emission order, and error selection; the differentiator's
+/// affected-group recompute feeds it restricted batches. Vectorized
+/// evaluation failures rerun through the row kernel internally.
+Result<BatchVector> ComputeAggregateBatches(const PlanNode& n,
+                                            const BatchVector& input,
+                                            const BatchExecEnv& env,
+                                            bool force_global_group);
+
+}  // namespace dvs
+
+#endif  // DVS_EXEC_BATCH_EXEC_H_

@@ -1,0 +1,351 @@
+#include "exec/column_batch.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dvs {
+
+namespace {
+
+// Per-tag hash seeds, precomputed once: Value::Hash() seeds every value with
+// HashUint64((uint64_t)tag).
+struct TagSeeds {
+  uint64_t null_, bool_, int_, double_, string_, timestamp_;
+  TagSeeds() {
+    null_ = HashUint64(static_cast<uint64_t>(DataType::kNull));
+    bool_ = HashUint64(static_cast<uint64_t>(DataType::kBool));
+    int_ = HashUint64(static_cast<uint64_t>(DataType::kInt64));
+    double_ = HashUint64(static_cast<uint64_t>(DataType::kDouble));
+    string_ = HashUint64(static_cast<uint64_t>(DataType::kString));
+    timestamp_ = HashUint64(static_cast<uint64_t>(DataType::kTimestamp));
+  }
+};
+const TagSeeds& Seeds() {
+  static const TagSeeds s;
+  return s;
+}
+
+constexpr size_t kArenaChunk = 64 * 1024;
+
+int CompareDoubles(double a, double b) {
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+}  // namespace
+
+void BatchColumn::PushPlaceholder() {
+  switch (lane_) {
+    case Lane::kI64:
+      i64_.push_back(0);
+      break;
+    case Lane::kF64:
+      f64_.push_back(0);
+      break;
+    case Lane::kStr:
+      str_.emplace_back();
+      break;
+    case Lane::kVal:
+      val_.emplace_back();
+      break;
+    case Lane::kUndecided:
+      break;
+  }
+}
+
+void BatchColumn::AppendNull() {
+  PushPlaceholder();
+  SetNullBit(size_);
+  ++size_;
+}
+
+std::string_view BatchColumn::Intern(std::string_view s) {
+  if (s.empty()) return std::string_view();
+  if (arena_cap_ - arena_used_ < s.size()) {
+    size_t cap = std::max(kArenaChunk, s.size());
+    arena_.push_back(std::make_unique<char[]>(cap));
+    arena_cap_ = cap;
+    arena_used_ = 0;
+  }
+  char* dst = arena_.back().get() + arena_used_;
+  std::memcpy(dst, s.data(), s.size());
+  arena_used_ += s.size();
+  return std::string_view(dst, s.size());
+}
+
+void BatchColumn::DemoteToVal() {
+  std::vector<Value> vals;
+  vals.reserve(size_ + 1);
+  for (size_t i = 0; i < size_; ++i) vals.push_back(GetValue(i));
+  val_ = std::move(vals);
+  i64_.clear();
+  f64_.clear();
+  str_.clear();
+  arena_.clear();
+  arena_used_ = arena_cap_ = 0;
+  lane_ = Lane::kVal;
+  elem_tag_ = DataType::kNull;
+}
+
+void BatchColumn::AppendTagged(DataType tag, int64_t payload) {
+  if (lane_ == Lane::kUndecided) {
+    lane_ = Lane::kI64;
+    elem_tag_ = tag;
+    i64_.assign(size_, 0);  // backfill placeholders for leading NULLs
+  }
+  if (lane_ != Lane::kI64 || elem_tag_ != tag) {
+    if (lane_ != Lane::kVal) DemoteToVal();
+    switch (tag) {
+      case DataType::kBool:
+        val_.push_back(Value::Bool(payload != 0));
+        break;
+      case DataType::kTimestamp:
+        val_.push_back(Value::Timestamp(payload));
+        break;
+      default:
+        val_.push_back(Value::Int(payload));
+        break;
+    }
+    ++size_;
+    return;
+  }
+  i64_.push_back(payload);
+  ++size_;
+}
+
+void BatchColumn::AppendDouble(double v) {
+  if (lane_ == Lane::kUndecided) {
+    lane_ = Lane::kF64;
+    f64_.assign(size_, 0);
+  }
+  if (lane_ != Lane::kF64) {
+    if (lane_ != Lane::kVal) DemoteToVal();
+    val_.push_back(Value::Double(v));
+    ++size_;
+    return;
+  }
+  f64_.push_back(v);
+  ++size_;
+}
+
+void BatchColumn::AppendString(std::string_view s) {
+  if (lane_ == Lane::kUndecided) {
+    lane_ = Lane::kStr;
+    str_.assign(size_, std::string_view());
+  }
+  if (lane_ != Lane::kStr) {
+    if (lane_ != Lane::kVal) DemoteToVal();
+    val_.push_back(Value::String(std::string(s)));
+    ++size_;
+    return;
+  }
+  str_.push_back(Intern(s));
+  ++size_;
+}
+
+void BatchColumn::AppendValue(const Value& v) {
+  switch (v.type()) {
+    case DataType::kNull:
+      AppendNull();
+      return;
+    case DataType::kBool:
+      AppendTagged(DataType::kBool, v.bool_value() ? 1 : 0);
+      return;
+    case DataType::kInt64:
+      AppendTagged(DataType::kInt64, v.int_value());
+      return;
+    case DataType::kTimestamp:
+      AppendTagged(DataType::kTimestamp, v.timestamp_value());
+      return;
+    case DataType::kDouble:
+      AppendDouble(v.double_value());
+      return;
+    case DataType::kString:
+      AppendString(v.string_value());
+      return;
+    case DataType::kArray:
+      if (lane_ != Lane::kVal) DemoteToVal();
+      val_.push_back(v);
+      ++size_;
+      return;
+  }
+}
+
+void BatchColumn::AppendFrom(const BatchColumn& src, size_t i) {
+  if (src.IsNull(i)) {
+    AppendNull();
+    return;
+  }
+  switch (src.lane_) {
+    case Lane::kI64:
+      AppendTagged(src.elem_tag_, src.i64_[i]);
+      return;
+    case Lane::kF64:
+      AppendDouble(src.f64_[i]);
+      return;
+    case Lane::kStr:
+      AppendString(src.str_[i]);
+      return;
+    case Lane::kVal: {
+      const Value& v = src.val_[i];
+      if (v.type() == DataType::kString) {
+        AppendString(v.string_value());
+      } else {
+        AppendValue(v);
+      }
+      return;
+    }
+    case Lane::kUndecided:
+      AppendNull();
+      return;
+  }
+}
+
+Value BatchColumn::GetValue(size_t i) const {
+  if (IsNull(i)) return Value::Null();
+  switch (lane_) {
+    case Lane::kI64:
+      switch (elem_tag_) {
+        case DataType::kBool:
+          return Value::Bool(i64_[i] != 0);
+        case DataType::kTimestamp:
+          return Value::Timestamp(i64_[i]);
+        default:
+          return Value::Int(i64_[i]);
+      }
+    case Lane::kF64:
+      return Value::Double(f64_[i]);
+    case Lane::kStr:
+      return Value::String(std::string(str_[i]));
+    case Lane::kVal:
+      return val_[i];
+    case Lane::kUndecided:
+      return Value::Null();
+  }
+  return Value::Null();
+}
+
+uint64_t BatchColumn::HashAt(size_t i) const {
+  if (IsNull(i)) return Seeds().null_;
+  const TagSeeds& s = Seeds();
+  switch (lane_) {
+    case Lane::kI64:
+      switch (elem_tag_) {
+        case DataType::kBool:
+          return HashCombine(s.bool_, i64_[i] != 0 ? 1 : 0);
+        case DataType::kTimestamp:
+          return HashCombine(
+              s.timestamp_, HashUint64(static_cast<uint64_t>(i64_[i])));
+        default:
+          return HashCombine(s.int_,
+                             HashUint64(static_cast<uint64_t>(i64_[i])));
+      }
+    case Lane::kF64: {
+      double d = f64_[i];
+      if (d == std::floor(d) && std::abs(d) < 9e18) {
+        return HashCombine(
+            s.int_,
+            HashUint64(static_cast<uint64_t>(static_cast<int64_t>(d))));
+      }
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(d));
+      return HashCombine(s.double_, HashUint64(bits));
+    }
+    case Lane::kStr:
+      return HashCombine(s.string_, HashString(str_[i]));
+    case Lane::kVal:
+      return val_[i].Hash();
+    case Lane::kUndecided:
+      return s.null_;
+  }
+  return s.null_;
+}
+
+int BatchColumn::CompareAt(size_t i, const BatchColumn& other,
+                           size_t j) const {
+  const bool ln = IsNull(i), rn = other.IsNull(j);
+  if (ln || rn) return (ln ? 0 : 1) - (rn ? 0 : 1);
+  // Same-lane fast paths that match Value::Compare exactly.
+  if (lane_ == Lane::kI64 && other.lane_ == Lane::kI64 &&
+      elem_tag_ == other.elem_tag_) {
+    int64_t a = i64_[i], b = other.i64_[j];
+    if (elem_tag_ == DataType::kBool) {
+      return static_cast<int>(a != 0) - static_cast<int>(b != 0);
+    }
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (lane_ == Lane::kF64 && other.lane_ == Lane::kF64) {
+    return CompareDoubles(f64_[i], other.f64_[j]);
+  }
+  if (lane_ == Lane::kStr && other.lane_ == Lane::kStr) {
+    int c = str_[i].compare(other.str_[j]);
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  // Cross-numeric INT vs DOUBLE lanes compare by value like Value::Compare.
+  if (lane_ == Lane::kI64 && elem_tag_ == DataType::kInt64 &&
+      other.lane_ == Lane::kF64) {
+    return CompareDoubles(static_cast<double>(i64_[i]), other.f64_[j]);
+  }
+  if (lane_ == Lane::kF64 && other.lane_ == Lane::kI64 &&
+      other.elem_tag_ == DataType::kInt64) {
+    return CompareDoubles(f64_[i], static_cast<double>(other.i64_[j]));
+  }
+  return GetValue(i).Compare(other.GetValue(j));
+}
+
+size_t BatchRowCount(const BatchVector& batches) {
+  size_t n = 0;
+  for (const BatchPtr& b : batches) n += b->rows;
+  return n;
+}
+
+Row MaterializeRow(const ColumnBatch& batch, size_t i) {
+  Row row;
+  row.reserve(batch.cols.size());
+  for (const ColumnPtr& c : batch.cols) row.push_back(c->GetValue(i));
+  return row;
+}
+
+BatchVector RowsToBatches(const std::vector<IdRow>& rows) {
+  BatchVector out;
+  size_t pos = 0;
+  const size_t width = rows.empty() ? 0 : rows[0].values.size();
+  while (pos < rows.size()) {
+    size_t n = std::min(kBatchSize, rows.size() - pos);
+    auto batch = std::make_shared<ColumnBatch>();
+    batch->rows = n;
+    batch->ids.reserve(n);
+    std::vector<std::shared_ptr<BatchColumn>> cols;
+    cols.reserve(width);
+    for (size_t c = 0; c < width; ++c) {
+      auto col = std::make_shared<BatchColumn>();
+      col->Reserve(n);
+      cols.push_back(std::move(col));
+    }
+    for (size_t r = 0; r < n; ++r) {
+      const IdRow& row = rows[pos + r];
+      batch->ids.push_back(row.id);
+      for (size_t c = 0; c < width; ++c) {
+        cols[c]->AppendValue(row.values[c]);
+      }
+    }
+    batch->cols.assign(cols.begin(), cols.end());
+    out.push_back(std::move(batch));
+    pos += n;
+  }
+  return out;
+}
+
+std::vector<IdRow> BatchesToRows(const BatchVector& batches) {
+  std::vector<IdRow> out;
+  out.reserve(BatchRowCount(batches));
+  for (const BatchPtr& b : batches) {
+    for (size_t i = 0; i < b->rows; ++i) {
+      out.push_back(IdRow{b->ids[i], MaterializeRow(*b, i)});
+    }
+  }
+  return out;
+}
+
+}  // namespace dvs

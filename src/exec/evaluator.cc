@@ -76,9 +76,15 @@ Result<Value> EvalBinary(const Expr& e, const Row& row, const EvalContext& ctx) 
 
   DVS_ASSIGN_OR_RETURN(Value l, Eval(*e.children[0], row, ctx));
   DVS_ASSIGN_OR_RETURN(Value r, Eval(*e.children[1], row, ctx));
+  return ApplyBinaryOp(e.bin_op, l, r);
+}
+
+}  // namespace
+
+Result<Value> ApplyBinaryOp(BinaryOp op, const Value& l, const Value& r) {
   if (l.is_null() || r.is_null()) return Value::Null();
 
-  switch (e.bin_op) {
+  switch (op) {
     case BinaryOp::kEq: return Value::Bool(l.Compare(r) == 0);
     case BinaryOp::kNe: return Value::Bool(l.Compare(r) != 0);
     case BinaryOp::kLt: return Value::Bool(l.Compare(r) < 0);
@@ -100,28 +106,28 @@ Result<Value> EvalBinary(const Expr& e, const Row& row, const EvalContext& ctx) 
   const bool lt = l.type() == DataType::kTimestamp;
   const bool rt = r.type() == DataType::kTimestamp;
   if (lt || rt) {
-    if (e.bin_op == BinaryOp::kSub && lt && rt) {
+    if (op == BinaryOp::kSub && lt && rt) {
       return Value::Int(l.timestamp_value() - r.timestamp_value());
     }
-    if ((e.bin_op == BinaryOp::kAdd || e.bin_op == BinaryOp::kSub) && lt &&
+    if ((op == BinaryOp::kAdd || op == BinaryOp::kSub) && lt &&
         r.is_numeric()) {
       int64_t delta = r.AsInt();
       return Value::Timestamp(l.timestamp_value() +
-                              (e.bin_op == BinaryOp::kAdd ? delta : -delta));
+                              (op == BinaryOp::kAdd ? delta : -delta));
     }
-    if (e.bin_op == BinaryOp::kAdd && rt && l.is_numeric()) {
+    if (op == BinaryOp::kAdd && rt && l.is_numeric()) {
       return Value::Timestamp(r.timestamp_value() + l.AsInt());
     }
     return UserError("invalid timestamp arithmetic");
   }
 
   if (!l.is_numeric() || !r.is_numeric()) {
-    return UserError(std::string("operator ") + BinaryOpName(e.bin_op) +
+    return UserError(std::string("operator ") + BinaryOpName(op) +
                      " requires numeric operands");
   }
   const bool both_int =
       l.type() == DataType::kInt64 && r.type() == DataType::kInt64;
-  switch (e.bin_op) {
+  switch (op) {
     case BinaryOp::kAdd:
       return both_int ? Value::Int(l.int_value() + r.int_value())
                       : Value::Double(l.AsDouble() + r.AsDouble());
@@ -149,7 +155,24 @@ Result<Value> EvalBinary(const Expr& e, const Row& row, const EvalContext& ctx) 
   }
 }
 
-}  // namespace
+Result<Value> ApplyUnaryOp(UnaryOp op, const Value& v) {
+  switch (op) {
+    case UnaryOp::kNot:
+      if (v.is_null()) return Value::Null();
+      if (v.type() != DataType::kBool) return UserError("NOT on non-boolean");
+      return Value::Bool(!v.bool_value());
+    case UnaryOp::kNeg:
+      if (v.is_null()) return Value::Null();
+      if (v.type() == DataType::kInt64) return Value::Int(-v.int_value());
+      if (v.type() == DataType::kDouble) return Value::Double(-v.double_value());
+      return UserError("negation of non-numeric value");
+    case UnaryOp::kIsNull:
+      return Value::Bool(v.is_null());
+    case UnaryOp::kIsNotNull:
+      return Value::Bool(!v.is_null());
+  }
+  return Internal("unhandled unary operator");
+}
 
 Result<Value> Eval(const Expr& e, const Row& row, const EvalContext& ctx) {
   switch (e.kind) {
@@ -167,24 +190,7 @@ Result<Value> Eval(const Expr& e, const Row& row, const EvalContext& ctx) {
       return EvalBinary(e, row, ctx);
     case ExprKind::kUnary: {
       DVS_ASSIGN_OR_RETURN(Value v, Eval(*e.children[0], row, ctx));
-      switch (e.un_op) {
-        case UnaryOp::kNot:
-          if (v.is_null()) return Value::Null();
-          if (v.type() != DataType::kBool)
-            return UserError("NOT on non-boolean");
-          return Value::Bool(!v.bool_value());
-        case UnaryOp::kNeg:
-          if (v.is_null()) return Value::Null();
-          if (v.type() == DataType::kInt64) return Value::Int(-v.int_value());
-          if (v.type() == DataType::kDouble)
-            return Value::Double(-v.double_value());
-          return UserError("negation of non-numeric value");
-        case UnaryOp::kIsNull:
-          return Value::Bool(v.is_null());
-        case UnaryOp::kIsNotNull:
-          return Value::Bool(!v.is_null());
-      }
-      return Internal("unhandled unary operator");
+      return ApplyUnaryOp(e.un_op, v);
     }
     case ExprKind::kFunction: {
       const ScalarFunction* fn = FunctionRegistry::Global().Find(e.function_name);

@@ -22,6 +22,16 @@ Result<Value> Eval(const Expr& expr, const Row& row, const EvalContext& ctx);
 Result<bool> EvalPredicate(const Expr& expr, const Row& row,
                            const EvalContext& ctx);
 
+/// Applies a non-AND/OR binary operator to two already-evaluated operands
+/// (NULL in → NULL out; AND/OR need three-valued short-circuiting and are
+/// handled by Eval / the vectorized evaluator themselves). Shared by the
+/// scalar and batch engines so semantics and error text stay identical.
+Result<Value> ApplyBinaryOp(BinaryOp op, const Value& l, const Value& r);
+
+/// Applies a unary operator to an already-evaluated operand. kIsNull /
+/// kIsNotNull observe NULL; kNot / kNeg propagate it.
+Result<Value> ApplyUnaryOp(UnaryOp op, const Value& v);
+
 /// Casts between value types with SQL-ish semantics; UserError on
 /// impossible casts (e.g. non-numeric string to INT).
 Result<Value> CastValue(const Value& v, DataType target);

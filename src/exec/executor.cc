@@ -5,6 +5,7 @@
 #include <set>
 #include <unordered_map>
 
+#include "exec/batch_exec.h"
 #include "exec/row_id.h"
 
 namespace dvs {
@@ -187,6 +188,20 @@ Result<std::vector<IdRow>> Exec(const PlanNode& n, const ExecContext& ctx) {
 
 Result<std::vector<IdRow>> ExecutePlan(const PlanNode& plan,
                                        const ExecContext& ctx) {
+  if (!ctx.force_row_path && PlanBatchSafe(plan)) {
+    BatchExecEnv env;
+    env.resolve_scan = ctx.resolve_scan;
+    env.resolve_scan_batches = ctx.resolve_scan_batches;
+    env.eval = ctx.eval;
+    Result<BatchVector> result = ExecutePlanBatches(plan, env);
+    if (!env.bail) {
+      if (!result.ok()) return result.status();
+      ctx.rows_processed += env.rows_processed;
+      return BatchesToRows(result.value());
+    }
+    // Columnar assumptions violated (e.g. ragged row widths): rerun the row
+    // interpreter from scratch, charging fresh.
+  }
   return Exec(plan, ctx);
 }
 

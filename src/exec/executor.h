@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/key_hash.h"
+#include "exec/column_batch.h"
 #include "exec/evaluator.h"
 #include "plan/logical_plan.h"
 #include "types/row.h"
@@ -29,13 +30,22 @@ using ScanResolver =
 
 struct ExecContext {
   ScanResolver resolve_scan;
+  /// Optional columnar scan source (exec/batch_exec.h). When set and the
+  /// plan is batch-safe, ExecutePlan runs the vectorized engine; scans that
+  /// only have a row resolver are adapted per batch.
+  BatchScanResolver resolve_scan_batches;
   EvalContext eval;
   /// Work accounting: rows produced by all operators, used by the cost
   /// model. Mutated during execution.
   mutable uint64_t rows_processed = 0;
+  /// Forces the row-at-a-time interpreter even for batch-safe plans (the
+  /// equivalence tests use it as the oracle).
+  bool force_row_path = false;
 };
 
-/// Executes the plan, returning all output rows with ids.
+/// Executes the plan, returning all output rows with ids. Batch-safe plans
+/// (exec/batch_exec.h) run on the columnar engine; results, row ids and
+/// rows_processed are identical either way.
 Result<std::vector<IdRow>> ExecutePlan(const PlanNode& plan,
                                        const ExecContext& ctx);
 

@@ -1,0 +1,394 @@
+#include "exec/vector_eval.h"
+
+#include <string>
+
+#include "exec/evaluator.h"
+
+namespace dvs {
+
+namespace {
+
+size_t SelSize(const ColumnBatch& batch, const Sel* sel) {
+  return sel ? sel->size() : batch.rows;
+}
+
+uint32_t SelAt(const Sel* sel, size_t k) {
+  return sel ? (*sel)[k] : static_cast<uint32_t>(k);
+}
+
+ColumnPtr Freeze(BatchColumn&& col) {
+  return std::make_shared<const BatchColumn>(std::move(col));
+}
+
+Result<ColumnPtr> EvalAndOr(const Expr& e, const ColumnBatch& batch,
+                            const Sel* sel, const EvalContext& ctx) {
+  const bool is_and = e.bin_op == BinaryOp::kAnd;
+  const size_t n = SelSize(batch, sel);
+  DVS_ASSIGN_OR_RETURN(ColumnPtr lhs,
+                       EvalColumn(*e.children[0], batch, sel, ctx));
+  // Positions the lhs left undecided (not a decisive non-null bool) need the
+  // rhs, mirroring scalar short-circuit: lhs NULL or non-bool still
+  // evaluates the rhs (a decisive rhs wins before the type error fires).
+  Sel rhs_sel;               // batch indices needing the rhs
+  std::vector<size_t> pos;   // matching output positions
+  rhs_sel.reserve(n);
+  pos.reserve(n);
+  for (size_t k = 0; k < n; ++k) {
+    bool decided = false;  // non-bool / NULL lhs: rhs still evaluated
+    if (!lhs->IsNull(k)) {
+      if (lhs->lane() == BatchColumn::Lane::kI64 &&
+          lhs->elem_tag() == DataType::kBool) {
+        decided = (lhs->i64()[k] != 0) != is_and;
+      } else if (lhs->lane() == BatchColumn::Lane::kVal) {
+        const Value& v = lhs->vals()[k];
+        decided = v.type() == DataType::kBool && v.bool_value() != is_and;
+      }
+    }
+    if (!decided) {
+      rhs_sel.push_back(SelAt(sel, k));
+      pos.push_back(k);
+    }
+  }
+  ColumnPtr rhs;
+  if (!rhs_sel.empty()) {
+    DVS_ASSIGN_OR_RETURN(rhs,
+                         EvalColumn(*e.children[1], batch, &rhs_sel, ctx));
+  }
+  BatchColumn out;
+  out.Reserve(n);
+  size_t u = 0;  // cursor into pos / rhs
+  for (size_t k = 0; k < n; ++k) {
+    if (u < pos.size() && pos[u] == k) {
+      Value l = lhs->GetValue(k);
+      Value r = rhs->GetValue(u);
+      ++u;
+      if (!r.is_null() && r.type() == DataType::kBool &&
+          r.bool_value() != is_and) {
+        out.AppendBool(!is_and);
+        continue;
+      }
+      if (l.is_null() || r.is_null()) {
+        out.AppendNull();
+        continue;
+      }
+      if (l.type() != DataType::kBool || r.type() != DataType::kBool) {
+        return UserError("AND/OR on non-boolean values");
+      }
+      out.AppendBool(is_and ? (l.bool_value() && r.bool_value())
+                            : (l.bool_value() || r.bool_value()));
+    } else {
+      out.AppendBool(!is_and);  // decided by the lhs
+    }
+  }
+  return Freeze(std::move(out));
+}
+
+Result<ColumnPtr> EvalBinaryColumn(const Expr& e, const ColumnBatch& batch,
+                                   const Sel* sel, const EvalContext& ctx) {
+  if (e.bin_op == BinaryOp::kAnd || e.bin_op == BinaryOp::kOr) {
+    return EvalAndOr(e, batch, sel, ctx);
+  }
+  DVS_ASSIGN_OR_RETURN(ColumnPtr l,
+                       EvalColumn(*e.children[0], batch, sel, ctx));
+  DVS_ASSIGN_OR_RETURN(ColumnPtr r,
+                       EvalColumn(*e.children[1], batch, sel, ctx));
+  const size_t n = SelSize(batch, sel);
+  BatchColumn out;
+  out.Reserve(n);
+  // Typed fast paths over int lanes; everything else goes through the shared
+  // scalar kernel so semantics and error text match exactly.
+  const bool both_int = l->lane() == BatchColumn::Lane::kI64 &&
+                        l->elem_tag() == DataType::kInt64 &&
+                        r->lane() == BatchColumn::Lane::kI64 &&
+                        r->elem_tag() == DataType::kInt64;
+  if (both_int && !l->has_nulls() && !r->has_nulls()) {
+    const auto& a = l->i64();
+    const auto& b = r->i64();
+    switch (e.bin_op) {
+      case BinaryOp::kAdd:
+        for (size_t k = 0; k < n; ++k) out.AppendInt(a[k] + b[k]);
+        return Freeze(std::move(out));
+      case BinaryOp::kSub:
+        for (size_t k = 0; k < n; ++k) out.AppendInt(a[k] - b[k]);
+        return Freeze(std::move(out));
+      case BinaryOp::kMul:
+        for (size_t k = 0; k < n; ++k) out.AppendInt(a[k] * b[k]);
+        return Freeze(std::move(out));
+      case BinaryOp::kEq:
+        for (size_t k = 0; k < n; ++k) out.AppendBool(a[k] == b[k]);
+        return Freeze(std::move(out));
+      case BinaryOp::kNe:
+        for (size_t k = 0; k < n; ++k) out.AppendBool(a[k] != b[k]);
+        return Freeze(std::move(out));
+      case BinaryOp::kLt:
+        for (size_t k = 0; k < n; ++k) out.AppendBool(a[k] < b[k]);
+        return Freeze(std::move(out));
+      case BinaryOp::kLe:
+        for (size_t k = 0; k < n; ++k) out.AppendBool(a[k] <= b[k]);
+        return Freeze(std::move(out));
+      case BinaryOp::kGt:
+        for (size_t k = 0; k < n; ++k) out.AppendBool(a[k] > b[k]);
+        return Freeze(std::move(out));
+      case BinaryOp::kGe:
+        for (size_t k = 0; k < n; ++k) out.AppendBool(a[k] >= b[k]);
+        return Freeze(std::move(out));
+      default:
+        break;  // div/mod/concat: generic path below
+    }
+  }
+  for (size_t k = 0; k < n; ++k) {
+    DVS_ASSIGN_OR_RETURN(
+        Value v, ApplyBinaryOp(e.bin_op, l->GetValue(k), r->GetValue(k)));
+    out.AppendValue(v);
+  }
+  return Freeze(std::move(out));
+}
+
+Result<ColumnPtr> EvalCaseColumn(const Expr& e, const ColumnBatch& batch,
+                                 const Sel* sel, const EvalContext& ctx) {
+  const size_t n = SelSize(batch, sel);
+  std::vector<Value> scratch(n);
+  std::vector<uint8_t> decided(n, 0);
+  Sel active;                 // batch indices still undecided
+  std::vector<size_t> apos;   // matching output positions
+  active.reserve(n);
+  apos.reserve(n);
+  for (size_t k = 0; k < n; ++k) {
+    active.push_back(SelAt(sel, k));
+    apos.push_back(k);
+  }
+  const size_t nc = e.children.size();
+  for (size_t i = 0; i + 1 < nc && !active.empty(); i += 2) {
+    DVS_ASSIGN_OR_RETURN(ColumnPtr cond,
+                         EvalColumn(*e.children[i], batch, &active, ctx));
+    Sel taken;
+    std::vector<size_t> tpos;
+    Sel rest;
+    std::vector<size_t> rpos;
+    for (size_t k = 0; k < active.size(); ++k) {
+      Value c = cond->GetValue(k);
+      if (!c.is_null() && c.type() == DataType::kBool && c.bool_value()) {
+        taken.push_back(active[k]);
+        tpos.push_back(apos[k]);
+      } else {
+        rest.push_back(active[k]);
+        rpos.push_back(apos[k]);
+      }
+    }
+    if (!taken.empty()) {
+      DVS_ASSIGN_OR_RETURN(ColumnPtr then,
+                           EvalColumn(*e.children[i + 1], batch, &taken, ctx));
+      for (size_t k = 0; k < taken.size(); ++k) {
+        scratch[tpos[k]] = then->GetValue(k);
+        decided[tpos[k]] = 1;
+      }
+    }
+    active = std::move(rest);
+    apos = std::move(rpos);
+  }
+  if (!active.empty() && nc % 2 == 1) {
+    DVS_ASSIGN_OR_RETURN(ColumnPtr els,
+                         EvalColumn(*e.children[nc - 1], batch, &active, ctx));
+    for (size_t k = 0; k < active.size(); ++k) {
+      scratch[apos[k]] = els->GetValue(k);
+      decided[apos[k]] = 1;
+    }
+  }
+  BatchColumn out;
+  out.Reserve(n);
+  for (size_t k = 0; k < n; ++k) {
+    if (decided[k]) {
+      out.AppendValue(scratch[k]);
+    } else {
+      out.AppendNull();
+    }
+  }
+  return Freeze(std::move(out));
+}
+
+Result<ColumnPtr> EvalInColumn(const Expr& e, const ColumnBatch& batch,
+                               const Sel* sel, const EvalContext& ctx) {
+  const size_t n = SelSize(batch, sel);
+  DVS_ASSIGN_OR_RETURN(ColumnPtr needle,
+                       EvalColumn(*e.children[0], batch, sel, ctx));
+  std::vector<uint8_t> matched(n, 0);
+  std::vector<uint8_t> saw_null(n, 0);
+  Sel active;                 // rows with non-null needles, not yet matched
+  std::vector<size_t> apos;
+  for (size_t k = 0; k < n; ++k) {
+    if (!needle->IsNull(k)) {
+      active.push_back(SelAt(sel, k));
+      apos.push_back(k);
+    }
+  }
+  // Candidates narrow like scalar short-circuit: a matched row stops
+  // evaluating the remaining candidates.
+  for (size_t i = 1; i < e.children.size() && !active.empty(); ++i) {
+    DVS_ASSIGN_OR_RETURN(ColumnPtr cand,
+                         EvalColumn(*e.children[i], batch, &active, ctx));
+    Sel rest;
+    std::vector<size_t> rpos;
+    for (size_t k = 0; k < active.size(); ++k) {
+      const size_t out_pos = apos[k];
+      if (cand->IsNull(k)) {
+        saw_null[out_pos] = 1;
+        rest.push_back(active[k]);
+        rpos.push_back(out_pos);
+        continue;
+      }
+      if (needle->CompareAt(out_pos, *cand, k) == 0) {
+        matched[out_pos] = 1;
+      } else {
+        rest.push_back(active[k]);
+        rpos.push_back(out_pos);
+      }
+    }
+    active = std::move(rest);
+    apos = std::move(rpos);
+  }
+  BatchColumn out;
+  out.Reserve(n);
+  for (size_t k = 0; k < n; ++k) {
+    if (needle->IsNull(k)) {
+      out.AppendNull();
+    } else if (matched[k]) {
+      out.AppendBool(true);
+    } else if (saw_null[k]) {
+      out.AppendNull();
+    } else {
+      out.AppendBool(false);
+    }
+  }
+  return Freeze(std::move(out));
+}
+
+}  // namespace
+
+Result<ColumnPtr> EvalColumn(const Expr& e, const ColumnBatch& batch,
+                             const Sel* sel, const EvalContext& ctx) {
+  switch (e.kind) {
+    case ExprKind::kColumnRef: {
+      if (e.column_index >= batch.cols.size()) {
+        // Mirror scalar laziness: an unreferenced row never bounds-checks.
+        if (sel != nullptr && sel->empty()) {
+          return Freeze(BatchColumn());
+        }
+        return Internal("column index " + std::to_string(e.column_index) +
+                        " out of range for row of width " +
+                        std::to_string(batch.cols.size()));
+      }
+      if (sel == nullptr) return batch.cols[e.column_index];
+      const BatchColumn& src = *batch.cols[e.column_index];
+      BatchColumn out;
+      out.Reserve(sel->size());
+      for (uint32_t i : *sel) out.AppendFrom(src, i);
+      return Freeze(std::move(out));
+    }
+    case ExprKind::kLiteral: {
+      const size_t n = SelSize(batch, sel);
+      BatchColumn out;
+      out.Reserve(n);
+      for (size_t k = 0; k < n; ++k) out.AppendValue(e.literal);
+      return Freeze(std::move(out));
+    }
+    case ExprKind::kBinary:
+      return EvalBinaryColumn(e, batch, sel, ctx);
+    case ExprKind::kUnary: {
+      DVS_ASSIGN_OR_RETURN(ColumnPtr child,
+                           EvalColumn(*e.children[0], batch, sel, ctx));
+      const size_t n = SelSize(batch, sel);
+      BatchColumn out;
+      out.Reserve(n);
+      for (size_t k = 0; k < n; ++k) {
+        DVS_ASSIGN_OR_RETURN(Value v,
+                             ApplyUnaryOp(e.un_op, child->GetValue(k)));
+        out.AppendValue(v);
+      }
+      return Freeze(std::move(out));
+    }
+    case ExprKind::kFunction: {
+      const ScalarFunction* fn =
+          FunctionRegistry::Global().Find(e.function_name);
+      if (fn == nullptr) {
+        return BindError("unknown function '" + e.function_name + "'");
+      }
+      std::vector<ColumnPtr> args;
+      args.reserve(e.children.size());
+      for (const ExprPtr& c : e.children) {
+        DVS_ASSIGN_OR_RETURN(ColumnPtr col, EvalColumn(*c, batch, sel, ctx));
+        args.push_back(std::move(col));
+      }
+      const size_t n = SelSize(batch, sel);
+      BatchColumn out;
+      out.Reserve(n);
+      std::vector<Value> argv;
+      argv.reserve(args.size());
+      for (size_t k = 0; k < n; ++k) {
+        argv.clear();
+        for (const ColumnPtr& a : args) argv.push_back(a->GetValue(k));
+        DVS_ASSIGN_OR_RETURN(Value v, fn->impl(argv, ctx));
+        out.AppendValue(v);
+      }
+      return Freeze(std::move(out));
+    }
+    case ExprKind::kCase:
+      return EvalCaseColumn(e, batch, sel, ctx);
+    case ExprKind::kCast: {
+      DVS_ASSIGN_OR_RETURN(ColumnPtr child,
+                           EvalColumn(*e.children[0], batch, sel, ctx));
+      const size_t n = SelSize(batch, sel);
+      BatchColumn out;
+      out.Reserve(n);
+      for (size_t k = 0; k < n; ++k) {
+        DVS_ASSIGN_OR_RETURN(Value v, CastValue(child->GetValue(k), e.type));
+        out.AppendValue(v);
+      }
+      return Freeze(std::move(out));
+    }
+    case ExprKind::kIn:
+      return EvalInColumn(e, batch, sel, ctx);
+    case ExprKind::kAggregate:
+      return Internal("aggregate expression outside Aggregate node");
+    case ExprKind::kWindow:
+      return Internal("window expression outside Window node");
+  }
+  return Internal("unhandled expression kind");
+}
+
+Result<BatchKeys> ComputeBatchKeys(const std::vector<ExprPtr>& key_exprs,
+                                   const ColumnBatch& batch,
+                                   const EvalContext& ctx) {
+  BatchKeys keys;
+  keys.cols.reserve(key_exprs.size());
+  for (const ExprPtr& e : key_exprs) {
+    if (e->kind == ExprKind::kColumnRef &&
+        e->column_index < batch.cols.size()) {
+      keys.cols.push_back(batch.cols[e->column_index]);
+      continue;
+    }
+    DVS_ASSIGN_OR_RETURN(ColumnPtr col,
+                         EvalColumn(*e, batch, nullptr, ctx));
+    keys.cols.push_back(std::move(col));
+  }
+  const size_t n = batch.rows;
+  keys.digests.resize(n);
+  keys.has_null.assign(n, 0);
+  const uint64_t seed = HashUint64(key_exprs.size());
+  for (size_t r = 0; r < n; ++r) {
+    uint64_t h = seed;
+    for (const ColumnPtr& col : keys.cols) {
+      h = HashCombine(h, col->HashAt(r));
+      if (col->IsNull(r)) keys.has_null[r] = 1;
+    }
+    // SplitMix64 finisher, matching HashRow exactly.
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebULL;
+    h ^= h >> 31;
+    keys.digests[r] = h;
+  }
+  return keys;
+}
+
+}  // namespace dvs

@@ -10,6 +10,35 @@ namespace dvs {
 
 namespace {
 
+/// Batch-engine snapshot of a subplan at one interval endpoint, memoized in
+/// the DeltaContext's BatchMemo. Returns nullptr when the batch engine
+/// declined (plan not batch-safe, or a columnar bail-out) — callers then go
+/// through the row path. Both endpoints share the memo, so unchanged
+/// micro-partitions (pointer-identical batches from the partition cache)
+/// turn the second endpoint's joins into probe-cache hits.
+Result<const BatchVector*> SnapshotBatches(const PlanNode& n,
+                                           const DeltaContext& ctx,
+                                           bool at_end) {
+  auto& cache = ctx.memo.snapshots[at_end ? 1 : 0];
+  auto it = cache.find(&n);
+  if (it != cache.end()) return &it->second;
+  if (!PlanBatchSafe(n)) return static_cast<const BatchVector*>(nullptr);
+  BatchExecEnv env;
+  env.resolve_scan = at_end ? ctx.resolve_at_end : ctx.resolve_at_start;
+  env.resolve_scan_batches =
+      at_end ? ctx.batch_resolve_at_end : ctx.batch_resolve_at_start;
+  env.eval = at_end ? ctx.eval_end : ctx.eval_start;
+  env.memo = &ctx.memo;
+  // Materialization is not charged (see Snapshot below); env charges are
+  // discarded with the env.
+  Result<BatchVector> batches = ExecutePlanBatches(n, env);
+  if (env.bail) return static_cast<const BatchVector*>(nullptr);
+  if (!batches.ok()) return batches.status();
+  auto [ins, unused] = cache.emplace(&n, batches.take());
+  (void)unused;
+  return &ins->second;
+}
+
 /// Materializes a subplan at one end of the interval, memoized.
 ///
 /// Note on cost accounting: materialization itself is *not* charged to
@@ -24,10 +53,18 @@ Result<const std::vector<IdRow>*> Snapshot(const PlanNode& n,
   auto& cache = at_end ? ctx.end_cache : ctx.start_cache;
   auto it = cache.find(&n);
   if (it != cache.end()) return &it->second;
-  ExecContext ec;
-  ec.resolve_scan = at_end ? ctx.resolve_at_end : ctx.resolve_at_start;
-  ec.eval = at_end ? ctx.eval_end : ctx.eval_start;
-  DVS_ASSIGN_OR_RETURN(std::vector<IdRow> rows, ExecutePlan(n, ec));
+  DVS_ASSIGN_OR_RETURN(const BatchVector* batches,
+                       SnapshotBatches(n, ctx, at_end));
+  std::vector<IdRow> rows;
+  if (batches != nullptr) {
+    rows = BatchesToRows(*batches);
+  } else {
+    ExecContext ec;
+    ec.resolve_scan = at_end ? ctx.resolve_at_end : ctx.resolve_at_start;
+    ec.eval = at_end ? ctx.eval_end : ctx.eval_start;
+    ec.force_row_path = true;  // the batch engine already declined above
+    DVS_ASSIGN_OR_RETURN(rows, ExecutePlan(n, ec));
+  }
   auto [ins, unused] = cache.emplace(&n, std::move(rows));
   (void)unused;
   return &ins->second;
@@ -305,11 +342,140 @@ Result<ChangeSet> DeltaOuterJoin(const PlanNode& n, const DeltaContext& ctx) {
   return out;
 }
 
+bool ExprsImmutable(const std::vector<ExprPtr>& exprs) {
+  for (const ExprPtr& e : exprs) {
+    Result<Volatility> v = ExprVolatility(e);
+    if (!v.ok() || v.value() != Volatility::kImmutable) return false;
+  }
+  return true;
+}
+
+/// Columnar Restrict: keeps rows whose group key is in `ks`, gathering the
+/// survivors into compacted batches. The digest set prefilters so only
+/// candidate rows materialize their key Row for the exact KeySet probe.
+/// `sel_memo` (optional) caches per-batch selections — pointer-identical
+/// snapshot batches at the other endpoint skip key evaluation entirely;
+/// only sound when the key exprs are immutable. Returns false on any
+/// vectorized key-evaluation failure; the caller redoes the restrict
+/// row-wise so the surfaced error matches the row engine's.
+bool RestrictBatches(const BatchVector& in,
+                     const std::vector<ExprPtr>& key_exprs,
+                     const EvalContext& ec, const KeySet& ks,
+                     const std::unordered_set<uint64_t>& digests,
+                     std::unordered_map<const ColumnBatch*, Sel>* sel_memo,
+                     BatchVector* out, uint64_t* member_count) {
+  for (const BatchPtr& b : in) {
+    Sel sel;
+    const Sel* use = nullptr;
+    if (sel_memo != nullptr) {
+      auto it = sel_memo->find(b.get());
+      if (it != sel_memo->end()) use = &it->second;
+    }
+    if (use == nullptr) {
+      Result<BatchKeys> bk = ComputeBatchKeys(key_exprs, *b, ec);
+      if (!bk.ok()) return false;
+      const BatchKeys& k = bk.value();
+      Row scratch;
+      for (size_t r = 0; r < b->rows; ++r) {
+        bool hit = !ks.row_ids.empty() && ks.row_ids.count(b->ids[r]) > 0;
+        if (!hit && digests.count(k.digests[r]) > 0) {
+          scratch.clear();
+          for (const ColumnPtr& c : k.cols) scratch.push_back(c->GetValue(r));
+          hit = ks.keys.find(HashedKeyRef{&scratch, k.digests[r]}) !=
+                ks.keys.end();
+        }
+        if (hit) sel.push_back(static_cast<uint32_t>(r));
+      }
+      if (sel_memo != nullptr) {
+        use = &sel_memo->emplace(b.get(), std::move(sel)).first->second;
+      } else {
+        use = &sel;
+      }
+    }
+    *member_count += use->size();
+    if (use->empty()) continue;
+    if (use->size() == b->rows) {
+      out->push_back(b);  // all rows survive: share the batch untouched
+    } else {
+      out->push_back(GatherBatch(b, *use));
+    }
+  }
+  return true;
+}
+
 // Δ(γ): affected-group recompute. For scalar aggregation (no GROUP BY) the
 // single global row is affected whenever the input delta is non-empty.
+//
+// When batch snapshots are available the restrict + recompute runs
+// columnarly (identical results, ids, and rows_processed); otherwise — and
+// on any vectorized evaluation failure — the row path below runs unchanged.
 Result<ChangeSet> DeltaAggregate(const PlanNode& n, const DeltaContext& ctx) {
   DVS_ASSIGN_OR_RETURN(ChangeSet din, Delta(*n.children[0], ctx));
   if (din.empty()) return ChangeSet{};
+
+  DVS_ASSIGN_OR_RETURN(const BatchVector* b0,
+                       SnapshotBatches(*n.children[0], ctx, false));
+  const BatchVector* b1 = nullptr;
+  if (b0 != nullptr) {
+    Result<const BatchVector*> r1 = SnapshotBatches(*n.children[0], ctx, true);
+    if (!r1.ok()) return r1.status();
+    b1 = r1.value();
+  }
+  const bool force = n.group_by.empty();
+
+  if (b0 != nullptr && b1 != nullptr) {
+    BatchVector old_members, new_members;
+    uint64_t old_count = 0, new_count = 0;
+    bool restricted = true;
+    if (n.group_by.empty()) {
+      old_members = *b0;
+      new_members = *b1;
+      old_count = BatchRowCount(old_members);
+      new_count = BatchRowCount(new_members);
+    } else {
+      KeySet ks;
+      KeyExtractor kdel(n.group_by, ctx.eval_start);
+      KeyExtractor kins(n.group_by, ctx.eval_end);
+      for (const ChangeRow& c : din) {
+        KeyExtractor& key = c.action == ChangeAction::kDelete ? kdel : kins;
+        DVS_RETURN_IF_ERROR(key.Extract(c.values));
+        ks.keys.insert(key.hashed_key());
+      }
+      std::unordered_set<uint64_t> digests;
+      digests.reserve(ks.keys.size());
+      for (const HashedKey& k : ks.keys) digests.insert(k.digest);
+      std::unordered_map<const ColumnBatch*, Sel> sel_memo;
+      std::unordered_map<const ColumnBatch*, Sel>* memo =
+          ExprsImmutable(n.group_by) ? &sel_memo : nullptr;
+      restricted = RestrictBatches(*b0, n.group_by, ctx.eval_start, ks,
+                                   digests, memo, &old_members, &old_count) &&
+                   RestrictBatches(*b1, n.group_by, ctx.eval_end, ks, digests,
+                                   memo, &new_members, &new_count);
+    }
+    if (restricted) {
+      BatchExecEnv env0, env1;
+      env0.eval = ctx.eval_start;
+      env1.eval = ctx.eval_end;
+      DVS_ASSIGN_OR_RETURN(
+          BatchVector oldb, ComputeAggregateBatches(n, old_members, env0, force));
+      DVS_ASSIGN_OR_RETURN(
+          BatchVector newb, ComputeAggregateBatches(n, new_members, env1, force));
+      if (!env0.bail && !env1.bail) {
+        std::vector<IdRow> old_rows = BatchesToRows(oldb);
+        std::vector<IdRow> new_rows = BatchesToRows(newb);
+        ChangeSet out;
+        out.reserve(old_rows.size() + new_rows.size());
+        for (IdRow& r : old_rows) {
+          out.push_back({ChangeAction::kDelete, r.id, std::move(r.values)});
+        }
+        for (IdRow& r : new_rows) {
+          out.push_back({ChangeAction::kInsert, r.id, std::move(r.values)});
+        }
+        ctx.rows_processed += old_count + new_count;
+        return out;
+      }
+    }
+  }
 
   DVS_ASSIGN_OR_RETURN(const std::vector<IdRow>* in0,
                        Snapshot(*n.children[0], ctx, false));
@@ -338,7 +504,6 @@ Result<ChangeSet> DeltaAggregate(const PlanNode& n, const DeltaContext& ctx) {
 
   // Scalar aggregation always emits one row, even on empty input; for
   // grouped aggregation, groups with no surviving members disappear.
-  const bool force = n.group_by.empty();
   DVS_ASSIGN_OR_RETURN(std::vector<IdRow> old_rows,
                        ComputeAggregateRows(n, old_members, ctx.eval_start, force));
   DVS_ASSIGN_OR_RETURN(std::vector<IdRow> new_rows,

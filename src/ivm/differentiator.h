@@ -31,6 +31,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "exec/batch_exec.h"
 #include "exec/executor.h"
 #include "plan/logical_plan.h"
 #include "types/row.h"
@@ -48,6 +49,13 @@ struct DeltaContext {
   EvalContext eval_start;         ///< Context functions as of I0 (deletes).
   EvalContext eval_end;           ///< Context functions as of I1 (inserts).
 
+  /// Optional columnar snapshot sources (storage/batch_scan.h). When set,
+  /// batch-safe subplan snapshots run on the batch engine; unchanged
+  /// micro-partitions resolve to pointer-identical batches at both
+  /// endpoints, so the memoized join/restrict caches carry across ends.
+  BatchScanResolver batch_resolve_at_start;
+  BatchScanResolver batch_resolve_at_end;
+
   /// Work accounting for the cost model: rows materialized or emitted.
   mutable uint64_t rows_processed = 0;
 
@@ -55,6 +63,9 @@ struct DeltaContext {
   /// re-execute subtrees O(2^d) times.
   mutable std::unordered_map<const PlanNode*, std::vector<IdRow>> start_cache;
   mutable std::unordered_map<const PlanNode*, std::vector<IdRow>> end_cache;
+
+  /// Batch-engine caches shared across both endpoints of this refresh.
+  mutable BatchMemo memo;
 };
 
 struct DeltaResult {

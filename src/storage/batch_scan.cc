@@ -1,0 +1,52 @@
+#include "storage/batch_scan.h"
+
+namespace dvs {
+
+BatchVector PartitionToBatches(const MicroPartition& p) {
+  BatchVector out;
+  size_t start = 0;
+  while (start < p.rows.size()) {
+    const size_t width = p.rows[start].values.size();
+    size_t end = start + 1;
+    while (end < p.rows.size() && p.rows[end].values.size() == width) ++end;
+
+    auto batch = std::make_shared<ColumnBatch>();
+    batch->rows = end - start;
+    batch->ids.reserve(end - start);
+    std::vector<std::shared_ptr<BatchColumn>> cols(width);
+    for (auto& c : cols) {
+      c = std::make_shared<BatchColumn>();
+      c->Reserve(end - start);
+    }
+    for (size_t r = start; r < end; ++r) {
+      batch->ids.push_back(p.rows[r].id);
+      for (size_t c = 0; c < width; ++c) {
+        cols[c]->AppendValue(p.rows[r].values[c]);
+      }
+    }
+    batch->cols.assign(cols.begin(), cols.end());
+    out.push_back(std::move(batch));
+    start = end;
+  }
+  return out;
+}
+
+BatchVector ScanBatchesAt(const VersionedTable& table, VersionId version,
+                          PartitionBatchCache* cache) {
+  BatchVector out;
+  table.VisitPartitionsAt(version, [&](const MicroPartition& p) {
+    if (cache != nullptr) {
+      auto it = cache->find(&p);
+      if (it == cache->end()) {
+        it = cache->emplace(&p, PartitionToBatches(p)).first;
+      }
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    } else {
+      BatchVector converted = PartitionToBatches(p);
+      out.insert(out.end(), converted.begin(), converted.end());
+    }
+  });
+  return out;
+}
+
+}  // namespace dvs

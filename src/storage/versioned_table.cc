@@ -221,6 +221,13 @@ std::vector<IdRow> VersionedTable::ScanAt(VersionId vid) const {
   return out;
 }
 
+void VersionedTable::VisitPartitionsAt(
+    VersionId vid,
+    const std::function<void(const MicroPartition&)>& fn) const {
+  const TableVersion& v = version(vid);
+  for (PartitionId pid : v.live) fn(partition(pid));
+}
+
 size_t VersionedTable::RowCountAt(VersionId vid) const {
   return version(vid).row_count;
 }

@@ -185,6 +185,14 @@ class VersionedTable {
   /// Materializes the full contents at a version.
   std::vector<IdRow> ScanAt(VersionId version) const;
 
+  /// Visits the live partitions of a version in scan order (sorted ids) —
+  /// the exact concatenation ScanAt materializes. Columnar scan adapters
+  /// (storage/batch_scan.h) convert each partition once and cache the
+  /// result by partition identity.
+  void VisitPartitionsAt(
+      VersionId version,
+      const std::function<void(const MicroPartition&)>& fn) const;
+
   /// Rows currently stored (latest version).
   std::vector<IdRow> ScanLatest() const { return ScanAt(latest_version()); }
 
