@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <mutex>
 
 namespace dvs {
 
@@ -52,6 +53,31 @@ std::optional<Micros> DynamicTableMeta::LatestRefreshAtOrBefore(
   return std::prev(it)->first;
 }
 
+std::optional<std::pair<Micros, VersionId>> DynamicTableMeta::ResolveRead(
+    Micros t) const {
+  std::shared_lock<std::shared_mutex> lock(reads_mu);
+  auto it = refresh_versions.upper_bound(t);
+  if (it == refresh_versions.begin()) return std::nullopt;
+  --it;
+  return std::make_pair(it->first, it->second);
+}
+
+void DynamicTableMeta::PublishRefresh(Micros refresh_ts, VersionId vid) {
+  std::unique_lock<std::shared_mutex> lock(reads_mu);
+  refresh_versions[refresh_ts] = vid;
+}
+
+void DynamicTableMeta::TrimRefreshVersionsBelow(VersionId keep_from) {
+  std::unique_lock<std::shared_mutex> lock(reads_mu);
+  for (auto it = refresh_versions.begin(); it != refresh_versions.end();) {
+    if (it->second < keep_from) {
+      it = refresh_versions.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void Catalog::Log(const std::string& op, const std::string& name, ObjectId id,
                   HlcTimestamp ts) {
   ddl_log_.push_back({ddl_log_.size() + 1, ts, op, name, id});
@@ -75,11 +101,15 @@ void Catalog::NotifyAlter(DdlOp op, const CatalogObject* obj,
   const char* name = op == DdlOp::kAlterTargetLag ? "ALTER SET TARGET_LAG"
                      : op == DdlOp::kAlterSuspend ? "ALTER SUSPEND"
                                                   : "ALTER RESUME";
-  Log(name, obj->name, obj->id, ts);
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    Log(name, obj->name, obj->id, ts);
+  }
   FireDdlHook(op, obj, obj->name, std::move(detail), ts);
 }
 
 Status Catalog::RestoreObject(std::unique_ptr<CatalogObject> obj) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (obj->id != next_id_) {
     return Internal("catalog restore out of order: expected id " +
                     std::to_string(next_id_) + ", got " +
@@ -100,6 +130,7 @@ Status Catalog::RestoreObject(std::unique_ptr<CatalogObject> obj) {
 
 Result<ObjectId> Catalog::Register(std::unique_ptr<CatalogObject> obj,
                                    const std::string& op, HlcTimestamp ts) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   std::string key = LowerName(obj->name);
   if (by_name_.count(key)) {
     return AlreadyExists("object '" + obj->name + "' already exists");
@@ -120,8 +151,9 @@ Result<ObjectId> Catalog::CreateBaseTable(const std::string& name,
   obj->kind = ObjectKind::kBaseTable;
   obj->storage = std::make_unique<VersionedTable>(std::move(schema));
   obj->min_data_retention = min_data_retention;
+  const CatalogObject* raw = obj.get();
   DVS_ASSIGN_OR_RETURN(ObjectId id, Register(std::move(obj), "CREATE TABLE", ts));
-  FireDdlHook(DdlOp::kCreateTable, objects_.back().get(), name, "", ts);
+  FireDdlHook(DdlOp::kCreateTable, raw, name, "", ts);
   return id;
 }
 
@@ -132,8 +164,9 @@ Result<ObjectId> Catalog::CreateView(const std::string& name, std::string sql,
   obj->kind = ObjectKind::kView;
   obj->view_sql = std::move(sql);
   obj->view_plan = std::move(plan);
+  const CatalogObject* raw = obj.get();
   DVS_ASSIGN_OR_RETURN(ObjectId id, Register(std::move(obj), "CREATE VIEW", ts));
-  FireDdlHook(DdlOp::kCreateView, objects_.back().get(), name, "", ts);
+  FireDdlHook(DdlOp::kCreateView, raw, name, "", ts);
   return id;
 }
 
@@ -151,45 +184,52 @@ Result<ObjectId> Catalog::CreateDynamicTable(
   obj->dt->incremental = incremental;
   obj->dt->dependencies = std::move(deps);
   obj->min_data_retention = obj->dt->def.min_data_retention;
+  const CatalogObject* raw = obj.get();
   DVS_ASSIGN_OR_RETURN(ObjectId id,
                        Register(std::move(obj), "CREATE DYNAMIC TABLE", ts));
-  FireDdlHook(DdlOp::kCreateDynamicTable, objects_.back().get(), name, "", ts);
+  FireDdlHook(DdlOp::kCreateDynamicTable, raw, name, "", ts);
   return id;
 }
 
 Status Catalog::DropObject(const std::string& name, HlcTimestamp ts) {
-  std::string key = LowerName(name);
-  auto it = by_name_.find(key);
-  if (it == by_name_.end()) {
-    return NotFound("object '" + name + "' does not exist");
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    std::string key = LowerName(name);
+    auto it = by_name_.find(key);
+    if (it == by_name_.end()) {
+      return NotFound("object '" + name + "' does not exist");
+    }
+    CatalogObject* obj = objects_[it->second - 1].get();
+    obj->dropped = true;
+    Log("DROP", name, obj->id, ts);
+    by_name_.erase(it);
   }
-  CatalogObject* obj = objects_[it->second - 1].get();
-  obj->dropped = true;
-  Log("DROP", name, obj->id, ts);
-  by_name_.erase(it);
   FireDdlHook(DdlOp::kDrop, nullptr, name, "", ts);
   return OkStatus();
 }
 
 Status Catalog::UndropObject(const std::string& name, HlcTimestamp ts) {
-  std::string key = LowerName(name);
-  if (by_name_.count(key)) {
-    return AlreadyExists("an object named '" + name + "' already exists");
-  }
-  // Most recently dropped object with this name.
   CatalogObject* found = nullptr;
-  for (auto it = objects_.rbegin(); it != objects_.rend(); ++it) {
-    if ((*it)->dropped && LowerName((*it)->name) == key) {
-      found = it->get();
-      break;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    std::string key = LowerName(name);
+    if (by_name_.count(key)) {
+      return AlreadyExists("an object named '" + name + "' already exists");
     }
+    // Most recently dropped object with this name.
+    for (auto it = objects_.rbegin(); it != objects_.rend(); ++it) {
+      if ((*it)->dropped && LowerName((*it)->name) == key) {
+        found = it->get();
+        break;
+      }
+    }
+    if (found == nullptr) {
+      return NotFound("no dropped object named '" + name + "'");
+    }
+    found->dropped = false;
+    by_name_[key] = found->id;
+    Log("UNDROP", name, found->id, ts);
   }
-  if (found == nullptr) {
-    return NotFound("no dropped object named '" + name + "'");
-  }
-  found->dropped = false;
-  by_name_[key] = found->id;
-  Log("UNDROP", name, found->id, ts);
   FireDdlHook(DdlOp::kUndrop, found, name, "", ts);
   return OkStatus();
 }
@@ -197,25 +237,29 @@ Status Catalog::UndropObject(const std::string& name, HlcTimestamp ts) {
 Result<ObjectId> Catalog::ReplaceBaseTable(const std::string& name,
                                            Schema schema, HlcTimestamp ts,
                                            Micros min_data_retention) {
-  std::string key = LowerName(name);
-  auto it = by_name_.find(key);
-  if (it != by_name_.end()) {
-    CatalogObject* old = objects_[it->second - 1].get();
-    if (old->kind != ObjectKind::kBaseTable) {
-      return FailedPrecondition("'" + name + "' is not a base table");
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    std::string key = LowerName(name);
+    auto it = by_name_.find(key);
+    if (it != by_name_.end()) {
+      CatalogObject* old = objects_[it->second - 1].get();
+      if (old->kind != ObjectKind::kBaseTable) {
+        return FailedPrecondition("'" + name + "' is not a base table");
+      }
+      old->dropped = true;
+      by_name_.erase(it);
+      Log("REPLACE (drop old)", name, old->id, ts);
     }
-    old->dropped = true;
-    by_name_.erase(it);
-    Log("REPLACE (drop old)", name, old->id, ts);
   }
   auto obj = std::make_unique<CatalogObject>();
   obj->name = name;
   obj->kind = ObjectKind::kBaseTable;
   obj->storage = std::make_unique<VersionedTable>(std::move(schema));
   obj->min_data_retention = min_data_retention;
+  const CatalogObject* raw = obj.get();
   DVS_ASSIGN_OR_RETURN(
       ObjectId id, Register(std::move(obj), "CREATE OR REPLACE TABLE", ts));
-  FireDdlHook(DdlOp::kReplaceTable, objects_.back().get(), name, "", ts);
+  FireDdlHook(DdlOp::kReplaceTable, raw, name, "", ts);
   return id;
 }
 
@@ -239,12 +283,14 @@ Result<ObjectId> Catalog::CloneObject(const std::string& new_name,
     obj->dt->state = DtState::kActive;
   }
   obj->min_data_retention = src->min_data_retention;
+  const CatalogObject* raw = obj.get();
   DVS_ASSIGN_OR_RETURN(ObjectId id, Register(std::move(obj), "CLONE", ts));
-  FireDdlHook(DdlOp::kClone, objects_.back().get(), new_name, source_name, ts);
+  FireDdlHook(DdlOp::kClone, raw, new_name, source_name, ts);
   return id;
 }
 
 Result<CatalogObject*> Catalog::Find(const std::string& name) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = by_name_.find(LowerName(name));
   if (it == by_name_.end()) {
     return NotFound("object '" + name + "' does not exist");
@@ -253,6 +299,7 @@ Result<CatalogObject*> Catalog::Find(const std::string& name) {
 }
 
 Result<const CatalogObject*> Catalog::Find(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = by_name_.find(LowerName(name));
   if (it == by_name_.end()) {
     return NotFound("object '" + name + "' does not exist");
@@ -261,6 +308,7 @@ Result<const CatalogObject*> Catalog::Find(const std::string& name) const {
 }
 
 Result<CatalogObject*> Catalog::FindById(ObjectId id) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (id == kInvalidObjectId || id > objects_.size()) {
     return NotFound("no object with id " + std::to_string(id));
   }
@@ -279,10 +327,12 @@ Result<const CatalogObject*> Catalog::FindById(ObjectId id) const {
 }
 
 bool Catalog::Exists(const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return by_name_.count(LowerName(name)) > 0;
 }
 
 std::vector<CatalogObject*> Catalog::AllDynamicTables() {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<CatalogObject*> out;
   for (auto& obj : objects_) {
     if (!obj->dropped && obj->kind == ObjectKind::kDynamicTable) {
@@ -293,6 +343,7 @@ std::vector<CatalogObject*> Catalog::AllDynamicTables() {
 }
 
 std::vector<ObjectId> Catalog::DownstreamDynamicTables(ObjectId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<ObjectId> out;
   for (const auto& obj : objects_) {
     if (obj->dropped || obj->kind != ObjectKind::kDynamicTable) continue;
@@ -307,6 +358,7 @@ std::vector<ObjectId> Catalog::DownstreamDynamicTables(ObjectId id) const {
 }
 
 std::vector<ObjectId> Catalog::UpstreamDynamicTables(ObjectId dt_id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<ObjectId> out;
   if (dt_id == kInvalidObjectId || dt_id > objects_.size()) return out;
   const CatalogObject* obj = objects_[dt_id - 1].get();

@@ -10,8 +10,10 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
@@ -96,11 +98,55 @@ struct DynamicTableMeta {
   /// REINITIALIZE (§5.4).
   bool needs_reinit = false;
 
+  DynamicTableMeta() = default;
+  /// Copy (CloneObject) duplicates the metadata but gives the clone a fresh
+  /// mutex — required because std::shared_mutex deletes the implicit copy.
+  DynamicTableMeta(const DynamicTableMeta& o)
+      : def(o.def),
+        plan(o.plan),
+        incremental(o.incremental),
+        state(o.state),
+        consecutive_failures(o.consecutive_failures),
+        transient_failures(o.transient_failures),
+        initialized(o.initialized),
+        data_timestamp(o.data_timestamp),
+        refresh_versions(o.refresh_versions),
+        frontier(o.frontier),
+        dependencies(o.dependencies),
+        needs_reinit(o.needs_reinit) {}
+  DynamicTableMeta& operator=(const DynamicTableMeta&) = delete;
+
   /// Looks up this DT's own version for a given refresh timestamp. Exact
   /// match required — production validation 1 of §6.1.
   std::optional<VersionId> VersionForRefresh(Micros refresh_ts) const;
   /// Latest refresh timestamp <= t, if any.
   std::optional<Micros> LatestRefreshAtOrBefore(Micros t) const;
+
+  // ---- Serve read path (serve/query_service.h) ----
+  //
+  // The two lookups above are barrier-ordered against the owning refresh
+  // (downstream refreshes resolve an upstream DT only after its refresh
+  // finished) and stay lock-free. Serve readers have no such ordering, so
+  // refresh publication goes through PublishRefresh (exclusive) and serve
+  // resolution through ResolveRead (shared). The owning refresh may still
+  // read refresh_versions without the lock — it is the only writer.
+
+  /// §5 read-resolution rule for unordered readers: the latest committed
+  /// refresh at or before `t`, as (refresh timestamp, own table version).
+  /// nullopt if no refresh had committed by `t`.
+  std::optional<std::pair<Micros, VersionId>> ResolveRead(Micros t) const;
+
+  /// Publishes a committed refresh (refresh_ts -> vid) atomically w.r.t.
+  /// ResolveRead. Called from the refresh commit sites only.
+  void PublishRefresh(Micros refresh_ts, VersionId vid);
+
+  /// Retention GC: drops refresh_versions entries whose version was pruned
+  /// (version < keep_from), atomically w.r.t. ResolveRead.
+  void TrimRefreshVersionsBelow(VersionId keep_from);
+
+  /// Guards refresh_versions against serve-side ResolveRead. Exposed so the
+  /// serve tests can assert the contract; everything else uses the methods.
+  mutable std::shared_mutex reads_mu;
 };
 
 struct CatalogObject {
@@ -162,6 +208,14 @@ struct DdlHookInfo {
   HlcTimestamp ts;
 };
 
+/// Thread-safety: DDL is single-threaded (never during a scheduler tick or
+/// under serve load mid-flight DDL), but *lookups* run concurrently from
+/// refresh workers and serve reader threads. The name→id map and the object
+/// vector are therefore guarded by a shared_mutex — shared in
+/// Find/FindById/Exists/AllDynamicTables/Downstream/Upstream, exclusive in
+/// every DDL mutation — matching the FunctionRegistry pattern. Object
+/// *contents* have their own per-layer contracts (VersionedTable,
+/// DynamicTableMeta above).
 class Catalog {
  public:
   Catalog() = default;
@@ -217,6 +271,9 @@ class Catalog {
 
   /// Raw object access including dropped objects, in id order (persist/
   /// snapshot capture; UNDROP means dropped objects are persistent state).
+  /// Deliberately unguarded: callers are single-threaded maintenance paths
+  /// (checkpoint capture, retention GC in the serial finalize phase) that
+  /// never race DDL; serve readers use Find/FindById, which do lock.
   size_t object_count() const { return objects_.size(); }
   const CatalogObject* ObjectAt(size_t index) const {
     return objects_[index].get();
@@ -274,6 +331,8 @@ class Catalog {
   void FireDdlHook(DdlOp op, const CatalogObject* obj, const std::string& name,
                    std::string detail, HlcTimestamp ts);
 
+  /// Guards objects_ / by_name_ / ddl_log_ per the class contract above.
+  mutable std::shared_mutex mu_;
   std::vector<std::unique_ptr<CatalogObject>> objects_;  // by id-1
   std::unordered_map<std::string, ObjectId> by_name_;    // live objects
   std::vector<DdlEvent> ddl_log_;

@@ -10,6 +10,7 @@
 #ifndef DVS_COMMON_CLOCK_H_
 #define DVS_COMMON_CLOCK_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -49,22 +50,34 @@ class RealClock : public Clock {
 };
 
 /// Manually advanced clock; drives deterministic simulations.
+///
+/// `now_` is atomic so concurrent observers (serve/ readers picking a read
+/// timestamp while the bench driver advances virtual time) stay race-free.
+/// Advancing is still single-driver: only one thread calls Advance/AdvanceTo
+/// at a time, observers only call Now().
 class VirtualClock : public Clock {
  public:
   explicit VirtualClock(Micros start = 0) : now_(start) {}
 
-  Micros Now() const override { return now_; }
+  Micros Now() const override {
+    return now_.load(std::memory_order_acquire);
+  }
 
   /// Advances by `delta` microseconds (must be >= 0).
-  void Advance(Micros delta) { now_ += delta; }
+  void Advance(Micros delta) {
+    now_.fetch_add(delta, std::memory_order_acq_rel);
+  }
 
   /// Jumps forward to `t` (no-op if `t` is in the past).
   void AdvanceTo(Micros t) {
-    if (t > now_) now_ = t;
+    Micros cur = now_.load(std::memory_order_relaxed);
+    while (t > cur &&
+           !now_.compare_exchange_weak(cur, t, std::memory_order_acq_rel)) {
+    }
   }
 
  private:
-  Micros now_;
+  std::atomic<Micros> now_;
 };
 
 }  // namespace dvs

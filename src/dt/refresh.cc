@@ -330,7 +330,7 @@ Result<RefreshOutcome> RefreshEngine::Refresh(ObjectId dt_id,
       DVS_ASSIGN_OR_RETURN(VersionId vid, commit_overwrite(std::move(rows)));
       meta->initialized = true;
       meta->needs_reinit = false;
-      meta->refresh_versions[refresh_ts] = vid;
+      meta->PublishRefresh(refresh_ts, vid);
       meta->frontier = std::move(source_versions);
       meta->data_timestamp = refresh_ts;
       out.dt_row_count = obj->storage->RowCountAt(vid);
@@ -346,7 +346,7 @@ Result<RefreshOutcome> RefreshEngine::Refresh(ObjectId dt_id,
       out.change_stats.inserts = rows.size();
       DVS_ASSIGN_OR_RETURN(VersionId vid, commit_overwrite(std::move(rows)));
       meta->needs_reinit = false;
-      meta->refresh_versions[refresh_ts] = vid;
+      meta->PublishRefresh(refresh_ts, vid);
       meta->frontier = std::move(source_versions);
       meta->data_timestamp = refresh_ts;
       out.dt_row_count = obj->storage->RowCountAt(vid);
@@ -372,7 +372,7 @@ Result<RefreshOutcome> RefreshEngine::Refresh(ObjectId dt_id,
     if (!changed) {
       out.action = RefreshAction::kNoData;
       VersionId vid = commit_noop();
-      meta->refresh_versions[refresh_ts] = vid;
+      meta->PublishRefresh(refresh_ts, vid);
       meta->frontier = std::move(source_versions);
       meta->data_timestamp = refresh_ts;
       out.dt_row_count = obj->storage->RowCountAt(vid);
@@ -387,7 +387,7 @@ Result<RefreshOutcome> RefreshEngine::Refresh(ObjectId dt_id,
       out.changes_applied = rows.size();
       out.change_stats.inserts = rows.size();
       DVS_ASSIGN_OR_RETURN(VersionId vid, commit_overwrite(std::move(rows)));
-      meta->refresh_versions[refresh_ts] = vid;
+      meta->PublishRefresh(refresh_ts, vid);
       meta->frontier = std::move(source_versions);
       meta->data_timestamp = refresh_ts;
       out.dt_row_count = obj->storage->RowCountAt(vid);
@@ -474,7 +474,7 @@ Result<RefreshOutcome> RefreshEngine::Refresh(ObjectId dt_id,
     out.changes_applied = changes.size();
     if (changes.empty()) {
       VersionId vid = commit_noop();
-      meta->refresh_versions[refresh_ts] = vid;
+      meta->PublishRefresh(refresh_ts, vid);
     } else {
       // Merge with §6.1 validations enforced by the storage layer. The
       // StagedWrite carries the DT's object id so the transaction manager's
@@ -485,7 +485,7 @@ Result<RefreshOutcome> RefreshEngine::Refresh(ObjectId dt_id,
       if (!commit.ok()) return commit.status();
       pinfo.commit = RefreshCommitInfo::StorageCommit::kApplied;
       pinfo.commit_ts = commit.value();
-      meta->refresh_versions[refresh_ts] = obj->storage->latest_version();
+      meta->PublishRefresh(refresh_ts, obj->storage->latest_version());
     }
     meta->frontier = std::move(source_versions);
     meta->data_timestamp = refresh_ts;

@@ -48,14 +48,9 @@ PruneOutcome ApplyPruneToObject(CatalogObject* obj, VersionId keep_from) {
   if (obj->dt != nullptr) {
     // Trim refresh-timestamp entries whose version was pruned; exact-version
     // reads of those timestamps now fail like any out-of-retention read.
-    auto& rv = obj->dt->refresh_versions;
-    for (auto it = rv.begin(); it != rv.end();) {
-      if (it->second < obj->storage->first_version()) {
-        it = rv.erase(it);
-      } else {
-        ++it;
-      }
-    }
+    // Goes through the locked mutator so concurrent serve-side ResolveRead
+    // calls never observe the map mid-erase.
+    obj->dt->TrimRefreshVersionsBelow(obj->storage->first_version());
   }
   return out;
 }

@@ -1,0 +1,67 @@
+#include "serve/latency.h"
+
+#include <bit>
+#include <cmath>
+
+namespace dvs {
+namespace serve {
+
+size_t LatencyHistogram::BucketIndex(uint64_t us) {
+  if (us < kSubBuckets) return static_cast<size_t>(us);
+  const int octave = std::bit_width(us) - 1;  // >= 3 since us >= 8
+  const size_t sub = static_cast<size_t>(us >> (octave - 3)) & 7;
+  return kSubBuckets + static_cast<size_t>(octave - 3) * kSubBuckets + sub;
+}
+
+double LatencyHistogram::BucketMidpoint(size_t index) {
+  if (index < kSubBuckets) return static_cast<double>(index);
+  const size_t rel = index - kSubBuckets;
+  const int octave = static_cast<int>(rel / kSubBuckets) + 3;
+  const uint64_t sub = rel % kSubBuckets;
+  const double lo =
+      static_cast<double>((kSubBuckets + sub)) * std::exp2(octave - 3);
+  const double width = std::exp2(octave - 3);
+  return lo + width / 2.0;
+}
+
+void LatencyHistogram::Record(Micros us) {
+  const uint64_t v = us < 0 ? 0 : static_cast<uint64_t>(us);
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(v, std::memory_order_relaxed);
+  Micros prev = max_us_.load(std::memory_order_relaxed);
+  while (us > prev &&
+         !max_us_.compare_exchange_weak(prev, us, std::memory_order_relaxed)) {
+  }
+}
+
+double LatencyHistogram::MeanUs() const {
+  const uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum_us()) / static_cast<double>(n);
+}
+
+double LatencyHistogram::QuantileUs(double q) const {
+  const uint64_t total = count();
+  if (total == 0) return 0.0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  uint64_t target = static_cast<uint64_t>(std::ceil(q * static_cast<double>(total)));
+  if (target == 0) target = 1;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    cum += buckets_[i].load(std::memory_order_relaxed);
+    if (cum >= target) return BucketMidpoint(i);
+  }
+  // Writers raced the walk; the max is the best consistent answer.
+  return static_cast<double>(max_us());
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_us_.store(0, std::memory_order_relaxed);
+  max_us_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace serve
+}  // namespace dvs

@@ -1,0 +1,64 @@
+// Lock-cheap concurrent latency histogram for the query-serving front end.
+//
+// Reader threads record latencies with relaxed atomic increments into
+// log-spaced buckets (8 linear sub-buckets per power-of-two octave, the
+// HdrHistogram idea at its smallest), so recording is a handful of atomic
+// adds — no mutex, no allocation, no contention beyond cache-line sharing.
+// Quantile() walks the buckets and returns the bucket midpoint, giving a
+// relative error bounded by half a sub-bucket width (<= ~6%), which is ample
+// for p50/p95/p99 reporting.
+//
+// Reads (Quantile / count / MeanUs) are safe concurrently with writers but
+// only approximately consistent mid-flight; benches read after joining their
+// reader threads, where the values are exact.
+
+#ifndef DVS_SERVE_LATENCY_H_
+#define DVS_SERVE_LATENCY_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace dvs {
+namespace serve {
+
+class LatencyHistogram {
+ public:
+  /// Records one latency in microseconds (negatives clamp to 0).
+  void Record(Micros us);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum_us() const { return sum_us_.load(std::memory_order_relaxed); }
+  Micros max_us() const { return max_us_.load(std::memory_order_relaxed); }
+  double MeanUs() const;
+
+  /// Approximate q-quantile (q in [0, 1]) in microseconds; 0 when empty.
+  double QuantileUs(double q) const;
+  double P50Us() const { return QuantileUs(0.50); }
+  double P95Us() const { return QuantileUs(0.95); }
+  double P99Us() const { return QuantileUs(0.99); }
+
+  void Reset();
+
+  /// Bucket math, exposed for the unit test: index covering `us`, and the
+  /// midpoint value reported for that bucket.
+  static size_t BucketIndex(uint64_t us);
+  static double BucketMidpoint(size_t index);
+
+  /// 8 exact buckets for 0..7us, then 8 sub-buckets per octave up to 2^63.
+  static constexpr size_t kSubBuckets = 8;
+  static constexpr size_t kBuckets = kSubBuckets + 61 * kSubBuckets;
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_us_{0};
+  std::atomic<Micros> max_us_{0};
+};
+
+}  // namespace serve
+}  // namespace dvs
+
+#endif  // DVS_SERVE_LATENCY_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <mutex>
 #include <unordered_set>
 
 namespace dvs {
@@ -95,6 +96,10 @@ Result<VersionId> VersionedTable::ApplyChanges(const ChangeSet& changes,
     return Internal("non-monotonic commit timestamp for table version");
   }
   DVS_RETURN_IF_ERROR(ValidateChanges(changes));
+  // Exclusive vs serve-side snapshot acquisition; the single-writer contract
+  // means no other mutator contends. AddRowsAsPartitions inserts into
+  // partitions_ mid-build, so the whole build is inside the critical section.
+  std::unique_lock<std::shared_mutex> commit_lock(commit_mu_);
 
   // Locate every delete through the row-id index: exactly one point lookup
   // per delete change (counted in stats_.index_lookups), grouping deleted
@@ -168,6 +173,7 @@ Result<VersionId> VersionedTable::Overwrite(std::vector<IdRow> rows,
       }
     }
   }
+  std::unique_lock<std::shared_mutex> commit_lock(commit_mu_);
   TableVersion next;
   next.id = versions_.back().id + 1;
   next.commit_ts = commit_ts;
@@ -183,6 +189,7 @@ Result<VersionId> VersionedTable::Overwrite(std::vector<IdRow> rows,
 
 VersionId VersionedTable::CommitNoOp(HlcTimestamp commit_ts) {
   assert(commit_ts > versions_.back().commit_ts);
+  std::unique_lock<std::shared_mutex> commit_lock(commit_mu_);
   TableVersion next;
   next.id = versions_.back().id + 1;
   next.commit_ts = commit_ts;
@@ -195,6 +202,7 @@ VersionId VersionedTable::CommitNoOp(HlcTimestamp commit_ts) {
 VersionId VersionedTable::Recluster(HlcTimestamp commit_ts) {
   assert(commit_ts > versions_.back().commit_ts);
   std::vector<IdRow> all = ScanLatest();
+  std::unique_lock<std::shared_mutex> commit_lock(commit_mu_);
   TableVersion next;
   next.id = versions_.back().id + 1;
   next.commit_ts = commit_ts;
@@ -208,6 +216,43 @@ VersionId VersionedTable::Recluster(HlcTimestamp commit_ts) {
   versions_.push_back(std::move(next));
   if (maintenance_hook_) maintenance_hook_(versions_.back());
   return versions_.back().id;
+}
+
+ReadSnapshot VersionedTable::SnapshotLocked(VersionId vid) const {
+  const TableVersion& v = versions_[vid - first_version_];
+  ReadSnapshot snap;
+  snap.version = v.id;
+  snap.commit_ts = v.commit_ts;
+  snap.row_count = v.row_count;
+  snap.partitions.reserve(v.live.size());
+  for (PartitionId pid : v.live) {
+    auto it = partitions_.find(pid);
+    assert(it != partitions_.end());
+    snap.partitions.push_back(it->second);
+  }
+  stats_.snapshot_pins += 1;
+  return snap;
+}
+
+Result<ReadSnapshot> VersionedTable::SnapshotVersion(VersionId vid) const {
+  std::shared_lock<std::shared_mutex> read_lock(commit_mu_);
+  if (vid < first_version_ || vid > versions_.back().id) {
+    return FailedPrecondition(
+        "version " + std::to_string(vid) + " is outside the retained range [" +
+        std::to_string(first_version_) + ", " +
+        std::to_string(versions_.back().id) + "]");
+  }
+  return SnapshotLocked(vid);
+}
+
+Result<ReadSnapshot> VersionedTable::SnapshotAtTime(HlcTimestamp ts) const {
+  std::shared_lock<std::shared_mutex> read_lock(commit_mu_);
+  VersionId vid = ResolveVersionAt(ts);
+  if (vid == kInvalidVersionId) {
+    return FailedPrecondition("table has no version at or before " +
+                              ts.ToString());
+  }
+  return SnapshotLocked(vid);
 }
 
 std::vector<IdRow> VersionedTable::ScanAt(VersionId vid) const {
@@ -315,6 +360,7 @@ std::unique_ptr<VersionedTable> VersionedTable::Clone() const {
 
 PruneOutcome VersionedTable::PruneVersionsBefore(VersionId keep_from) {
   PruneOutcome out;
+  std::unique_lock<std::shared_mutex> commit_lock(commit_mu_);
   if (keep_from > versions_.back().id) keep_from = versions_.back().id;
   if (keep_from <= first_version_) return out;
 

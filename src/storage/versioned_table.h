@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -101,12 +102,31 @@ struct StorageStats {
   std::atomic<uint64_t> partitions_freed = 0;
   std::atomic<uint64_t> wal_bytes = 0;         ///< WAL bytes appended.
   std::atomic<uint64_t> checkpoint_bytes = 0;  ///< Checkpoint bytes written.
+
+  // Serve read path (serve/query_service.h). Snapshot pins are counted at
+  // acquisition (SnapshotVersion / SnapshotAtTime); scanned rows are charged
+  // by the query service as it executes over the pinned partitions.
+  std::atomic<uint64_t> snapshot_pins = 0;      ///< Read snapshots taken.
+  std::atomic<uint64_t> snapshot_read_rows = 0; ///< Rows scanned via pins.
 };
 
 /// Result of one retention-GC pruning pass over a table.
 struct PruneOutcome {
   uint64_t versions_pruned = 0;
   uint64_t partitions_freed = 0;
+};
+
+/// A pinned, immutable view of one committed table version, safe to scan
+/// from any thread for as long as the snapshot is held: the shared_ptr pins
+/// keep every partition alive even if retention GC prunes the version
+/// underneath the reader. Produced by SnapshotVersion / SnapshotAtTime.
+struct ReadSnapshot {
+  VersionId version = kInvalidVersionId;
+  HlcTimestamp commit_ts;
+  size_t row_count = 0;
+  /// Live partitions of `version` in scan order (sorted ids) — the exact
+  /// concatenation ScanAt would materialize.
+  std::vector<std::shared_ptr<const MicroPartition>> partitions;
 };
 
 /// Thread-safety contract (concurrent refresh runtime): single-writer,
@@ -120,6 +140,15 @@ struct PruneOutcome {
 /// DT scans its upstream only after the upstream's refresh finished), and
 /// version publication is a vector append that readers of older versions
 /// never traverse concurrently under that discipline.
+///
+/// Serve read path (PR 8): readers with *no* external ordering against the
+/// writer — the query-service front end — must go through SnapshotVersion /
+/// SnapshotAtTime instead. Version publication and pruning take `commit_mu_`
+/// exclusively; snapshot acquisition takes it shared, resolves the version,
+/// and pins the partition shared_ptrs in one critical section. After that the
+/// reader touches only immutable state it owns, so scans never hold the lock
+/// and never block (or get blocked by) a committing refresh for longer than
+/// the metadata copy.
 class VersionedTable {
  public:
   /// `max_partition_rows` bounds partition size; small values increase
@@ -181,6 +210,17 @@ class VersionedTable {
   void set_maintenance_hook(MaintenanceHook hook) {
     maintenance_hook_ = std::move(hook);
   }
+
+  /// Pins a committed version for lock-free scanning from an unordered
+  /// reader thread (see the serve contract above). Fails with a retention
+  /// error if the version was pruned or never existed.
+  Result<ReadSnapshot> SnapshotVersion(VersionId version) const;
+
+  /// Timestamp form: resolves "as of ts" (largest commit_ts <= ts) and pins
+  /// it in the same critical section, so a concurrent commit or prune cannot
+  /// slip between resolution and pinning. Fails if the table has no version
+  /// at or before `ts`.
+  Result<ReadSnapshot> SnapshotAtTime(HlcTimestamp ts) const;
 
   /// Materializes the full contents at a version.
   std::vector<IdRow> ScanAt(VersionId version) const;
@@ -284,6 +324,9 @@ class VersionedTable {
   /// Appends rows as new partitions (chunked), registering them in `version`.
   void AddRowsAsPartitions(std::vector<IdRow> rows, TableVersion* version);
 
+  /// Shared body of the two Snapshot entry points; caller holds commit_mu_.
+  ReadSnapshot SnapshotLocked(VersionId vid) const;
+
   Schema schema_;
   size_t max_partition_rows_;
   std::unordered_map<PartitionId, std::shared_ptr<const MicroPartition>> partitions_;
@@ -299,6 +342,10 @@ class VersionedTable {
   RowId next_row_id_ = 1;
   MaintenanceHook maintenance_hook_;
   mutable StorageStats stats_;
+  /// Guards version publication/pruning against serve-side snapshot
+  /// acquisition (exclusive in mutators, shared in Snapshot*). Barrier-
+  /// ordered refresh readers bypass it by design — see the class comment.
+  mutable std::shared_mutex commit_mu_;
 };
 
 }  // namespace dvs

@@ -1,5 +1,7 @@
 #include "workload/fleet.h"
 
+#include <algorithm>
+
 namespace dvs {
 namespace workload {
 
@@ -24,6 +26,14 @@ const char* LagBucketLabel(Micros lag) {
   return ">24h";
 }
 
+std::string PaddedIndex(int i, int width) {
+  std::string s = std::to_string(i);
+  if (static_cast<int>(s.size()) < width) {
+    s.insert(0, static_cast<size_t>(width) - s.size(), '0');
+  }
+  return s;
+}
+
 Micros Fleet::SampleTargetLag(Rng* rng) {
   // Mixture calibrated to Figure 5: ~20% < 5 min, ~55% in the middle, ~25%
   // >= 16 h.
@@ -45,13 +55,20 @@ Micros Fleet::SampleTargetLag(Rng* rng) {
 
 Result<Fleet> Fleet::Build(DvsEngine* engine, Rng* rng, FleetOptions options) {
   Fleet fleet;
+  fleet.churn_fraction_ = options.churn_fraction;
+  fleet.name_width_ = static_cast<int>(
+      std::to_string(std::max(options.pipelines - 1, 1)).size());
+  const int warehouses = std::max(options.warehouses, 1);
+  const int max_fan_out = std::max(options.max_fan_out, 1);
+
   auto run = [engine](const std::string& sql) -> Status {
     auto r = engine->Execute(sql);
     return r.ok() ? OkStatus() : r.status();
   };
   for (int i = 0; i < options.pipelines; ++i) {
+    const std::string idx = PaddedIndex(i, fleet.name_width_);
     FleetPipeline p;
-    p.table = "src_" + std::to_string(i);
+    p.table = "src_" + idx;
     DVS_RETURN_IF_ERROR(
         run("CREATE TABLE " + p.table + " (k INT, v INT, cat STRING)"));
 
@@ -62,32 +79,47 @@ Result<Fleet> Fleet::Build(DvsEngine* engine, Rng* rng, FleetOptions options) {
     p.arrival_period = std::max<Micros>(
         kMicrosPerMinute, static_cast<Micros>(lag * factor));
 
-    FleetDt dt;
-    dt.name = "dt_" + std::to_string(i);
-    dt.target_lag = lag;
-    std::string query =
-        rng->Bernoulli(options.aggregate_fraction)
-            ? "SELECT cat, count(*) AS n, sum(v) AS total FROM " + p.table +
-                  " GROUP BY ALL"
-            : "SELECT k, v * 2 AS v2, cat FROM " + p.table + " WHERE v > 0";
-    DVS_RETURN_IF_ERROR(run(
-        "CREATE DYNAMIC TABLE " + dt.name + " TARGET_LAG = '" +
-        std::to_string(lag / kMicrosPerSecond) + " seconds' WAREHOUSE = wh_" +
-        std::to_string(i % 8) + " INITIALIZE = ON_SCHEDULE AS " + query));
-    DVS_ASSIGN_OR_RETURN(dt.id, engine->ObjectIdOf(dt.name));
-    p.dts.push_back(dt);
+    // Zipf-skewed fan-out: most sources feed one DT, a few feed many.
+    const int fan_out =
+        max_fan_out == 1 ? 1 : 1 + static_cast<int>(rng->Zipf(max_fan_out));
+
+    auto create_dt = [&](const std::string& name, Micros target_lag,
+                         const std::string& query, int wh) -> Result<FleetDt> {
+      FleetDt dt;
+      dt.name = name;
+      dt.target_lag = target_lag;
+      DVS_RETURN_IF_ERROR(
+          run("CREATE DYNAMIC TABLE " + name + " TARGET_LAG = '" +
+              std::to_string(target_lag / kMicrosPerSecond) +
+              " seconds' WAREHOUSE = wh_" + std::to_string(wh) +
+              " INITIALIZE = ON_SCHEDULE AS " + query));
+      DVS_ASSIGN_OR_RETURN(dt.id, engine->ObjectIdOf(name));
+      return dt;
+    };
+
+    for (int f = 0; f < fan_out; ++f) {
+      // Sibling DTs sample their own lag so a hot source feeds consumers at
+      // mixed freshness, like the paper's shared-source pipelines.
+      const Micros dt_lag = f == 0 ? lag : SampleTargetLag(rng);
+      std::string query =
+          rng->Bernoulli(options.aggregate_fraction)
+              ? "SELECT cat, count(*) AS n, sum(v) AS total FROM " + p.table +
+                    " GROUP BY ALL"
+              : "SELECT k, v * 2 AS v2, cat FROM " + p.table + " WHERE v > 0";
+      const std::string name =
+          f == 0 ? "dt_" + idx : "dt_" + idx + "_f" + std::to_string(f);
+      DVS_ASSIGN_OR_RETURN(
+          FleetDt dt,
+          create_dt(name, dt_lag, query, (i + f) % warehouses));
+      p.dts.push_back(std::move(dt));
+    }
 
     if (rng->Bernoulli(options.chain_probability)) {
-      FleetDt dt2;
-      dt2.name = "dt_" + std::to_string(i) + "_b";
-      dt2.target_lag = lag * 2;
-      DVS_RETURN_IF_ERROR(run(
-          "CREATE DYNAMIC TABLE " + dt2.name + " TARGET_LAG = '" +
-          std::to_string(dt2.target_lag / kMicrosPerSecond) +
-          " seconds' WAREHOUSE = wh_" + std::to_string(i % 8) +
-          " INITIALIZE = ON_SCHEDULE AS SELECT * FROM " + dt.name));
-      DVS_ASSIGN_OR_RETURN(dt2.id, engine->ObjectIdOf(dt2.name));
-      p.dts.push_back(dt2);
+      DVS_ASSIGN_OR_RETURN(
+          FleetDt dt2,
+          create_dt("dt_" + idx + "_b", lag * 2,
+                    "SELECT * FROM " + p.dts.front().name, i % warehouses));
+      p.dts.push_back(std::move(dt2));
     }
     fleet.pipelines_.push_back(std::move(p));
   }
@@ -96,6 +128,10 @@ Result<Fleet> Fleet::Build(DvsEngine* engine, Rng* rng, FleetOptions options) {
 
 Status Fleet::PumpArrivals(DvsEngine* engine, Rng* rng, Micros from,
                            Micros to) {
+  auto run = [engine](const std::string& sql) -> Status {
+    auto r = engine->Execute(sql);
+    return r.ok() ? OkStatus() : r.status();
+  };
   for (FleetPipeline& p : pipelines_) {
     while (p.last_arrival + p.arrival_period <= to) {
       p.last_arrival += p.arrival_period;
@@ -108,11 +144,46 @@ Status Fleet::PumpArrivals(DvsEngine* engine, Rng* rng, Micros from,
                std::to_string(rng->Uniform(-50, 100)) + ", 'c" +
                std::to_string(rng->Uniform(0, 5)) + "')";
       }
-      auto r = engine->Execute(sql);
-      if (!r.ok()) return r.status();
+      DVS_RETURN_IF_ERROR(run(sql));
+      pump_stats_.insert_statements += 1;
+      pump_stats_.rows_inserted += static_cast<uint64_t>(batch);
+
+      // Churn: rewrite or retract an existing key so downstream refreshes
+      // carry deletes, not just appends. Keys are Zipf-picked — recent keys
+      // churn most, matching update-heavy sources.
+      if (p.next_key > batch && rng->Bernoulli(churn_fraction_)) {
+        const int span = p.next_key - batch;  // keys committed before this batch
+        const int key =
+            span - 1 - static_cast<int>(rng->Zipf(std::min(span, 64)));
+        if (rng->Bernoulli(0.5)) {
+          DVS_RETURN_IF_ERROR(
+              run("UPDATE " + p.table + " SET v = " +
+                  std::to_string(rng->Uniform(-50, 100)) +
+                  " WHERE k = " + std::to_string(key)));
+          pump_stats_.update_statements += 1;
+        } else {
+          DVS_RETURN_IF_ERROR(run("DELETE FROM " + p.table +
+                                  " WHERE k = " + std::to_string(key)));
+          pump_stats_.delete_statements += 1;
+        }
+      }
     }
   }
   return OkStatus();
+}
+
+std::vector<FleetDt> Fleet::AllDts() const {
+  std::vector<FleetDt> all;
+  for (const FleetPipeline& p : pipelines_) {
+    all.insert(all.end(), p.dts.begin(), p.dts.end());
+  }
+  return all;
+}
+
+size_t Fleet::dt_count() const {
+  size_t n = 0;
+  for (const FleetPipeline& p : pipelines_) n += p.dts.size();
+  return n;
 }
 
 }  // namespace workload

@@ -1,10 +1,17 @@
-// Synthetic DT fleet (DESIGN.md §5 substitution for production telemetry).
+// Synthetic DT fleet (PAPER.md §6.3 / ROADMAP.md "Fleet workloads"
+// substitution for production telemetry).
 //
 // The paper's §6.3 statistics are measured over >1M customer DTs. We
 // synthesize a fleet whose *target-lag marginals match Figure 5's published
 // distribution* (≈20% < 5 min, ≈55% between 5 min and 16 h, ≥25% >= 16 h)
 // and whose data-arrival cadence is configurable relative to the target lag,
 // then re-measure everything through the real scheduler + IVM pipeline.
+//
+// PR 8 scales this to O(10k) DTs: Zipf-skewed fan-out (a few sources feed
+// many sibling DTs, most feed one — the fleet shape in Figure 6), optional
+// UPDATE/DELETE churn so refreshes see deletes as well as appends, and
+// zero-padded deterministic names so a fleet built from the same seed is
+// byte-identical at any scale.
 
 #ifndef DVS_WORKLOAD_FLEET_H_
 #define DVS_WORKLOAD_FLEET_H_
@@ -28,6 +35,16 @@ struct FleetOptions {
   double max_arrival_factor = 8.0;
   /// Fraction of DTs defined with an aggregation (vs plain projection).
   double aggregate_fraction = 0.4;
+  /// Warehouses the fleet round-robins DTs across (wh_0..wh_{n-1}).
+  int warehouses = 8;
+  /// Max first-level DTs per source. The count is Zipf-skewed: most sources
+  /// feed one DT, a few fan out to many (Figure 6's consumer skew). 1 keeps
+  /// the pre-PR-8 shape.
+  int max_fan_out = 1;
+  /// Probability that a pump arrival batch is followed by one UPDATE and/or
+  /// DELETE against an existing key, so incremental refreshes see genuine
+  /// churn rather than pure appends. 0 keeps the pre-PR-8 append-only shape.
+  double churn_fraction = 0.0;
 };
 
 struct FleetDt {
@@ -45,6 +62,14 @@ struct FleetPipeline {
   int next_key = 0;
 };
 
+/// Accumulated PumpArrivals activity, for bench/test reporting.
+struct PumpStats {
+  uint64_t insert_statements = 0;
+  uint64_t rows_inserted = 0;
+  uint64_t update_statements = 0;
+  uint64_t delete_statements = 0;
+};
+
 /// Figure 5's lag buckets, for histogram reporting.
 struct LagBucket {
   const char* label;
@@ -53,22 +78,41 @@ struct LagBucket {
 const std::vector<LagBucket>& LagBuckets();
 const char* LagBucketLabel(Micros lag);
 
+/// Zero-padded decimal index ("0042" for width 4) — deterministic names that
+/// sort lexicographically == numerically at any fleet scale.
+std::string PaddedIndex(int i, int width);
+
 class Fleet {
  public:
   /// Samples a target lag from the Figure-5-calibrated mixture.
   static Micros SampleTargetLag(Rng* rng);
 
   /// Creates tables + DTs in `engine` (DTs initialize on schedule).
+  /// Object names are deterministic functions of (seed, options): the i-th
+  /// source is src_<i> zero-padded to the fleet's width, its DTs dt_<i>,
+  /// dt_<i>_f<j> (fan-out siblings), dt_<i>_b (chained second level).
   static Result<Fleet> Build(DvsEngine* engine, Rng* rng, FleetOptions options);
 
-  /// Inserts arrival rows due in (from, to] into every pipeline's table.
+  /// Inserts arrival rows due in (from, to] into every pipeline's table,
+  /// plus churn (UPDATE/DELETE of existing keys) per options.churn_fraction.
   Status PumpArrivals(DvsEngine* engine, Rng* rng, Micros from, Micros to);
 
   std::vector<FleetPipeline>& pipelines() { return pipelines_; }
   const std::vector<FleetPipeline>& pipelines() const { return pipelines_; }
 
+  /// Every DT in the fleet, flattened in creation order — the serve bench's
+  /// query-target universe.
+  std::vector<FleetDt> AllDts() const;
+
+  size_t dt_count() const;
+  const PumpStats& pump_stats() const { return pump_stats_; }
+  int name_width() const { return name_width_; }
+
  private:
   std::vector<FleetPipeline> pipelines_;
+  PumpStats pump_stats_;
+  double churn_fraction_ = 0.0;
+  int name_width_ = 1;
 };
 
 }  // namespace workload

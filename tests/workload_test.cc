@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "ivm/incrementality.h"
 #include "sched/scheduler.h"
 #include "sql/binder.h"
@@ -135,6 +137,79 @@ TEST(FleetTest, PumpArrivalsInsertsOnSchedule) {
                             fleet.value().pipelines()[0].table);
   EXPECT_EQ(before.value().rows[0][0].int_value(),
             after.value().rows[0][0].int_value());
+}
+
+TEST(FleetTest, ScaledBuildIsDeterministicAcrossEngines) {
+  // The 10k-DT scenario generator must be a pure function of (seed, options)
+  // so serving experiments are reproducible at any scale: two engines, same
+  // seed, byte-identical fleets.
+  workload::FleetOptions opts;
+  opts.pipelines = 600;
+  opts.chain_probability = 0.3;
+  opts.max_fan_out = 3;
+  opts.churn_fraction = 0.1;
+
+  auto build = [&](uint64_t seed) {
+    auto clock = std::make_unique<VirtualClock>(0);
+    auto engine = std::make_unique<DvsEngine>(*clock);
+    Rng rng(seed);
+    auto fleet = workload::Fleet::Build(engine.get(), &rng, opts);
+    EXPECT_TRUE(fleet.ok()) << fleet.status().ToString();
+    return fleet.value().AllDts();
+  };
+  const std::vector<workload::FleetDt> a = build(77);
+  const std::vector<workload::FleetDt> b = build(77);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_GE(a.size(), 1000u);  // Zipf fan-out + chains past the 1k mark
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].target_lag, b[i].target_lag);
+  }
+  // A different seed produces a different fleet.
+  const std::vector<workload::FleetDt> c = build(78);
+  bool any_diff = c.size() != a.size();
+  for (size_t i = 0; !any_diff && i < a.size(); ++i) {
+    any_diff = a[i].target_lag != c[i].target_lag;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(FleetTest, NamesAreZeroPaddedAndSortable) {
+  VirtualClock clock(0);
+  DvsEngine engine(clock);
+  Rng rng(11);
+  workload::FleetOptions opts;
+  opts.pipelines = 120;  // 3-digit width: src_000 .. src_119
+  opts.chain_probability = 0;
+  auto fleet = workload::Fleet::Build(&engine, &rng, opts);
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  EXPECT_EQ(fleet.value().name_width(), 3);
+  EXPECT_EQ(fleet.value().pipelines()[0].table, "src_000");
+  EXPECT_EQ(fleet.value().pipelines()[7].dts[0].name, "dt_007");
+  EXPECT_EQ(fleet.value().pipelines()[119].table, "src_119");
+  EXPECT_EQ(workload::PaddedIndex(42, 5), "00042");
+  EXPECT_EQ(workload::PaddedIndex(123456, 3), "123456");  // never truncates
+}
+
+TEST(FleetTest, ChurnPumpsUpdatesAndDeletes) {
+  VirtualClock clock(0);
+  DvsEngine engine(clock);
+  Rng rng(12);
+  workload::FleetOptions opts;
+  opts.pipelines = 4;
+  opts.chain_probability = 0;
+  opts.churn_fraction = 1.0;  // every post-first batch churns
+  auto fleet = workload::Fleet::Build(&engine, &rng, opts);
+  ASSERT_TRUE(fleet.ok());
+  Micros horizon = 0;
+  for (const auto& p : fleet.value().pipelines()) {
+    horizon = std::max(horizon, 6 * p.arrival_period);
+  }
+  ASSERT_TRUE(fleet.value().PumpArrivals(&engine, &rng, 0, horizon).ok());
+  const workload::PumpStats& stats = fleet.value().pump_stats();
+  EXPECT_GT(stats.insert_statements, 0u);
+  EXPECT_GE(stats.rows_inserted, stats.insert_statements);
+  EXPECT_GT(stats.update_statements + stats.delete_statements, 0u);
 }
 
 TEST(StarSchemaTest, BuildAppendsAndUpdates) {
