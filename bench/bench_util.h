@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "dt/engine.h"
+#include "obs/metrics.h"
 
 namespace dvs {
 namespace bench {
@@ -105,6 +106,21 @@ class StreamingHistogram {
   double P50() const { return Quantile(0.50); }
   double P95() const { return Quantile(0.95); }
   double P99() const { return Quantile(0.99); }
+
+  /// Exports into the registry interchange format (obs::HistogramData shares
+  /// this exact bucket layout), so bench histograms can feed a registry
+  /// histogram — or merge with serve::LatencyHistogram exports — bucket-wise.
+  obs::HistogramData ExportData() const {
+    static_assert(kBuckets == obs::HistogramData::kBuckets,
+                  "bench and obs histograms must share the bucket layout");
+    obs::HistogramData d;
+    d.count = count_;
+    if (d.count == 0) return d;
+    d.sum = sum_;
+    d.max = max_;
+    d.buckets.assign(buckets_.begin(), buckets_.end());
+    return d;
+  }
 
   /// Bucket math, exposed for the unit test.
   static size_t BucketIndex(uint64_t v) {
@@ -251,6 +267,17 @@ class BenchJson {
   Obj meta_;
   std::vector<Obj> points_;
 };
+
+/// Canonical read-latency point keys for the serving benches. E19 and E20
+/// both report read latency; routing them through one helper keeps the
+/// `read_p50_ms` / `read_p99_ms` / `qps` key spellings from drifting between
+/// experiments (the Benchmark JSON schema section of ROADMAP.md documents
+/// them once).
+inline BenchJson::Obj& AddReadLatency(BenchJson::Obj& point, double p50_ms,
+                                      double p99_ms, double qps) {
+  return point.Num("read_p50_ms", p50_ms).Num("read_p99_ms", p99_ms).Num(
+      "qps", qps);
+}
 
 }  // namespace bench
 }  // namespace dvs

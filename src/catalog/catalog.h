@@ -271,14 +271,22 @@ class Catalog {
 
   /// Raw object access including dropped objects, in id order (persist/
   /// snapshot capture; UNDROP means dropped objects are persistent state).
-  /// Deliberately unguarded: callers are single-threaded maintenance paths
-  /// (checkpoint capture, retention GC in the serial finalize phase) that
-  /// never race DDL; serve readers use Find/FindById, which do lock.
-  size_t object_count() const { return objects_.size(); }
+  /// Guarded like every other lookup: objects_ only ever grows and object
+  /// pointers are stable, but the vector itself may reallocate under a
+  /// concurrent CREATE, so unlocked size()/operator[] was a footgun once
+  /// metrics scrapes started walking the catalog from arbitrary threads.
+  size_t object_count() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return objects_.size();
+  }
   const CatalogObject* ObjectAt(size_t index) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     return objects_[index].get();
   }
-  CatalogObject* MutableObjectAt(size_t index) { return objects_[index].get(); }
+  CatalogObject* MutableObjectAt(size_t index) {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return objects_[index].get();
+  }
 
   /// Object ids of non-dropped DTs that directly read `id`.
   std::vector<ObjectId> DownstreamDynamicTables(ObjectId id) const;

@@ -94,6 +94,7 @@ Result<QueryResult> DvsEngine::ExecuteStatement(const sql::Statement& stmt) {
 
 Result<QueryResult> DvsEngine::ExecuteSelect(const sql::SelectStmt& stmt) {
   sql::Binder binder(catalog_);
+  if (table_fns_) binder.set_table_function_provider(&table_fns_);
   DVS_ASSIGN_OR_RETURN(sql::BindResult bound, binder.BindSelect(stmt));
 
   const Micros now = clock_.Now();

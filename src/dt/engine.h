@@ -16,6 +16,7 @@
 #include "dt/isolation_recorder.h"
 #include "dt/refresh.h"
 #include "sql/ast.h"
+#include "sql/binder.h"
 #include "txn/transaction_manager.h"
 #include "warehouse/warehouse.h"
 
@@ -86,6 +87,16 @@ class DvsEngine {
   void EnableIsolationRecording();
   const IsolationRecorder* recorder() const { return recorder_.get(); }
 
+  /// Installs the table-function provider for *direct* SELECTs — the
+  /// paper-style introspection surfaces (REFRESH_HISTORY, GRAPH_HISTORY;
+  /// see obs/introspect.h). DT/view definitions always bind without it, so
+  /// scheduler-state-dependent functions cannot leak into persisted plans.
+  /// State captured by the provider must outlive the engine (or install {}
+  /// before it dies).
+  void set_table_function_provider(sql::TableFunctionProvider provider) {
+    table_fns_ = std::move(provider);
+  }
+
  private:
   /// Records the versions a SELECT resolved (recorder enabled only).
   void RecordQueryReads(const PlanPtr& plan);
@@ -106,6 +117,7 @@ class DvsEngine {
   RefreshEngine refresh_;
   WarehousePool warehouses_;
   std::unique_ptr<IsolationRecorder> recorder_;
+  sql::TableFunctionProvider table_fns_;
 };
 
 }  // namespace dvs

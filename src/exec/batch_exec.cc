@@ -5,6 +5,7 @@
 #include <set>
 
 #include "exec/row_id.h"
+#include "obs/trace.h"
 
 namespace dvs {
 
@@ -612,8 +613,15 @@ Result<BatchVector> AggregateBatchesImpl(const PlanNode& n,
 // ---- Dispatch ----
 
 Result<BatchVector> ExecB(const PlanNode& n, const BatchExecEnv& env) {
+  // One span per operator execution; disarmed cost is a single relaxed
+  // atomic load per plan node, amortized over the whole batch stream.
+  obs::TraceSpan span("exec", PlanKindName(n.kind));
   Result<BatchVector> result = [&]() -> Result<BatchVector> {
     switch (n.kind) {
+      case PlanKind::kValues: {
+        DVS_ASSIGN_OR_RETURN(std::vector<IdRow> rows, ComputeValuesRows(n));
+        return RowsToBatchesChecked(rows, env);
+      }
       case PlanKind::kScan: {
         if (env.resolve_scan_batches) {
           return env.resolve_scan_batches(n.table_id);
@@ -670,7 +678,11 @@ Result<BatchVector> ExecB(const PlanNode& n, const BatchExecEnv& env) {
     return Internal("unhandled plan kind");
   }();
   if (env.bail) return BatchVector{};
-  if (result.ok()) env.rows_processed += BatchRowCount(result.value());
+  if (result.ok()) {
+    const uint64_t rows = BatchRowCount(result.value());
+    env.rows_processed += rows;
+    if (span.armed()) span.AddArg("rows", static_cast<int64_t>(rows));
+  }
   return result;
 }
 

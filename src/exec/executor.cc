@@ -142,6 +142,8 @@ Result<std::vector<IdRow>> Exec(const PlanNode& n, const ExecContext& ctx) {
     switch (n.kind) {
       case PlanKind::kScan:
         return ctx.resolve_scan(n.table_id);
+      case PlanKind::kValues:
+        return ComputeValuesRows(n);
       case PlanKind::kFilter:
         return ExecFilter(n, ctx);
       case PlanKind::kProject:
@@ -185,6 +187,15 @@ Result<std::vector<IdRow>> Exec(const PlanNode& n, const ExecContext& ctx) {
 }
 
 }  // namespace
+
+Result<std::vector<IdRow>> ComputeValuesRows(const PlanNode& n) {
+  std::vector<IdRow> out;
+  out.reserve(n.values_rows.size());
+  for (size_t i = 0; i < n.values_rows.size(); ++i) {
+    out.push_back({rowid::Values(n.node_tag, i), n.values_rows[i]});
+  }
+  return out;
+}
 
 Result<std::vector<IdRow>> ExecutePlan(const PlanNode& plan,
                                        const ExecContext& ctx) {

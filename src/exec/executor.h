@@ -123,6 +123,10 @@ Result<std::vector<IdRow>> ComputeDistinctRows(const PlanNode& n,
                                                const std::vector<IdRow>& input,
                                                const EvalContext& ctx);
 
+/// Values kernel (n is a kValues node): materializes the inline rows with
+/// ids derived from (node_tag, index). Shared by the row and batch engines.
+Result<std::vector<IdRow>> ComputeValuesRows(const PlanNode& n);
+
 }  // namespace dvs
 
 #endif  // DVS_EXEC_EXECUTOR_H_

@@ -26,6 +26,7 @@ constexpr uint64_t kUnionTag = 0x554e494f;
 constexpr uint64_t kGroupTag = 0x47525550;
 constexpr uint64_t kDistinctTag = 0x44495354;
 constexpr uint64_t kFlattenTag = 0x464c4154;
+constexpr uint64_t kValuesTag = 0x56414c53;  // "VALS"
 
 /// Inner-join match of left row `l` and right row `r`.
 inline RowId Join(uint64_t node_tag, RowId l, RowId r) {
@@ -72,6 +73,11 @@ inline RowId Distinct(uint64_t node_tag, const Row& values) {
 inline RowId Flatten(uint64_t node_tag, RowId in, size_t index) {
   return HashCombine(HashCombine(HashCombine(kFlattenTag, node_tag), in),
                      index);
+}
+
+/// Values (table-function) output: row `index` of the inline row set.
+inline RowId Values(uint64_t node_tag, size_t index) {
+  return HashCombine(HashCombine(kValuesTag, node_tag), index);
 }
 
 }  // namespace dvs::rowid

@@ -646,6 +646,10 @@ Result<ChangeSet> DeltaImpl(const PlanNode& n, const DeltaContext& ctx) {
     case PlanKind::kLimit:
       return Unsupported(std::string(PlanKindName(n.kind)) +
                          " is not incrementally maintainable");
+    case PlanKind::kValues:
+      // Unreachable in practice: table functions are rejected in DT
+      // definitions at bind time (no provider installed there).
+      return Unsupported("table functions are not incrementally maintainable");
   }
   return Internal("unhandled plan kind in differentiator");
 }

@@ -44,6 +44,9 @@ IncrementalityAnalysis AnalyzeIncrementality(const PlanNode& plan) {
       case PlanKind::kLimit:
         out = {false, "LIMIT is not incrementally maintainable"};
         break;
+      case PlanKind::kValues:
+        out = {false, "table functions are not incrementally maintainable"};
+        break;
       case PlanKind::kAggregate:
         if (n->group_by.empty()) {
           out = {false,

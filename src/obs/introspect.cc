@@ -1,0 +1,309 @@
+#include "obs/introspect.h"
+
+#include <algorithm>
+#include <cctype>
+#include <utility>
+
+namespace dvs {
+namespace obs {
+
+namespace {
+
+std::string Lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(c));
+  return s;
+}
+
+Value TimestampOrNull(Micros t) {
+  return t < 0 ? Value::Null() : Value::Timestamp(t);
+}
+
+Schema RefreshHistorySchema() {
+  Schema s;
+  s.AddColumn("name", DataType::kString);
+  s.AddColumn("state", DataType::kString);
+  s.AddColumn("action", DataType::kString);
+  s.AddColumn("data_timestamp", DataType::kTimestamp);
+  s.AddColumn("refresh_start_time", DataType::kTimestamp);
+  s.AddColumn("refresh_end_time", DataType::kTimestamp);
+  s.AddColumn("rows_processed", DataType::kInt64);
+  s.AddColumn("changes_applied", DataType::kInt64);
+  s.AddColumn("dt_row_count", DataType::kInt64);
+  s.AddColumn("attempts", DataType::kInt64);
+  s.AddColumn("retry_backoff_us", DataType::kInt64);
+  s.AddColumn("error_code", DataType::kString);
+  s.AddColumn("error", DataType::kString);
+  s.AddColumn("peak_lag_us", DataType::kInt64);
+  s.AddColumn("trough_lag_us", DataType::kInt64);
+  return s;
+}
+
+Result<sql::TableFunctionResult> RefreshHistory(
+    DvsEngine* /*engine*/, Scheduler* scheduler,
+    const std::vector<Value>& args) {
+  if (args.size() > 1) {
+    return UserError("refresh_history takes at most one argument (a DT name)");
+  }
+  std::string filter;
+  bool filtered = false;
+  if (args.size() == 1) {
+    if (args[0].type() != DataType::kString) {
+      return UserError("refresh_history argument must be a string DT name");
+    }
+    filter = Lower(args[0].string_value());
+    filtered = true;
+  }
+
+  sql::TableFunctionResult out;
+  out.schema = RefreshHistorySchema();
+  if (scheduler == nullptr) return out;
+  for (const RefreshRecord& rec : scheduler->log()) {
+    if (filtered && rec.dt_name != filter) continue;
+    const char* state =
+        rec.skipped ? "SKIPPED" : (rec.failed ? "FAILED" : "SUCCEEDED");
+    Row row;
+    row.push_back(Value::String(rec.dt_name));
+    row.push_back(Value::String(state));
+    row.push_back(Value::String(RefreshActionName(rec.action)));
+    row.push_back(TimestampOrNull(rec.data_timestamp));
+    row.push_back(TimestampOrNull(rec.start_time));
+    row.push_back(TimestampOrNull(rec.end_time));
+    row.push_back(Value::Int(static_cast<int64_t>(rec.rows_processed)));
+    row.push_back(Value::Int(static_cast<int64_t>(rec.changes_applied)));
+    row.push_back(Value::Int(static_cast<int64_t>(rec.dt_row_count)));
+    row.push_back(Value::Int(rec.attempts));
+    row.push_back(Value::Int(rec.retry_backoff));
+    row.push_back(Value::String(StatusCodeName(rec.error_code)));
+    row.push_back(Value::String(rec.error));
+    row.push_back(Value::Int(rec.peak_lag));
+    row.push_back(Value::Int(rec.trough_lag));
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+Schema GraphHistorySchema() {
+  Schema s;
+  s.AddColumn("name", DataType::kString);
+  s.AddColumn("id", DataType::kInt64);
+  s.AddColumn("state", DataType::kString);
+  s.AddColumn("refresh_mode", DataType::kString);
+  s.AddColumn("target_lag", DataType::kString);
+  s.AddColumn("effective_lag_us", DataType::kInt64);
+  s.AddColumn("warehouse", DataType::kString);
+  s.AddColumn("initialized", DataType::kBool);
+  s.AddColumn("needs_reinit", DataType::kBool);
+  s.AddColumn("data_timestamp", DataType::kTimestamp);
+  s.AddColumn("refresh_count", DataType::kInt64);
+  s.AddColumn("consecutive_failures", DataType::kInt64);
+  s.AddColumn("transient_failures", DataType::kInt64);
+  s.AddColumn("upstreams", DataType::kString);
+  s.AddColumn("frontier", DataType::kString);
+  return s;
+}
+
+Result<sql::TableFunctionResult> GraphHistory(DvsEngine* engine,
+                                              Scheduler* scheduler,
+                                              const std::vector<Value>& args) {
+  if (!args.empty()) {
+    return UserError("graph_history takes no arguments");
+  }
+  sql::TableFunctionResult out;
+  out.schema = GraphHistorySchema();
+  Catalog& catalog = engine->catalog();
+  for (CatalogObject* obj : catalog.AllDynamicTables()) {
+    const DynamicTableMeta& meta = *obj->dt;
+    Row row;
+    row.push_back(Value::String(obj->name));
+    row.push_back(Value::Int(static_cast<int64_t>(obj->id)));
+    row.push_back(Value::String(meta.state == DtState::kSuspended ? "SUSPENDED"
+                                                                  : "ACTIVE"));
+    row.push_back(Value::String(meta.incremental ? "INCREMENTAL" : "FULL"));
+    row.push_back(Value::String(meta.def.target_lag.ToString()));
+    if (scheduler != nullptr) {
+      std::optional<Micros> lag = scheduler->EffectiveTargetLag(obj->id);
+      row.push_back(lag ? Value::Int(*lag) : Value::Null());
+    } else {
+      row.push_back(Value::Null());
+    }
+    row.push_back(Value::String(meta.def.warehouse));
+    row.push_back(Value::Bool(meta.initialized));
+    row.push_back(Value::Bool(meta.needs_reinit));
+    row.push_back(TimestampOrNull(meta.data_timestamp));
+    row.push_back(Value::Int(static_cast<int64_t>(meta.refresh_versions.size())));
+    row.push_back(Value::Int(meta.consecutive_failures));
+    row.push_back(Value::Int(meta.transient_failures));
+
+    std::vector<std::string> upstreams;
+    for (ObjectId up : catalog.UpstreamDynamicTables(obj->id)) {
+      Result<const CatalogObject*> up_obj =
+          static_cast<const Catalog&>(catalog).FindById(up);
+      if (up_obj.ok()) upstreams.push_back(up_obj.value()->name);
+    }
+    std::sort(upstreams.begin(), upstreams.end());
+    std::string joined;
+    for (const std::string& u : upstreams) {
+      if (!joined.empty()) joined += ",";
+      joined += u;
+    }
+    row.push_back(Value::String(joined));
+
+    // Frontier (§5.3): "source:version" pairs, name-sorted so the rendering
+    // never depends on unordered_map iteration order.
+    std::vector<std::string> frontier;
+    for (const auto& [src_id, version] : meta.frontier) {
+      Result<const CatalogObject*> src =
+          static_cast<const Catalog&>(catalog).FindById(src_id);
+      std::string src_name =
+          src.ok() ? src.value()->name : "#" + std::to_string(src_id);
+      frontier.push_back(src_name + ":" + std::to_string(version));
+    }
+    std::sort(frontier.begin(), frontier.end());
+    std::string frontier_joined;
+    for (const std::string& f : frontier) {
+      if (!frontier_joined.empty()) frontier_joined += ",";
+      frontier_joined += f;
+    }
+    row.push_back(Value::String(frontier_joined));
+
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace
+
+sql::TableFunctionProvider MakeIntrospectionProvider(DvsEngine* engine,
+                                                     Scheduler* scheduler) {
+  return [engine, scheduler](const std::string& name,
+                             const std::vector<Value>& args)
+             -> Result<sql::TableFunctionResult> {
+    // The lexer lower-cases identifiers, but accept any casing defensively.
+    std::string lowered = Lower(name);
+    if (lowered == "refresh_history") {
+      return RefreshHistory(engine, scheduler, args);
+    }
+    if (lowered == "graph_history") {
+      return GraphHistory(engine, scheduler, args);
+    }
+    return UserError("unknown table function '" + name +
+                     "' (available: refresh_history, graph_history)");
+  };
+}
+
+void InstallIntrospection(DvsEngine* engine, Scheduler* scheduler) {
+  engine->set_table_function_provider(
+      MakeIntrospectionProvider(engine, scheduler));
+}
+
+namespace {
+
+/// StorageStats counters aggregated over the catalog, one metric each.
+struct StorageField {
+  const char* name;
+  const char* help;
+  bool deterministic;
+  Counter StorageStats::* field;
+};
+
+constexpr StorageField kStorageFields[] = {
+    {"storage.partitions_created", "Micro-partitions written", true,
+     &StorageStats::partitions_created},
+    {"storage.rows_written", "Rows copied into new partitions", true,
+     &StorageStats::rows_written},
+    {"storage.rows_rewritten_copy", "Copy-on-write amplification rows", true,
+     &StorageStats::rows_rewritten_copy},
+    {"storage.change_scan_raw_rows", "Change-scan rows before cancellation",
+     true, &StorageStats::change_scan_raw_rows},
+    {"storage.change_scan_net_rows", "Change-scan rows after cancellation",
+     true, &StorageStats::change_scan_net_rows},
+    {"storage.index_lookups", "Row-id index point lookups", true,
+     &StorageStats::index_lookups},
+    {"storage.index_entries_added", "Row-id index entries written", true,
+     &StorageStats::index_entries_added},
+    {"storage.index_entries_removed", "Row-id index entries erased", true,
+     &StorageStats::index_entries_removed},
+    {"storage.index_rebuilds", "Full row-id index rebuilds", true,
+     &StorageStats::index_rebuilds},
+    {"storage.versions_pruned", "Versions dropped by retention GC", true,
+     &StorageStats::versions_pruned},
+    {"storage.partitions_freed", "Partitions freed by retention GC", true,
+     &StorageStats::partitions_freed},
+    // Serve-driven: depends on wall-clock read arrival, never gated.
+    {"storage.snapshot_pins", "Serve read snapshots taken", false,
+     &StorageStats::snapshot_pins},
+    {"storage.snapshot_read_rows", "Rows scanned via serve snapshots", false,
+     &StorageStats::snapshot_read_rows},
+};
+
+int64_t SumStorageField(DvsEngine* engine, Counter StorageStats::* field) {
+  uint64_t total = 0;
+  Catalog& catalog = engine->catalog();
+  size_t n = catalog.object_count();
+  for (size_t i = 0; i < n; ++i) {
+    const CatalogObject* obj = catalog.ObjectAt(i);
+    if (obj->storage) total += (obj->storage->stats().*field).value();
+  }
+  return static_cast<int64_t>(total);
+}
+
+}  // namespace
+
+EngineMetrics::EngineMetrics(DvsEngine* engine, Registry* registry)
+    : registry_(registry) {
+  for (const StorageField& f : kStorageFields) {
+    registry_->RegisterGaugeFn(
+        f.name, f.help, f.deterministic,
+        [engine, field = f.field]() { return SumStorageField(engine, field); });
+    names_.push_back(f.name);
+  }
+
+  struct DtField {
+    const char* name;
+    const char* help;
+    int64_t (*fn)(const CatalogObject&);
+  };
+  static constexpr DtField kDtFields[] = {
+      {"dt.count", "Dynamic tables in the catalog",
+       [](const CatalogObject&) -> int64_t { return 1; }},
+      {"dt.suspended", "Suspended dynamic tables",
+       [](const CatalogObject& o) -> int64_t {
+         return o.dt->state == DtState::kSuspended ? 1 : 0;
+       }},
+      {"dt.initialized", "Initialized dynamic tables",
+       [](const CatalogObject& o) -> int64_t {
+         return o.dt->initialized ? 1 : 0;
+       }},
+      {"dt.needs_reinit", "DTs pending REINITIALIZE after upstream DDL",
+       [](const CatalogObject& o) -> int64_t {
+         return o.dt->needs_reinit ? 1 : 0;
+       }},
+      {"dt.consecutive_failures", "Sum of per-DT consecutive failures",
+       [](const CatalogObject& o) -> int64_t {
+         return o.dt->consecutive_failures;
+       }},
+      {"dt.transient_failures", "Sum of per-DT transient failures",
+       [](const CatalogObject& o) -> int64_t {
+         return o.dt->transient_failures;
+       }},
+  };
+  for (const DtField& f : kDtFields) {
+    registry_->RegisterGaugeFn(f.name, f.help, /*deterministic=*/true,
+                               [engine, fn = f.fn]() {
+                                 int64_t total = 0;
+                                 for (CatalogObject* obj :
+                                      engine->catalog().AllDynamicTables()) {
+                                   total += fn(*obj);
+                                 }
+                                 return total;
+                               });
+    names_.push_back(f.name);
+  }
+}
+
+EngineMetrics::~EngineMetrics() {
+  for (const std::string& name : names_) registry_->Unregister(name);
+}
+
+}  // namespace obs
+}  // namespace dvs

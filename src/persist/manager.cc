@@ -6,11 +6,23 @@
 #include <filesystem>
 
 #include "dt/refresh.h"
+#include "obs/trace.h"
 
 namespace dvs {
 namespace persist {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kPersistMetricNames[] = {
+    "persist.wal_bytes",
+    "persist.checkpoint_bytes",
+    "persist.checkpoints",
+    "persist.generation",
+};
+
+}  // namespace
 
 std::string CheckpointPath(const std::string& dir, uint64_t seq) {
   char name[64];
@@ -61,10 +73,42 @@ Result<std::unique_ptr<Manager>> Manager::Open(ManagerOptions options) {
   for (uint64_t seq : checkpoints) next = std::max(next, seq + 1);
   for (uint64_t seq : wals) next = std::max(next, seq + 1);
   m->seq_ = next;
+  if (m->options_.metrics != nullptr) {
+    obs::Registry& reg = *m->options_.metrics;
+    Manager* mp = m.get();
+    // Scrape-time gauges over the live counters; unregistered in ~Manager.
+    // WAL byte totals vary with hook-append interleaving across worker
+    // counts, so all persist metrics are reported, never gated.
+    reg.RegisterGaugeFn("persist.wal_bytes", "WAL bytes appended",
+                        /*deterministic=*/false, [mp] {
+                          return static_cast<int64_t>(
+                              mp->stats_.wal_bytes.value());
+                        });
+    reg.RegisterGaugeFn("persist.checkpoint_bytes", "Checkpoint bytes written",
+                        /*deterministic=*/false, [mp] {
+                          return static_cast<int64_t>(
+                              mp->stats_.checkpoint_bytes.value());
+                        });
+    reg.RegisterGaugeFn("persist.checkpoints", "Checkpoints taken",
+                        /*deterministic=*/false, [mp] {
+                          return static_cast<int64_t>(mp->checkpoints_taken_);
+                        });
+    reg.RegisterGaugeFn("persist.generation", "Live checkpoint generation",
+                        /*deterministic=*/false, [mp] {
+                          return static_cast<int64_t>(mp->seq_);
+                        });
+  }
   return m;
 }
 
-Manager::~Manager() { Detach(); }
+Manager::~Manager() {
+  if (options_.metrics != nullptr) {
+    for (const char* name : kPersistMetricNames) {
+      options_.metrics->Unregister(name);
+    }
+  }
+  Detach();
+}
 
 void Manager::Detach() {
   if (engine_ == nullptr) return;
@@ -128,6 +172,7 @@ Status Manager::Checkpoint(const SchedulerPersistState* sched) {
 
 Status Manager::DoCheckpoint(const SchedulerPersistState* sched) {
   if (engine_ == nullptr) return FailedPrecondition("manager not attached");
+  obs::TraceSpan span("persist", "checkpoint");
   const uint64_t gen = wal_ == nullptr ? seq_ : seq_ + 1;
   SystemImage image = CaptureSystemImage(*engine_, sched);
   uint64_t bytes = 0;
@@ -147,6 +192,7 @@ Status Manager::DoCheckpoint(const SchedulerPersistState* sched) {
   }
   seq_ = gen;
   stats_.checkpoint_bytes += bytes;
+  if (span.armed()) span.AddArg("bytes", static_cast<int64_t>(bytes));
   ++checkpoints_taken_;
   ticks_since_checkpoint_ = 0;
 

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "persist/snapshot.h"
 #include "persist/wal.h"
 
@@ -47,6 +48,11 @@ struct ManagerOptions {
   uint64_t checkpoint_wal_bytes = 0;
   /// Checkpoint generations kept on disk beyond the live one.
   int retain_checkpoints = 1;
+  /// Metrics registry for the `persist.*` scrape-time gauges (WAL /
+  /// checkpoint bytes, generations). WAL byte counts include encoding
+  /// details that may vary with append interleaving, so they are reported
+  /// as non-deterministic. Must outlive the manager; nullptr disables.
+  obs::Registry* metrics = nullptr;
 };
 
 std::string CheckpointPath(const std::string& dir, uint64_t seq);

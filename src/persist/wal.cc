@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace dvs {
 namespace persist {
 
@@ -294,14 +296,42 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
   return w;
 }
 
+const char* WalRecordTypeName(WalRecordType type) {
+  switch (type) {
+    case WalRecordType::kCommit:
+      return "commit";
+    case WalRecordType::kDdl:
+      return "ddl";
+    case WalRecordType::kRefresh:
+      return "refresh";
+    case WalRecordType::kRefreshFailure:
+      return "refresh_failure";
+    case WalRecordType::kSchedRecord:
+      return "sched_record";
+    case WalRecordType::kTickEnd:
+      return "tick_end";
+    case WalRecordType::kPrune:
+      return "prune";
+    case WalRecordType::kRecluster:
+      return "recluster";
+  }
+  return "unknown";
+}
+
 Status WalWriter::Append(WalRecordType type, std::string_view payload,
                          uint64_t* appended_bytes) {
+  obs::TraceSpan span("persist", "wal.append");
   std::lock_guard<std::mutex> lock(mu_);
   const uint64_t before = file_.bytes_written();
   DVS_RETURN_IF_ERROR(file_.Append(static_cast<uint8_t>(type), payload));
   ++records_;
+  const uint64_t appended = file_.bytes_written() - before;
   if (appended_bytes != nullptr) {
-    *appended_bytes = file_.bytes_written() - before;
+    *appended_bytes = appended;
+  }
+  if (span.armed()) {
+    span.AddArg("type", static_cast<int64_t>(type));
+    span.AddArg("bytes", static_cast<int64_t>(appended));
   }
   return OkStatus();
 }

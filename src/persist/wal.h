@@ -57,6 +57,10 @@ enum class WalRecordType : uint8_t {
   kRecluster = 8,
 };
 
+/// Lower-case stable name ("commit", "sched_record", ...; "unknown" for
+/// unrecognized bytes). Used by wal_dump's per-type stats metric names.
+const char* WalRecordTypeName(WalRecordType type);
+
 // ---- Decoded record payloads ----
 
 struct CommitImage {

@@ -21,6 +21,7 @@ const char* PlanKindName(PlanKind k) {
     case PlanKind::kFlatten: return "Flatten";
     case PlanKind::kOrderBy: return "OrderBy";
     case PlanKind::kLimit: return "Limit";
+    case PlanKind::kValues: return "Values";
   }
   return "?";
 }
@@ -119,6 +120,9 @@ std::string PlanNode::ToString(int indent) const {
       break;
     case PlanKind::kLimit:
       out += "(" + std::to_string(limit) + ")";
+      break;
+    case PlanKind::kValues:
+      out += "(" + std::to_string(values_rows.size()) + " rows)";
       break;
     default:
       break;
@@ -252,6 +256,13 @@ PlanPtr MakeLimit(PlanPtr input, int64_t limit) {
   return n;
 }
 
+PlanPtr MakeValues(Schema schema, std::vector<Row> rows) {
+  auto n = NewNode(PlanKind::kValues);
+  n->output_schema = std::move(schema);
+  n->values_rows = std::move(rows);
+  return n;
+}
+
 void VisitPlan(const PlanPtr& p,
                const std::function<void(const PlanNode&)>& fn) {
   if (!p) return;
@@ -292,6 +303,7 @@ OperatorCounts CountOperators(const PlanPtr& p) {
       case PlanKind::kFlatten: c.flatten++; break;
       case PlanKind::kOrderBy: c.order_by++; break;
       case PlanKind::kLimit: c.limit++; break;
+      case PlanKind::kValues: c.values++; break;
     }
   });
   return c;

@@ -14,6 +14,7 @@
 
 #include "common/ids.h"
 #include "plan/expr.h"
+#include "types/row.h"
 #include "types/schema.h"
 
 namespace dvs {
@@ -30,6 +31,7 @@ enum class PlanKind {
   kFlatten,   ///< LATERAL FLATTEN over an array column.
   kOrderBy,   ///< Presentation order; full-refresh only.
   kLimit,     ///< Full-refresh only.
+  kValues,    ///< Inline rows bound from a table function (introspection).
 };
 
 const char* PlanKindName(PlanKind k);
@@ -94,6 +96,13 @@ struct PlanNode {
   // kLimit
   int64_t limit = -1;
 
+  // kValues: inline rows matching output_schema. Row ids derive from
+  // (node_tag, row index) — see rowid::Values — so they are stable under
+  // tag canonicalization like every other family. Table functions are
+  // rejected in DT/view definitions (binder), so kValues never appears in
+  // a persisted plan.
+  std::vector<Row> values_rows;
+
   std::string ToString(int indent = 0) const;
 };
 
@@ -119,6 +128,7 @@ PlanPtr MakeFlatten(PlanPtr input, ExprPtr flatten_expr,
                     std::string value_name = "value");
 PlanPtr MakeOrderBy(PlanPtr input, std::vector<SortKey> keys);
 PlanPtr MakeLimit(PlanPtr input, int64_t limit);
+PlanPtr MakeValues(Schema schema, std::vector<Row> rows);
 
 // ---- Analysis ----
 
@@ -142,7 +152,7 @@ PlanPtr CanonicalizePlanTags(const PlanPtr& root);
 struct OperatorCounts {
   int scan = 0, filter = 0, project = 0, inner_join = 0, outer_join = 0,
       union_all = 0, aggregate = 0, distinct = 0, window = 0, flatten = 0,
-      order_by = 0, limit = 0;
+      order_by = 0, limit = 0, values = 0;
 };
 OperatorCounts CountOperators(const PlanPtr& p);
 

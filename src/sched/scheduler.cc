@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "fault/injector.h"
+#include "obs/trace.h"
 #include "persist/manager.h"
 #include "persist/retention.h"
 
@@ -24,6 +25,42 @@ Scheduler::Scheduler(DvsEngine* engine, VirtualClock* clock,
   if (options_.worker_threads > 0) {
     pool_ = std::make_unique<runtime::ThreadPool>(options_.worker_threads);
     runner_ = std::make_unique<runtime::DagRefreshRunner>(pool_.get());
+  }
+  if (options_.metrics != nullptr) {
+    obs::Registry& reg = *options_.metrics;
+    // All bumped in the serial plan/finalize phases only — deterministic by
+    // construction (the finalize merge is byte-identical at any worker
+    // count), so every one of these is gated by bench_e20.
+    counters_.ticks =
+        reg.RegisterCounter("sched.ticks", "Scheduler ticks run", true);
+    counters_.refreshes = reg.RegisterCounter(
+        "sched.refreshes", "Successful refresh records", true);
+    counters_.refreshes_no_data = reg.RegisterCounter(
+        "sched.refreshes_no_data", "Refreshes short-circuited as NO_DATA",
+        true);
+    counters_.busy_skips = reg.RegisterCounter(
+        "sched.busy_skips", "Ticks skipped: previous refresh still running",
+        true);
+    counters_.upstream_skips = reg.RegisterCounter(
+        "sched.upstream_skips",
+        "Ticks skipped: upstream version missing at the data timestamp", true);
+    counters_.failures =
+        reg.RegisterCounter("sched.failures", "Failed refresh records", true);
+    counters_.transient_failures = reg.RegisterCounter(
+        "sched.transient_failures",
+        "Failures with a retryable status (outages, exhaustion)", true);
+    counters_.retry_attempts = reg.RegisterCounter(
+        "sched.retry_attempts", "Engine refresh retries (attempts beyond 1)",
+        true);
+    counters_.retry_backoff_us = reg.RegisterCounter(
+        "sched.retry_backoff_us", "Virtual-time retry backoff accumulated",
+        true);
+    counters_.rows_processed = reg.RegisterCounter(
+        "sched.rows_processed", "Rows processed by successful refreshes",
+        true);
+    counters_.changes_applied = reg.RegisterCounter(
+        "sched.changes_applied", "Changes applied by successful refreshes",
+        true);
   }
 }
 
@@ -91,6 +128,8 @@ void Scheduler::ExecuteNode(TickNode* node, Micros t) {
   const int max_attempts = std::max(1, options_.retry_max_attempts);
   for (;;) {
     node->attempts += 1;
+    obs::TraceSpan span("refresh", "attempt", node->obj->name);
+    if (span.armed()) span.AddArg("attempt", node->attempts);
     node->result = eng.Refresh(node->dt, t);
     if (node->result->ok() || !node->result->status().retryable() ||
         node->attempts >= max_attempts) {
@@ -104,15 +143,47 @@ void Scheduler::ExecuteNode(TickNode* node, Micros t) {
   }
 }
 
+void Scheduler::CountRecord(const RefreshRecord& rec) {
+  if (counters_.ticks == nullptr) return;  // no registry configured
+  if (rec.attempts > 1) {
+    *counters_.retry_attempts += static_cast<uint64_t>(rec.attempts - 1);
+  }
+  if (rec.retry_backoff > 0) {
+    *counters_.retry_backoff_us += static_cast<uint64_t>(rec.retry_backoff);
+  }
+  if (rec.skipped) {
+    if (rec.error_code == StatusCode::kUnavailable) {
+      *counters_.upstream_skips += 1;
+    } else {
+      *counters_.busy_skips += 1;
+    }
+    return;
+  }
+  if (rec.failed) {
+    *counters_.failures += 1;
+    if (rec.error_code == StatusCode::kUnavailable ||
+        rec.error_code == StatusCode::kResourceExhausted) {
+      *counters_.transient_failures += 1;
+    }
+    return;
+  }
+  *counters_.refreshes += 1;
+  if (rec.action == RefreshAction::kNoData) *counters_.refreshes_no_data += 1;
+  *counters_.rows_processed += rec.rows_processed;
+  *counters_.changes_applied += static_cast<uint64_t>(rec.changes_applied);
+}
+
 void Scheduler::FinalizeNode(TickNode* node, Micros t) {
   RefreshRecord rec;
   rec.dt = node->dt;
   rec.dt_name = node->obj->name;
   rec.data_timestamp = t;
 
-  // Journals the record just appended to the log, with the warehouse whose
-  // billing it advanced (serial phase — appends stay in log order).
+  // Counts and journals the record just appended to the log, with the
+  // warehouse whose billing it advanced (serial phase — appends stay in log
+  // order).
   auto journal = [this](const Warehouse* wh) {
+    CountRecord(log_.back());
     if (options_.persistence != nullptr) {
       options_.persistence->AppendSchedRecord(log_.back(), wh);
     }
@@ -216,117 +287,129 @@ void Scheduler::FinalizeNode(TickNode* node, Micros t) {
 void Scheduler::Tick(Micros t) {
   clock_->AdvanceTo(t);
   Catalog& catalog = engine_->catalog();
-
-  // Topological order, upstream first.
-  std::vector<CatalogObject*> dts = catalog.AllDynamicTables();
-  std::vector<ObjectId> order;
-  std::set<ObjectId> visited;
-  std::function<void(ObjectId)> dfs = [&](ObjectId id) {
-    if (!visited.insert(id).second) return;
-    for (ObjectId up : catalog.UpstreamDynamicTables(id)) dfs(up);
-    order.push_back(id);
-  };
-  for (CatalogObject* obj : dts) dfs(obj->id);
+  if (counters_.ticks != nullptr) *counters_.ticks += 1;
 
   // Phase 1 — plan (serial): decide which DTs are due, which are skipped as
   // still-busy, and keep them in topological order. All decisions here read
   // only pre-tick state, so they are identical in serial and parallel mode.
   std::vector<TickNode> nodes;
-  nodes.reserve(order.size());
-  // Injected warehouse outages are decided here, serially, once per tick per
-  // distinct warehouse (first due DT on it evaluates the site) — never in
-  // the parallel execute phase, where evaluation order would depend on
-  // thread interleaving. An outage spanning N ticks is the site armed with
-  // burst = N.
-  fault::FaultInjector* inj = fault::ActiveInjector();
-  std::map<std::string, Status> outages;
-  for (ObjectId dt_id : order) {
-    auto found = catalog.FindById(dt_id);
-    if (!found.ok()) continue;
-    CatalogObject* obj = found.value();
-    DynamicTableMeta* meta = obj->dt.get();
-    if (meta->state == DtState::kSuspended) continue;
+  {
+    obs::TraceSpan plan_span("sched", "tick.plan");
 
-    Micros period = RefreshPeriod(dt_id);
-    if (period == 0 || t % period != 0) continue;
-    if (meta->refresh_versions.count(t)) continue;  // e.g. manual refresh
+    // Topological order, upstream first.
+    std::vector<CatalogObject*> dts = catalog.AllDynamicTables();
+    std::vector<ObjectId> order;
+    std::set<ObjectId> visited;
+    std::function<void(ObjectId)> dfs = [&](ObjectId id) {
+      if (!visited.insert(id).second) return;
+      for (ObjectId up : catalog.UpstreamDynamicTables(id)) dfs(up);
+      order.push_back(id);
+    };
+    for (CatalogObject* obj : dts) dfs(obj->id);
 
-    TickNode node;
-    node.dt = dt_id;
-    node.obj = obj;
-    node.upstream = catalog.UpstreamDynamicTables(dt_id);
-    auto busy = busy_until_.find(dt_id);
-    node.busy_skip = busy != busy_until_.end() && busy->second > t;
-    if (!node.busy_skip && inj != nullptr) {
-      const std::string& wh = obj->dt->def.warehouse;
-      auto it = outages.find(wh);
-      if (it == outages.end()) {
-        it = outages
-                 .emplace(wh, inj->Check(fault::kSiteWarehouseOutage, wh))
-                 .first;
+    nodes.reserve(order.size());
+    // Injected warehouse outages are decided here, serially, once per tick
+    // per distinct warehouse (first due DT on it evaluates the site) — never
+    // in the parallel execute phase, where evaluation order would depend on
+    // thread interleaving. An outage spanning N ticks is the site armed with
+    // burst = N.
+    fault::FaultInjector* inj = fault::ActiveInjector();
+    std::map<std::string, Status> outages;
+    for (ObjectId dt_id : order) {
+      auto found = catalog.FindById(dt_id);
+      if (!found.ok()) continue;
+      CatalogObject* obj = found.value();
+      DynamicTableMeta* meta = obj->dt.get();
+      if (meta->state == DtState::kSuspended) continue;
+
+      Micros period = RefreshPeriod(dt_id);
+      if (period == 0 || t % period != 0) continue;
+      if (meta->refresh_versions.count(t)) continue;  // e.g. manual refresh
+
+      TickNode node;
+      node.dt = dt_id;
+      node.obj = obj;
+      node.upstream = catalog.UpstreamDynamicTables(dt_id);
+      auto busy = busy_until_.find(dt_id);
+      node.busy_skip = busy != busy_until_.end() && busy->second > t;
+      if (!node.busy_skip && inj != nullptr) {
+        const std::string& wh = obj->dt->def.warehouse;
+        auto it = outages.find(wh);
+        if (it == outages.end()) {
+          it = outages
+                   .emplace(wh, inj->Check(fault::kSiteWarehouseOutage, wh))
+                   .first;
+        }
+        if (!it->second.ok()) {
+          node.warehouse_out = true;
+          node.warehouse_status = it->second;
+        }
       }
-      if (!it->second.ok()) {
-        node.warehouse_out = true;
-        node.warehouse_status = it->second;
-      }
+      nodes.push_back(std::move(node));
     }
-    nodes.push_back(std::move(node));
+    if (plan_span.armed()) {
+      plan_span.AddArg("due", static_cast<int64_t>(nodes.size()));
+    }
   }
 
   // Phase 2 — execute. Runnable nodes refresh concurrently on the pool with
   // per-edge upstream barriers and per-warehouse admission gates; in serial
   // mode the same bodies run inline in topological order.
-  if (runner_ != nullptr) {
-    std::unordered_map<ObjectId, size_t> task_of_node;
-    std::vector<size_t> node_of_task;
-    std::vector<runtime::DagTask> tasks;
-    std::map<std::string, int> gate_limits;
-    for (size_t i = 0; i < nodes.size(); ++i) {
-      if (nodes[i].busy_skip || nodes[i].warehouse_out) continue;
-      runtime::DagTask task;
-      task.gate = nodes[i].obj->dt->def.warehouse;
-      if (!task.gate.empty() && !gate_limits.count(task.gate)) {
-        // Warehouse creation must stay on this thread: the pool map is not
-        // synchronized, and phase 3 creates warehouses in the same order
-        // serial mode would.
-        gate_limits[task.gate] =
-            engine_->warehouses().GetOrCreate(task.gate)->concurrency();
+  {
+    obs::TraceSpan exec_span("sched", "tick.execute");
+    if (runner_ != nullptr) {
+      std::unordered_map<ObjectId, size_t> task_of_node;
+      std::vector<size_t> node_of_task;
+      std::vector<runtime::DagTask> tasks;
+      std::map<std::string, int> gate_limits;
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        if (nodes[i].busy_skip || nodes[i].warehouse_out) continue;
+        runtime::DagTask task;
+        task.gate = nodes[i].obj->dt->def.warehouse;
+        if (!task.gate.empty() && !gate_limits.count(task.gate)) {
+          // Warehouse creation must stay on this thread: the pool map is not
+          // synchronized, and phase 3 creates warehouses in the same order
+          // serial mode would.
+          gate_limits[task.gate] =
+              engine_->warehouses().GetOrCreate(task.gate)->concurrency();
+        }
+        TickNode* node = &nodes[i];
+        task.work = [this, node, t] { ExecuteNode(node, t); };
+        for (ObjectId up : nodes[i].upstream) {
+          auto it = task_of_node.find(up);
+          if (it != task_of_node.end()) task.upstream.push_back(it->second);
+        }
+        task_of_node[nodes[i].dt] = tasks.size();
+        node_of_task.push_back(i);
+        tasks.push_back(std::move(task));
       }
-      TickNode* node = &nodes[i];
-      task.work = [this, node, t] { ExecuteNode(node, t); };
-      for (ObjectId up : nodes[i].upstream) {
-        auto it = task_of_node.find(up);
-        if (it != task_of_node.end()) task.upstream.push_back(it->second);
+      Status run = runner_->Run(tasks, gate_limits);
+      for (const auto& [gate, stats] : runner_->gate_stats()) {
+        int& peak = max_gate_occupancy_[gate];
+        peak = std::max(peak, stats.max_in_flight);
       }
-      task_of_node[nodes[i].dt] = tasks.size();
-      node_of_task.push_back(i);
-      tasks.push_back(std::move(task));
-    }
-    Status run = runner_->Run(tasks, gate_limits);
-    for (const auto& [gate, stats] : runner_->gate_stats()) {
-      int& peak = max_gate_occupancy_[gate];
-      peak = std::max(peak, stats.max_in_flight);
-    }
-    if (!run.ok()) {
-      // A task that never executed (cycle) or threw surfaces as a failed
-      // refresh record rather than a crash.
-      for (size_t ti : node_of_task) {
-        TickNode& node = nodes[ti];
-        if (!node.busy_skip && !node.warehouse_out && !node.upstream_missing &&
-            !node.result.has_value()) {
-          node.result = Result<RefreshOutcome>(run);
+      if (!run.ok()) {
+        // A task that never executed (cycle) or threw surfaces as a failed
+        // refresh record rather than a crash.
+        for (size_t ti : node_of_task) {
+          TickNode& node = nodes[ti];
+          if (!node.busy_skip && !node.warehouse_out &&
+              !node.upstream_missing && !node.result.has_value()) {
+            node.result = Result<RefreshOutcome>(run);
+          }
         }
       }
-    }
-  } else {
-    for (TickNode& node : nodes) {
-      if (!node.busy_skip && !node.warehouse_out) ExecuteNode(&node, t);
+    } else {
+      for (TickNode& node : nodes) {
+        if (!node.busy_skip && !node.warehouse_out) ExecuteNode(&node, t);
+      }
     }
   }
 
   // Phase 3 — finalize (serial, deterministic merge): warehouse slots,
   // billing, busy/lag state, and log records in phase-1 topological order,
   // byte-identical to serial execution.
+  obs::TraceSpan finalize_span("sched", "tick.finalize");
   for (TickNode& node : nodes) {
     FinalizeNode(&node, t);
   }

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "dt/engine.h"
+#include "obs/metrics.h"
 #include "runtime/dag_runner.h"
 #include "runtime/thread_pool.h"
 
@@ -124,6 +125,11 @@ struct SchedulerOptions {
   int retry_max_attempts = 3;
   Micros retry_base = kMicrosPerSecond;
   Micros retry_cap = 30 * kMicrosPerSecond;
+  /// Metrics registry for the scheduler's `sched.*` counters (tick and
+  /// refresh accounting). All of them are bumped only in the serial plan /
+  /// finalize phases, so they are deterministic — byte-identical at any
+  /// worker count. Must outlive the scheduler; nullptr disables.
+  obs::Registry* metrics = nullptr;
 };
 
 class Scheduler {
@@ -190,12 +196,30 @@ class Scheduler {
     std::optional<Result<RefreshOutcome>> result;
   };
 
+  /// `sched.*` registry counters (all deterministic; null when no registry
+  /// was configured). Bumped only from the serial tick phases.
+  struct Counters {
+    obs::Counter* ticks = nullptr;
+    obs::Counter* refreshes = nullptr;
+    obs::Counter* refreshes_no_data = nullptr;
+    obs::Counter* busy_skips = nullptr;
+    obs::Counter* upstream_skips = nullptr;
+    obs::Counter* failures = nullptr;
+    obs::Counter* transient_failures = nullptr;
+    obs::Counter* retry_attempts = nullptr;
+    obs::Counter* retry_backoff_us = nullptr;
+    obs::Counter* rows_processed = nullptr;
+    obs::Counter* changes_applied = nullptr;
+  };
+
   void Tick(Micros t);
   /// Phase 2 body for one node: post-barrier upstream check, then the
   /// engine refresh. Thread-safe w.r.t. other nodes' ExecuteNode calls.
   void ExecuteNode(TickNode* node, Micros t);
   /// Phase 3 body for one node: timing, billing, lag, log append. Serial.
   void FinalizeNode(TickNode* node, Micros t);
+  /// Applies one finalized record to the registry counters (serial).
+  void CountRecord(const RefreshRecord& rec);
 
   DvsEngine* engine_;
   VirtualClock* clock_;
@@ -213,6 +237,7 @@ class Scheduler {
   std::unique_ptr<runtime::ThreadPool> pool_;
   std::unique_ptr<runtime::DagRefreshRunner> runner_;
   std::map<std::string, int> max_gate_occupancy_;
+  Counters counters_;
 };
 
 }  // namespace dvs

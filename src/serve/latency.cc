@@ -56,6 +56,21 @@ double LatencyHistogram::QuantileUs(double q) const {
   return static_cast<double>(max_us());
 }
 
+obs::HistogramData LatencyHistogram::ExportData() const {
+  static_assert(kBuckets == obs::HistogramData::kBuckets,
+                "serve and obs histograms must share the bucket layout");
+  obs::HistogramData d;
+  d.count = count();
+  if (d.count == 0) return d;
+  d.sum = sum_us();
+  d.max = max_us();
+  d.buckets.resize(kBuckets);
+  for (size_t i = 0; i < kBuckets; ++i) {
+    d.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return d;
+}
+
 void LatencyHistogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);

@@ -20,6 +20,7 @@
 #include <cstdint>
 
 #include "common/clock.h"
+#include "obs/metrics.h"
 
 namespace dvs {
 namespace serve {
@@ -41,6 +42,12 @@ class LatencyHistogram {
   double P99Us() const { return QuantileUs(0.99); }
 
   void Reset();
+
+  /// Exports the current contents bucket-wise into the registry interchange
+  /// format (obs::HistogramData shares this exact bucket layout), so a
+  /// registry histogram-fn can scrape the live histogram without
+  /// re-recording. Approximately consistent mid-flight, like every reader.
+  obs::HistogramData ExportData() const;
 
   /// Bucket math, exposed for the unit test: index covering `us`, and the
   /// midpoint value reported for that bucket.

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <functional>
 
+#include "obs/trace.h"
 #include "storage/batch_scan.h"
 
 namespace dvs {
@@ -30,11 +31,62 @@ inline uint64_t HashBatchRow(const ColumnBatch& batch, size_t i) {
 
 }  // namespace
 
+namespace {
+
+/// Names of every metric the service registers; the dtor unregisters them.
+constexpr const char* kServeMetricNames[] = {
+    "serve.queries",        "serve.errors",
+    "serve.rows_scanned",   "serve.cache_hits",
+    "serve.cache_misses",   "serve.cache_evictions",
+    "serve.admission_peak", "serve.point_latency_us",
+    "serve.scan_latency_us",
+};
+
+}  // namespace
+
 QueryService::QueryService(DvsEngine* engine, ServeOptions options)
-    : engine_(engine), options_(options) {}
+    : engine_(engine), options_(options) {
+  if (options_.metrics == nullptr) return;
+  obs::Registry& reg = *options_.metrics;
+  // Scrape-time callbacks over the live counters (the counters stay the
+  // source of truth — ServeStats keeps working without a registry). Every
+  // serve metric is wall-clock-driven, hence deterministic=false.
+  auto gauge = [&reg, this](const char* name, const char* help,
+                            const std::atomic<uint64_t>* v) {
+    reg.RegisterGaugeFn(name, help, /*deterministic=*/false, [v] {
+      return static_cast<int64_t>(v->load(std::memory_order_relaxed));
+    });
+  };
+  gauge("serve.queries", "Read queries executed", &queries_);
+  gauge("serve.errors", "Read queries that failed", &errors_);
+  gauge("serve.rows_scanned", "Rows scanned by read queries", &rows_scanned_);
+  gauge("serve.cache_hits", "Batch-cache hits", &cache_hits_);
+  gauge("serve.cache_misses", "Batch-cache misses", &cache_misses_);
+  gauge("serve.cache_evictions", "Batch-cache shard evictions",
+        &cache_evictions_);
+  reg.RegisterGaugeFn("serve.admission_peak",
+                      "Max concurrent read queries observed",
+                      /*deterministic=*/false, [this] {
+                        std::lock_guard<std::mutex> lock(admission_mu_);
+                        return static_cast<int64_t>(admission_peak_);
+                      });
+  reg.RegisterHistogramFn("serve.point_latency_us", "Point-lookup latency",
+                          /*deterministic=*/false,
+                          [this] { return point_latency_.ExportData(); });
+  reg.RegisterHistogramFn("serve.scan_latency_us", "Scan latency",
+                          /*deterministic=*/false,
+                          [this] { return scan_latency_.ExportData(); });
+}
+
+QueryService::~QueryService() {
+  if (options_.metrics == nullptr) return;
+  for (const char* name : kServeMetricNames) options_.metrics->Unregister(name);
+}
 
 Result<ReadResult> QueryService::Execute(const ReadQuery& query) {
   const auto wall_start = std::chrono::steady_clock::now();
+  obs::TraceSpan span(
+      "serve", query.kind == ReadKind::kPointLookup ? "query.point" : "query.scan");
 
   // Admission: RAII gate so early returns release the slot. The wait (if
   // any) counts toward the recorded latency — it is what the client sees.
@@ -70,6 +122,10 @@ Result<ReadResult> QueryService::Execute(const ReadQuery& query) {
     result.value().latency_us = latency;
     (query.kind == ReadKind::kPointLookup ? point_latency_ : scan_latency_)
         .Record(latency);
+    if (span.armed()) {
+      span.AddArg("rows_scanned",
+                  static_cast<int64_t>(result.value().rows_scanned));
+    }
   } else {
     errors_.fetch_add(1, std::memory_order_relaxed);
   }

@@ -54,6 +54,10 @@ struct ServeOptions {
   /// Partition->batch cache entries across all shards before a shard-level
   /// eviction (epoch clear of the full shard); 0 disables caching.
   size_t batch_cache_capacity = 1 << 16;
+  /// Metrics registry for the `serve.*` scrape-time gauges and latency
+  /// histograms. All wall-clock-driven (arrival order, cache luck), so none
+  /// are deterministic. Must outlive the service; nullptr disables.
+  obs::Registry* metrics = nullptr;
 };
 
 enum class ReadKind {
@@ -112,6 +116,9 @@ class QueryService {
   /// `engine` must outlive the service. The service only reads through the
   /// engine's catalog; it never mutates catalog or storage state.
   explicit QueryService(DvsEngine* engine, ServeOptions options = {});
+  /// Unregisters the `serve.*` metrics (their scrape callbacks capture
+  /// `this`, so they must not outlive the service).
+  ~QueryService();
 
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;

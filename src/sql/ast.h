@@ -72,13 +72,15 @@ struct SelectItem {
 
 struct SelectStmt;
 
-enum class TableRefKind { kNamed, kSubquery, kJoin, kFlatten };
+enum class TableRefKind { kNamed, kSubquery, kJoin, kFlatten, kTableFunction };
 
 struct TableRef {
   TableRefKind kind = TableRefKind::kNamed;
-  // kNamed
+  // kNamed; kTableFunction reuses `name` for the function name.
   std::string name;
   std::string alias;
+  // kTableFunction: literal arguments (REFRESH_HISTORY('orders_by_day')).
+  std::vector<AstExprPtr> fn_args;
   // kSubquery
   std::shared_ptr<SelectStmt> subquery;
   // kJoin

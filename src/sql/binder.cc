@@ -129,10 +129,38 @@ Result<Binder::BoundFrom> Binder::BindNamed(const TableRef& ref) {
   return out;
 }
 
+Result<Binder::BoundFrom> Binder::BindTableFunction(const TableRef& ref) {
+  if (table_fns_ == nullptr || !*table_fns_) {
+    return UserError("unknown table function '" + ref.name +
+                     "' (introspection table functions are available only in "
+                     "direct queries, not in dynamic table or view "
+                     "definitions)");
+  }
+  std::vector<Value> args;
+  args.reserve(ref.fn_args.size());
+  for (const AstExprPtr& arg : ref.fn_args) {
+    if (arg->kind != AstExprKind::kLiteral) {
+      return UserError("table function arguments must be literals");
+    }
+    args.push_back(arg->literal);
+  }
+  DVS_ASSIGN_OR_RETURN(TableFunctionResult fn, (*table_fns_)(ref.name, args));
+
+  std::string qualifier = ref.alias.empty() ? ref.name : ref.alias;
+  BoundFrom out;
+  out.plan = MakeValues(fn.schema, std::move(fn.rows));
+  for (const Column& c : fn.schema.columns()) {
+    out.scope.columns.push_back({qualifier, c.name, c.type});
+  }
+  return out;
+}
+
 Result<Binder::BoundFrom> Binder::BindTableRef(const TableRef& ref) {
   switch (ref.kind) {
     case TableRefKind::kNamed:
       return BindNamed(ref);
+    case TableRefKind::kTableFunction:
+      return BindTableFunction(ref);
     case TableRefKind::kSubquery: {
       DVS_ASSIGN_OR_RETURN(BindResult sub, BindSelect(*ref.subquery));
       BoundFrom out;

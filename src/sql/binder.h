@@ -13,6 +13,7 @@
 #ifndef DVS_SQL_BINDER_H_
 #define DVS_SQL_BINDER_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -32,9 +33,32 @@ struct BindResult {
   std::vector<TrackedDependency> dependencies;
 };
 
+/// Schema + rows a table function produced at bind time; bound into a
+/// kValues plan node. The rows are a snapshot — a table-function query
+/// captures its source (refresh log, catalog state) when bound, like the
+/// paper's introspection views.
+struct TableFunctionResult {
+  Schema schema;
+  std::vector<Row> rows;
+};
+
+/// Resolves a table function by lower-cased name and literal argument
+/// values. Returns NotFound for unknown names (the binder surfaces it).
+using TableFunctionProvider = std::function<Result<TableFunctionResult>(
+    const std::string& name, const std::vector<Value>& args)>;
+
 class Binder {
  public:
   explicit Binder(const Catalog& catalog) : catalog_(catalog) {}
+
+  /// Enables table functions for this bind. Installed only on the direct
+  /// query path (DvsEngine::ExecuteSelect): introspection output depends on
+  /// scheduler state, so CREATE DYNAMIC TABLE / CREATE VIEW definitions —
+  /// bound without a provider — reject table functions at bind time.
+  /// `provider` must outlive the binder.
+  void set_table_function_provider(const TableFunctionProvider* provider) {
+    table_fns_ = provider;
+  }
 
   /// Binds a full SELECT statement to a plan. The returned plan's node tags
   /// are canonicalized (CanonicalizePlanTags): a pure function of the plan
@@ -76,6 +100,7 @@ class Binder {
   Result<BindResult> BindSelectImpl(const SelectStmt& stmt);
   Result<BoundFrom> BindTableRef(const TableRef& ref);
   Result<BoundFrom> BindNamed(const TableRef& ref);
+  Result<BoundFrom> BindTableFunction(const TableRef& ref);
 
   Result<ExprPtr> BindExpr(const AstExpr& ast, const Scope& scope,
                            bool allow_agg, bool allow_window);
@@ -85,6 +110,7 @@ class Binder {
                                const Scope& scope);
 
   const Catalog& catalog_;
+  const TableFunctionProvider* table_fns_ = nullptr;
   std::vector<TrackedDependency> deps_;
   std::vector<PendingWindow> pending_windows_;
 };

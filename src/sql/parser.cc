@@ -593,6 +593,20 @@ Result<std::shared_ptr<TableRef>> Parser::ParseTablePrimary() {
   } else {
     ref->kind = TableRefKind::kNamed;
     DVS_ASSIGN_OR_RETURN(ref->name, ExpectIdent("table name"));
+    // An identifier followed by '(' is a table function — the paper's
+    // introspection surfaces (REFRESH_HISTORY, GRAPH_HISTORY). Arguments
+    // are literals; the binder resolves the name through the installed
+    // provider (direct queries only).
+    if (MatchSymbol("(")) {
+      ref->kind = TableRefKind::kTableFunction;
+      if (!MatchSymbol(")")) {
+        do {
+          DVS_ASSIGN_OR_RETURN(AstExprPtr arg, ParseExpr());
+          ref->fn_args.push_back(std::move(arg));
+        } while (MatchSymbol(","));
+        DVS_RETURN_IF_ERROR(ExpectSymbol(")"));
+      }
+    }
   }
   // Optional alias.
   if (MatchKeyword("as")) {

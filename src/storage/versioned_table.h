@@ -27,6 +27,7 @@
 #include "common/hlc.h"
 #include "common/ids.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "types/row.h"
 #include "types/schema.h"
 
@@ -62,35 +63,34 @@ struct RowLocation {
 /// Counters for storage-level effects; used by the read-amplification
 /// ablation (E11) and general reporting.
 ///
-/// The counters are atomics because read-side operations bump them too
-/// (ScanChanges is const yet counts scan amplification), and concurrent
-/// refreshes legitimately change-scan the same shared base table from
-/// several worker threads. Write-side counters have a single writer (the
-/// refresh that owns the table) but stay atomic for uniformity; all updates
-/// are statistical, so relaxed ordering would suffice — plain atomic ops
-/// keep the call sites readable.
+/// The counters are obs::Counter (relaxed-atomic uint64, same hot-path cost
+/// as the raw std::atomic fields they replaced) because read-side operations
+/// bump them too (ScanChanges is const yet counts scan amplification), and
+/// concurrent refreshes legitimately change-scan the same shared base table
+/// from several worker threads. obs::EngineMetrics aggregates these
+/// per-table structs into the metrics registry (`storage.*`).
 struct StorageStats {
-  std::atomic<uint64_t> partitions_created = 0;
-  std::atomic<uint64_t> rows_written = 0;  ///< Rows copied into new partitions.
-  std::atomic<uint64_t> rows_rewritten_copy = 0;
+  obs::Counter partitions_created;
+  obs::Counter rows_written;  ///< Rows copied into new partitions.
+  obs::Counter rows_rewritten_copy;
                                       ///< Rows copied only because a sibling
                                       ///< in their partition was deleted
                                       ///< (copy-on-write write amplification).
-  std::atomic<uint64_t> change_scan_raw_rows = 0;
+  obs::Counter change_scan_raw_rows;
                                       ///< Rows surfaced by change scans
                                       ///< before equivalence cancellation
                                       ///< (read amplification, §5.5.2).
-  std::atomic<uint64_t> change_scan_net_rows = 0;  ///< Rows after cancellation.
+  obs::Counter change_scan_net_rows;  ///< Rows after cancellation.
 
   // Row-id index maintenance cost. The index makes the ApplyChanges delete
   // path O(changes): exactly one point lookup per delete change
   // (`index_lookups`), never a scan of live partitions.
-  std::atomic<uint64_t> index_lookups = 0;  ///< Delete-locate point lookups.
-  std::atomic<uint64_t> index_entries_added = 0;
+  obs::Counter index_lookups;  ///< Delete-locate point lookups.
+  obs::Counter index_entries_added;
                                        ///< Entries written (insert/rewrite).
-  std::atomic<uint64_t> index_entries_removed = 0;
+  obs::Counter index_entries_removed;
                                        ///< Entries erased by deletes.
-  std::atomic<uint64_t> index_rebuilds = 0;
+  obs::Counter index_rebuilds;
                                        ///< Full rebuilds (overwrite/recluster).
 
   // Durability subsystem (persist/). versions_pruned / partitions_freed are
@@ -98,16 +98,16 @@ struct StorageStats {
   // checkpoint_bytes are bumped by the persist::Manager that owns the
   // durability files (they live here so every durability counter shares one
   // reporting struct).
-  std::atomic<uint64_t> versions_pruned = 0;
-  std::atomic<uint64_t> partitions_freed = 0;
-  std::atomic<uint64_t> wal_bytes = 0;         ///< WAL bytes appended.
-  std::atomic<uint64_t> checkpoint_bytes = 0;  ///< Checkpoint bytes written.
+  obs::Counter versions_pruned;
+  obs::Counter partitions_freed;
+  obs::Counter wal_bytes;         ///< WAL bytes appended.
+  obs::Counter checkpoint_bytes;  ///< Checkpoint bytes written.
 
   // Serve read path (serve/query_service.h). Snapshot pins are counted at
   // acquisition (SnapshotVersion / SnapshotAtTime); scanned rows are charged
   // by the query service as it executes over the pinned partitions.
-  std::atomic<uint64_t> snapshot_pins = 0;      ///< Read snapshots taken.
-  std::atomic<uint64_t> snapshot_read_rows = 0; ///< Rows scanned via pins.
+  obs::Counter snapshot_pins;      ///< Read snapshots taken.
+  obs::Counter snapshot_read_rows; ///< Rows scanned via pins.
 };
 
 /// Result of one retention-GC pruning pass over a table.

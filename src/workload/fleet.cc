@@ -186,5 +186,21 @@ size_t Fleet::dt_count() const {
   return n;
 }
 
+void ExportPumpStats(const PumpStats& stats, obs::Registry* registry) {
+  if (registry == nullptr) return;
+  auto set = [registry](const char* name, const char* help, uint64_t v) {
+    registry->RegisterGauge(name, help, /*deterministic=*/true)
+        ->Set(static_cast<int64_t>(v));
+  };
+  set("workload.insert_statements", "Fleet arrival INSERT statements",
+      stats.insert_statements);
+  set("workload.rows_inserted", "Fleet arrival rows inserted",
+      stats.rows_inserted);
+  set("workload.update_statements", "Fleet churn UPDATE statements",
+      stats.update_statements);
+  set("workload.delete_statements", "Fleet churn DELETE statements",
+      stats.delete_statements);
+}
+
 }  // namespace workload
 }  // namespace dvs

@@ -21,6 +21,7 @@
 
 #include "common/rng.h"
 #include "dt/engine.h"
+#include "obs/metrics.h"
 
 namespace dvs {
 namespace workload {
@@ -69,6 +70,12 @@ struct PumpStats {
   uint64_t update_statements = 0;
   uint64_t delete_statements = 0;
 };
+
+/// Publishes pump totals as `workload.*` gauges (deterministic: arrivals are
+/// a pure function of seed + options + virtual time). A one-shot Set — call
+/// after pumping, typically right before snapshotting the registry; safe to
+/// call repeatedly (gauges are overwritten).
+void ExportPumpStats(const PumpStats& stats, obs::Registry* registry);
 
 /// Figure 5's lag buckets, for histogram reporting.
 struct LagBucket {

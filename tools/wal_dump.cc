@@ -8,6 +8,10 @@
 //   $ wal_dump --verify <target>          # health check: report CRC
 //                                         # mismatches / torn-tail position,
 //                                         # exit 3 on corruption
+//   $ wal_dump --stats <target>           # per-record-type counts and frame
+//                                         # byte totals in the metrics-
+//                                         # snapshot text encoding; exit 3 on
+//                                         # a torn tail like --verify
 //
 // Prints one line per record — index, byte offset, type, affected table,
 // commit HLC, and row/change counts — then the tail status (clean or torn,
@@ -29,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "persist/manager.h"
 #include "persist/recover.h"
 #include "persist/snapshot.h"
@@ -208,6 +213,45 @@ void PrintRecord(size_t index, const FramedRecord& rec,
   std::printf("<malformed payload, %zu bytes>\n", rec.payload.size());
 }
 
+/// --stats: per-type record counts and frame byte totals, accumulated into a
+/// metrics registry and printed in the canonical snapshot text encoding (the
+/// same `name value` lines bench_e20 byte-compares), so the output is
+/// stable, sorted, and machine-diffable. Torn tails exit 3 like --verify.
+int Stats(const std::string& path) {
+  auto wal = ReadWalSegment(path);
+  if (!wal.ok()) {
+    std::fprintf(stderr, "wal_dump: %s\n", wal.status().ToString().c_str());
+    return 1;
+  }
+  const RecordFile& file = wal.value();
+  obs::Registry reg;
+  // Frame size of record i = end_offset delta (includes frame header + CRC);
+  // the 16-byte segment header precedes the first frame.
+  uint64_t prev_end = 16;
+  for (const FramedRecord& rec : file.records) {
+    const char* type = WalRecordTypeName(static_cast<WalRecordType>(rec.type));
+    *reg.RegisterCounter("wal.records." + std::string(type),
+                         "Records of this type", true) += 1;
+    *reg.RegisterCounter("wal.bytes." + std::string(type),
+                         "Frame bytes of this type", true) +=
+        rec.end_offset - prev_end;
+    prev_end = rec.end_offset;
+  }
+  *reg.RegisterCounter("wal.records", "Total intact records", true) +=
+      file.records.size();
+  *reg.RegisterCounter("wal.bytes", "Segment bytes incl. header", true) +=
+      prev_end;
+  std::printf("%s  generation=%" PRIu64 "\n", path.c_str(), file.seq);
+  std::fputs(reg.Snapshot().ToText().c_str(), stdout);
+  if (file.torn_tail) {
+    std::printf("CORRUPT: %s at offset %" PRIu64 " (%zu intact records)\n",
+                file.torn_reason.c_str(), file.torn_offset,
+                file.records.size());
+    return 3;
+  }
+  return 0;
+}
+
 int Dump(const std::string& path, const std::map<ObjectId, std::string>& names,
          bool verify) {
   auto wal = ReadWalSegment(path);
@@ -253,23 +297,27 @@ int Dump(const std::string& path, const std::map<ObjectId, std::string>& names,
 
 int main(int argc, char** argv) {
   bool verify = false;
+  bool stats = false;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--verify") == 0) {
       verify = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      stats = true;
     } else {
       args.push_back(argv[i]);
     }
   }
   if (args.empty() || args.size() > 2) {
-    std::fprintf(
-        stderr,
-        "usage: wal_dump [--verify] <persist-dir> [generation] | <wal-file>\n");
+    std::fprintf(stderr,
+                 "usage: wal_dump [--verify] [--stats] <persist-dir> "
+                 "[generation] | <wal-file>\n");
     return 2;
   }
   std::string arg = args[0];
 
   if (!fs::is_directory(arg)) {
+    if (stats) return Stats(arg);
     // Direct WAL file; look for the sibling checkpoint for name annotation.
     std::map<ObjectId, std::string> names;
     uint64_t seq = 0;
@@ -292,5 +340,6 @@ int main(int argc, char** argv) {
     }
     seq = *std::max_element(wals.begin(), wals.end());
   }
+  if (stats) return Stats(WalPath(arg, seq));
   return Dump(WalPath(arg, seq), LoadNames(arg, seq), verify);
 }
