@@ -4,6 +4,8 @@
 #include <cctype>
 #include <mutex>
 
+#include "obs/profile.h"
+
 namespace dvs {
 
 namespace {
@@ -76,6 +78,19 @@ void DynamicTableMeta::TrimRefreshVersionsBelow(VersionId keep_from) {
       ++it;
     }
   }
+}
+
+void DynamicTableMeta::RetainProfile(
+    std::shared_ptr<const obs::RefreshProfile> p) {
+  std::lock_guard<std::mutex> lock(profiles_mu);
+  profiles.push_back(std::move(p));
+  while (profiles.size() > obs::kProfileRingCapacity) profiles.pop_front();
+}
+
+std::vector<std::shared_ptr<const obs::RefreshProfile>>
+DynamicTableMeta::ProfileSnapshot() const {
+  std::lock_guard<std::mutex> lock(profiles_mu);
+  return {profiles.begin(), profiles.end()};
 }
 
 void Catalog::Log(const std::string& op, const std::string& name, ObjectId id,

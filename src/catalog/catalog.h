@@ -5,9 +5,11 @@
 #ifndef DVS_CATALOG_CATALOG_H_
 #define DVS_CATALOG_CATALOG_H_
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <shared_mutex>
@@ -24,6 +26,10 @@
 #include "storage/versioned_table.h"
 
 namespace dvs {
+
+namespace obs {
+struct RefreshProfile;  // obs/profile.h
+}  // namespace obs
 
 enum class ObjectKind { kBaseTable, kView, kDynamicTable };
 
@@ -113,7 +119,10 @@ struct DynamicTableMeta {
         refresh_versions(o.refresh_versions),
         frontier(o.frontier),
         dependencies(o.dependencies),
-        needs_reinit(o.needs_reinit) {}
+        needs_reinit(o.needs_reinit) {
+    std::lock_guard<std::mutex> lock(o.profiles_mu);
+    profiles = o.profiles;  // shared: published profiles are immutable
+  }
   DynamicTableMeta& operator=(const DynamicTableMeta&) = delete;
 
   /// Looks up this DT's own version for a given refresh timestamp. Exact
@@ -147,6 +156,25 @@ struct DynamicTableMeta {
   /// Guards refresh_versions against serve-side ResolveRead. Exposed so the
   /// serve tests can assert the contract; everything else uses the methods.
   mutable std::shared_mutex reads_mu;
+
+  // ---- Refresh profiles (obs/profile.h) ----
+  //
+  // While profiling is armed, every refresh attempt — success or failure —
+  // publishes its operator-level profile here. Bounded ring: the last
+  // obs::kProfileRingCapacity attempts, oldest evicted first. Published
+  // profiles are immutable, so REFRESH_PROFILE() scrapes running on query
+  // threads only need the ring mutex, never the profile contents.
+
+  /// Appends `p` to the ring, evicting the oldest past capacity.
+  void RetainProfile(std::shared_ptr<const obs::RefreshProfile> p);
+
+  /// Snapshot of retained profiles, oldest first.
+  std::vector<std::shared_ptr<const obs::RefreshProfile>> ProfileSnapshot()
+      const;
+
+  /// Guards `profiles` (refresh workers publish, query threads scrape).
+  mutable std::mutex profiles_mu;
+  std::deque<std::shared_ptr<const obs::RefreshProfile>> profiles;
 };
 
 struct CatalogObject {

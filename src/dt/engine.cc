@@ -2,6 +2,7 @@
 
 #include "exec/evaluator.h"
 #include "ivm/incrementality.h"
+#include "obs/profile.h"
 #include "sql/binder.h"
 #include "sql/parser.h"
 
@@ -88,6 +89,8 @@ Result<QueryResult> DvsEngine::ExecuteStatement(const sql::Statement& stmt) {
       return ExecuteUpdate(*stmt.update);
     case sql::StatementKind::kAlterDt:
       return ExecuteAlterDt(*stmt.alter_dt);
+    case sql::StatementKind::kExplain:
+      return ExecuteExplain(*stmt.explain);
   }
   return Internal("unhandled statement kind");
 }
@@ -101,6 +104,7 @@ Result<QueryResult> DvsEngine::ExecuteSelect(const sql::SelectStmt& stmt) {
   ExecContext ctx;
   ctx.resolve_scan = refresh_.MakeResolver(now, /*exact_dt=*/false);
   ctx.eval.current_time = now;
+  ctx.force_row_path = force_row_path_;
   DVS_ASSIGN_OR_RETURN(std::vector<Row> rows,
                        ExecutePlanRows(*bound.plan, ctx));
 
@@ -124,6 +128,44 @@ Result<QueryResult> DvsEngine::ExecuteSelect(const sql::SelectStmt& stmt) {
   out.isolation = (dt_count == 1 && other_count == 0)
                       ? QueryIsolation::kSnapshotIsolation
                       : QueryIsolation::kReadCommitted;
+  RecordQueryReads(bound.plan);
+  return out;
+}
+
+Result<QueryResult> DvsEngine::ExecuteExplain(const sql::ExplainStmt& stmt) {
+  // Bind like a direct SELECT (table functions available) — EXPLAIN shows
+  // exactly the plan ExecuteSelect would run.
+  sql::Binder binder(catalog_);
+  if (table_fns_) binder.set_table_function_provider(&table_fns_);
+  DVS_ASSIGN_OR_RETURN(sql::BindResult bound, binder.BindSelect(*stmt.select));
+
+  QueryResult out;
+  out.schema.AddColumn("plan", DataType::kString);
+  if (!stmt.analyze) {
+    for (std::string& line : obs::RenderPlanLines(*bound.plan)) {
+      out.rows.push_back({Value::String(std::move(line))});
+    }
+    out.message = "EXPLAIN";
+    return out;
+  }
+
+  // ANALYZE: execute with a private sink — armed per-execution, independent
+  // of the global profiling flag — then annotate the plan with its counters.
+  obs::ProfileSink sink;
+  sink.DeclarePlan(*bound.plan);
+  const Micros now = clock_.Now();
+  ExecContext ctx;
+  ctx.resolve_scan = refresh_.MakeResolver(now, /*exact_dt=*/false);
+  ctx.eval.current_time = now;
+  ctx.force_row_path = force_row_path_;
+  ctx.profile = &sink;
+  DVS_ASSIGN_OR_RETURN(std::vector<IdRow> rows, ExecutePlan(*bound.plan, ctx));
+  for (std::string& line :
+       obs::RenderAnalyzedPlanLines(*bound.plan, sink, /*include_wall=*/true)) {
+    out.rows.push_back({Value::String(std::move(line))});
+  }
+  out.message = "EXPLAIN ANALYZE";
+  out.affected_rows = static_cast<int64_t>(rows.size());
   RecordQueryReads(bound.plan);
   return out;
 }

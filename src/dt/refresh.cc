@@ -1,9 +1,11 @@
 #include "dt/refresh.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 
 #include "fault/injector.h"
+#include "obs/profile.h"
 #include "ivm/state_reuse.h"
 #include "sql/binder.h"
 #include "sql/parser.h"
@@ -231,7 +233,7 @@ BatchScanResolver RefreshEngine::MakeBatchVersionResolver(
 Result<std::vector<IdRow>> RefreshEngine::ComputeFull(
     const CatalogObject& obj,
     const std::unordered_map<ObjectId, VersionId>& versions, Micros ts,
-    uint64_t* rows_processed) {
+    uint64_t* rows_processed, obs::ProfileSink* profile) {
   ExecContext ctx;
   auto pinned =
       std::make_shared<const std::unordered_map<ObjectId, VersionId>>(versions);
@@ -239,6 +241,7 @@ Result<std::vector<IdRow>> RefreshEngine::ComputeFull(
   ctx.resolve_scan_batches = MakeBatchVersionResolver(
       pinned, std::make_shared<PartitionBatchCache>());
   ctx.eval.current_time = ts;
+  ctx.profile = profile;
   auto rows = ExecutePlan(*obj.dt->plan, ctx);
   *rows_processed += ctx.rows_processed;
   return rows;
@@ -287,10 +290,19 @@ Result<RefreshOutcome> RefreshEngine::Refresh(ObjectId dt_id,
   // the refresh succeeds (persist hook installed only).
   RefreshCommitInfo pinfo;
 
-  auto run = [&]() -> Result<RefreshOutcome> {
-    RefreshOutcome out;
-    out.data_timestamp = refresh_ts;
+  // Operator-level profile of this attempt, allocated only while profiling
+  // is armed (obs/profile.h). Hoisted out of `run` (like pinfo) so the
+  // post-run block can retain it for both successful and failed attempts.
+  std::shared_ptr<obs::RefreshProfile> profile;
+  if (obs::ProfilingArmed()) {
+    profile = std::make_shared<obs::RefreshProfile>();
+    profile->dt_name = obj->name;
+    profile->refresh_ts = refresh_ts;
+  }
+  RefreshOutcome out;
+  out.data_timestamp = refresh_ts;
 
+  auto run = [&]() -> Result<RefreshOutcome> {
     // Chaos site: lets tests/benches make this refresh fail transiently
     // (retryable) or permanently, scoped by DT name. Evaluated in per-DT
     // program order — attempt k of DT d sees decision k regardless of which
@@ -300,6 +312,10 @@ Result<RefreshOutcome> RefreshEngine::Refresh(ObjectId dt_id,
     }
 
     DVS_RETURN_IF_ERROR(CheckQueryEvolution(obj));
+    // Declare structure after query evolution — a rebind swaps the plan, and
+    // the profile should mirror the plan that actually executes.
+    if (profile != nullptr) profile->sink.DeclarePlan(*meta->plan);
+    obs::ProfileSink* psink = profile != nullptr ? &profile->sink : nullptr;
     DVS_ASSIGN_OR_RETURN(auto source_versions,
                          ResolveSourceVersions(*obj, refresh_ts));
 
@@ -324,7 +340,8 @@ Result<RefreshOutcome> RefreshEngine::Refresh(ObjectId dt_id,
     if (!meta->initialized) {
       out.action = RefreshAction::kInitialize;
       DVS_ASSIGN_OR_RETURN(std::vector<IdRow> rows,
-                           ComputeFull(*obj, source_versions, refresh_ts, &out.rows_processed));
+                           ComputeFull(*obj, source_versions, refresh_ts,
+                                       &out.rows_processed, psink));
       out.changes_applied = rows.size();
       out.change_stats.inserts = rows.size();
       DVS_ASSIGN_OR_RETURN(VersionId vid, commit_overwrite(std::move(rows)));
@@ -341,7 +358,8 @@ Result<RefreshOutcome> RefreshEngine::Refresh(ObjectId dt_id,
     if (meta->needs_reinit) {
       out.action = RefreshAction::kReinitialize;
       DVS_ASSIGN_OR_RETURN(std::vector<IdRow> rows,
-                           ComputeFull(*obj, source_versions, refresh_ts, &out.rows_processed));
+                           ComputeFull(*obj, source_versions, refresh_ts,
+                                       &out.rows_processed, psink));
       out.changes_applied = rows.size();
       out.change_stats.inserts = rows.size();
       DVS_ASSIGN_OR_RETURN(VersionId vid, commit_overwrite(std::move(rows)));
@@ -383,7 +401,8 @@ Result<RefreshOutcome> RefreshEngine::Refresh(ObjectId dt_id,
     if (!meta->incremental) {
       out.action = RefreshAction::kFull;
       DVS_ASSIGN_OR_RETURN(std::vector<IdRow> rows,
-                           ComputeFull(*obj, source_versions, refresh_ts, &out.rows_processed));
+                           ComputeFull(*obj, source_versions, refresh_ts,
+                                       &out.rows_processed, psink));
       out.changes_applied = rows.size();
       out.change_stats.inserts = rows.size();
       DVS_ASSIGN_OR_RETURN(VersionId vid, commit_overwrite(std::move(rows)));
@@ -442,6 +461,7 @@ Result<RefreshOutcome> RefreshEngine::Refresh(ObjectId dt_id,
     };
     dctx.eval_start.current_time = start_ts;
     dctx.eval_end.current_time = refresh_ts;
+    dctx.profile = psink;
 
     ChangeSet changes;
     if (options_.enable_state_reuse) {
@@ -493,7 +513,21 @@ Result<RefreshOutcome> RefreshEngine::Refresh(ObjectId dt_id,
     return out;
   };
 
+  std::chrono::steady_clock::time_point attempt_start;
+  if (profile != nullptr) attempt_start = std::chrono::steady_clock::now();
   Result<RefreshOutcome> result = run();
+  if (profile != nullptr) {
+    profile->wall_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - attempt_start)
+            .count());
+    // `out.action` reflects the furthest decision the attempt reached even
+    // when `run` failed mid-way (out is hoisted above the lambda for this).
+    profile->action = RefreshActionName(out.action);
+    profile->outcome = result.ok() ? "SUCCESS" : "FAILURE";
+    profile->rows_processed = out.rows_processed;
+    meta->RetainProfile(std::move(profile));
+  }
   if (result.ok()) {
     meta->consecutive_failures = 0;
     meta->transient_failures = 0;

@@ -187,11 +187,11 @@ class RefreshEngine {
 
   /// Full computation of the defining query against pinned source versions,
   /// with context functions evaluated at `ts` (INITIALIZE / FULL /
-  /// REINITIALIZE).
+  /// REINITIALIZE). `profile` (nullable) collects per-operator stats.
   Result<std::vector<IdRow>> ComputeFull(
       const CatalogObject& obj,
       const std::unordered_map<ObjectId, VersionId>& versions, Micros ts,
-      uint64_t* rows_processed);
+      uint64_t* rows_processed, obs::ProfileSink* profile);
 
   /// Applies a user-error to the DT's failure accounting.
   void RecordFailure(CatalogObject* obj);

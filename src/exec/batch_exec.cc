@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <set>
 
 #include "exec/row_id.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 
 namespace dvs {
@@ -12,6 +14,21 @@ namespace dvs {
 namespace {
 
 Result<BatchVector> ExecB(const PlanNode& n, const BatchExecEnv& env);
+
+/// Columnar bail-out accounting: the always-on global counter plus the
+/// per-node profile slot when a sink is attached.
+void CountBail(const BatchExecEnv& env, const PlanNode& n) {
+  obs::ExecCounters::Instance().vector_bails += 1;
+  if (env.profile != nullptr) env.profile->Node(n.node_tag)->vector_bails += 1;
+}
+
+/// Error-driven row-wise redo accounting (vectorized evaluation failed and
+/// the scalar path reruns the work so error selection matches the row
+/// engine).
+void CountRedo(const BatchExecEnv& env, const PlanNode& n) {
+  obs::ExecCounters::Instance().row_redos += 1;
+  if (env.profile != nullptr) env.profile->Node(n.node_tag)->row_redos += 1;
+}
 
 // ---- Conversion helpers ----
 
@@ -26,9 +43,11 @@ bool UniformWidth(const std::vector<IdRow>& rows) {
 
 /// Row->batch adapter that bails (instead of guessing) on ragged rows.
 Result<BatchVector> RowsToBatchesChecked(const std::vector<IdRow>& rows,
-                                         const BatchExecEnv& env) {
+                                         const BatchExecEnv& env,
+                                         const PlanNode& n) {
   if (!UniformWidth(rows)) {
     env.bail = true;
+    CountBail(env, n);
     return BatchVector{};
   }
   return RowsToBatches(rows);
@@ -44,7 +63,7 @@ Result<BatchVector> RowKernelFallback(const PlanNode& n,
   DVS_ASSIGN_OR_RETURN(BatchVector in, ExecB(*n.children[0], env));
   if (env.bail) return BatchVector{};
   DVS_ASSIGN_OR_RETURN(std::vector<IdRow> out, kernel(BatchesToRows(in)));
-  return RowsToBatchesChecked(out, env);
+  return RowsToBatchesChecked(out, env, n);
 }
 
 // ---- Filter ----
@@ -89,6 +108,7 @@ Result<BatchVector> ExecFilterB(const PlanNode& n, const BatchExecEnv& env) {
       // Vector evaluation failed somewhere in this batch: redo it row-wise
       // so the surfaced error (if the scalar path errors at all) is the row
       // engine's, for the row engine's row.
+      CountRedo(env, n);
       DVS_ASSIGN_OR_RETURN(sel, RedoFilterRowwise(n, *batch, env.eval));
     }
     if (sel.empty()) continue;
@@ -142,6 +162,7 @@ Result<BatchVector> ExecProjectB(const PlanNode& n, const BatchExecEnv& env) {
       ob->cols.push_back(col.take());
     }
     if (redo) {
+      CountRedo(env, n);
       DVS_ASSIGN_OR_RETURN(BatchPtr rb,
                            RedoProjectRowwise(n, *batch, env.eval));
       out.push_back(std::move(rb));
@@ -201,10 +222,11 @@ bool KeysEqualAt(const BatchKeys& a, size_t i, const BatchKeys& b, size_t j) {
 Result<BatchVector> RowFallbackJoin(const PlanNode& n, const BatchVector& lb,
                                     const BatchVector& rb,
                                     const BatchExecEnv& env) {
+  CountRedo(env, n);
   DVS_ASSIGN_OR_RETURN(
       std::vector<IdRow> out,
       ComputeJoin(n, BatchesToRows(lb), BatchesToRows(rb), env.eval));
-  return RowsToBatchesChecked(out, env);
+  return RowsToBatchesChecked(out, env, n);
 }
 
 Result<BatchVector> ExecJoinB(const PlanNode& n, const BatchExecEnv& env) {
@@ -221,12 +243,14 @@ Result<BatchVector> ExecJoinB(const PlanNode& n, const BatchExecEnv& env) {
   for (const BatchPtr& b : left) {
     if (b->width() != lw) {
       env.bail = true;
+      CountBail(env, n);
       return BatchVector{};
     }
   }
   for (const BatchPtr& b : right) {
     if (b->width() != rw) {
       env.bail = true;
+      CountBail(env, n);
       return BatchVector{};
     }
   }
@@ -238,8 +262,17 @@ Result<BatchVector> ExecJoinB(const PlanNode& n, const BatchExecEnv& env) {
   BatchJoinCache* cache = cacheable ? &env.memo->join[&n] : nullptr;
   BatchJoinCache local;
   BatchJoinCache* build = cache ? cache : &local;
+  obs::OpStats* prof =
+      env.profile != nullptr ? env.profile->Node(n.node_tag) : nullptr;
 
   bool build_hit = cache && cache->right_fingerprint == right;
+  if (cache != nullptr) {
+    obs::ExecCounters& counters = obs::ExecCounters::Instance();
+    (build_hit ? counters.join_cache_hits : counters.join_cache_misses) += 1;
+    if (prof != nullptr) {
+      (build_hit ? prof->join_build_hits : prof->join_build_misses) += 1;
+    }
+  }
   if (!build_hit) {
     build->right_fingerprint = right;
     build->index.clear();
@@ -282,6 +315,8 @@ Result<BatchVector> ExecJoinB(const PlanNode& n, const BatchExecEnv& env) {
     if (cache && build_hit) {
       auto hit = cache->outputs.find(lb);
       if (hit != cache->outputs.end()) {
+        obs::ExecCounters::Instance().join_cache_hits += 1;
+        if (prof != nullptr) prof->join_probe_hits += 1;
         if (hit->second->rows > 0) out.push_back(hit->second);
         continue;
       }
@@ -357,7 +392,11 @@ Result<BatchVector> ExecJoinB(const PlanNode& n, const BatchExecEnv& env) {
     }
     ob->cols.assign(cols.begin(), cols.end());
     BatchPtr frozen = ob;
-    if (cache) cache->outputs[lb] = frozen;
+    if (cache) {
+      cache->outputs[lb] = frozen;
+      obs::ExecCounters::Instance().join_cache_misses += 1;
+      if (prof != nullptr) prof->join_probe_misses += 1;
+    }
     if (frozen->rows > 0) out.push_back(std::move(frozen));
   }
 
@@ -499,10 +538,11 @@ Result<BatchVector> AggregateBatchesImpl(const PlanNode& n,
                                          const BatchExecEnv& env,
                                          bool force_global_group) {
   auto row_fallback = [&]() -> Result<BatchVector> {
+    CountRedo(env, n);
     DVS_ASSIGN_OR_RETURN(std::vector<IdRow> out,
                          ComputeAggregateRows(n, BatchesToRows(in), env.eval,
                                               force_global_group));
-    return RowsToBatchesChecked(out, env);
+    return RowsToBatchesChecked(out, env, n);
   };
 
   // Group keys and aggregate argument columns, one vector pass per batch.
@@ -616,19 +656,28 @@ Result<BatchVector> ExecB(const PlanNode& n, const BatchExecEnv& env) {
   // One span per operator execution; disarmed cost is a single relaxed
   // atomic load per plan node, amortized over the whole batch stream.
   obs::TraceSpan span("exec", PlanKindName(n.kind));
+  // Profile timing is taken only when a sink is attached; the disarmed cost
+  // of the hook is this one null check.
+  std::chrono::steady_clock::time_point prof_start;
+  if (env.profile != nullptr) prof_start = std::chrono::steady_clock::now();
   Result<BatchVector> result = [&]() -> Result<BatchVector> {
     switch (n.kind) {
       case PlanKind::kValues: {
         DVS_ASSIGN_OR_RETURN(std::vector<IdRow> rows, ComputeValuesRows(n));
-        return RowsToBatchesChecked(rows, env);
+        return RowsToBatchesChecked(rows, env, n);
       }
       case PlanKind::kScan: {
         if (env.resolve_scan_batches) {
+          // Publish this scan's profile slot so ScanBatchesAt (which has no
+          // plan context) can attribute partition-cache hits per node.
+          obs::ScopedScanTarget scan_attr(
+              env.profile != nullptr ? env.profile->Node(n.node_tag)
+                                     : nullptr);
           return env.resolve_scan_batches(n.table_id);
         }
         DVS_ASSIGN_OR_RETURN(std::vector<IdRow> rows,
                              env.resolve_scan(n.table_id));
-        return RowsToBatchesChecked(rows, env);
+        return RowsToBatchesChecked(rows, env, n);
       }
       case PlanKind::kFilter:
         return ExecFilterB(n, env);
@@ -682,6 +731,15 @@ Result<BatchVector> ExecB(const PlanNode& n, const BatchExecEnv& env) {
     const uint64_t rows = BatchRowCount(result.value());
     env.rows_processed += rows;
     if (span.armed()) span.AddArg("rows", static_cast<int64_t>(rows));
+    if (env.profile != nullptr) {
+      obs::OpStats* s = env.profile->Node(n.node_tag);
+      s->rows_out += rows;
+      s->batches += result.value().size();
+      s->wall_ns += static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - prof_start)
+              .count());
+    }
   }
   return result;
 }

@@ -80,6 +80,9 @@ struct BatchExecEnv {
   mutable bool bail = false;
   /// Optional cross-execution caches (differentiator refreshes).
   BatchMemo* memo = nullptr;
+  /// Optional per-operator profile collector (obs/profile.h). Null when
+  /// profiling is disarmed — every hook site then costs one pointer check.
+  obs::ProfileSink* profile = nullptr;
 };
 
 /// True if every expression in the plan tree is batch-evaluable: no

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <set>
 #include <unordered_map>
 
 #include "exec/batch_exec.h"
 #include "exec/row_id.h"
+#include "obs/profile.h"
 
 namespace dvs {
 
@@ -138,6 +140,10 @@ Result<std::vector<IdRow>> ExecOrderBy(const PlanNode& n,
 }
 
 Result<std::vector<IdRow>> Exec(const PlanNode& n, const ExecContext& ctx) {
+  // Profile timing is taken only when a sink is attached; the disarmed cost
+  // of the hook is this one null check.
+  std::chrono::steady_clock::time_point prof_start;
+  if (ctx.profile != nullptr) prof_start = std::chrono::steady_clock::now();
   Result<std::vector<IdRow>> result = [&]() -> Result<std::vector<IdRow>> {
     switch (n.kind) {
       case PlanKind::kScan:
@@ -182,7 +188,17 @@ Result<std::vector<IdRow>> Exec(const PlanNode& n, const ExecContext& ctx) {
     }
     return Internal("unhandled plan kind");
   }();
-  if (result.ok()) ctx.rows_processed += result.value().size();
+  if (result.ok()) {
+    ctx.rows_processed += result.value().size();
+    if (ctx.profile != nullptr) {
+      obs::OpStats* s = ctx.profile->Node(n.node_tag);
+      s->rows_out += result.value().size();
+      s->wall_ns += static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - prof_start)
+              .count());
+    }
+  }
   return result;
 }
 
@@ -204,14 +220,24 @@ Result<std::vector<IdRow>> ExecutePlan(const PlanNode& plan,
     env.resolve_scan = ctx.resolve_scan;
     env.resolve_scan_batches = ctx.resolve_scan_batches;
     env.eval = ctx.eval;
+    // The batch attempt profiles into a scratch sink, merged only when the
+    // attempt stands — a bail reruns the row path charging fresh, and the
+    // profile must charge fresh with it.
+    obs::ProfileSink scratch;
+    if (ctx.profile != nullptr) env.profile = &scratch;
     Result<BatchVector> result = ExecutePlanBatches(plan, env);
     if (!env.bail) {
       if (!result.ok()) return result.status();
       ctx.rows_processed += env.rows_processed;
+      if (ctx.profile != nullptr) ctx.profile->MergeFrom(scratch);
       return BatchesToRows(result.value());
     }
     // Columnar assumptions violated (e.g. ragged row widths): rerun the row
-    // interpreter from scratch, charging fresh.
+    // interpreter from scratch, charging fresh — the scratch sink's partial
+    // counts are dropped with it, and the bail is charged to the plan root.
+    if (ctx.profile != nullptr) {
+      ctx.profile->Node(plan.node_tag)->vector_bails += 1;
+    }
   }
   return Exec(plan, ctx);
 }

@@ -23,6 +23,10 @@
 
 namespace dvs {
 
+namespace obs {
+class ProfileSink;
+}  // namespace obs
+
 /// Materializes the contents of a table (by object id) at the snapshot the
 /// resolver was built for.
 using ScanResolver =
@@ -41,6 +45,9 @@ struct ExecContext {
   /// Forces the row-at-a-time interpreter even for batch-safe plans (the
   /// equivalence tests use it as the oracle).
   bool force_row_path = false;
+  /// Optional per-operator profile collector (obs/profile.h). Null when
+  /// profiling is disarmed — every hook site then costs one pointer check.
+  obs::ProfileSink* profile = nullptr;
 };
 
 /// Executes the plan, returning all output rows with ids. Batch-safe plans

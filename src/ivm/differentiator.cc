@@ -1,10 +1,12 @@
 #include "ivm/differentiator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_set>
 
 #include "common/key_hash.h"
 #include "exec/row_id.h"
+#include "obs/profile.h"
 
 namespace dvs {
 
@@ -29,11 +31,21 @@ Result<const BatchVector*> SnapshotBatches(const PlanNode& n,
       at_end ? ctx.batch_resolve_at_end : ctx.batch_resolve_at_start;
   env.eval = at_end ? ctx.eval_end : ctx.eval_start;
   env.memo = &ctx.memo;
+  // A bailed snapshot reruns through the row path, so the profile charges
+  // fresh: the batch attempt writes a scratch sink, merged only on success.
+  obs::ProfileSink scratch;
+  if (ctx.profile != nullptr) env.profile = &scratch;
   // Materialization is not charged (see Snapshot below); env charges are
   // discarded with the env.
   Result<BatchVector> batches = ExecutePlanBatches(n, env);
-  if (env.bail) return static_cast<const BatchVector*>(nullptr);
+  if (env.bail) {
+    if (ctx.profile != nullptr) {
+      ctx.profile->Node(n.node_tag)->vector_bails += 1;
+    }
+    return static_cast<const BatchVector*>(nullptr);
+  }
   if (!batches.ok()) return batches.status();
+  if (ctx.profile != nullptr) ctx.profile->MergeFrom(scratch);
   auto [ins, unused] = cache.emplace(&n, batches.take());
   (void)unused;
   return &ins->second;
@@ -63,6 +75,7 @@ Result<const std::vector<IdRow>*> Snapshot(const PlanNode& n,
     ec.resolve_scan = at_end ? ctx.resolve_at_end : ctx.resolve_at_start;
     ec.eval = at_end ? ctx.eval_end : ctx.eval_start;
     ec.force_row_path = true;  // the batch engine already declined above
+    ec.profile = ctx.profile;
     DVS_ASSIGN_OR_RETURN(rows, ExecutePlan(n, ec));
   }
   auto [ins, unused] = cache.emplace(&n, std::move(rows));
@@ -363,13 +376,17 @@ bool RestrictBatches(const BatchVector& in,
                      const EvalContext& ec, const KeySet& ks,
                      const std::unordered_set<uint64_t>& digests,
                      std::unordered_map<const ColumnBatch*, Sel>* sel_memo,
-                     BatchVector* out, uint64_t* member_count) {
+                     BatchVector* out, uint64_t* member_count,
+                     obs::OpStats* prof) {
   for (const BatchPtr& b : in) {
     Sel sel;
     const Sel* use = nullptr;
     if (sel_memo != nullptr) {
       auto it = sel_memo->find(b.get());
-      if (it != sel_memo->end()) use = &it->second;
+      if (it != sel_memo->end()) {
+        use = &it->second;
+        if (prof != nullptr) prof->sel_memo_hits += 1;
+      }
     }
     if (use == nullptr) {
       Result<BatchKeys> bk = ComputeBatchKeys(key_exprs, *b, ec);
@@ -447,15 +464,20 @@ Result<ChangeSet> DeltaAggregate(const PlanNode& n, const DeltaContext& ctx) {
       std::unordered_map<const ColumnBatch*, Sel> sel_memo;
       std::unordered_map<const ColumnBatch*, Sel>* memo =
           ExprsImmutable(n.group_by) ? &sel_memo : nullptr;
-      restricted = RestrictBatches(*b0, n.group_by, ctx.eval_start, ks,
-                                   digests, memo, &old_members, &old_count) &&
-                   RestrictBatches(*b1, n.group_by, ctx.eval_end, ks, digests,
-                                   memo, &new_members, &new_count);
+      obs::OpStats* prof =
+          ctx.profile != nullptr ? ctx.profile->Node(n.node_tag) : nullptr;
+      restricted =
+          RestrictBatches(*b0, n.group_by, ctx.eval_start, ks, digests, memo,
+                          &old_members, &old_count, prof) &&
+          RestrictBatches(*b1, n.group_by, ctx.eval_end, ks, digests, memo,
+                          &new_members, &new_count, prof);
     }
     if (restricted) {
       BatchExecEnv env0, env1;
       env0.eval = ctx.eval_start;
       env1.eval = ctx.eval_end;
+      env0.profile = ctx.profile;
+      env1.profile = ctx.profile;
       DVS_ASSIGN_OR_RETURN(
           BatchVector oldb, ComputeAggregateBatches(n, old_members, env0, force));
       DVS_ASSIGN_OR_RETURN(
@@ -616,8 +638,20 @@ Result<ChangeSet> DeltaWindow(const PlanNode& n, const DeltaContext& ctx) {
 }
 
 Result<ChangeSet> Delta(const PlanNode& n, const DeltaContext& ctx) {
+  std::chrono::steady_clock::time_point prof_start;
+  if (ctx.profile != nullptr) prof_start = std::chrono::steady_clock::now();
   Result<ChangeSet> result = DeltaImpl(n, ctx);
-  if (result.ok()) ctx.rows_processed += result.value().size();
+  if (result.ok()) {
+    ctx.rows_processed += result.value().size();
+    if (ctx.profile != nullptr) {
+      obs::OpStats* s = ctx.profile->Node(n.node_tag);
+      s->rows_out += result.value().size();
+      s->wall_ns += static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - prof_start)
+              .count());
+    }
+  }
   return result;
 }
 

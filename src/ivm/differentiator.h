@@ -66,6 +66,10 @@ struct DeltaContext {
 
   /// Batch-engine caches shared across both endpoints of this refresh.
   mutable BatchMemo memo;
+
+  /// Optional per-operator profile collector (obs/profile.h). Null when
+  /// profiling is disarmed — every hook site then costs one pointer check.
+  obs::ProfileSink* profile = nullptr;
 };
 
 struct DeltaResult {

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <memory>
 #include <utility>
+
+#include "obs/profile.h"
 
 namespace dvs {
 namespace obs {
@@ -105,13 +108,23 @@ Schema GraphHistorySchema() {
 Result<sql::TableFunctionResult> GraphHistory(DvsEngine* engine,
                                               Scheduler* scheduler,
                                               const std::vector<Value>& args) {
-  if (!args.empty()) {
-    return UserError("graph_history takes no arguments");
+  if (args.size() > 1) {
+    return UserError("graph_history takes at most one argument (a DT name)");
+  }
+  std::string filter;
+  bool filtered = false;
+  if (args.size() == 1) {
+    if (args[0].type() != DataType::kString) {
+      return UserError("graph_history argument must be a string DT name");
+    }
+    filter = Lower(args[0].string_value());
+    filtered = true;
   }
   sql::TableFunctionResult out;
   out.schema = GraphHistorySchema();
   Catalog& catalog = engine->catalog();
   for (CatalogObject* obj : catalog.AllDynamicTables()) {
+    if (filtered && obj->name != filter) continue;
     const DynamicTableMeta& meta = *obj->dt;
     Row row;
     row.push_back(Value::String(obj->name));
@@ -171,6 +184,100 @@ Result<sql::TableFunctionResult> GraphHistory(DvsEngine* engine,
   return out;
 }
 
+Schema RefreshProfileSchema() {
+  Schema s;
+  s.AddColumn("name", DataType::kString);
+  s.AddColumn("refresh_ts", DataType::kTimestamp);
+  s.AddColumn("action", DataType::kString);
+  s.AddColumn("outcome", DataType::kString);
+  s.AddColumn("operator", DataType::kString);
+  s.AddColumn("op_tag", DataType::kInt64);
+  s.AddColumn("rows_in", DataType::kInt64);
+  s.AddColumn("rows_out", DataType::kInt64);
+  s.AddColumn("batches", DataType::kInt64);
+  s.AddColumn("join_build_hits", DataType::kInt64);
+  s.AddColumn("join_build_misses", DataType::kInt64);
+  s.AddColumn("join_probe_hits", DataType::kInt64);
+  s.AddColumn("join_probe_misses", DataType::kInt64);
+  s.AddColumn("batch_cache_hits", DataType::kInt64);
+  s.AddColumn("batch_cache_misses", DataType::kInt64);
+  s.AddColumn("sel_memo_hits", DataType::kInt64);
+  s.AddColumn("vector_bails", DataType::kInt64);
+  s.AddColumn("row_redos", DataType::kInt64);
+  // Wall-clock columns come LAST so deterministic consumers (bench_e21) can
+  // project them away and byte-compare the rest across worker counts.
+  s.AddColumn("wall_ns", DataType::kInt64);
+  return s;
+}
+
+/// REFRESH_PROFILE(name, k?): one row per (retained profile, plan operator)
+/// of the named DT, oldest profile first, operators in plan pre-order. `k`
+/// limits output to the k most recent retained profiles.
+Result<sql::TableFunctionResult> RefreshProfileFn(
+    DvsEngine* engine, const std::vector<Value>& args) {
+  if (args.empty() || args.size() > 2) {
+    return UserError(
+        "refresh_profile takes a DT name and an optional profile count");
+  }
+  if (args[0].type() != DataType::kString) {
+    return UserError("refresh_profile argument must be a string DT name");
+  }
+  size_t limit = kProfileRingCapacity;
+  if (args.size() == 2) {
+    if (args[1].type() != DataType::kInt64 || args[1].int_value() < 1) {
+      return UserError(
+          "refresh_profile count must be a positive integer literal");
+    }
+    limit = static_cast<size_t>(args[1].int_value());
+  }
+  const std::string name = Lower(args[0].string_value());
+  DVS_ASSIGN_OR_RETURN(const CatalogObject* obj,
+                       static_cast<const Catalog&>(engine->catalog()).Find(name));
+  if (obj->kind != ObjectKind::kDynamicTable) {
+    return UserError("'" + name + "' is not a dynamic table");
+  }
+
+  sql::TableFunctionResult out;
+  out.schema = RefreshProfileSchema();
+  std::vector<std::shared_ptr<const RefreshProfile>> profiles =
+      obj->dt->ProfileSnapshot();
+  const size_t first =
+      profiles.size() > limit ? profiles.size() - limit : 0;
+  for (size_t p = first; p < profiles.size(); ++p) {
+    const RefreshProfile& prof = *profiles[p];
+    const auto& ops = prof.sink.operators();
+    for (size_t i = 0; i < ops.size(); ++i) {
+      static const OpStats kZero;
+      const OpStats* s = prof.sink.Find(ops[i].tag);
+      if (s == nullptr) s = &kZero;
+      Row row;
+      row.push_back(Value::String(prof.dt_name));
+      row.push_back(Value::Timestamp(prof.refresh_ts));
+      row.push_back(Value::String(prof.action));
+      row.push_back(Value::String(prof.outcome));
+      row.push_back(Value::String(
+          std::string(static_cast<size_t>(ops[i].depth) * 2, ' ') +
+          ops[i].label));
+      row.push_back(Value::Int(static_cast<int64_t>(ops[i].tag)));
+      row.push_back(Value::Int(static_cast<int64_t>(prof.sink.RowsInOf(i))));
+      row.push_back(Value::Int(static_cast<int64_t>(s->rows_out)));
+      row.push_back(Value::Int(static_cast<int64_t>(s->batches)));
+      row.push_back(Value::Int(static_cast<int64_t>(s->join_build_hits)));
+      row.push_back(Value::Int(static_cast<int64_t>(s->join_build_misses)));
+      row.push_back(Value::Int(static_cast<int64_t>(s->join_probe_hits)));
+      row.push_back(Value::Int(static_cast<int64_t>(s->join_probe_misses)));
+      row.push_back(Value::Int(static_cast<int64_t>(s->batch_cache_hits)));
+      row.push_back(Value::Int(static_cast<int64_t>(s->batch_cache_misses)));
+      row.push_back(Value::Int(static_cast<int64_t>(s->sel_memo_hits)));
+      row.push_back(Value::Int(static_cast<int64_t>(s->vector_bails)));
+      row.push_back(Value::Int(static_cast<int64_t>(s->row_redos)));
+      row.push_back(Value::Int(static_cast<int64_t>(s->wall_ns)));
+      out.rows.push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 sql::TableFunctionProvider MakeIntrospectionProvider(DvsEngine* engine,
@@ -186,8 +293,12 @@ sql::TableFunctionProvider MakeIntrospectionProvider(DvsEngine* engine,
     if (lowered == "graph_history") {
       return GraphHistory(engine, scheduler, args);
     }
-    return UserError("unknown table function '" + name +
-                     "' (available: refresh_history, graph_history)");
+    if (lowered == "refresh_profile") {
+      return RefreshProfileFn(engine, args);
+    }
+    return UserError(
+        "unknown table function '" + name +
+        "' (available: refresh_history, graph_history, refresh_profile)");
   };
 }
 
@@ -297,6 +408,40 @@ EngineMetrics::EngineMetrics(DvsEngine* engine, Registry* registry)
                                  }
                                  return total;
                                });
+    names_.push_back(f.name);
+  }
+
+  // exec.* / storage.batch_cache.*: the process-global ExecCounters
+  // (obs/profile.h), reported as deltas against their values at registration
+  // time. The delta keeps per-run registries comparable when several runs
+  // share one process (the bench determinism gates run workers=0 and
+  // workers=4 sequentially and byte-compare the scrapes).
+  struct ExecField {
+    const char* name;
+    const char* help;
+    Counter ExecCounters::* field;
+  };
+  static constexpr ExecField kExecFields[] = {
+      {"exec.join_cache.hits", "Batch join-cache hits (build + probe)",
+       &ExecCounters::join_cache_hits},
+      {"exec.join_cache.misses", "Batch join-cache misses (build + probe)",
+       &ExecCounters::join_cache_misses},
+      {"storage.batch_cache.hits", "Partition->batch cache hits",
+       &ExecCounters::batch_cache_hits},
+      {"storage.batch_cache.misses", "Partition->batch conversions",
+       &ExecCounters::batch_cache_misses},
+      {"exec.vector_bails", "Columnar bail-outs to the row engine",
+       &ExecCounters::vector_bails},
+      {"exec.row_redos", "Row-wise redo fallbacks after vector-eval errors",
+       &ExecCounters::row_redos},
+  };
+  for (const ExecField& f : kExecFields) {
+    const uint64_t base = (ExecCounters::Instance().*f.field).value();
+    registry_->RegisterGaugeFn(
+        f.name, f.help, /*deterministic=*/true, [base, field = f.field]() {
+          return static_cast<int64_t>(
+              (ExecCounters::Instance().*field).value() - base);
+        });
     names_.push_back(f.name);
   }
 }

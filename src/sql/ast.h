@@ -179,9 +179,17 @@ struct AlterDtStmt {
   TargetLag target_lag;  ///< kSetTargetLag payload.
 };
 
+/// EXPLAIN [ANALYZE] <select>: renders the bound plan as one string column,
+/// one operator per row. ANALYZE additionally executes the statement and
+/// annotates each operator with its live profile counters (obs/profile.h).
+struct ExplainStmt {
+  bool analyze = false;
+  std::shared_ptr<SelectStmt> select;
+};
+
 enum class StatementKind {
   kSelect, kCreateTable, kCreateView, kCreateDynamicTable, kDrop, kInsert,
-  kDelete, kUpdate, kAlterDt,
+  kDelete, kUpdate, kAlterDt, kExplain,
 };
 
 struct Statement {
@@ -195,6 +203,7 @@ struct Statement {
   std::shared_ptr<DeleteStmt> del;
   std::shared_ptr<UpdateStmt> update;
   std::shared_ptr<AlterDtStmt> alter_dt;
+  std::shared_ptr<ExplainStmt> explain;
 };
 
 }  // namespace sql

@@ -160,6 +160,19 @@ Result<Statement> Parser::ParseStatementTop() {
     if (!AtEnd()) return ParseError("trailing tokens after SELECT");
     return stmt;
   }
+  if (MatchKeyword("explain")) {
+    auto ex = std::make_shared<ExplainStmt>();
+    ex->analyze = MatchKeyword("analyze");
+    if (!Peek().IsKeyword("select")) {
+      return ParseError("EXPLAIN supports SELECT statements only");
+    }
+    DVS_ASSIGN_OR_RETURN(ex->select, ParseSelectStmt());
+    stmt.explain = std::move(ex);
+    stmt.kind = StatementKind::kExplain;
+    MatchSymbol(";");
+    if (!AtEnd()) return ParseError("trailing tokens after EXPLAIN");
+    return stmt;
+  }
   return ParseError("unrecognized statement near offset " +
                     std::to_string(Peek().offset));
 }

@@ -355,11 +355,32 @@ TEST_F(IntrospectionSqlTest, BadArgumentsRejected) {
   EXPECT_FALSE(engine_.Query("SELECT * FROM refresh_history(42)").ok());
   EXPECT_FALSE(
       engine_.Query("SELECT * FROM refresh_history('a', 'b')").ok());
-  EXPECT_FALSE(engine_.Query("SELECT * FROM graph_history('dt1')").ok());
+  EXPECT_FALSE(engine_.Query("SELECT * FROM graph_history(42)").ok());
+  EXPECT_FALSE(engine_.Query("SELECT * FROM graph_history('a', 'b')").ok());
   auto unknown = engine_.Query("SELECT * FROM no_such_function()");
   ASSERT_FALSE(unknown.ok());
   EXPECT_NE(unknown.status().ToString().find("refresh_history"),
             std::string::npos) << unknown.status().ToString();
+}
+
+TEST_F(IntrospectionSqlTest, GraphHistoryNameFilter) {
+  // Optional name argument, for parity with refresh_history(name?).
+  auto all = engine_.Query("SELECT * FROM graph_history()");
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  EXPECT_EQ(all.value().rows.size(), 2u);
+  auto one = engine_.Query("SELECT * FROM graph_history('dt1')");
+  ASSERT_TRUE(one.ok()) << one.status().ToString();
+  ASSERT_EQ(one.value().rows.size(), 1u);
+  EXPECT_EQ(one.value().rows[0][0].ToString(),
+            Value::String("dt1").ToString());
+  // Case-insensitive filter; unknown DT -> zero rows, matching
+  // refresh_history's filter semantics.
+  auto upper = engine_.Query("SELECT * FROM GRAPH_HISTORY('DT1')");
+  ASSERT_TRUE(upper.ok()) << upper.status().ToString();
+  EXPECT_EQ(upper.value().rows.size(), 1u);
+  auto none = engine_.Query("SELECT * FROM graph_history('nope')");
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none.value().rows.size(), 0u);
 }
 
 TEST_F(IntrospectionSqlTest, GraphHistoryRows) {

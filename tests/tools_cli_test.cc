@@ -1,0 +1,229 @@
+// End-to-end tests for the command-line tools (tools/*.cc), driven through
+// std::system the way CI scripts invoke them. Each tool documents an exit
+// code contract — 0 valid, 1 unreadable input, 2 usage error, 3 malformed /
+// corrupt content — and these tests pin it against crafted inputs: a real
+// WAL produced by the persist Manager (then torn), a handwritten Chrome
+// trace (then broken), and a bench JSON in the BenchJson schema (then
+// mangled). Runs from the build directory, where ctest starts the binary
+// and the tool executables live.
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "persist/manager.h"
+#include "sched/scheduler.h"
+
+namespace dvs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string UniqueDir(const std::string& tag) {
+  static int counter = 0;
+  std::string dir = (fs::temp_directory_path() /
+                     ("dvs_tools_cli_" + tag + "_" +
+                      std::to_string(::getpid()) + "_" +
+                      std::to_string(counter++)))
+                        .string();
+  fs::remove_all(dir);
+  return dir;
+}
+
+/// Runs `cmd` with stdout/stderr discarded and returns the tool's exit code
+/// (or -1 if it did not exit normally).
+int RunTool(const std::string& cmd) {
+  int status = std::system((cmd + " >/dev/null 2>&1").c_str());
+  if (status == -1 || !WIFEXITED(status)) return -1;
+  return WEXITSTATUS(status);
+}
+
+/// The tools are siblings of the test binary in the build directory; ctest
+/// runs with that directory as cwd, but tolerate being launched from the
+/// repo root too.
+std::string ToolPath(const std::string& name) {
+  if (fs::exists(name)) return "./" + name;
+  if (fs::exists("build/" + name)) return "./build/" + name;
+  return name;  // fall back to PATH; the usage-error tests still work
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+  ASSERT_TRUE(out.good()) << path;
+}
+
+// ---- trace_dump ----
+
+TEST(TraceDumpCliTest, ExitCodeContract) {
+  const std::string tool = ToolPath("trace_dump");
+  const std::string dir = UniqueDir("trace");
+  fs::create_directories(dir);
+
+  // Valid trace-event container (the WriteChromeTrace shape).
+  const std::string valid = dir + "/ok.json";
+  WriteFile(valid,
+            "{\"traceEvents\": ["
+            "{\"name\": \"refresh\", \"cat\": \"sched\", \"ph\": \"X\", "
+            "\"ts\": 1, \"dur\": 5},"
+            "{\"name\": \"tick\", \"cat\": \"sched\", \"ph\": \"i\", "
+            "\"ts\": 2}"
+            "]}");
+  EXPECT_EQ(RunTool(tool + " --quiet " + valid), 0);
+  EXPECT_EQ(RunTool(tool + " " + valid), 0);
+
+  // JSON syntax error and schema violations are both exit 3.
+  const std::string syntax = dir + "/syntax.json";
+  WriteFile(syntax, "{\"traceEvents\": [");
+  EXPECT_EQ(RunTool(tool + " --quiet " + syntax), 3);
+
+  const std::string no_events = dir + "/no_events.json";
+  WriteFile(no_events, "{\"other\": []}");
+  EXPECT_EQ(RunTool(tool + " --quiet " + no_events), 3);
+
+  const std::string bad_event = dir + "/bad_event.json";
+  WriteFile(bad_event,
+            "{\"traceEvents\": [{\"name\": \"x\", \"cat\": \"c\", "
+            "\"ph\": \"X\", \"ts\": 1}]}");  // complete event without dur
+  EXPECT_EQ(RunTool(tool + " --quiet " + bad_event), 3);
+
+  // Unreadable file is exit 1; wrong arity is exit 2.
+  EXPECT_EQ(RunTool(tool + " " + dir + "/does_not_exist.json"), 1);
+  EXPECT_EQ(RunTool(tool), 2);
+  EXPECT_EQ(RunTool(tool + " a.json b.json"), 2);
+
+  fs::remove_all(dir);
+}
+
+// ---- bench_dump ----
+
+TEST(BenchDumpCliTest, ExitCodeContract) {
+  const std::string tool = ToolPath("bench_dump");
+  const std::string dir = UniqueDir("bench");
+  fs::create_directories(dir);
+
+  // Valid file mirroring bench::BenchJson output.
+  const std::string valid = dir + "/BENCH_OK.json";
+  WriteFile(valid,
+            "{\"experiment\": \"E21\", \"description\": \"profiling\", "
+            "\"meta\": {\"smoke\": true}, \"points\": [\n"
+            "  {\"kind\": \"determinism\", \"match\": true, \"rows\": 42},\n"
+            "  {\"kind\": \"overhead\", \"pct\": 0.5}\n"
+            "]}");
+  EXPECT_EQ(RunTool(tool + " --quiet " + valid), 0);
+  EXPECT_EQ(RunTool(tool + " " + valid), 0);
+
+  // Schema violations: missing sections, point without kind, nested field.
+  const std::string no_points = dir + "/no_points.json";
+  WriteFile(no_points,
+            "{\"experiment\": \"E21\", \"description\": \"d\", "
+            "\"meta\": {}}");
+  EXPECT_EQ(RunTool(tool + " --quiet " + no_points), 3);
+
+  const std::string no_kind = dir + "/no_kind.json";
+  WriteFile(no_kind,
+            "{\"experiment\": \"E21\", \"description\": \"d\", "
+            "\"meta\": {}, \"points\": [{\"rows\": 1}]}");
+  EXPECT_EQ(RunTool(tool + " --quiet " + no_kind), 3);
+
+  const std::string nested = dir + "/nested.json";
+  WriteFile(nested,
+            "{\"experiment\": \"E21\", \"description\": \"d\", "
+            "\"meta\": {}, \"points\": "
+            "[{\"kind\": \"k\", \"sub\": {\"a\": 1}}]}");
+  EXPECT_EQ(RunTool(tool + " --quiet " + nested), 3);
+
+  const std::string syntax = dir + "/syntax.json";
+  WriteFile(syntax, "{\"experiment\": \"E21\",");
+  EXPECT_EQ(RunTool(tool + " --quiet " + syntax), 3);
+
+  EXPECT_EQ(RunTool(tool + " " + dir + "/missing.json"), 1);
+  EXPECT_EQ(RunTool(tool), 2);
+  EXPECT_EQ(RunTool(tool + " a b"), 2);
+
+  fs::remove_all(dir);
+}
+
+// ---- wal_dump ----
+
+TEST(WalDumpCliTest, ExitCodeContract) {
+  const std::string tool = ToolPath("wal_dump");
+  const std::string dir = UniqueDir("wal");
+
+  // Produce a real WAL: a small pipeline churned through a few scheduler
+  // ticks with persistence attached.
+  {
+    VirtualClock clock(0);
+    DvsEngine engine(clock);
+    auto opened = persist::Manager::Open({dir});
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    auto manager = opened.take();
+    ASSERT_TRUE(manager->Attach(&engine).ok());
+    SchedulerOptions opts;
+    opts.persistence = manager.get();
+    Scheduler sched(&engine, &clock, opts);
+    ASSERT_TRUE(engine.Execute("CREATE TABLE t (k INT, v INT)").ok());
+    ASSERT_TRUE(engine
+                    .Execute("CREATE DYNAMIC TABLE dt1 TARGET_LAG = "
+                             "'48 seconds' WAREHOUSE = wh AS "
+                             "SELECT k, v FROM t WHERE v > 0")
+                    .ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(engine
+                      .Execute("INSERT INTO t VALUES (" + std::to_string(i) +
+                               ", " + std::to_string(10 * (i + 1)) + ")")
+                      .ok());
+      sched.RunUntil(kCanonicalBasePeriod * (i + 1));
+    }
+    ASSERT_TRUE(manager->wal_status().ok());
+  }
+
+  // Healthy WAL: listing and --verify both exit 0 on the directory.
+  EXPECT_EQ(RunTool(tool + " " + dir), 0);
+  EXPECT_EQ(RunTool(tool + " --verify " + dir), 0);
+  EXPECT_EQ(RunTool(tool + " --stats " + dir), 0);
+
+  // Find the live segment and tear its tail: flip a byte near the end.
+  std::string wal_file;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("wal-", 0) == 0 && entry.path().extension() == ".log" &&
+        (wal_file.empty() || name > fs::path(wal_file).filename().string())) {
+      wal_file = entry.path().string();
+    }
+  }
+  ASSERT_FALSE(wal_file.empty()) << "no wal-*.log segment written in " << dir;
+  const auto size = fs::file_size(wal_file);
+  ASSERT_GT(size, 8u);
+  {
+    std::fstream f(wal_file,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(size) - 3);
+    char b = 0;
+    f.seekg(static_cast<std::streamoff>(size) - 3);
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0xFF);
+    f.seekp(static_cast<std::streamoff>(size) - 3);
+    f.write(&b, 1);
+  }
+  EXPECT_EQ(RunTool(tool + " --verify " + wal_file), 3);
+
+  // Truncating mid-frame is also a torn tail.
+  fs::resize_file(wal_file, size - 2);
+  EXPECT_EQ(RunTool(tool + " --verify " + wal_file), 3);
+
+  // Unreadable target and usage errors.
+  EXPECT_EQ(RunTool(tool + " --verify " + dir + "/nope.log"), 1);
+  EXPECT_EQ(RunTool(tool), 2);
+
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace dvs
